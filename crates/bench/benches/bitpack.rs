@@ -1,0 +1,49 @@
+//! Criterion: bit-packed vector primitives (the Step 2 inner loop's storage).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyrise_bitpack::BitPackedVec;
+
+fn bench_pack_unpack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitpack");
+    g.sample_size(20);
+    let n = 1_000_000usize;
+    for bits in [8u8, 13, 20, 27] {
+        let mask = hyrise_bitpack::max_value_for_bits(bits);
+        let data: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9) & mask).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("push", bits), &bits, |b, &bits| {
+            b.iter(|| {
+                let mut v = BitPackedVec::with_capacity(bits, n);
+                for &x in &data {
+                    v.push(x);
+                }
+                black_box(v.len())
+            })
+        });
+        let packed = BitPackedVec::from_slice(bits, &data);
+        g.bench_with_input(BenchmarkId::new("sequential_decode", bits), &packed, |b, packed| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for x in packed.iter() {
+                    acc = acc.wrapping_add(x);
+                }
+                black_box(acc)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("random_get", bits), &packed, |b, packed| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                let mut idx = 12345usize;
+                for _ in 0..10_000 {
+                    idx = (idx.wrapping_mul(1103515245).wrapping_add(12345)) % n;
+                    acc = acc.wrapping_add(packed.get(idx));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pack_unpack);
+criterion_main!(benches);

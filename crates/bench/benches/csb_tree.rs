@@ -1,0 +1,64 @@
+//! Criterion: CSB+ tree insert, lookup and the Step-1(a) leaf traversal.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyrise_csb::CsbTree;
+
+fn keys(n: usize, domain: u64) -> Vec<u64> {
+    let mut x = 0x2545_F491_4F6C_DD1Du64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % domain
+        })
+        .collect()
+}
+
+fn bench_csb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("csb_tree");
+    g.sample_size(15);
+    let n = 200_000usize;
+    for (label, domain) in [("unique-heavy", u64::MAX), ("duplicate-heavy", 10_000)] {
+        let data = keys(n, domain);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("insert", label), &data, |b, data| {
+            b.iter(|| {
+                let mut t = CsbTree::new();
+                for (i, &k) in data.iter().enumerate() {
+                    t.insert(k, i as u32);
+                }
+                black_box(t.unique_len())
+            })
+        });
+        let mut tree = CsbTree::new();
+        for (i, &k) in data.iter().enumerate() {
+            tree.insert(k, i as u32);
+        }
+        g.bench_with_input(BenchmarkId::new("lookup", label), &data, |b, data| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for k in data.iter().take(10_000) {
+                    if tree.contains_key(k) {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("leaf_traversal_step1a", label), &tree, |b, tree| {
+            b.iter(|| {
+                // The merge Step 1(a) access path: in-order keys + postings.
+                let mut acc = 0u64;
+                for (k, postings) in tree.iter() {
+                    acc = acc.wrapping_add(k).wrapping_add(postings.count() as u64);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_csb);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion: Step 1(b) — serial vs three-phase parallel dictionary merge.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyrise_core::parallel::merge_dictionaries_parallel;
+use hyrise_core::merge_dictionaries;
+
+fn sorted_unique(n: usize, seed: u64, domain: u64) -> Vec<u64> {
+    let mut x = seed | 1;
+    let mut v: Vec<u64> = (0..n * 2)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % domain
+        })
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v.truncate(n);
+    v
+}
+
+fn bench_dict_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dict_merge");
+    g.sample_size(15);
+    let u_m = sorted_unique(1_000_000, 3, u64::MAX / 2);
+    let u_d = sorted_unique(100_000, 5, u64::MAX / 2);
+    g.throughput(Throughput::Elements((u_m.len() + u_d.len()) as u64));
+    g.bench_function("serial", |b| {
+        b.iter(|| black_box(merge_dictionaries(&u_m, &u_d)).merged.len())
+    });
+    for threads in [2usize, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &threads| {
+            b.iter(|| black_box(merge_dictionaries_parallel(&u_m, &u_d, threads)).merged.len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dict_merge);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion: full column merges — naive vs optimized vs parallel (the
+//! micro-scale backing of Figure 7).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyrise_bench::build_column;
+use hyrise_core::{merge_column_naive, merge_column_optimized, parallel::merge_column_parallel};
+
+fn bench_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge_column");
+    g.sample_size(10);
+    let n_m = 1_000_000usize;
+    let n_d = 50_000usize;
+    for lambda in [0.01f64, 0.5] {
+        let (main, delta) = build_column::<u64>(n_m, n_d, lambda, lambda, 11);
+        g.throughput(Throughput::Elements((n_m + n_d) as u64));
+        let label = format!("lambda{}", (lambda * 100.0) as u32);
+        g.bench_with_input(BenchmarkId::new("naive_1t", &label), &(), |b, _| {
+            b.iter(|| black_box(merge_column_naive(&main, &delta, 1)).main.len())
+        });
+        g.bench_with_input(BenchmarkId::new("optimized_1t", &label), &(), |b, _| {
+            b.iter(|| black_box(merge_column_optimized(&main, &delta)).main.len())
+        });
+        for threads in [4usize, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("parallel_{threads}t"), &label),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| black_box(merge_column_parallel(&main, &delta, threads)).main.len())
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

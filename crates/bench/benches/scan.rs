@@ -1,0 +1,39 @@
+//! Criterion: read operators vs delta size (the Section 4 read-overhead
+//! trade-off at micro scale; the full sweep is `ablation_read_overhead`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyrise_bench::{build_column, delta_values};
+use hyrise_query::{scan_eq, scan_range};
+use hyrise_storage::Attribute;
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan");
+    g.sample_size(15);
+    let n_m = 1_000_000usize;
+    let lambda = 0.01f64;
+    let (main, _) = build_column::<u64>(n_m, 1, lambda, lambda, 19);
+    let probe = main.dictionary().value_at((main.dictionary().len() / 2) as u32);
+    let lo = main.dictionary().value_at(10);
+    let hi = main.dictionary().value_at(60);
+
+    for delta_pct in [0usize, 2, 8] {
+        let n_d = n_m * delta_pct / 100;
+        let mut attr = Attribute::from_main(main.clone());
+        for v in delta_values::<u64>(n_d.max(1), lambda, main.dictionary().len(), 23) {
+            if delta_pct > 0 {
+                attr.append(v);
+            }
+        }
+        g.throughput(Throughput::Elements((attr.len()) as u64));
+        g.bench_with_input(BenchmarkId::new("scan_eq", delta_pct), &attr, |b, attr| {
+            b.iter(|| black_box(scan_eq(attr, &probe)).len())
+        });
+        g.bench_with_input(BenchmarkId::new("scan_range", delta_pct), &attr, |b, attr| {
+            b.iter(|| black_box(scan_range(attr, lo..=hi)).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

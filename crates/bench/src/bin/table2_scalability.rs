@@ -1,0 +1,106 @@
+//! Table 2: parallel scalability of each phase (Update Delta, Step 1,
+//! Step 2) at 1% and 100% unique values — serial vs multi-threaded cost in
+//! cycles per tuple and the resulting speedup.
+//!
+//! Paper setup: N_M = 100M, N_D = 1M, E_j = 8B; 1 thread vs 6 threads on one
+//! socket (plus a 2-socket column we cannot reproduce on a single-socket
+//! machine — we report total-machine scaling instead and say so).
+//!
+//! Paper reference values (cycles/tuple):
+//! ```text
+//! 1%   Update Delta 4.52 -> 0.87 (5.2x)   Step1 1.29 -> 0.30 (4.3x)   Step2 3.89 -> 1.85 (2.1x)
+//! 100% Update Delta 20.63 -> 4.21 (4.9x)  Step1 20.92 -> 6.97 (3.0x)  Step2 66.21 -> 15.0 (4.4x)
+//! ```
+
+use hyrise_bench::{
+    banner, build_column, cpt, default_threads, delta_values, fmt_count, quick_hz,
+    time_delta_updates, Args, TablePrinter,
+};
+use hyrise_core::parallel::merge_column_parallel;
+use std::time::Duration;
+
+/// Update-delta parallelized over columns (the paper: "we parallelize over
+/// the different columns being updated"): `threads` columns inserted
+/// concurrently, cost charged per column.
+fn parallel_delta_update(vals: &[u64], threads: usize) -> Duration {
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut d = hyrise_storage::DeltaPartition::new();
+                for v in vals {
+                    d.insert(*v);
+                }
+                std::hint::black_box(d.len());
+            });
+        }
+    });
+    t0.elapsed()
+}
+
+fn main() {
+    let args = Args::from_env();
+    let n_m = args.usize("nm", 10_000_000);
+    let n_d = args.usize("nd", n_m / 10 / 10); // 1% of N_M, matching paper's 1M of 100M
+    let nt = args.usize("threads", default_threads().min(6)); // paper compares 1T vs 6T
+    let hz = quick_hz();
+
+    banner(
+        "Table 2 — parallel scalability per step (1T vs NT)",
+        "N_M=100M, N_D=1M, E_j=8B; 1 vs 6 threads on one socket; 2-socket scaling 1.8-2.0x",
+        &format!("N_M={}, N_D={}, 1 vs {} threads, {:.2} GHz (single machine; no socket column)",
+            fmt_count(n_m), fmt_count(n_d), nt, hz / 1e9),
+    );
+
+    type PaperRows = [(f64, f64, f64); 3];
+    let paper: [(&str, PaperRows); 2] = [
+        ("1%", [(4.52, 0.87, 5.2), (1.29, 0.30, 4.3), (3.89, 1.85, 2.1)]),
+        ("100%", [(20.63, 4.21, 4.9), (20.92, 6.97, 3.0), (66.21, 15.0, 4.4)]),
+    ];
+
+    for (case, (label, paper_rows)) in [(0.01f64, paper[0]), (1.0, paper[1])] {
+        let lambda = case;
+        println!("--- {} unique values ---", label);
+        let t = TablePrinter::new(&[
+            "step", "1T cpt", &format!("{nt}T cpt"), "scaling", "paper 1T", "paper 6T", "paper scaling",
+        ]);
+        let (main, _) = build_column::<u64>(n_m, 1, lambda, lambda, 21);
+        let vals = delta_values::<u64>(n_d, lambda, main.dictionary().len(), 22);
+        let total = n_m + n_d;
+
+        // Update Delta: per-column cost with 1 column serially vs `nt`
+        // columns concurrently (the paper's column-parallel scheme).
+        let (_, t1) = time_delta_updates(&vals);
+        let t_par = parallel_delta_update(&vals, nt);
+        let upd1 = cpt(t1, total, hz);
+        let upd_nt = cpt(t_par, total, hz); // nt columns done in t_par => per-column cost /nt... see below
+        // t_par processed nt columns; per-column wall cost is t_par, but the
+        // per-column *throughput* cost is t_par / nt.
+        let upd_nt = upd_nt / nt as f64;
+
+        let (delta, _) = time_delta_updates(&vals);
+        let serial = merge_column_parallel(&main, &delta, 1);
+        let par = merge_column_parallel(&main, &delta, nt);
+
+        let rows = [
+            ("Update Delta", upd1, upd_nt),
+            ("Step 1", serial.stats.step1_cycles_per_tuple(hz), par.stats.step1_cycles_per_tuple(hz)),
+            ("Step 2", serial.stats.step2_cycles_per_tuple(hz), par.stats.step2_cycles_per_tuple(hz)),
+        ];
+        for ((name, c1, cn), (p1, p6, ps)) in rows.iter().zip(paper_rows) {
+            t.row(&[
+                name,
+                &format!("{c1:.2}"),
+                &format!("{cn:.2}"),
+                &format!("{:.1}x", c1 / cn.max(1e-12)),
+                &format!("{p1:.2}"),
+                &format!("{p6:.2}"),
+                &format!("{ps:.1}x"),
+            ]);
+        }
+        println!();
+    }
+    println!("expected shape: every step speeds up with threads; Step 2 scales worst at 1%");
+    println!("unique (bandwidth-bound streaming) and well at 100% (latency-bound gathers");
+    println!("turn into parallel misses); Step 1 pays the 3-phase double-comparison tax.");
+}

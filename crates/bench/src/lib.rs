@@ -1,0 +1,258 @@
+//! Shared harness utilities for the per-figure benchmark binaries.
+//!
+//! Every binary accepts `--key value` overrides (e.g. `--nm 100000000
+//! --threads 12`) so the paper-scale experiments can be run given enough
+//! RAM/time, while the defaults finish in minutes on a laptop. Each binary
+//! prints the paper's reference numbers next to the measured ones;
+//! `EXPERIMENTS.md` records a full run.
+
+use hyrise_core::model::{calibrate, MachineProfile};
+use hyrise_storage::{DeltaPartition, MainPartition, Value};
+use hyrise_workload::values::{values_with_unique, UniqueSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Minimal `--key value` / `--flag` argument parsing (no CLI dependency).
+pub struct Args {
+    map: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse from the process arguments.
+    pub fn from_env() -> Self {
+        let mut map = HashMap::new();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i].trim_start_matches('-').to_string();
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                map.insert(key, argv[i + 1].clone());
+                i += 2;
+            } else {
+                map.insert(key, "true".to_string());
+                i += 1;
+            }
+        }
+        Self { map }
+    }
+
+    /// Integer argument with default.
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        self.map
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .unwrap_or(default)
+    }
+
+    /// Float argument with default.
+    pub fn f64(&self, key: &str, default: f64) -> f64 {
+        self.map
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number")))
+            .unwrap_or(default)
+    }
+
+    /// Boolean flag.
+    pub fn flag(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+}
+
+/// Default thread count: all available cores (the paper: "the merge uses all
+/// available resources").
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// One main+delta column pair with controlled sizes and unique fractions.
+///
+/// The delta's seed range straddles the top of the main's value domain, so
+/// about half the delta's distinct values already exist in the main
+/// dictionary and half are new (the paper generates both uniformly at
+/// random; this overlap is our documented choice — see EXPERIMENTS.md).
+pub fn build_column<V: Value>(
+    n_m: usize,
+    n_d: usize,
+    lambda_m: f64,
+    lambda_d: f64,
+    seed: u64,
+) -> (MainPartition<V>, DeltaPartition<V>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let main_spec = UniqueSpec::from_lambda(n_m, lambda_m);
+    let main_vals: Vec<V> = values_with_unique(&mut rng, main_spec);
+    let main = MainPartition::from_values(&main_vals);
+    drop(main_vals);
+
+    let delta_vals: Vec<V> = delta_values_rng(&mut rng, n_d, lambda_d, main_spec.unique);
+    let mut delta = DeltaPartition::new();
+    for v in delta_vals {
+        delta.insert(v);
+    }
+    (main, delta)
+}
+
+fn delta_values_rng<V: Value, R: rand::Rng>(
+    rng: &mut R,
+    n_d: usize,
+    lambda_d: f64,
+    main_unique: usize,
+) -> Vec<V> {
+    let spec = UniqueSpec::from_lambda(n_d, lambda_d);
+    // Straddle the domain boundary: half the delta's seeds reuse the main's
+    // top values, half are fresh.
+    let spec = spec.offset(main_unique.saturating_sub(spec.unique / 2) as u64);
+    values_with_unique(rng, spec)
+}
+
+/// Generate just the delta-value stream for a column (for timing `T_U`
+/// separately from partition construction). `main_unique` is the main
+/// dictionary size, used to place the half-overlapping value domain.
+pub fn delta_values<V: Value>(n_d: usize, lambda_d: f64, main_unique: usize, seed: u64) -> Vec<V> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    delta_values_rng(&mut rng, n_d, lambda_d, main_unique)
+}
+
+/// Time the `T_U` component: inserting `values` into a fresh delta
+/// partition (uncompressed append + CSB+ insert per tuple).
+pub fn time_delta_updates<V: Value>(values: &[V]) -> (DeltaPartition<V>, Duration) {
+    let mut delta = DeltaPartition::new();
+    let t0 = Instant::now();
+    for v in values {
+        delta.insert(*v);
+    }
+    (delta, t0.elapsed())
+}
+
+/// Cycles per tuple from a duration (the figures' y-axis unit).
+pub fn cpt(t: Duration, tuples: usize, hz: f64) -> f64 {
+    hyrise_core::stats::cycles_per_tuple(t, tuples, hz)
+}
+
+/// Full machine calibration (bandwidth micro-benchmarks; a second or two).
+pub fn machine(threads: usize) -> MachineProfile {
+    calibrate(threads)
+}
+
+/// Clock estimate without the bandwidth micro-benchmarks.
+pub fn quick_hz() -> f64 {
+    static HZ: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    *HZ.get_or_init(|| {
+        if let Ok(text) = std::fs::read_to_string("/proc/cpuinfo") {
+            for line in text.lines() {
+                if line.starts_with("cpu MHz") {
+                    if let Some(v) = line.split(':').nth(1).and_then(|s| s.trim().parse::<f64>().ok())
+                    {
+                        if v > 100.0 {
+                            return v * 1e6;
+                        }
+                    }
+                }
+            }
+        }
+        calibrate(1).hz
+    })
+}
+
+/// Fixed-width table printing.
+pub struct TablePrinter {
+    widths: Vec<usize>,
+}
+
+impl TablePrinter {
+    /// Start a table; prints the header row and a separator.
+    pub fn new(headers: &[&str]) -> Self {
+        let widths: Vec<usize> = headers.iter().map(|h| h.len().max(12)).collect();
+        let p = Self { widths };
+        p.row(headers);
+        println!("{}", p.widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        p
+    }
+
+    /// Print one row.
+    pub fn row(&self, cells: &[&str]) {
+        let line: Vec<String> = cells
+            .iter()
+            .zip(&self.widths)
+            .map(|(c, w)| format!("{c:>width$}", width = w))
+            .collect();
+        println!("{}", line.join(" | "));
+    }
+}
+
+/// Human-readable large number (e.g. `1.5M`).
+pub fn fmt_count(n: usize) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.1}B", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Standard experiment banner: what runs, at which scale, vs paper scale.
+pub fn banner(experiment: &str, paper_setup: &str, our_setup: &str) {
+    println!("=== {experiment} ===");
+    println!("paper setup : {paper_setup}");
+    println!("this run    : {our_setup}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_column_respects_lambdas() {
+        let (main, delta) = build_column::<u64>(10_000, 1_000, 0.1, 0.2, 1);
+        assert_eq!(main.len(), 10_000);
+        assert_eq!(delta.len(), 1_000);
+        assert_eq!(main.dictionary().len(), 1_000);
+        assert_eq!(delta.unique_len(), 200);
+    }
+
+    #[test]
+    fn delta_overlaps_main_domain() {
+        let (main, delta) = build_column::<u64>(10_000, 1_000, 0.1, 0.2, 2);
+        let in_main =
+            delta.sorted_unique().iter().filter(|v| main.dictionary().code_of(v).is_some()).count();
+        assert!(in_main > 0, "some delta values must already be in the main dictionary");
+        assert!(in_main < delta.unique_len(), "some delta values must be new");
+    }
+
+    #[test]
+    fn fmt_count_units() {
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1_500), "1.5K");
+        assert_eq!(fmt_count(2_000_000), "2.0M");
+        assert_eq!(fmt_count(1_600_000_000), "1.6B");
+    }
+
+    #[test]
+    fn time_delta_updates_builds_the_delta() {
+        let vals: Vec<u64> = (0..500).collect();
+        let (delta, t) = time_delta_updates(&vals);
+        assert_eq!(delta.len(), 500);
+        assert_eq!(delta.unique_len(), 500);
+        assert!(t.as_nanos() > 0);
+    }
+
+    #[test]
+    fn args_parsing() {
+        // Exercise the map-backed accessors directly.
+        let mut map = HashMap::new();
+        map.insert("nm".to_string(), "1000".to_string());
+        map.insert("lambda".to_string(), "0.5".to_string());
+        map.insert("quick".to_string(), "true".to_string());
+        let args = Args { map };
+        assert_eq!(args.usize("nm", 7), 1000);
+        assert_eq!(args.usize("nd", 7), 7);
+        assert!((args.f64("lambda", 0.0) - 0.5).abs() < 1e-12);
+        assert!(args.flag("quick"));
+        assert!(!args.flag("missing"));
+    }
+}

@@ -1,0 +1,402 @@
+//! The dense fixed-width bit-packed vector.
+
+use crate::width::max_value_for_bits;
+
+/// A vector of unsigned integers, each stored with a fixed number of bits
+/// (1..=64), packed back-to-back into `u64` words.
+///
+/// Value `i` occupies bits `[i*bits, (i+1)*bits)` of the word buffer,
+/// little-endian within each word: bit `b` of the logical stream is bit
+/// `b % 64` of word `b / 64`. A value may straddle two words.
+///
+/// This is the physical layout of both the main partition's code column and
+/// the auxiliary translation tables when they are stored compressed
+/// (Equations 9/10 charge `E'_C / 8` bytes per auxiliary entry).
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitPackedVec {
+    words: Vec<u64>,
+    len: usize,
+    bits: u8,
+}
+
+impl std::fmt::Debug for BitPackedVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BitPackedVec")
+            .field("len", &self.len)
+            .field("bits", &self.bits)
+            .finish()
+    }
+}
+
+#[inline]
+fn words_for(len: usize, bits: u8) -> usize {
+    let total_bits = len * bits as usize;
+    total_bits.div_ceil(64)
+}
+
+impl BitPackedVec {
+    /// An empty vector storing `bits`-wide values.
+    ///
+    /// # Panics
+    /// If `bits` is not in `1..=64`.
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=64).contains(&bits), "bits must be in 1..=64, got {bits}");
+        Self { words: Vec::new(), len: 0, bits }
+    }
+
+    /// An empty vector with room for `capacity` values before reallocating.
+    pub fn with_capacity(bits: u8, capacity: usize) -> Self {
+        assert!((1..=64).contains(&bits), "bits must be in 1..=64, got {bits}");
+        Self { words: Vec::with_capacity(words_for(capacity, bits)), len: 0, bits }
+    }
+
+    /// A vector of `len` zero values. Used as the pre-sized output buffer of
+    /// the parallel Step 2 (each thread fills its own region).
+    pub fn zeroed(bits: u8, len: usize) -> Self {
+        assert!((1..=64).contains(&bits), "bits must be in 1..=64, got {bits}");
+        Self { words: vec![0u64; words_for(len, bits)], len, bits }
+    }
+
+    /// Build from a slice of already-valid codes.
+    ///
+    /// # Panics
+    /// If any value does not fit in `bits` bits.
+    pub fn from_slice(bits: u8, values: &[u64]) -> Self {
+        let mut v = Self::with_capacity(bits, values.len());
+        for &x in values {
+            v.push(x);
+        }
+        v
+    }
+
+    /// Number of stored values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no values are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The fixed per-value width in bits (the paper's `E_C`).
+    #[inline]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Heap bytes used by the packed representation. This is the quantity the
+    /// memory-traffic model charges for streaming the partition (Eq. 13/14).
+    #[inline]
+    pub fn packed_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Read the value at index `i`.
+    ///
+    /// # Panics
+    /// If `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let bits = self.bits as usize;
+        let bit = i * bits;
+        let word = bit / 64;
+        let shift = bit % 64;
+        let mask = max_value_for_bits(self.bits);
+        let lo = self.words[word] >> shift;
+        if shift + bits <= 64 {
+            lo & mask
+        } else {
+            let hi = self.words[word + 1] << (64 - shift);
+            (lo | hi) & mask
+        }
+    }
+
+    /// Overwrite the value at index `i`.
+    ///
+    /// # Panics
+    /// If `i >= len()` or `value` does not fit in `bits()` bits.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: u64) {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let mask = max_value_for_bits(self.bits);
+        assert!(value <= mask, "value {value} does not fit in {} bits", self.bits);
+        set_in_words(&mut self.words, self.bits, i, value);
+    }
+
+    /// Append a value.
+    ///
+    /// # Panics
+    /// If `value` does not fit in `bits()` bits.
+    #[inline]
+    pub fn push(&mut self, value: u64) {
+        let mask = max_value_for_bits(self.bits);
+        assert!(value <= mask, "value {value} does not fit in {} bits", self.bits);
+        let i = self.len;
+        self.len += 1;
+        let needed = words_for(self.len, self.bits);
+        if self.words.len() < needed {
+            self.words.resize(needed, 0);
+        }
+        set_in_words(&mut self.words, self.bits, i, value);
+    }
+
+    /// Iterate over all stored values in index order.
+    pub fn iter(&self) -> BitPackedIter<'_> {
+        BitPackedIter { vec: self, next: 0 }
+    }
+
+    /// Decode values `range` into `out` (one `u64` per value).
+    ///
+    /// # Panics
+    /// If the range is out of bounds or `out` is shorter than the range.
+    pub fn unpack_into(&self, start: usize, out: &mut [u64]) {
+        assert!(start + out.len() <= self.len, "unpack range out of bounds");
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.get(start + k);
+        }
+    }
+
+    /// Decode the whole vector into a fresh `Vec<u64>`.
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.iter().collect()
+    }
+
+    /// Raw word buffer (read-only). Exposed for zero-copy consumers (e.g.
+    /// benchmark checksums over the packed representation).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    pub(crate) fn words_mut(&mut self) -> &mut Vec<u64> {
+        &mut self.words
+    }
+}
+
+/// Write `value` (already validated to fit) at logical index `i`.
+#[inline]
+pub(crate) fn set_in_words(words: &mut [u64], bits: u8, i: usize, value: u64) {
+    let bits = bits as usize;
+    let bit = i * bits;
+    let word = bit / 64;
+    let shift = bit % 64;
+    let mask = max_value_for_bits(bits as u8);
+    words[word] &= !(mask << shift);
+    words[word] |= value << shift;
+    if shift + bits > 64 {
+        let spill = 64 - shift;
+        words[word + 1] &= !(mask >> spill);
+        words[word + 1] |= value >> spill;
+    }
+}
+
+/// Iterator over a [`BitPackedVec`].
+pub struct BitPackedIter<'a> {
+    vec: &'a BitPackedVec,
+    next: usize,
+}
+
+impl Iterator for BitPackedIter<'_> {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        if self.next >= self.vec.len {
+            None
+        } else {
+            let v = self.vec.get(self.next);
+            self.next += 1;
+            Some(v)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.vec.len - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for BitPackedIter<'_> {}
+
+impl<'a> IntoIterator for &'a BitPackedVec {
+    type Item = u64;
+    type IntoIter = BitPackedIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl std::iter::FromIterator<u64> for BitPackedVec {
+    /// Collect into a vector sized to the maximum element
+    /// (`bits = bits_for(max + 1)`). Requires buffering; prefer
+    /// [`BitPackedVec::from_slice`] when the width is known.
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let vals: Vec<u64> = iter.into_iter().collect();
+        let max = vals.iter().copied().max().unwrap_or(0);
+        let bits = crate::width::bits_for((max as usize).saturating_add(1)).max(1);
+        Self::from_slice(bits, &vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let v = BitPackedVec::new(7);
+        assert_eq!(v.len(), 0);
+        assert!(v.is_empty());
+        assert_eq!(v.bits(), 7);
+        assert_eq!(v.packed_bytes(), 0);
+        assert_eq!(v.to_vec(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn push_get_roundtrip_small_width() {
+        let mut v = BitPackedVec::new(3);
+        let data = [0u64, 7, 3, 5, 1, 2, 6, 4, 0, 7, 7, 7];
+        for &x in &data {
+            v.push(x);
+        }
+        assert_eq!(v.len(), data.len());
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(v.get(i), x, "index {i}");
+        }
+    }
+
+    #[test]
+    fn straddles_word_boundary() {
+        // 33-bit values: every second value straddles a word boundary.
+        let mut v = BitPackedVec::new(33);
+        let data: Vec<u64> = (0..100).map(|i| (1u64 << 32) + i * 12345).collect();
+        for &x in &data {
+            v.push(x);
+        }
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(v.get(i), x, "index {i}");
+        }
+    }
+
+    #[test]
+    fn full_width_64() {
+        let mut v = BitPackedVec::new(64);
+        let data = [u64::MAX, 0, 1, u64::MAX - 1, 0xdead_beef_cafe_f00d];
+        for &x in &data {
+            v.push(x);
+        }
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(v.get(i), x);
+        }
+        assert_eq!(v.packed_bytes(), data.len() * 8);
+    }
+
+    #[test]
+    fn one_bit_width() {
+        let mut v = BitPackedVec::new(1);
+        let data: Vec<u64> = (0..200).map(|i| (i % 3 == 0) as u64).collect();
+        for &x in &data {
+            v.push(x);
+        }
+        assert_eq!(v.to_vec(), data);
+        // 200 bits -> 4 words -> 32 bytes.
+        assert_eq!(v.packed_bytes(), 32);
+    }
+
+    #[test]
+    fn set_overwrites_without_touching_neighbors() {
+        let mut v = BitPackedVec::from_slice(5, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        v.set(3, 31);
+        assert_eq!(v.to_vec(), vec![1, 2, 3, 31, 5, 6, 7, 8]);
+        v.set(0, 0);
+        v.set(7, 30);
+        assert_eq!(v.to_vec(), vec![0, 2, 3, 31, 5, 6, 7, 30]);
+    }
+
+    #[test]
+    fn set_straddling_overwrite() {
+        // width 61: heavy straddling; overwrite the middle value repeatedly.
+        let mut v = BitPackedVec::from_slice(61, &[7; 9]);
+        for i in 0..9 {
+            v.set(i, i as u64 + (1u64 << 60));
+        }
+        for i in 0..9 {
+            assert_eq!(v.get(i), i as u64 + (1u64 << 60));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn push_too_wide_panics() {
+        let mut v = BitPackedVec::new(4);
+        v.push(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let v = BitPackedVec::from_slice(4, &[1, 2, 3]);
+        v.get(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=64")]
+    fn zero_bits_rejected() {
+        BitPackedVec::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=64")]
+    fn sixty_five_bits_rejected() {
+        BitPackedVec::new(65);
+    }
+
+    #[test]
+    fn zeroed_is_all_zero() {
+        let v = BitPackedVec::zeroed(13, 1000);
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().all(|x| x == 0));
+    }
+
+    #[test]
+    fn from_iter_picks_width() {
+        let v: BitPackedVec = [0u64, 5, 9].into_iter().collect();
+        // max 9 -> cardinality 10 -> 4 bits
+        assert_eq!(v.bits(), 4);
+        assert_eq!(v.to_vec(), vec![0, 5, 9]);
+    }
+
+    #[test]
+    fn iterator_matches_get_for_every_width() {
+        for bits in 1..=64u8 {
+            let mask = max_value_for_bits(bits);
+            let data: Vec<u64> =
+                (0..130u64).map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) & mask).collect();
+            let v = BitPackedVec::from_slice(bits, &data);
+            let decoded: Vec<u64> = v.iter().collect();
+            assert_eq!(decoded, data, "width {bits}");
+            assert_eq!(v.iter().len(), data.len());
+        }
+    }
+
+    #[test]
+    fn unpack_into_subrange() {
+        let data: Vec<u64> = (0..64).collect();
+        let v = BitPackedVec::from_slice(7, &data);
+        let mut out = [0u64; 10];
+        v.unpack_into(20, &mut out);
+        assert_eq!(out.to_vec(), (20u64..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn packed_bytes_matches_equation_13() {
+        // Eq. 13: E_C * N / 8 bytes to stream the partition (rounded up to words).
+        let v = BitPackedVec::zeroed(10, 1_000);
+        // 10_000 bits -> 157 words (ceil(10000/64) = 157) -> 1256 bytes.
+        assert_eq!(v.packed_bytes(), 157 * 8);
+    }
+}

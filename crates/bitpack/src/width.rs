@@ -1,0 +1,122 @@
+//! Bit-width arithmetic (the paper's Equation 4).
+
+/// `ceil(log2(n))` for `n >= 1`. By convention `ceil_log2(0) == 0` and
+/// `ceil_log2(1) == 0`.
+///
+/// ```
+/// use hyrise_bitpack::ceil_log2;
+/// assert_eq!(ceil_log2(1), 0);
+/// assert_eq!(ceil_log2(2), 1);
+/// assert_eq!(ceil_log2(6), 3); // paper, Figure 5: 6 values -> 3 bits
+/// assert_eq!(ceil_log2(9), 4); // paper, Figure 5: 9 values -> 4 bits
+/// ```
+#[inline]
+pub fn ceil_log2(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// The compressed value-length for a dictionary with `cardinality` entries:
+/// Equation 4, `E'_C = ceil(log2 |U'|)` bits, clamped to at least one bit.
+///
+/// The clamp covers the degenerate single-value (or empty) dictionary, on
+/// which the paper is silent: a zero-bit layout would make positions
+/// meaningless, so we spend one bit.
+///
+/// ```
+/// use hyrise_bitpack::bits_for;
+/// assert_eq!(bits_for(0), 1);
+/// assert_eq!(bits_for(1), 1);
+/// assert_eq!(bits_for(2), 1);
+/// assert_eq!(bits_for(3), 2);
+/// assert_eq!(bits_for(256), 8);
+/// assert_eq!(bits_for(257), 9);
+/// ```
+#[inline]
+pub fn bits_for(cardinality: usize) -> u8 {
+    ceil_log2(cardinality).max(1) as u8
+}
+
+/// Largest value representable with `bits` bits (the mask for that width).
+///
+/// ```
+/// use hyrise_bitpack::max_value_for_bits;
+/// assert_eq!(max_value_for_bits(1), 1);
+/// assert_eq!(max_value_for_bits(8), 255);
+/// assert_eq!(max_value_for_bits(64), u64::MAX);
+/// ```
+#[inline]
+pub fn max_value_for_bits(bits: u8) -> u64 {
+    debug_assert!((1..=64).contains(&bits));
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_powers_of_two() {
+        for k in 1..63u32 {
+            let n = 1usize << k;
+            assert_eq!(ceil_log2(n), k, "n = 2^{k}");
+            assert_eq!(ceil_log2(n + 1), k + 1, "n = 2^{k}+1");
+            assert_eq!(ceil_log2(n - 1), if k == 1 { 0 } else { k }, "n = 2^{k}-1");
+        }
+    }
+
+    #[test]
+    fn bits_for_monotone_nondecreasing() {
+        let mut prev = 0;
+        for n in 0..10_000usize {
+            let b = bits_for(n);
+            assert!(b >= prev, "bits_for must be monotone at n={n}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn bits_for_suffices_to_store_max_code() {
+        // Codes are dictionary indices 0..cardinality, so the largest code is
+        // cardinality-1 and must fit in bits_for(cardinality) bits.
+        for card in 1..5_000usize {
+            let bits = bits_for(card);
+            let max_code = (card - 1) as u64;
+            assert!(
+                max_code <= max_value_for_bits(bits),
+                "cardinality {card}: code {max_code} must fit in {bits} bits"
+            );
+        }
+    }
+
+    #[test]
+    fn bits_for_is_tight() {
+        // One bit fewer must NOT suffice (except at the >=1 clamp).
+        for card in 3..5_000usize {
+            let bits = bits_for(card);
+            if bits > 1 {
+                let max_code = (card - 1) as u64;
+                if max_code > max_value_for_bits(bits - 1) {
+                    continue; // tight, good
+                }
+                // Only powers of two regions can be non-tight; verify there is
+                // no cardinality where we waste a whole bit.
+                panic!("bits_for({card}) = {bits} wastes a bit");
+            }
+        }
+    }
+
+    #[test]
+    fn max_value_masks() {
+        assert_eq!(max_value_for_bits(2), 3);
+        assert_eq!(max_value_for_bits(33), (1u64 << 33) - 1);
+        assert_eq!(max_value_for_bits(63), u64::MAX >> 1);
+    }
+}

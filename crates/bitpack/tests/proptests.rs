@@ -1,0 +1,75 @@
+//! Property-based tests: a `BitPackedVec` must behave exactly like a plain
+//! `Vec<u64>` restricted to the chosen bit width, for every width and every
+//! access pattern, including the word-aligned parallel region writer.
+
+use hyrise_bitpack::{bits_for, max_value_for_bits, BitPackedVec};
+use proptest::prelude::*;
+
+fn width_and_values() -> impl Strategy<Value = (u8, Vec<u64>)> {
+    (1u8..=64).prop_flat_map(|bits| {
+        let mask = max_value_for_bits(bits);
+        (Just(bits), prop::collection::vec(0..=mask, 0..300))
+    })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_matches_model((bits, values) in width_and_values()) {
+        let v = BitPackedVec::from_slice(bits, &values);
+        prop_assert_eq!(v.len(), values.len());
+        prop_assert_eq!(v.to_vec(), values.clone());
+        for (i, &x) in values.iter().enumerate() {
+            prop_assert_eq!(v.get(i), x);
+        }
+    }
+
+    #[test]
+    fn set_matches_model(
+        (bits, mut values) in width_and_values(),
+        updates in prop::collection::vec((0usize..300, 0u64..), 0..50)
+    ) {
+        prop_assume!(!values.is_empty());
+        let mut v = BitPackedVec::from_slice(bits, &values);
+        let mask = max_value_for_bits(bits);
+        for (pos, val) in updates {
+            let i = pos % values.len();
+            let x = val & mask;
+            values[i] = x;
+            v.set(i, x);
+        }
+        prop_assert_eq!(v.to_vec(), values);
+    }
+
+    #[test]
+    fn region_split_covers_and_writes_disjointly(
+        (bits, values) in width_and_values(),
+        pieces in 1usize..10
+    ) {
+        let mut v = BitPackedVec::zeroed(bits, values.len());
+        let regions = v.split_mut(pieces).into_regions();
+        let mut covered = 0;
+        for mut r in regions {
+            prop_assert_eq!(r.start_index(), covered);
+            prop_assert_eq!(r.start_index() % 64, 0);
+            for i in 0..r.len() {
+                r.set(i, values[r.start_index() + i]);
+            }
+            covered += r.len();
+        }
+        prop_assert_eq!(covered, values.len());
+        prop_assert_eq!(v.to_vec(), values);
+    }
+
+    #[test]
+    fn bits_for_always_sufficient(card in 1usize..1_000_000) {
+        let bits = bits_for(card);
+        prop_assert!((card - 1) as u64 <= max_value_for_bits(bits));
+    }
+
+    #[test]
+    fn packed_size_is_minimal(bits in 1u8..=64, n in 0usize..500) {
+        let v = BitPackedVec::zeroed(bits, n);
+        let expected_words = (n * bits as usize).div_ceil(64);
+        prop_assert_eq!(v.packed_bytes(), expected_words * 8);
+    }
+}

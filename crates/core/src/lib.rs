@@ -1,0 +1,46 @@
+//! The paper's contribution: the delta-merge algorithms and their
+//! surroundings.
+//!
+//! * [`naive`] — the unoptimized merge of Sections 5.1–5.2: Step 1 extracts
+//!   and merges dictionaries, Step 2(b) re-encodes every tuple with a binary
+//!   search into the merged dictionary, `O((N_M + N_D) log |U'_M|)`
+//!   (Equation 5). This is the baseline the paper beats by ~30x.
+//! * [`optimized`] — Section 5.3: auxiliary translation tables `X_M`/`X_D`
+//!   built during the dictionary merge turn Step 2(b) into a table lookup,
+//!   making the whole merge linear (Equation 6).
+//! * [`parallel`] — Section 6.2: the multi-core version. Step 1(b) merges the
+//!   two sorted dictionaries with duplicate removal in three phases
+//!   (merge-path partitioning, counter array + prefix sum, re-merge at final
+//!   offsets); Step 2 partitions tuples over threads on 64-tuple boundaries
+//!   so each thread writes its own words of the bit-packed output.
+//! * [`model`] — Section 6.1/7.4: the analytical compute & memory-traffic
+//!   model (Equations 8–15) with machine calibration micro-benchmarks.
+//! * [`manager`] — Section 3/4: the online merge — second delta during the
+//!   merge, brief table locks only at the beginning and end, atomic commit,
+//!   cancellation that leaves the table untouched, and the merge trigger
+//!   policy (`N_D > fraction * N_M`).
+//! * [`rate`] — Equations 1 and 16: update-rate accounting.
+//!
+//! All three algorithms produce bit-identical merged main partitions; the
+//! property tests assert this equivalence.
+
+pub mod manager;
+pub mod model;
+pub mod naive;
+pub mod optimized;
+pub mod parallel;
+pub mod partition;
+pub mod rate;
+pub mod scheduler;
+pub mod stats;
+mod step1;
+
+pub use manager::{MergeCancelled, MergePolicy, MergeSession, OnlineTable};
+pub use scheduler::{MergeScheduler, SchedulerStats};
+pub use model::{calibrate, MachineProfile, MergeScenario, ModelPrediction};
+pub use naive::merge_column_naive;
+pub use optimized::merge_column_optimized;
+pub use parallel::{merge_column_parallel, merge_table_parallel};
+pub use rate::{update_rate, updates_per_second};
+pub use stats::{ColumnMergeStats, MergeAlgo, MergeOutput, TableMergeStats};
+pub use step1::{merge_dictionaries, DictMerge};

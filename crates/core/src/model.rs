@@ -1,0 +1,524 @@
+//! The analytical compute / memory-traffic model (Sections 6.1 and 7.4).
+//!
+//! The paper models each merge step's cost as memory traffic divided by the
+//! achievable bandwidth (streaming or random, measured "using separate
+//! micro-benchmarks"), or by instruction throughput where a step is compute
+//! bound, and shows the implementation lands within 1–10% of the lower of
+//! those bounds. This module implements the equations, the machine
+//! calibration micro-benchmarks, and the per-step predictions used by the
+//! `sec74_model_validation` harness.
+//!
+//! Equation map (all byte counts; `L` = cache line size):
+//!
+//! * Eq. 8  — Step 1(a): `4·E_j·|U_D|` streaming + `(2L+4)·N_D` random.
+//! * Eq. 9  — Step 1(b) reads: `E_j·(|U_M|+|U_D|+|U'_M|) + E'_C·(|X_M|+|X_D|)/8`.
+//! * Eq. 10 — Step 1(b) writes: `E_j·|U'_M| + E'_C·(|X_M|+|X_D|)/8`.
+//! * Eq. 12 — Step 2 auxiliary gathers: `L·(N_M+N_D)` when `X` misses cache.
+//! * Eq. 13 — Step 2 input streams: `E_C·(N_M+N_D)/8`.
+//! * Eq. 14 — Step 2 output stream: `2·E'_C·(N_M+N_D)/8` (read-for-write).
+//! * Eq. 15 — parallel Step 1(b) overhead: `E_j·(|U_M|+|U_D|) + 2·E_j·|U'_M|`.
+
+use crate::stats::ColumnMergeStats;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Calibrated machine constants feeding the model.
+#[derive(Clone, Debug)]
+pub struct MachineProfile {
+    /// Core clock in Hz (cycles per second).
+    pub hz: f64,
+    /// Aggregate streaming bandwidth in bytes per cycle (all threads).
+    pub streaming_bytes_per_cycle: f64,
+    /// Aggregate random-access bandwidth in bytes per cycle, counting a full
+    /// cache line per access as the paper does.
+    pub random_bytes_per_cycle: f64,
+    /// Last-level cache size in bytes (decides whether `X_M`/`X_D` gathers
+    /// are cache-resident).
+    pub llc_bytes: usize,
+    /// Cache line size `L` in bytes.
+    pub cache_line: usize,
+    /// Instructions per merged dictionary element in Step 1(b) ("each element
+    /// appended to the output dictionary involves around 12 ops" [5]).
+    pub dict_merge_ops_per_element: f64,
+    /// Instructions per tuple for the cache-resident Step 2 gather (the "4"
+    /// in the paper's Equation 18 evaluation).
+    pub step2_cache_ops_per_tuple: f64,
+    /// Threads the bandwidth numbers were measured with.
+    pub threads: usize,
+    /// Charge the zero-initialization write passes this safe-Rust
+    /// implementation performs on its outputs (merged dictionary, auxiliary
+    /// tables, packed output). The paper's C code writes into uninitialized
+    /// buffers and its model does not include these; `false` reproduces the
+    /// paper's Section 7.4 arithmetic, `true` models this implementation.
+    pub charge_zero_init: bool,
+}
+
+impl MachineProfile {
+    /// The paper's dual-socket Xeon X5680 seen as one socket (Section 7.4):
+    /// 3.3 GHz, 23 GB/s streaming (~7 B/cycle), ~5 B/cycle random, 12 MB LLC
+    /// per socket (the paper cites 24 MB across two sockets).
+    pub fn paper_single_socket() -> Self {
+        Self {
+            hz: 3.3e9,
+            streaming_bytes_per_cycle: 7.0,
+            random_bytes_per_cycle: 5.0,
+            llc_bytes: 12 * 1024 * 1024,
+            cache_line: 64,
+            dict_merge_ops_per_element: 12.0,
+            step2_cache_ops_per_tuple: 4.0,
+            threads: 6,
+            charge_zero_init: false,
+        }
+    }
+}
+
+/// One merge configuration, in the model's terms. Build from real measured
+/// stats via [`MergeScenario::from_stats`] or construct directly for
+/// projections ("our model can be used to project performance with varying
+/// input scenarios").
+#[derive(Clone, Copy, Debug)]
+pub struct MergeScenario {
+    /// Tuples in main (`N_M`).
+    pub n_m: usize,
+    /// Tuples in delta (`N_D`).
+    pub n_d: usize,
+    /// Uncompressed value-length `E_j` in bytes.
+    pub e_j: usize,
+    /// `|U_M|`.
+    pub u_m: usize,
+    /// `|U_D|`.
+    pub u_d: usize,
+    /// `|U'_M|`.
+    pub u_merged: usize,
+    /// Compressed value-length before the merge, bits.
+    pub bits_before: u8,
+    /// Compressed value-length after the merge, bits.
+    pub bits_after: u8,
+    /// Threads used.
+    pub threads: usize,
+    /// Bytes per auxiliary-table entry as implemented (the paper packs them
+    /// at `E'_C` bits; this implementation uses 4-byte entries).
+    pub aux_entry_bytes: usize,
+}
+
+impl MergeScenario {
+    /// Capture the scenario of a measured merge.
+    pub fn from_stats(s: &ColumnMergeStats, e_j: usize) -> Self {
+        Self {
+            n_m: s.n_m,
+            n_d: s.n_d,
+            e_j,
+            u_m: s.u_m,
+            u_d: s.u_d,
+            u_merged: s.u_merged,
+            bits_before: s.bits_before,
+            bits_after: s.bits_after,
+            threads: s.threads,
+            aux_entry_bytes: 4,
+        }
+    }
+
+    /// Total tuples `N_M + N_D`.
+    pub fn total_tuples(&self) -> usize {
+        self.n_m + self.n_d
+    }
+
+    /// Bytes occupied by both auxiliary tables as implemented.
+    pub fn aux_bytes(&self) -> usize {
+        (self.u_m + self.u_d) * self.aux_entry_bytes
+    }
+}
+
+/// Per-step model outputs, in cycles per tuple (normalized by `N_M + N_D`,
+/// like every number in Section 7).
+#[derive(Clone, Copy, Debug)]
+pub struct ModelPrediction {
+    /// Step 1(a) prediction.
+    pub step1a_cpt: f64,
+    /// Step 1(b) prediction.
+    pub step1b_cpt: f64,
+    /// Step 2 prediction.
+    pub step2_cpt: f64,
+    /// Whether the auxiliary tables were assumed cache-resident for Step 2.
+    pub aux_fits_cache: bool,
+    /// Whether Step 1(b) was predicted compute-bound (vs bandwidth-bound).
+    pub step1b_compute_bound: bool,
+}
+
+impl ModelPrediction {
+    /// Total predicted merge cost in cycles per tuple.
+    pub fn total_cpt(&self) -> f64 {
+        self.step1a_cpt + self.step1b_cpt + self.step2_cpt
+    }
+}
+
+impl MachineProfile {
+    /// Predict per-step merge costs for a scenario.
+    pub fn predict(&self, s: &MergeScenario) -> ModelPrediction {
+        let n = s.total_tuples() as f64;
+        if n == 0.0 {
+            return ModelPrediction {
+                step1a_cpt: 0.0,
+                step1b_cpt: 0.0,
+                step2_cpt: 0.0,
+                aux_fits_cache: true,
+                step1b_compute_bound: false,
+            };
+        }
+        let l = self.cache_line as f64;
+        let ej = s.e_j as f64;
+        let ec = s.bits_before as f64;
+        let ec_after = s.bits_after as f64;
+        let aux_traffic = (s.u_m + s.u_d) as f64 * s.aux_entry_bytes as f64;
+
+        // Step 1(a), Equation 8: tree traversal + dictionary write stream,
+        // then a random scatter into the delta partition.
+        let step1a_stream = 4.0 * ej * s.u_d as f64 / self.streaming_bytes_per_cycle;
+        let step1a_random = (2.0 * l + 4.0) * s.n_d as f64 / self.random_bytes_per_cycle;
+        let step1a_cpt = (step1a_stream + step1a_random) / n;
+
+        // Step 1(b), Equations 9 + 10 (+ 15 when parallel), all streaming.
+        let mut traffic = ej * (s.u_m + s.u_d + s.u_merged) as f64 + aux_traffic; // Eq. 9
+        traffic += ej * s.u_merged as f64 + aux_traffic; // Eq. 10
+        if s.threads > 1 {
+            traffic += ej * (s.u_m + s.u_d) as f64 + 2.0 * ej * s.u_merged as f64; // Eq. 15
+        }
+        if self.charge_zero_init {
+            // vec![0; ..] passes over the merged dictionary and aux tables.
+            traffic += ej * s.u_merged as f64 + aux_traffic;
+        }
+        let step1b_bw = traffic / self.streaming_bytes_per_cycle;
+        let step1b_compute =
+            self.dict_merge_ops_per_element * s.u_merged as f64 / s.threads.max(1) as f64;
+        let step1b_compute_bound = step1b_compute > step1b_bw;
+        let step1b_cpt = step1b_bw.max(step1b_compute) / n;
+
+        // Step 2: input stream (Eq. 13) + output stream with write-allocate
+        // (Eq. 14) + the auxiliary gather, which is either cache-resident
+        // (instruction bound) or one line per tuple from memory (Eq. 12).
+        let aux_fits_cache = s.aux_bytes() <= self.llc_bytes;
+        let gather = if aux_fits_cache {
+            self.step2_cache_ops_per_tuple * n / s.threads.max(1) as f64
+        } else {
+            l * n / self.random_bytes_per_cycle
+        };
+        let stream_in = ec * n / 8.0 / self.streaming_bytes_per_cycle;
+        let mut stream_out = 2.0 * ec_after * n / 8.0 / self.streaming_bytes_per_cycle;
+        if self.charge_zero_init {
+            // BitPackedVec::zeroed writes the output once before Step 2 fills it.
+            stream_out += ec_after * n / 8.0 / self.streaming_bytes_per_cycle;
+        }
+        let step2_cpt = (gather + stream_in + stream_out) / n;
+
+        ModelPrediction { step1a_cpt, step1b_cpt, step2_cpt, aux_fits_cache, step1b_compute_bound }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Calibration micro-benchmarks.
+// ---------------------------------------------------------------------------
+
+fn read_sysfs_cache_bytes() -> Option<usize> {
+    for index in ["index3", "index2"] {
+        let path = format!("/sys/devices/system/cpu/cpu0/cache/{index}/size");
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            let text = text.trim();
+            let (num, mult) = if let Some(k) = text.strip_suffix('K') {
+                (k, 1024)
+            } else if let Some(m) = text.strip_suffix('M') {
+                (m, 1024 * 1024)
+            } else {
+                (text, 1)
+            };
+            if let Ok(v) = num.parse::<usize>() {
+                return Some(v * mult);
+            }
+        }
+    }
+    None
+}
+
+fn read_cpuinfo_hz() -> Option<f64> {
+    let text = std::fs::read_to_string("/proc/cpuinfo").ok()?;
+    for line in text.lines() {
+        if line.starts_with("cpu MHz") {
+            let mhz: f64 = line.split(':').nth(1)?.trim().parse().ok()?;
+            if mhz > 100.0 {
+                return Some(mhz * 1e6);
+            }
+        }
+    }
+    None
+}
+
+/// Estimate the clock by timing a dependent-add chain (~1 add per cycle).
+fn measure_hz() -> f64 {
+    const ITERS: u64 = 200_000_000;
+    let mut acc: u64 = 0;
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        acc = black_box(acc).wrapping_add(1);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    black_box(acc);
+    ITERS as f64 / secs
+}
+
+/// Aggregate streaming bandwidth: each thread sums a private large array.
+fn measure_streaming_bytes_per_sec(threads: usize, bytes_per_thread: usize) -> f64 {
+    let words = bytes_per_thread / 8;
+    let arrays: Vec<Vec<u64>> = (0..threads).map(|t| vec![t as u64 + 1; words]).collect();
+    let passes = 3usize;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for a in &arrays {
+            s.spawn(move || {
+                let mut acc = 0u64;
+                for _ in 0..passes {
+                    for &x in a {
+                        acc = acc.wrapping_add(x);
+                    }
+                }
+                black_box(acc);
+            });
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    (threads * passes * words * 8) as f64 / secs
+}
+
+/// Aggregate random bandwidth: each thread gathers through a private
+/// shuffled index array; counts `cache_line` bytes per access like the
+/// paper's Equation 12.
+fn measure_random_bytes_per_sec(threads: usize, bytes_per_thread: usize, cache_line: usize) -> f64 {
+    let words = bytes_per_thread / 8;
+    let accesses = words / 4;
+    let setups: Vec<(Vec<u64>, Vec<u32>)> = (0..threads)
+        .map(|t| {
+            let data = vec![t as u64 + 1; words];
+            // Multiplicative-congruential permutation walk over the array.
+            let mut idx = Vec::with_capacity(accesses);
+            let mut x = 0x9E37_79B9u64 + t as u64;
+            for _ in 0..accesses {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                idx.push((x % words as u64) as u32);
+            }
+            (data, idx)
+        })
+        .collect();
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for (data, idx) in &setups {
+            s.spawn(move || {
+                let mut acc = 0u64;
+                for &i in idx {
+                    acc = acc.wrapping_add(data[i as usize]);
+                }
+                black_box(acc);
+            });
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    (threads * accesses * cache_line) as f64 / secs
+}
+
+/// Single-threaded cycles per tuple of the cache-resident Step 2 inner loop
+/// (`M'[i] <- X[M[i]]` over bit-packed codes). The paper charges 4 ops/tuple
+/// for its SSE-tuned loop; our safe scalar loop costs more, and measuring it
+/// keeps the model honest about *this* implementation.
+fn measure_step2_ops_per_tuple(hz: f64) -> f64 {
+    use hyrise_bitpack::BitPackedVec;
+    let n = 1_000_000usize;
+    let aux: Vec<u32> = (0..1024u32).map(|i| i.wrapping_mul(7) % 1024).collect();
+    let input = BitPackedVec::from_slice(10, &(0..n as u64).map(|i| i % 1024).collect::<Vec<_>>());
+    let t0 = Instant::now();
+    let mut out = BitPackedVec::zeroed(10, n);
+    {
+        // Same loop shape as the real Step 2: sequential cursor in, OR-only
+        // sequential writer out.
+        let mut regions = out.split_mut(1).into_regions();
+        let region = regions.first_mut().expect("non-empty");
+        let mut cur = input.cursor_at(0);
+        region.fill_sequential(|_| aux[cur.next_value() as usize] as u64);
+    }
+    black_box(out.get(n / 2));
+    t0.elapsed().as_secs_f64() * hz / n as f64
+}
+
+/// Single-threaded cycles per output element of the serial dictionary merge
+/// with auxiliary-table writes (the paper's "around 12 ops" constant [5]).
+fn measure_dict_merge_ops_per_element(hz: f64) -> f64 {
+    let a: Vec<u64> = (0..500_000u64).map(|i| i * 2).collect();
+    let b: Vec<u64> = (0..500_000u64).map(|i| i * 2 + 1).collect();
+    let t0 = Instant::now();
+    let dm = crate::step1::merge_dictionaries(&a, &b);
+    let elems = dm.merged.len();
+    black_box(dm.merged[elems / 2]);
+    t0.elapsed().as_secs_f64() * hz / elems as f64
+}
+
+/// Run the calibration micro-benchmarks (a few hundred milliseconds) and
+/// return a machine profile for `threads`-way execution — the analogue of
+/// the paper's "both measured using separate micro-benchmarks, each running
+/// with 6 threads". The two instruction-count constants are measured against
+/// this implementation's loops rather than assumed from the paper's tuned
+/// SSE code.
+pub fn calibrate(threads: usize) -> MachineProfile {
+    let hz = read_cpuinfo_hz().unwrap_or_else(measure_hz);
+    let cache_line = 64usize;
+    let llc_bytes = read_sysfs_cache_bytes().unwrap_or(32 * 1024 * 1024);
+    let per_thread = (4 * llc_bytes / threads.max(1)).clamp(16 << 20, 128 << 20);
+    let streaming = measure_streaming_bytes_per_sec(threads, per_thread) / hz;
+    let random = measure_random_bytes_per_sec(threads, per_thread, cache_line) / hz;
+    MachineProfile {
+        hz,
+        streaming_bytes_per_cycle: streaming,
+        random_bytes_per_cycle: random,
+        llc_bytes,
+        cache_line,
+        dict_merge_ops_per_element: measure_dict_merge_ops_per_element(hz),
+        step2_cache_ops_per_tuple: measure_step2_ops_per_tuple(hz),
+        threads,
+        charge_zero_init: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Section 7.4's first worked example: N_M = 100M, N_D = 1M, E_j = 8,
+    /// 100% unique. Step 1(a) should come to ~0.306 cycles/tuple on the
+    /// paper's machine.
+    #[test]
+    fn section_7_4_step1a_example() {
+        let m = MachineProfile::paper_single_socket();
+        let s = MergeScenario {
+            n_m: 100_000_000,
+            n_d: 1_000_000,
+            e_j: 8,
+            u_m: 100_000_000,
+            u_d: 1_000_000,
+            u_merged: 101_000_000,
+            bits_before: 27,
+            bits_after: 27,
+            threads: 6,
+            aux_entry_bytes: 4,
+        };
+        let p = m.predict(&s);
+        // (4*8*1M/7 + 132*1M/5) / 101M = 0.306 cpt (Equation 17)
+        assert!((p.step1a_cpt - 0.306).abs() < 0.01, "step1a = {}", p.step1a_cpt);
+        assert!(!p.aux_fits_cache, "404 MB of aux cannot fit a 12 MB LLC");
+    }
+
+    /// Section 7.4's Step 2 example at 100% unique: ~14.2 cycles per tuple
+    /// predicted (measured 15.0). The paper packs auxiliary entries at E'_C
+    /// bits; with 27-bit entries the prediction uses Eq. 12's line-per-tuple
+    /// gather, which dominates, so entry width barely matters.
+    #[test]
+    fn section_7_4_step2_bandwidth_bound() {
+        let m = MachineProfile::paper_single_socket();
+        let s = MergeScenario {
+            n_m: 100_000_000,
+            n_d: 1_000_000,
+            e_j: 8,
+            u_m: 100_000_000,
+            u_d: 1_000_000,
+            u_merged: 101_000_000,
+            bits_before: 27,
+            bits_after: 27,
+            threads: 6,
+            aux_entry_bytes: 4,
+        };
+        let p = m.predict(&s);
+        assert!((p.step2_cpt - 14.2).abs() < 0.5, "step2 = {}", p.step2_cpt);
+    }
+
+    /// Section 7.4's cache-resident example (1% unique): Equation 18 gives
+    /// ~1.73 cycles per tuple for Step 2.
+    #[test]
+    fn section_7_4_step2_cache_resident() {
+        let m = MachineProfile::paper_single_socket();
+        // lambda = 1%: |U_M| = 1M, E_C ~ 20 bits. The paper evaluates with
+        // E_C = 19.9 "bits"; we use 20.
+        let s = MergeScenario {
+            n_m: 100_000_000,
+            n_d: 1_000_000,
+            e_j: 8,
+            u_m: 1_000_000,
+            u_d: 10_000,
+            u_merged: 1_005_000,
+            bits_before: 20,
+            bits_after: 20,
+            threads: 6,
+            aux_entry_bytes: 4,
+        };
+        let p = m.predict(&s);
+        assert!(p.aux_fits_cache, "~4 MB of aux fits a 12 MB LLC");
+        assert!((p.step2_cpt - 1.73).abs() < 0.15, "step2 = {}", p.step2_cpt);
+    }
+
+    #[test]
+    fn more_threads_never_slower_in_model() {
+        let m = MachineProfile::paper_single_socket();
+        let mk = |threads| MergeScenario {
+            n_m: 10_000_000,
+            n_d: 100_000,
+            e_j: 8,
+            u_m: 1_000_000,
+            u_d: 50_000,
+            u_merged: 1_040_000,
+            bits_before: 20,
+            bits_after: 21,
+            threads,
+            aux_entry_bytes: 4,
+        };
+        // Compute-bound parts shrink with threads; Eq. 15 adds a constant
+        // traffic overhead when going parallel, so compare 2 vs 6.
+        let p2 = m.predict(&mk(2)).total_cpt();
+        let p6 = m.predict(&mk(6)).total_cpt();
+        assert!(p6 <= p2 + 1e-9, "6T {p6} should not exceed 2T {p2}");
+    }
+
+    #[test]
+    fn empty_scenario_predicts_zero() {
+        let m = MachineProfile::paper_single_socket();
+        let s = MergeScenario {
+            n_m: 0,
+            n_d: 0,
+            e_j: 8,
+            u_m: 0,
+            u_d: 0,
+            u_merged: 0,
+            bits_before: 1,
+            bits_after: 1,
+            threads: 1,
+            aux_entry_bytes: 4,
+        };
+        assert_eq!(m.predict(&s).total_cpt(), 0.0);
+    }
+
+    #[test]
+    fn cache_cliff_raises_step2() {
+        // Crossing the LLC with the aux tables must raise the predicted
+        // Step 2 cost sharply (the Figure 9 cliff).
+        let m = MachineProfile::paper_single_socket();
+        let small = MergeScenario {
+            n_m: 100_000_000,
+            n_d: 1_000_000,
+            e_j: 8,
+            u_m: 1_000_000, // 4 MB aux: fits
+            u_d: 10_000,
+            u_merged: 1_005_000,
+            bits_before: 20,
+            bits_after: 20,
+            threads: 6,
+            aux_entry_bytes: 4,
+        };
+        let big = MergeScenario { u_m: 10_000_000, u_merged: 10_005_000, bits_before: 24, bits_after: 24, ..small };
+        let ps = m.predict(&small);
+        let pb = m.predict(&big);
+        assert!(ps.aux_fits_cache && !pb.aux_fits_cache);
+        assert!(pb.step2_cpt > 3.0 * ps.step2_cpt, "cliff: {} vs {}", pb.step2_cpt, ps.step2_cpt);
+    }
+}

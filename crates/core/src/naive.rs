@@ -1,0 +1,196 @@
+//! The unoptimized merge (Sections 5.1–5.2): the baseline implementation.
+//!
+//! Step 1 is the same dictionary merge as the optimized variant minus the
+//! auxiliary tables; Step 2(b) re-encodes every tuple by materializing its
+//! uncompressed value and **binary-searching** it in the merged dictionary —
+//! `O(N_M + (N_M + N_D) · log |U'_M|)` (Equation 5). "As shown in Section 7,
+//! this makes the merging algorithm prohibitively slow".
+//!
+//! Figure 7 runs this baseline *parallelized* ("both optimized (Opt) and
+//! unoptimized (UnOpt) merge implementations were parallelized"), so Step 2
+//! here partitions the tuples over threads just like the optimized code —
+//! only the per-tuple search is the naive part.
+
+use crate::stats::{ColumnMergeStats, MergeAlgo, MergeOutput};
+use hyrise_bitpack::{bits_for, BitPackedVec};
+use hyrise_storage::{DeltaPartition, Dictionary, MainPartition, Value};
+use std::time::Instant;
+
+/// Merge one column's delta into its main partition using the unoptimized
+/// algorithm, with Step 2 parallelized over `threads`.
+pub fn merge_column_naive<V: Value>(
+    main: &MainPartition<V>,
+    delta: &DeltaPartition<V>,
+    threads: usize,
+) -> MergeOutput<MainPartition<V>> {
+    assert!(threads >= 1, "need at least one thread");
+    let n_m = main.len();
+    let n_d = delta.len();
+
+    // Step 1(a): sorted delta dictionary via leaf traversal. The naive
+    // variant does NOT rewrite the delta as codes.
+    let t0 = Instant::now();
+    let u_d = delta.sorted_unique();
+    let t_step1a = t0.elapsed();
+
+    // Step 1(b): two-pointer merge, no auxiliary tables.
+    let t0 = Instant::now();
+    let u_m = main.dictionary().values();
+    let mut merged = Vec::with_capacity(u_m.len() + u_d.len());
+    {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < u_m.len() && j < u_d.len() {
+            match u_m[i].cmp(&u_d[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(u_m[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(u_d[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(u_m[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&u_m[i..]);
+        merged.extend_from_slice(&u_d[j..]);
+    }
+    let t_step1b = t0.elapsed();
+
+    // Step 2(a): E'_C = ceil(log2 |U'_M|) (Equation 4), O(1).
+    let bits_after = bits_for(merged.len());
+
+    // Step 2(b): append delta to main, re-encoding every tuple with a binary
+    // search in U'_M (Equation 5's log factor).
+    let t0 = Instant::now();
+    let mut codes = BitPackedVec::zeroed(bits_after, n_m + n_d);
+    let old_dict = main.dictionary();
+    let delta_values = delta.values();
+    let regions = codes.split_mut(threads).into_regions();
+    std::thread::scope(|s| {
+        for mut region in regions {
+            let merged = &merged;
+            s.spawn(move || {
+                let mut old = main.packed_codes().cursor_at(region.start_index().min(n_m));
+                region.fill_sequential(|idx| {
+                    let value = if idx < n_m {
+                        // Materialize: code -> uncompressed value (dictionary
+                        // array access), then search U'_M.
+                        old_dict.value_at(old.next_value() as u32)
+                    } else {
+                        delta_values[idx - n_m]
+                    };
+                    merged.binary_search(&value).expect("merged dictionary must contain value") as u64
+                });
+            });
+        }
+    });
+    let t_step2 = t0.elapsed();
+
+    let stats = ColumnMergeStats {
+        algo: MergeAlgo::Naive,
+        threads,
+        n_m,
+        n_d,
+        u_m: u_m.len(),
+        u_d: u_d.len(),
+        u_merged: merged.len(),
+        bits_before: main.code_bits(),
+        bits_after,
+        t_step1a,
+        t_step1b,
+        t_step2,
+    };
+    let dict = Dictionary::from_sorted_unique(merged);
+    MergeOutput { main: MainPartition::from_parts(dict, codes), stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta_from(values: &[u64]) -> DeltaPartition<u64> {
+        let mut d = DeltaPartition::new();
+        for &v in values {
+            d.insert(v);
+        }
+        d
+    }
+
+    /// The full Figure 5 example: main [hotel delta frank delta] over the
+    /// 6-value dictionary, delta [bravo charlie golf charlie young].
+    #[test]
+    fn figure5_end_to_end() {
+        // Encode words as integers keeping lexicographic order:
+        // apple=1 bravo=2 charlie=3 delta=4 frank=6 golf=7 hotel=8 inbox=9 young=25
+        // Main column must reference all 6 dictionary values; Figure 5 shows
+        // the column fragment [hotel delta frank delta] with dictionary
+        // {apple charlie delta frank hotel inbox}, so we load a main whose
+        // value set is exactly that dictionary.
+        let main = MainPartition::from_values(&[8u64, 4, 6, 4, 1, 3, 9]);
+        let delta = delta_from(&[2, 3, 7, 3, 25]);
+        let out = merge_column_naive(&main, &delta, 2);
+
+        // Merged dictionary has 9 values -> 4 bits (Figure 5).
+        assert_eq!(out.main.dictionary().len(), 9);
+        assert_eq!(out.main.code_bits(), 4);
+        // "the encoded value for hotel was 4 before merging and 6 after".
+        assert_eq!(main.code(0), 4);
+        assert_eq!(out.main.code(0), 6);
+        // Concatenation order: main tuples then delta tuples.
+        let all: Vec<u64> = (0..out.main.len()).map(|i| out.main.get(i)).collect();
+        assert_eq!(all, vec![8, 4, 6, 4, 1, 3, 9, 2, 3, 7, 3, 25]);
+        assert_eq!(out.stats.n_m, 7);
+        assert_eq!(out.stats.n_d, 5);
+        assert_eq!(out.stats.u_merged, 9);
+    }
+
+    #[test]
+    fn empty_delta_is_identity_reencoding() {
+        let main = MainPartition::from_values(&[5u64, 1, 5, 9]);
+        let delta = delta_from(&[]);
+        let out = merge_column_naive(&main, &delta, 1);
+        assert_eq!(out.main.len(), 4);
+        let all: Vec<u64> = (0..4).map(|i| out.main.get(i)).collect();
+        assert_eq!(all, vec![5, 1, 5, 9]);
+        assert_eq!(out.stats.u_d, 0);
+    }
+
+    #[test]
+    fn empty_main_bulk_loads_delta() {
+        let main = MainPartition::<u64>::empty();
+        let delta = delta_from(&[3, 1, 3, 2]);
+        let out = merge_column_naive(&main, &delta, 1);
+        assert_eq!(out.main.len(), 4);
+        let all: Vec<u64> = (0..4).map(|i| out.main.get(i)).collect();
+        assert_eq!(all, vec![3, 1, 3, 2]);
+        assert_eq!(out.main.dictionary().len(), 3);
+    }
+
+    #[test]
+    fn code_width_grows_when_dictionary_grows() {
+        // 2 values (1 bit) + 3 new ones -> 5 values (3 bits).
+        let main = MainPartition::from_values(&[1u64, 2]);
+        assert_eq!(main.code_bits(), 1);
+        let delta = delta_from(&[10, 11, 12]);
+        let out = merge_column_naive(&main, &delta, 1);
+        assert_eq!(out.main.code_bits(), 3);
+    }
+
+    #[test]
+    fn multithreaded_matches_single_threaded() {
+        let values: Vec<u64> = (0..5000).map(|i| (i * 31) % 500).collect();
+        let main = MainPartition::from_values(&values);
+        let delta = delta_from(&(0..1000).map(|i| (i * 17) % 800).collect::<Vec<_>>());
+        let a = merge_column_naive(&main, &delta, 1);
+        let b = merge_column_naive(&main, &delta, 8);
+        assert_eq!(a.main.dictionary().values(), b.main.dictionary().values());
+        let va: Vec<u64> = (0..a.main.len()).map(|i| a.main.get(i)).collect();
+        let vb: Vec<u64> = (0..b.main.len()).map(|i| b.main.get(i)).collect();
+        assert_eq!(va, vb);
+    }
+}

@@ -1,0 +1,187 @@
+//! The optimized linear-time merge, single-threaded (Section 5.3).
+//!
+//! Three modifications over the naive algorithm:
+//!
+//! * **Modified Step 1(a)** — while extracting the sorted delta dictionary
+//!   `U_D` from the CSB+ tree, the delta partition is rewritten as
+//!   fixed-width indices into `U_D` (scattered through the per-value
+//!   tuple-id lists), so Step 2 sees fixed-width lookups on both sides.
+//! * **Modified Step 1(b)** — the dictionary merge additionally populates the
+//!   auxiliary translation tables `X_M` and `X_D`.
+//! * **Modified Step 2(b)** — re-encoding a tuple is now
+//!   `M'[i] <- X_M[M[i]]` (Equation 11): "a lookup and binary search in the
+//!   original algorithm description is replaced by a lookup", giving overall
+//!   `O(N_M + N_D + |U_M| + |U_D|)` (Equation 6).
+
+use crate::stats::{ColumnMergeStats, MergeAlgo, MergeOutput};
+use crate::step1::merge_dictionaries;
+use hyrise_bitpack::{bits_for, BitPackedVec};
+use hyrise_storage::{DeltaPartition, Dictionary, MainPartition, Value};
+use std::time::Instant;
+
+/// Merge one column's delta into its main partition with the optimized
+/// single-threaded algorithm.
+pub fn merge_column_optimized<V: Value>(
+    main: &MainPartition<V>,
+    delta: &DeltaPartition<V>,
+) -> MergeOutput<MainPartition<V>> {
+    let n_m = main.len();
+    let n_d = delta.len();
+
+    // Modified Step 1(a): U_D plus the delta re-coded against it. O(N_D).
+    let t0 = Instant::now();
+    let compressed = delta.compress();
+    let t_step1a = t0.elapsed();
+
+    // Modified Step 1(b): merge dictionaries, build X_M / X_D.
+    let t0 = Instant::now();
+    let u_m = main.dictionary().values();
+    let dm = merge_dictionaries(u_m, &compressed.dict);
+    let t_step1b = t0.elapsed();
+
+    // Step 2(a): Equation 4.
+    let bits_after = bits_for(dm.merged.len());
+
+    // Modified Step 2(b): pure table lookups, Equation 11. A sequential
+    // cursor streams the old codes; an OR-only sequential writer emits the
+    // new ones.
+    let t0 = Instant::now();
+    let mut codes = BitPackedVec::zeroed(bits_after, n_m + n_d);
+    {
+        let mut regions = codes.split_mut(1).into_regions();
+        if let Some(region) = regions.first_mut() {
+            let mut old = main.packed_codes().cursor_at(0);
+            region.fill_sequential(|idx| {
+                if idx < n_m {
+                    dm.x_m[old.next_value() as usize] as u64
+                } else {
+                    dm.x_d[compressed.codes[idx - n_m] as usize] as u64
+                }
+            });
+        }
+    }
+    let t_step2 = t0.elapsed();
+
+    let stats = ColumnMergeStats {
+        algo: MergeAlgo::Optimized,
+        threads: 1,
+        n_m,
+        n_d,
+        u_m: u_m.len(),
+        u_d: compressed.dict.len(),
+        u_merged: dm.merged.len(),
+        bits_before: main.code_bits(),
+        bits_after,
+        t_step1a,
+        t_step1b,
+        t_step2,
+    };
+    let dict = Dictionary::from_sorted_unique(dm.merged);
+    MergeOutput { main: MainPartition::from_parts(dict, codes), stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::merge_column_naive;
+
+    fn delta_from(values: &[u64]) -> DeltaPartition<u64> {
+        let mut d = DeltaPartition::new();
+        for &v in values {
+            d.insert(v);
+        }
+        d
+    }
+
+    #[test]
+    fn figure6_lookup_example() {
+        // "the first compressed value in the main partition has a compressed
+        // value of 4 (100 in binary). ... we look up the value stored at
+        // index 4 in the auxiliary structure that corresponds to 6 (0110)."
+        let main = MainPartition::from_values(&[8u64, 4, 6, 4, 1, 3, 9]);
+        let delta = delta_from(&[2, 3, 7, 3, 25]);
+        let out = merge_column_optimized(&main, &delta);
+        assert_eq!(main.code(0), 4);
+        assert_eq!(out.main.code(0), 6);
+        assert_eq!(out.main.code_bits(), 4);
+        let all: Vec<u64> = (0..out.main.len()).map(|i| out.main.get(i)).collect();
+        assert_eq!(all, vec![8, 4, 6, 4, 1, 3, 9, 2, 3, 7, 3, 25]);
+    }
+
+    #[test]
+    fn agrees_with_naive_on_random_data() {
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for trial in 0..5 {
+            let main_vals: Vec<u64> = (0..2000).map(|_| next() % 300).collect();
+            let delta_vals: Vec<u64> = (0..500).map(|_| next() % 400).collect();
+            let main = MainPartition::from_values(&main_vals);
+            let delta = delta_from(&delta_vals);
+            let a = merge_column_naive(&main, &delta, 1);
+            let b = merge_column_optimized(&main, &delta);
+            assert_eq!(
+                a.main.dictionary().values(),
+                b.main.dictionary().values(),
+                "trial {trial}: dictionaries differ"
+            );
+            assert_eq!(a.main.code_bits(), b.main.code_bits());
+            let va: Vec<u64> = a.main.codes().collect();
+            let vb: Vec<u64> = b.main.codes().collect();
+            assert_eq!(va, vb, "trial {trial}: codes differ");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let out = merge_column_optimized(&MainPartition::<u64>::empty(), &delta_from(&[]));
+        assert_eq!(out.main.len(), 0);
+        assert_eq!(out.stats.u_merged, 0);
+
+        let out = merge_column_optimized(&MainPartition::from_values(&[1u64]), &delta_from(&[]));
+        assert_eq!(out.main.len(), 1);
+        assert_eq!(out.main.get(0), 1);
+
+        let out = merge_column_optimized(&MainPartition::<u64>::empty(), &delta_from(&[4, 4, 2]));
+        assert_eq!(out.main.len(), 3);
+        assert_eq!(out.main.get(0), 4);
+        assert_eq!(out.main.get(2), 2);
+    }
+
+    #[test]
+    fn repeated_merges_accumulate() {
+        // Merge three waves of deltas; the main must always equal the
+        // concatenation of everything inserted so far.
+        let mut main = MainPartition::<u64>::empty();
+        let mut expected: Vec<u64> = Vec::new();
+        for wave in 0..3u64 {
+            let delta_vals: Vec<u64> = (0..100).map(|i| (wave * 1000 + i * 7) % 260).collect();
+            let delta = delta_from(&delta_vals);
+            expected.extend_from_slice(&delta_vals);
+            main = merge_column_optimized(&main, &delta).main;
+            let got: Vec<u64> = (0..main.len()).map(|i| main.get(i)).collect();
+            assert_eq!(got, expected, "after wave {wave}");
+        }
+    }
+
+    #[test]
+    fn works_for_all_value_widths() {
+        use hyrise_storage::V16;
+        let main = MainPartition::from_values(&[3u32, 1]);
+        let mut delta = DeltaPartition::new();
+        delta.insert(2u32);
+        let out = merge_column_optimized(&main, &delta);
+        assert_eq!((0..3).map(|i| out.main.get(i)).collect::<Vec<_>>(), vec![3, 1, 2]);
+
+        let main = MainPartition::from_values(&[V16::from_seed(3)]);
+        let mut delta = DeltaPartition::new();
+        delta.insert(V16::from_seed(1));
+        let out = merge_column_optimized(&main, &delta);
+        assert_eq!(out.main.get(1), V16::from_seed(1));
+        assert_eq!(out.main.dictionary().len(), 2);
+    }
+}

@@ -1,0 +1,607 @@
+//! The multi-core merge (Section 6.2).
+//!
+//! * **Step 1(a)** has two parallelization schemes. Scheme (i) — used by
+//!   [`merge_table_parallel`] — treats each *column* as a task in a shared
+//!   task queue ("we use a task queue based parallelization scheme and
+//!   enqueue each column as a separate task"). Scheme (ii) — used by
+//!   [`merge_column_parallel`] for few-column tables — builds the delta
+//!   dictionary on one thread and parallelizes the scatter of the new codes
+//!   over the delta tuples.
+//! * **Step 1(b)** merges the two sorted dictionaries with duplicate removal
+//!   in the paper's three phases: (1) each thread merge-counts its merge-path
+//!   quantile, suppressing the one possible boundary duplicate; (2) a prefix
+//!   sum over the counter array; (3) each thread re-merges its range, writing
+//!   dictionary values and auxiliary entries at its final offsets.
+//! * **Step 2** evenly divides the `N'_M` tuples over threads; ranges are cut
+//!   on 64-tuple boundaries so every thread owns whole words of the
+//!   bit-packed output ("each thread reads/writes from/to independent chunks
+//!   of tables").
+
+use crate::partition::quantile_boundaries;
+use crate::stats::{ColumnMergeStats, MergeAlgo, MergeOutput, TableMergeStats};
+use crate::step1::{merge_dictionaries, DictMerge};
+use hyrise_bitpack::{bits_for, BitPackedVec};
+use hyrise_storage::{
+    Column, CompressedDelta, DeltaPartition, Dictionary, MainPartition, Table, Value, V16,
+};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Minimum work items per spawned thread. Scoped threads cost tens of
+/// microseconds to spawn; granting a thread fewer elements than this loses
+/// more to spawn overhead than parallelism gains. (The paper's pthread pool
+/// amortizes this; we size the team instead.)
+const MIN_DICT_PER_THREAD: usize = 128 * 1024;
+const MIN_TUPLES_PER_THREAD: usize = 64 * 1024;
+
+/// Threads actually worth using for `work` items.
+#[inline]
+fn effective_threads(requested: usize, work: usize, min_per_thread: usize) -> usize {
+    requested.clamp(1, (work / min_per_thread).max(1))
+}
+
+// ---------------------------------------------------------------------------
+// Step 1(a), scheme (ii): serial dictionary build + parallel code scatter.
+// ---------------------------------------------------------------------------
+
+/// Parallel modified Step 1(a): extract `U_D` on one thread while recording
+/// per-value tuple counts, then scatter the new fixed-width codes to the
+/// delta positions with all threads ("these tuples are evenly divided
+/// amongst the threads and each thread scatters the compressed values to the
+/// delta partition").
+pub fn compress_delta_parallel<V: Value>(
+    delta: &DeltaPartition<V>,
+    threads: usize,
+) -> CompressedDelta<V> {
+    compress_delta_parallel_exact(delta, effective_threads(threads, delta.len(), MIN_TUPLES_PER_THREAD))
+}
+
+/// As [`compress_delta_parallel`] but with exactly `threads` workers, no
+/// team-sizing heuristic. Exposed for tests and ablations.
+#[doc(hidden)]
+pub fn compress_delta_parallel_exact<V: Value>(
+    delta: &DeltaPartition<V>,
+    threads: usize,
+) -> CompressedDelta<V> {
+    if threads <= 1 || delta.is_empty() {
+        return delta.compress();
+    }
+    // Single-threaded phase: sorted dictionary + cumulative tuple counts.
+    let tree = delta.index();
+    let mut dict = Vec::with_capacity(delta.unique_len());
+    let mut cum = Vec::with_capacity(delta.unique_len() + 1);
+    cum.push(0usize);
+    for (value, _) in tree.iter() {
+        dict.push(value);
+        cum.push(cum.last().unwrap() + tree.postings_len(&value));
+    }
+
+    // Parallel phase: value ranges balanced by tuple count; each thread
+    // re-seeks its range in the tree and scatters codes. Stores are disjoint
+    // by construction (each tuple id belongs to exactly one value), expressed
+    // through relaxed atomic stores.
+    let codes: Vec<AtomicU32> = (0..delta.len()).map(|_| AtomicU32::new(0)).collect();
+    let per_thread = delta.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        let mut v0 = 0usize;
+        for t in 0..threads {
+            // First value index whose cumulative count reaches the target.
+            let target = ((t + 1) * per_thread).min(delta.len());
+            let mut v1 = v0;
+            while v1 < dict.len() && cum[v1] < target {
+                v1 += 1;
+            }
+            if v0 == v1 {
+                continue;
+            }
+            let (dict, codes) = (&dict, &codes);
+            s.spawn(move || {
+                let mut code = v0 as u32;
+                for (value, postings) in tree.iter_from(&dict[v0]) {
+                    if code as usize >= v1 {
+                        break;
+                    }
+                    debug_assert_eq!(value, dict[code as usize]);
+                    for tid in postings {
+                        codes[tid as usize].store(code, Ordering::Relaxed);
+                    }
+                    code += 1;
+                }
+                debug_assert_eq!(code as usize, v1);
+            });
+            v0 = v1;
+        }
+    });
+    let codes = codes.into_iter().map(|a| a.into_inner()).collect();
+    CompressedDelta { dict, codes }
+}
+
+// ---------------------------------------------------------------------------
+// Step 1(b): three-phase parallel dictionary merge with duplicate removal.
+// ---------------------------------------------------------------------------
+
+/// Count the unique values produced by merging `a[i0..i1]` with `b[j0..j1]`,
+/// applying the paper's boundary rule: if this range's first element of one
+/// dictionary equals the *previous* element of the other dictionary, it was
+/// already produced by the previous thread and is skipped.
+fn merge_range_count<V: Value>(
+    a: &[V],
+    b: &[V],
+    (i0, j0): (usize, usize),
+    (i1, j1): (usize, usize),
+) -> usize {
+    let mut i = i0;
+    let mut j = j0;
+    if i > 0 && j < j1 && b[j] == a[i - 1] {
+        j += 1;
+    } else if j > 0 && i < i1 && a[i] == b[j - 1] {
+        i += 1;
+    }
+    let mut n = 0usize;
+    while i < i1 && j < j1 {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+        n += 1;
+    }
+    n + (i1 - i) + (j1 - j)
+}
+
+/// Phase 3 worker: re-merge the range, writing dictionary values into `out`
+/// (this thread's disjoint slice of `U'_M`, starting at global offset `base`)
+/// and auxiliary entries into `xa`/`xb` (slices covering `a[i0..i1]` /
+/// `b[j0..j1]`). A boundary-skipped element still gets its auxiliary entry:
+/// it maps to the last element the previous thread wrote, `base - 1`.
+#[allow(clippy::too_many_arguments)]
+fn merge_range_write<V: Value>(
+    a: &[V],
+    b: &[V],
+    (i0, j0): (usize, usize),
+    (i1, j1): (usize, usize),
+    base: usize,
+    out: &mut [V],
+    xa: &mut [u32],
+    xb: &mut [u32],
+) {
+    let mut i = i0;
+    let mut j = j0;
+    if i > 0 && j < j1 && b[j] == a[i - 1] {
+        xb[j - j0] = (base - 1) as u32;
+        j += 1;
+    } else if j > 0 && i < i1 && a[i] == b[j - 1] {
+        xa[i - i0] = (base - 1) as u32;
+        i += 1;
+    }
+    let mut pos = 0usize;
+    while i < i1 && j < j1 {
+        let out_idx = (base + pos) as u32;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                xa[i - i0] = out_idx;
+                out[pos] = a[i];
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                xb[j - j0] = out_idx;
+                out[pos] = b[j];
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                xa[i - i0] = out_idx;
+                xb[j - j0] = out_idx;
+                out[pos] = a[i];
+                i += 1;
+                j += 1;
+            }
+        }
+        pos += 1;
+    }
+    while i < i1 {
+        xa[i - i0] = (base + pos) as u32;
+        out[pos] = a[i];
+        i += 1;
+        pos += 1;
+    }
+    while j < j1 {
+        xb[j - j0] = (base + pos) as u32;
+        out[pos] = b[j];
+        j += 1;
+        pos += 1;
+    }
+    debug_assert_eq!(pos, out.len(), "phase-1 count and phase-3 output disagree");
+}
+
+/// Parallel modified Step 1(b): merge two sorted duplicate-free dictionaries
+/// into `U'_M` with the auxiliary tables, using the three-phase scheme of
+/// Section 6.2.1. Falls back to the serial merge for small inputs or one
+/// thread. Produces output identical to [`merge_dictionaries`].
+pub fn merge_dictionaries_parallel<V: Value>(u_m: &[V], u_d: &[V], threads: usize) -> DictMerge<V> {
+    let total = u_m.len() + u_d.len();
+    merge_dictionaries_parallel_exact(u_m, u_d, effective_threads(threads, total, MIN_DICT_PER_THREAD))
+}
+
+/// As [`merge_dictionaries_parallel`] but with exactly `threads` workers, no
+/// team-sizing heuristic. Exposed for tests and ablations.
+#[doc(hidden)]
+pub fn merge_dictionaries_parallel_exact<V: Value>(
+    u_m: &[V],
+    u_d: &[V],
+    threads: usize,
+) -> DictMerge<V> {
+    if threads <= 1 {
+        return merge_dictionaries(u_m, u_d);
+    }
+    let bounds = quantile_boundaries(u_m, u_d, threads);
+
+    // Phase 1: per-thread unique counts, with an explicit barrier at the end
+    // (the scope join).
+    let mut counter = vec![0usize; threads + 1];
+    std::thread::scope(|s| {
+        let bounds = &bounds;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| s.spawn(move || merge_range_count(u_m, u_d, bounds[t], bounds[t + 1])))
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            counter[t + 1] = h.join().expect("phase-1 worker panicked");
+        }
+    });
+
+    // Phase 2: prefix sum of the counter array. The paper parallelizes this
+    // with Hillis-Steele; over N_T + 1 entries the serial sum is equivalent
+    // and cheaper.
+    for t in 0..threads {
+        counter[t + 1] += counter[t];
+    }
+    let total_unique = counter[threads];
+
+    // Phase 3: carve disjoint output slices and re-merge at final offsets.
+    let mut merged = vec![V::default(); total_unique];
+    let mut x_m = vec![0u32; u_m.len()];
+    let mut x_d = vec![0u32; u_d.len()];
+    {
+        let mut m_rest: &mut [V] = &mut merged;
+        let mut xm_rest: &mut [u32] = &mut x_m;
+        let mut xd_rest: &mut [u32] = &mut x_d;
+        let mut tasks = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let (i0, j0) = bounds[t];
+            let (i1, j1) = bounds[t + 1];
+            let out_len = counter[t + 1] - counter[t];
+            let (m_slice, rest) = std::mem::take(&mut m_rest).split_at_mut(out_len);
+            m_rest = rest;
+            let (xm_slice, rest) = std::mem::take(&mut xm_rest).split_at_mut(i1 - i0);
+            xm_rest = rest;
+            let (xd_slice, rest) = std::mem::take(&mut xd_rest).split_at_mut(j1 - j0);
+            xd_rest = rest;
+            tasks.push(((i0, j0), (i1, j1), counter[t], m_slice, xm_slice, xd_slice));
+        }
+        std::thread::scope(|s| {
+            for (start, end, base, m_slice, xm_slice, xd_slice) in tasks {
+                s.spawn(move || merge_range_write(u_m, u_d, start, end, base, m_slice, xm_slice, xd_slice));
+            }
+        });
+    }
+    DictMerge { merged, x_m, x_d }
+}
+
+// ---------------------------------------------------------------------------
+// Step 2: parallel re-encoding.
+// ---------------------------------------------------------------------------
+
+/// Parallel modified Step 2: `M'[i] <- X_M[M[i]]` for main tuples and
+/// `M'[N_M + k] <- X_D[D_codes[k]]` for delta tuples, with the tuple space
+/// partitioned over threads on word-aligned boundaries.
+fn parallel_step2<V: Value>(
+    main: &MainPartition<V>,
+    delta_codes: &[u32],
+    dm: &DictMerge<V>,
+    bits_after: u8,
+    threads: usize,
+) -> BitPackedVec {
+    let n_m = main.len();
+    let n_total = n_m + delta_codes.len();
+    let threads = effective_threads(threads, n_total, MIN_TUPLES_PER_THREAD);
+    let mut codes = BitPackedVec::zeroed(bits_after, n_total);
+    let regions = codes.split_mut(threads).into_regions();
+    std::thread::scope(|s| {
+        for mut region in regions {
+            let (x_m, x_d) = (&dm.x_m, &dm.x_d);
+            s.spawn(move || {
+                // Sequential cursor over the old main codes for this range;
+                // OR-only sequential writes into the zeroed output.
+                let mut old = main.packed_codes().cursor_at(region.start_index().min(n_m));
+                region.fill_sequential(|idx| {
+                    if idx < n_m {
+                        x_m[old.next_value() as usize] as u64
+                    } else {
+                        x_d[delta_codes[idx - n_m] as usize] as u64
+                    }
+                });
+            });
+        }
+    });
+    codes
+}
+
+/// Merge one column with all steps parallelized *within* the column
+/// (Step 1(a) scheme (ii), three-phase Step 1(b), partitioned Step 2).
+pub fn merge_column_parallel<V: Value>(
+    main: &MainPartition<V>,
+    delta: &DeltaPartition<V>,
+    threads: usize,
+) -> MergeOutput<MainPartition<V>> {
+    assert!(threads >= 1, "need at least one thread");
+    let n_m = main.len();
+    let n_d = delta.len();
+
+    let t0 = Instant::now();
+    let compressed = compress_delta_parallel(delta, threads);
+    let t_step1a = t0.elapsed();
+
+    let t0 = Instant::now();
+    let u_m = main.dictionary().values();
+    let dm = merge_dictionaries_parallel(u_m, &compressed.dict, threads);
+    let t_step1b = t0.elapsed();
+
+    let bits_after = bits_for(dm.merged.len());
+
+    let t0 = Instant::now();
+    let codes = parallel_step2(main, &compressed.codes, &dm, bits_after, threads);
+    let t_step2 = t0.elapsed();
+
+    let stats = ColumnMergeStats {
+        algo: MergeAlgo::Parallel,
+        threads,
+        n_m,
+        n_d,
+        u_m: u_m.len(),
+        u_d: compressed.dict.len(),
+        u_merged: dm.merged.len(),
+        bits_before: main.code_bits(),
+        bits_after,
+        t_step1a,
+        t_step1b,
+        t_step2,
+    };
+    let dict = Dictionary::from_sorted_unique(dm.merged);
+    MergeOutput { main: MainPartition::from_parts(dict, codes), stats }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-table merge: scheme (i), task queue over columns.
+// ---------------------------------------------------------------------------
+
+enum PendingMain {
+    U32(MainPartition<u32>),
+    U64(MainPartition<u64>),
+    V16(MainPartition<V16>),
+}
+
+fn merge_column_any(col: &Column) -> (PendingMain, ColumnMergeStats) {
+    match col {
+        Column::U32(a) => {
+            let out = crate::optimized::merge_column_optimized(a.main(), a.delta());
+            (PendingMain::U32(out.main), out.stats)
+        }
+        Column::U64(a) => {
+            let out = crate::optimized::merge_column_optimized(a.main(), a.delta());
+            (PendingMain::U64(out.main), out.stats)
+        }
+        Column::V16(a) => {
+            let out = crate::optimized::merge_column_optimized(a.main(), a.delta());
+            (PendingMain::V16(out.main), out.stats)
+        }
+    }
+}
+
+/// Merge every column of `table`, parallelizing *across* columns with a task
+/// queue (scheme (i): "enqueue each column as a separate task. If the number
+/// of tasks is much larger than the number of threads ... the task queue
+/// mechanism ... works well in practice to achieve a good load balance").
+/// Each column task runs the optimized serial merge.
+///
+/// This is the offline path (exclusive `&mut Table`); the online,
+/// concurrent-update variant is [`crate::manager::OnlineTable::merge`].
+pub fn merge_table_parallel(table: &mut Table, threads: usize) -> TableMergeStats {
+    assert!(threads >= 1, "need at least one thread");
+    let t_wall = Instant::now();
+    let n_cols = table.num_columns();
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<(PendingMain, ColumnMergeStats)>> = (0..n_cols).map(|_| None).collect();
+
+    {
+        // Collect results through per-column slots; each slot is written by
+        // exactly one task.
+        let slots: Vec<parking_lot::Mutex<Option<(PendingMain, ColumnMergeStats)>>> =
+            (0..n_cols).map(|_| parking_lot::Mutex::new(None)).collect();
+        let table_ref: &Table = table;
+        std::thread::scope(|s| {
+            for _ in 0..threads.min(n_cols.max(1)) {
+                s.spawn(|| loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_cols {
+                        break;
+                    }
+                    let out = merge_column_any(table_ref.column(c));
+                    *slots[c].lock() = Some(out);
+                });
+            }
+        });
+        for (c, slot) in slots.into_iter().enumerate() {
+            results[c] = slot.into_inner();
+        }
+    }
+
+    let mut stats = TableMergeStats::default();
+    for (c, result) in results.into_iter().enumerate() {
+        let (pending, col_stats) = result.expect("every column task must complete");
+        stats.columns.push(col_stats);
+        match (table.column_mut(c), pending) {
+            (Column::U32(a), PendingMain::U32(m)) => a.replace(m, DeltaPartition::new()),
+            (Column::U64(a), PendingMain::U64(m)) => a.replace(m, DeltaPartition::new()),
+            (Column::V16(a), PendingMain::V16(m)) => a.replace(m, DeltaPartition::new()),
+            _ => unreachable!("pending main type matches its column"),
+        }
+    }
+    stats.t_wall = t_wall.elapsed();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyrise_storage::{AnyValue, ColumnType, Schema};
+
+    fn delta_from(values: &[u64]) -> DeltaPartition<u64> {
+        let mut d = DeltaPartition::new();
+        for &v in values {
+            d.insert(v);
+        }
+        d
+    }
+
+    fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+        let mut x = seed | 1;
+        move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        }
+    }
+
+    #[test]
+    fn parallel_dict_merge_equals_serial_small_and_large() {
+        let mut next = xorshift(42);
+        for (na, nb) in [(0usize, 10usize), (10, 0), (100, 77), (5000, 4000), (9000, 12000)] {
+            let mut a: Vec<u64> = (0..na).map(|_| next() % 50_000).collect();
+            a.sort_unstable();
+            a.dedup();
+            let mut b: Vec<u64> = (0..nb).map(|_| next() % 50_000).collect();
+            b.sort_unstable();
+            b.dedup();
+            let serial = merge_dictionaries(&a, &b);
+            for threads in [2usize, 3, 6, 12] {
+                let par = merge_dictionaries_parallel_exact(&a, &b, threads);
+                assert_eq!(par, serial, "na={na} nb={nb} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_dict_merge_heavy_duplicates_across_boundaries() {
+        // Force many shared values so boundary skips trigger: every value of
+        // b also in a.
+        let a: Vec<u64> = (0..20_000).collect();
+        let b: Vec<u64> = (0..20_000).step_by(2).collect();
+        let serial = merge_dictionaries(&a, &b);
+        for threads in [2usize, 5, 8, 16, 24] {
+            let par = merge_dictionaries_parallel_exact(&a, &b, threads);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn compress_parallel_equals_serial() {
+        let mut next = xorshift(7);
+        let values: Vec<u64> = (0..30_000).map(|_| next() % 3_000).collect();
+        let delta = delta_from(&values);
+        let serial = delta.compress();
+        for threads in [2usize, 4, 11] {
+            let par = compress_delta_parallel_exact(&delta, threads);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_column_merge_equals_optimized() {
+        let mut next = xorshift(99);
+        let main_vals: Vec<u64> = (0..40_000).map(|_| next() % 9_000).collect();
+        let delta_vals: Vec<u64> = (0..9_000).map(|_| next() % 12_000).collect();
+        let main = MainPartition::from_values(&main_vals);
+        let delta = delta_from(&delta_vals);
+        let serial = crate::optimized::merge_column_optimized(&main, &delta);
+        for threads in [1usize, 2, 6, 16] {
+            let par = merge_column_parallel(&main, &delta, threads);
+            assert_eq!(
+                par.main.dictionary().values(),
+                serial.main.dictionary().values(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                par.main.codes().collect::<Vec<_>>(),
+                serial.main.codes().collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure5_parallel() {
+        let main = MainPartition::from_values(&[8u64, 4, 6, 4, 1, 3, 9]);
+        let delta = delta_from(&[2, 3, 7, 3, 25]);
+        let out = merge_column_parallel(&main, &delta, 4);
+        assert_eq!(out.main.code_bits(), 4);
+        assert_eq!(out.main.code(0), 6);
+        assert_eq!(out.main.get(11), 25);
+    }
+
+    #[test]
+    fn table_merge_moves_delta_into_main() {
+        let schema = Schema::new(vec![("a", ColumnType::U64), ("b", ColumnType::U32)]);
+        let mut t = Table::new("t", schema);
+        for i in 0..500u64 {
+            t.insert_row(&[AnyValue::U64(i % 40), AnyValue::U32((i % 7) as u32)]).unwrap();
+        }
+        assert_eq!(t.delta_len(), 500);
+        let stats = merge_table_parallel(&mut t, 4);
+        assert_eq!(t.delta_len(), 0);
+        assert_eq!(t.main_len(), 500);
+        assert_eq!(t.row_count(), 500);
+        assert_eq!(stats.columns.len(), 2);
+        assert_eq!(stats.total_tuples(), 1000);
+        // Data survives the merge.
+        assert_eq!(t.row(123).unwrap(), vec![AnyValue::U64(123 % 40), AnyValue::U32((123 % 7) as u32)]);
+    }
+
+    #[test]
+    fn table_merge_preserves_validity_and_history() {
+        let schema = Schema::new(vec![("a", ColumnType::U64)]);
+        let mut t = Table::new("t", schema);
+        let r0 = t.insert_row(&[AnyValue::U64(1)]).unwrap();
+        let r1 = t.update_row(r0, &[AnyValue::U64(2)]).unwrap();
+        merge_table_parallel(&mut t, 2);
+        assert!(!t.is_valid(r0));
+        assert!(t.is_valid(r1));
+        assert_eq!(t.row(r0).unwrap(), vec![AnyValue::U64(1)], "history survives merge");
+        assert_eq!(t.row(r1).unwrap(), vec![AnyValue::U64(2)]);
+    }
+
+    #[test]
+    fn repeated_table_merges() {
+        let schema = Schema::new(vec![("a", ColumnType::U64)]);
+        let mut t = Table::new("t", schema);
+        let mut expected = Vec::new();
+        for wave in 0..4u64 {
+            for i in 0..200u64 {
+                let v = wave * 131 + i % 97;
+                t.insert_row(&[AnyValue::U64(v)]).unwrap();
+                expected.push(v);
+            }
+            merge_table_parallel(&mut t, 3);
+            assert_eq!(t.delta_len(), 0);
+            let got: Vec<u64> = (0..t.row_count())
+                .map(|r| match t.row(r).unwrap()[0] {
+                    AnyValue::U64(v) => v,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(got, expected, "after wave {wave}");
+        }
+    }
+}

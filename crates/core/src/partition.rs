@@ -1,0 +1,134 @@
+//! Merge-path (co-rank) partitioning of two sorted sequences.
+//!
+//! Section 6.2.1: "In order to evenly distribute the work among the `N_T`
+//! threads it is required to partition both dictionaries into
+//! `N_T`-quantiles. Since both dictionaries are sorted this can be achieved
+//! in `N_T log(|U_M| + |U_D|)` steps" — the classic co-rank binary search
+//! (Francis & Mathieson \[8\]; also used by Chhugani et al. \[5\]).
+
+/// Find `(i, j)` with `i + j == k` such that every element of
+/// `a[..i]` and `b[..j]` is `<=` every element of `a[i..]` and `b[j..]`;
+/// i.e. the first `k` elements of the merged sequence are exactly
+/// `merge(a[..i], b[..j])`.
+///
+/// `O(log(min(k, a.len())))`.
+///
+/// # Panics
+/// If `k > a.len() + b.len()`.
+pub fn corank<V: Ord>(k: usize, a: &[V], b: &[V]) -> (usize, usize) {
+    assert!(k <= a.len() + b.len(), "k out of range");
+    let mut lo = k.saturating_sub(b.len());
+    let mut hi = k.min(a.len());
+    while lo < hi {
+        let i = lo + (hi - lo) / 2;
+        let j = k - i;
+        if i < a.len() && j > 0 && b[j - 1] > a[i] {
+            // a[i] sorts before b[j-1]: take more from a.
+            lo = i + 1;
+        } else if i > 0 && j < b.len() && a[i - 1] > b[j] {
+            // a[i-1] sorts after b[j]: take fewer from a.
+            hi = i;
+        } else {
+            return (i, j);
+        }
+    }
+    (lo, k - lo)
+}
+
+/// Split the merge of `a` and `b` into `pieces` contiguous ranges of (nearly)
+/// equal combined size. Returns `pieces + 1` boundary pairs; piece `t` covers
+/// `a[i_t..i_{t+1}]` and `b[j_t..j_{t+1}]`.
+pub fn quantile_boundaries<V: Ord>(a: &[V], b: &[V], pieces: usize) -> Vec<(usize, usize)> {
+    assert!(pieces > 0, "need at least one piece");
+    let total = a.len() + b.len();
+    (0..=pieces)
+        .map(|t| {
+            let k = (total * t) / pieces;
+            corank(k, a, b)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_split<V: Ord + std::fmt::Debug>(a: &[V], b: &[V], i: usize, j: usize) {
+        // All of a[..i], b[..j] <= all of a[i..], b[j..].
+        if i > 0 && j < b.len() {
+            assert!(a[i - 1] <= b[j], "a[{}..] crosses b[{}..]", i, j);
+        }
+        if j > 0 && i < a.len() {
+            assert!(b[j - 1] <= a[i], "b[{}..] crosses a[{}..]", j, i);
+        }
+    }
+
+    #[test]
+    fn corank_endpoints() {
+        let a = [1u64, 3, 5];
+        let b = [2u64, 4, 6];
+        assert_eq!(corank(0, &a, &b), (0, 0));
+        assert_eq!(corank(6, &a, &b), (3, 3));
+    }
+
+    #[test]
+    fn corank_every_k_is_valid() {
+        let a: Vec<u64> = (0..50).map(|i| i * 3).collect();
+        let b: Vec<u64> = (0..80).map(|i| i * 2 + 1).collect();
+        for k in 0..=(a.len() + b.len()) {
+            let (i, j) = corank(k, &a, &b);
+            assert_eq!(i + j, k);
+            check_split(&a, &b, i, j);
+        }
+    }
+
+    #[test]
+    fn corank_with_cross_duplicates() {
+        // Shared values between the two sorted-unique arrays.
+        let a = [1u64, 2, 5, 7, 9];
+        let b = [2u64, 5, 6, 9, 11];
+        for k in 0..=(a.len() + b.len()) {
+            let (i, j) = corank(k, &a, &b);
+            assert_eq!(i + j, k);
+            check_split(&a, &b, i, j);
+        }
+    }
+
+    #[test]
+    fn corank_empty_sides() {
+        let a: [u64; 0] = [];
+        let b = [1u64, 2, 3];
+        assert_eq!(corank(2, &a, &b), (0, 2));
+        assert_eq!(corank(0, &a, &b), (0, 0));
+        let a2 = [1u64, 2];
+        let b2: [u64; 0] = [];
+        assert_eq!(corank(1, &a2, &b2), (1, 0));
+    }
+
+    #[test]
+    fn boundaries_are_monotone_and_cover() {
+        let a: Vec<u64> = (0..301).map(|i| i * 2).collect();
+        let b: Vec<u64> = (0..200).map(|i| i * 3 + 1).collect();
+        for pieces in [1usize, 2, 3, 6, 7, 16] {
+            let bounds = quantile_boundaries(&a, &b, pieces);
+            assert_eq!(bounds.len(), pieces + 1);
+            assert_eq!(bounds[0], (0, 0));
+            assert_eq!(*bounds.last().unwrap(), (a.len(), b.len()));
+            for w in bounds.windows(2) {
+                assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1, "boundaries must be monotone");
+            }
+            // Pieces are near-equal in combined size.
+            for w in bounds.windows(2) {
+                let size = (w[1].0 - w[0].0) + (w[1].1 - w[0].1);
+                let target = (a.len() + b.len()).div_ceil(pieces);
+                assert!(size <= target + 1, "piece of {size} exceeds target {target}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k out of range")]
+    fn corank_rejects_oversized_k() {
+        corank(4, &[1u64], &[2u64]);
+    }
+}

@@ -1,0 +1,239 @@
+//! A background merge scheduler (Section 3's strategy (b)).
+//!
+//! "We see two scheduling strategies: a) merging with all available
+//! resources and b) minimizing resource utilization by constantly merging in
+//! the background. ... A scheduling algorithm could constantly analyze the
+//! available bandwidth and thus adjust the degree of parallelization for the
+//! merge process." (Sections 3, 9)
+//!
+//! [`MergeScheduler`] owns a daemon thread that polls an [`OnlineTable`]'s
+//! delta fraction and runs merges per a [`MergePolicy`] — the piece that
+//! turns the merge primitive into the hands-off system the paper describes.
+//! It supports pausing (the scheduler finishes nothing new while paused) and
+//! reports cumulative statistics.
+
+use crate::manager::{MergePolicy, OnlineTable};
+use hyrise_storage::Value;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cumulative scheduler statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Merges completed.
+    pub merges: u64,
+    /// Tuples moved from delta partitions into main partitions (per column
+    /// sum).
+    pub tuples_merged: u64,
+    /// Total milliseconds spent inside merges.
+    pub merge_millis: u64,
+}
+
+/// Handle to a running background merge scheduler. Dropping the handle stops
+/// the daemon (joining its thread).
+pub struct MergeScheduler<V: Value> {
+    table: Arc<OnlineTable<V>>,
+    stop: Arc<AtomicBool>,
+    paused: Arc<AtomicBool>,
+    merges: Arc<AtomicU64>,
+    tuples: Arc<AtomicU64>,
+    millis: Arc<AtomicU64>,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl<V: Value> MergeScheduler<V> {
+    /// Spawn a scheduler over `table` with `policy`, checking the trigger
+    /// every `poll`.
+    pub fn spawn(table: Arc<OnlineTable<V>>, policy: MergePolicy, poll: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let paused = Arc::new(AtomicBool::new(false));
+        let merges = Arc::new(AtomicU64::new(0));
+        let tuples = Arc::new(AtomicU64::new(0));
+        let millis = Arc::new(AtomicU64::new(0));
+
+        let handle = {
+            let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop);
+            let paused = Arc::clone(&paused);
+            let merges = Arc::clone(&merges);
+            let tuples = Arc::clone(&tuples);
+            let millis = Arc::clone(&millis);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if !paused.load(Ordering::Relaxed) && table.should_merge(&policy) {
+                        if let Ok(stats) = table.merge(policy.threads, None) {
+                            merges.fetch_add(1, Ordering::Relaxed);
+                            let moved: usize = stats.columns.iter().map(|c| c.n_d).sum();
+                            tuples.fetch_add(moved as u64, Ordering::Relaxed);
+                            millis.fetch_add(stats.t_wall.as_millis() as u64, Ordering::Relaxed);
+                        }
+                    }
+                    std::thread::sleep(poll);
+                }
+            })
+        };
+        Self {
+            table,
+            stop,
+            paused,
+            merges,
+            tuples,
+            millis,
+            handle: Mutex::new(Some(handle)),
+        }
+    }
+
+    /// The table being managed.
+    pub fn table(&self) -> &Arc<OnlineTable<V>> {
+        &self.table
+    }
+
+    /// Pause scheduling: no new merges start until [`Self::resume`]. An
+    /// in-flight merge completes (the paper's pause hook applies between
+    /// merges; mid-merge pausing is the incremental session's job).
+    pub fn pause(&self) {
+        self.paused.store(true, Ordering::Relaxed);
+    }
+
+    /// Resume scheduling after [`Self::pause`].
+    pub fn resume(&self) {
+        self.paused.store(false, Ordering::Relaxed);
+    }
+
+    /// Is the scheduler currently paused?
+    pub fn is_paused(&self) -> bool {
+        self.paused.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of cumulative statistics.
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            merges: self.merges.load(Ordering::Relaxed),
+            tuples_merged: self.tuples.load(Ordering::Relaxed),
+            merge_millis: self.millis.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop the daemon and wait for it to exit. Called automatically on
+    /// drop; explicit calls let tests assert on the final state.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<V: Value> Drop for MergeScheduler<V> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn insert_rows(table: &OnlineTable<u64>, n: u64, tag: u64) {
+        for i in 0..n {
+            table.insert_row(&[tag + i, tag + i + 1]);
+        }
+    }
+
+    #[test]
+    fn scheduler_merges_when_triggered() {
+        let table = Arc::new(OnlineTable::<u64>::new(2));
+        insert_rows(&table, 10_000, 0);
+        table.merge(2, None).unwrap();
+
+        let policy = MergePolicy { delta_fraction: 0.01, threads: 2 };
+        let sched = MergeScheduler::spawn(Arc::clone(&table), policy, Duration::from_millis(5));
+        // Push past the trigger and wait for the daemon.
+        insert_rows(&table, 500, 1_000_000);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while sched.stats().merges == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        sched.shutdown();
+        let stats = sched.stats();
+        assert!(stats.merges >= 1, "daemon must have merged");
+        assert!(stats.tuples_merged >= 500 * 2, "both columns' delta tuples counted");
+        assert_eq!(table.delta_len(), 0);
+        assert_eq!(table.row_count(), 10_500);
+    }
+
+    #[test]
+    fn paused_scheduler_does_not_merge() {
+        let table = Arc::new(OnlineTable::<u64>::new(2));
+        insert_rows(&table, 1_000, 0); // delta_fraction infinite: always triggered
+        let policy = MergePolicy { delta_fraction: 0.01, threads: 1 };
+        let sched = MergeScheduler::spawn(Arc::clone(&table), policy, Duration::from_millis(2));
+        sched.pause();
+        assert!(sched.is_paused());
+        // Give the daemon time it would have used to merge.
+        std::thread::sleep(Duration::from_millis(100));
+        // It may have completed at most one merge started before the pause.
+        let before = sched.stats().merges;
+        assert!(before <= 1, "paused scheduler must not keep merging, ran {before}");
+        sched.resume();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while sched.stats().merges == before && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sched.shutdown();
+        assert!(sched.stats().merges > before, "resume must re-enable merging");
+    }
+
+    #[test]
+    fn drop_stops_the_daemon() {
+        let table = Arc::new(OnlineTable::<u64>::new(2));
+        insert_rows(&table, 100, 0);
+        let weak = {
+            let sched = MergeScheduler::spawn(
+                Arc::clone(&table),
+                MergePolicy::default(),
+                Duration::from_millis(1),
+            );
+            let _ = sched.stats();
+            Arc::downgrade(sched.table())
+        };
+        // Scheduler dropped: its table Arc released; ours remains.
+        assert!(weak.upgrade().is_some());
+        drop(table);
+        assert!(weak.upgrade().is_none(), "daemon thread must have released the table");
+    }
+
+    #[test]
+    fn scheduler_under_concurrent_writes() {
+        let table = Arc::new(OnlineTable::<u64>::new(2));
+        insert_rows(&table, 5_000, 0);
+        table.merge(2, None).unwrap();
+        let policy = MergePolicy { delta_fraction: 0.02, threads: 2 };
+        let sched = MergeScheduler::spawn(Arc::clone(&table), policy, Duration::from_millis(1));
+        let writer = {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || {
+                for i in 0..20_000u64 {
+                    table.insert_row(&[i, i + 1]);
+                }
+            })
+        };
+        writer.join().unwrap();
+        // Let the scheduler drain the tail.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while table.delta_fraction() > policy.delta_fraction
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        sched.shutdown();
+        assert_eq!(table.row_count(), 25_000, "no rows lost under daemon merging");
+        assert!(sched.stats().merges > 1, "sustained writes force repeated merges");
+        assert!(
+            table.delta_fraction() <= policy.delta_fraction,
+            "scheduler must keep the delta bounded"
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Merge instrumentation: the per-step timings the paper's figures plot.
+//!
+//! Figure 7/8 stack three bars per configuration — "Update Delta",
+//! "Merge-Step1" and "Merge-Step2" — measured in *cycles per tuple* where the
+//! tuple count is `N_M + N_D` (Section 7: "Update Cost is defined as the
+//! amortized time taken per tuple per column").
+
+use std::time::Duration;
+
+/// Which merge implementation produced a result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MergeAlgo {
+    /// Sections 5.1–5.2 (binary-search Step 2, Equation 5).
+    Naive,
+    /// Section 5.3 (auxiliary tables, Equation 6), single-threaded.
+    Optimized,
+    /// Section 6.2 (multi-core, three-phase Step 1(b), partitioned Step 2).
+    Parallel,
+}
+
+impl std::fmt::Display for MergeAlgo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeAlgo::Naive => write!(f, "naive"),
+            MergeAlgo::Optimized => write!(f, "optimized"),
+            MergeAlgo::Parallel => write!(f, "parallel"),
+        }
+    }
+}
+
+/// Sizes and per-step wall times for one column's merge.
+#[derive(Clone, Debug)]
+pub struct ColumnMergeStats {
+    /// Which algorithm ran.
+    pub algo: MergeAlgo,
+    /// Threads used (1 for serial algorithms).
+    pub threads: usize,
+    /// Tuples in the old main partition (`N_M`).
+    pub n_m: usize,
+    /// Tuples in the delta partition (`N_D`).
+    pub n_d: usize,
+    /// Old main dictionary size (`|U_M|`).
+    pub u_m: usize,
+    /// Delta dictionary size (`|U_D|`).
+    pub u_d: usize,
+    /// Merged dictionary size (`|U'_M|`).
+    pub u_merged: usize,
+    /// Compressed value-length before the merge (`E_C`, bits).
+    pub bits_before: u8,
+    /// Compressed value-length after the merge (`E'_C`, bits).
+    pub bits_after: u8,
+    /// Step 1(a): delta dictionary extraction (+ delta re-coding when
+    /// optimized).
+    pub t_step1a: Duration,
+    /// Step 1(b): dictionary merge (+ auxiliary tables when optimized).
+    pub t_step1b: Duration,
+    /// Step 2: appending and re-encoding all tuples.
+    pub t_step2: Duration,
+}
+
+impl ColumnMergeStats {
+    /// Total tuples processed (`N'_M = N_M + N_D`).
+    pub fn total_tuples(&self) -> usize {
+        self.n_m + self.n_d
+    }
+
+    /// Step 1 = 1(a) + 1(b).
+    pub fn t_step1(&self) -> Duration {
+        self.t_step1a + self.t_step1b
+    }
+
+    /// Total merge time `T_M` for this column.
+    pub fn t_total(&self) -> Duration {
+        self.t_step1a + self.t_step1b + self.t_step2
+    }
+
+    /// Cycles per tuple for the whole merge at clock `hz`.
+    pub fn cycles_per_tuple(&self, hz: f64) -> f64 {
+        cycles_per_tuple(self.t_total(), self.total_tuples(), hz)
+    }
+
+    /// Cycles per tuple for Step 1 at clock `hz`.
+    pub fn step1_cycles_per_tuple(&self, hz: f64) -> f64 {
+        cycles_per_tuple(self.t_step1(), self.total_tuples(), hz)
+    }
+
+    /// Cycles per tuple for Step 2 at clock `hz`.
+    pub fn step2_cycles_per_tuple(&self, hz: f64) -> f64 {
+        cycles_per_tuple(self.t_step2, self.total_tuples(), hz)
+    }
+}
+
+/// Convert a duration over `tuples` into cycles/tuple at clock `hz`.
+pub fn cycles_per_tuple(t: Duration, tuples: usize, hz: f64) -> f64 {
+    if tuples == 0 {
+        0.0
+    } else {
+        t.as_secs_f64() * hz / tuples as f64
+    }
+}
+
+/// A merged main partition plus its stats.
+pub struct MergeOutput<M> {
+    /// The new main partition (`M'` with dictionary `U'_M`).
+    pub main: M,
+    /// Per-step measurements.
+    pub stats: ColumnMergeStats,
+}
+
+/// Aggregated stats for a whole-table merge (`N_C` columns).
+#[derive(Clone, Debug, Default)]
+pub struct TableMergeStats {
+    /// One entry per merged column.
+    pub columns: Vec<ColumnMergeStats>,
+    /// Wall-clock time for the whole table merge (`T_M` of Equation 1).
+    pub t_wall: Duration,
+}
+
+impl TableMergeStats {
+    /// Sum of per-column step-1 times.
+    pub fn t_step1_sum(&self) -> Duration {
+        self.columns.iter().map(|c| c.t_step1()).sum()
+    }
+
+    /// Sum of per-column step-2 times.
+    pub fn t_step2_sum(&self) -> Duration {
+        self.columns.iter().map(|c| c.t_step2).sum()
+    }
+
+    /// Total tuples merged across columns.
+    pub fn total_tuples(&self) -> usize {
+        self.columns.iter().map(|c| c.total_tuples()).sum()
+    }
+
+    /// Amortized cycles per tuple per column over the wall time.
+    pub fn update_cost_cpt(&self, hz: f64) -> f64 {
+        cycles_per_tuple(self.t_wall, self.total_tuples(), hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(ms1a: u64, ms1b: u64, ms2: u64) -> ColumnMergeStats {
+        ColumnMergeStats {
+            algo: MergeAlgo::Optimized,
+            threads: 1,
+            n_m: 900,
+            n_d: 100,
+            u_m: 90,
+            u_d: 30,
+            u_merged: 100,
+            bits_before: 7,
+            bits_after: 7,
+            t_step1a: Duration::from_millis(ms1a),
+            t_step1b: Duration::from_millis(ms1b),
+            t_step2: Duration::from_millis(ms2),
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let s = stats(1, 2, 7);
+        assert_eq!(s.total_tuples(), 1000);
+        assert_eq!(s.t_step1(), Duration::from_millis(3));
+        assert_eq!(s.t_total(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn cycles_per_tuple_matches_hand_calc() {
+        let s = stats(0, 0, 10); // 10ms for 1000 tuples
+        // at 1 GHz: 10ms = 1e7 cycles / 1000 tuples = 1e4 cpt
+        assert!((s.cycles_per_tuple(1e9) - 1e4).abs() < 1.0);
+        assert!((s.step2_cycles_per_tuple(1e9) - 1e4).abs() < 1.0);
+        assert_eq!(s.step1_cycles_per_tuple(1e9), 0.0);
+    }
+
+    #[test]
+    fn zero_tuples_is_zero_cost() {
+        assert_eq!(cycles_per_tuple(Duration::from_secs(1), 0, 3.3e9), 0.0);
+    }
+
+    #[test]
+    fn table_stats_aggregate() {
+        let t = TableMergeStats {
+            columns: vec![stats(1, 1, 3), stats(2, 2, 6)],
+            t_wall: Duration::from_millis(15),
+        };
+        assert_eq!(t.total_tuples(), 2000);
+        assert_eq!(t.t_step1_sum(), Duration::from_millis(6));
+        assert_eq!(t.t_step2_sum(), Duration::from_millis(9));
+        // 15ms at 1GHz over 2000 tuples = 7500 cpt
+        assert!((t.update_cost_cpt(1e9) - 7500.0).abs() < 1.0);
+    }
+}

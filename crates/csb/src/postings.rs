@@ -1,0 +1,200 @@
+//! Chunked tuple-id postings lists.
+//!
+//! Each distinct key in the tree owns a list of the tuple ids at which it was
+//! inserted, in insertion order. A single-id list (the common case when most
+//! delta values are unique, e.g. the paper's 100%-unique experiments) is
+//! stored inline in the 8-byte handle with no pool allocation; longer lists
+//! are singly linked chains of fixed-size chunks inside one pool `Vec`, so
+//! appending is O(1) via a tail pointer and traversal touches
+//! `len / CHUNK_IDS` cache lines.
+
+/// Ids per chunk. A chunk is 32 bytes (6 ids + len + next), two per cache line.
+pub(crate) const CHUNK_IDS: usize = 6;
+
+pub(crate) const NONE: u32 = u32::MAX;
+/// Sentinel `head` marking an inline single-id list whose id lives in `tail`.
+pub(crate) const INLINE: u32 = u32::MAX - 1;
+
+#[derive(Clone, Debug)]
+struct Chunk {
+    ids: [u32; CHUNK_IDS],
+    len: u8,
+    next: u32,
+}
+
+/// Pool of postings chunks shared by all keys of one tree.
+#[derive(Clone, Debug, Default)]
+pub struct PostingsPool {
+    chunks: Vec<Chunk>,
+}
+
+/// Handle to one key's postings list.
+///
+/// Either inline (`head == INLINE`, id in `tail`) or a chain
+/// (`head`/`tail` are chunk indices).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct PostingsRef {
+    pub head: u32,
+    pub tail: u32,
+}
+
+impl PostingsPool {
+    pub(crate) fn new() -> Self {
+        Self { chunks: Vec::new() }
+    }
+
+    /// Start a new list containing a single id — free of pool space.
+    pub(crate) fn start(&mut self, id: u32) -> PostingsRef {
+        debug_assert!(id < INLINE, "tuple ids must be < u32::MAX - 1");
+        PostingsRef { head: INLINE, tail: id }
+    }
+
+    /// Append an id to an existing list, returning the (possibly updated)
+    /// handle.
+    pub(crate) fn push(&mut self, r: PostingsRef, id: u32) -> PostingsRef {
+        if r.head == INLINE {
+            // Promote the inline single id to a real chunk.
+            let idx = self.chunks.len() as u32;
+            let mut ids = [0u32; CHUNK_IDS];
+            ids[0] = r.tail;
+            ids[1] = id;
+            self.chunks.push(Chunk { ids, len: 2, next: NONE });
+            return PostingsRef { head: idx, tail: idx };
+        }
+        let mut r = r;
+        let tail = &mut self.chunks[r.tail as usize];
+        if (tail.len as usize) < CHUNK_IDS {
+            tail.ids[tail.len as usize] = id;
+            tail.len += 1;
+            r
+        } else {
+            let idx = self.chunks.len() as u32;
+            let mut ids = [0u32; CHUNK_IDS];
+            ids[0] = id;
+            self.chunks.push(Chunk { ids, len: 1, next: NONE });
+            self.chunks[r.tail as usize].next = idx;
+            r.tail = idx;
+            r
+        }
+    }
+
+    /// Iterate a list in insertion order.
+    pub(crate) fn iter(&self, r: PostingsRef) -> Postings<'_> {
+        if r.head == INLINE {
+            Postings { pool: self, chunk: NONE, pos: 0, inline: Some(r.tail) }
+        } else {
+            Postings { pool: self, chunk: r.head, pos: 0, inline: None }
+        }
+    }
+
+    /// Number of ids in the list (walks the chain).
+    pub(crate) fn list_len(&self, r: PostingsRef) -> usize {
+        if r.head == INLINE {
+            return 1;
+        }
+        let mut n = 0usize;
+        let mut c = r.head;
+        while c != NONE {
+            let ch = &self.chunks[c as usize];
+            n += ch.len as usize;
+            c = ch.next;
+        }
+        n
+    }
+
+    /// Heap bytes used by the pool.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        self.chunks.len() * std::mem::size_of::<Chunk>()
+    }
+}
+
+/// Iterator over one key's tuple ids, in insertion order.
+///
+/// This is the "pointer to the list of tuple ids" of the paper's Figure 5.
+pub struct Postings<'a> {
+    pool: &'a PostingsPool,
+    chunk: u32,
+    pos: u8,
+    inline: Option<u32>,
+}
+
+impl Iterator for Postings<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if let Some(id) = self.inline.take() {
+            return Some(id);
+        }
+        while self.chunk != NONE {
+            let ch = &self.pool.chunks[self.chunk as usize];
+            if self.pos < ch.len {
+                let id = ch.ids[self.pos as usize];
+                self.pos += 1;
+                return Some(id);
+            }
+            self.chunk = ch.next;
+            self.pos = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_single_id_uses_no_pool_space() {
+        let mut pool = PostingsPool::new();
+        let r = pool.start(42);
+        assert_eq!(pool.memory_bytes(), 0);
+        assert_eq!(pool.iter(r).collect::<Vec<_>>(), vec![42]);
+        assert_eq!(pool.list_len(r), 1);
+    }
+
+    #[test]
+    fn single_chunk_roundtrip() {
+        let mut pool = PostingsPool::new();
+        let mut r = pool.start(10);
+        for id in 11..=14 {
+            r = pool.push(r, id);
+        }
+        let got: Vec<u32> = pool.iter(r).collect();
+        assert_eq!(got, vec![10, 11, 12, 13, 14]);
+        assert_eq!(pool.list_len(r), 5);
+    }
+
+    #[test]
+    fn spills_across_chunks_in_order() {
+        let mut pool = PostingsPool::new();
+        let mut r = pool.start(0);
+        for id in 1..100 {
+            r = pool.push(r, id);
+        }
+        let got: Vec<u32> = pool.iter(r).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(pool.list_len(r), 100);
+    }
+
+    #[test]
+    fn interleaved_lists_stay_separate() {
+        let mut pool = PostingsPool::new();
+        let mut a = pool.start(1000);
+        let mut b = pool.start(2000);
+        for i in 1..50u32 {
+            a = pool.push(a, 1000 + i);
+            b = pool.push(b, 2000 + i);
+        }
+        let ga: Vec<u32> = pool.iter(a).collect();
+        let gb: Vec<u32> = pool.iter(b).collect();
+        assert_eq!(ga, (1000..1050).collect::<Vec<_>>());
+        assert_eq!(gb, (2000..2050).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunk_is_compact() {
+        // The chunk must stay within half a cache line so two fit per line.
+        assert!(std::mem::size_of::<Chunk>() <= 32);
+    }
+}

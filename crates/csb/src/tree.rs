@@ -1,0 +1,796 @@
+//! The CSB+ tree proper.
+//!
+//! Layout (following Rao & Ross): internal nodes and leaves live in two
+//! arenas. All children of an internal node form one contiguous *node group*
+//! in the appropriate arena, so the node stores a single `child_start` index.
+//! Splitting a node therefore grows its group: the parent copies the whole
+//! group to the end of the arena with the new sibling spliced in. Dead groups
+//! are left behind (bounded by the ~2× memory factor the paper cites for the
+//! tree).
+
+use crate::postings::{Postings, PostingsPool, PostingsRef, NONE};
+
+/// Separator keys per internal node. With 8-byte keys an internal node is
+/// two cache lines; the CSB+ trick means those two lines serve 15 children.
+const MAX_KEYS: usize = 14;
+/// Keys per leaf node.
+const LEAF_KEYS: usize = 14;
+
+#[derive(Clone)]
+struct Internal<K> {
+    n: u16,
+    child_start: u32,
+    keys: [K; MAX_KEYS],
+}
+
+#[derive(Clone)]
+struct Leaf<K> {
+    n: u16,
+    keys: [K; LEAF_KEYS],
+    posts: [PostingsRef; LEAF_KEYS],
+}
+
+const EMPTY_POST: PostingsRef = PostingsRef { head: NONE, tail: NONE };
+
+enum RightNode<K> {
+    Internal(Internal<K>),
+    Leaf(Leaf<K>),
+}
+
+/// Cache-sensitive B+ tree mapping keys to tuple-id postings lists.
+///
+/// See the crate docs for the role this plays in the delta partition.
+pub struct CsbTree<K> {
+    internals: Vec<Internal<K>>,
+    leaves: Vec<Leaf<K>>,
+    pool: PostingsPool,
+    /// Root node index: into `internals` if `height > 0`, else into `leaves`.
+    root: u32,
+    /// Number of internal levels above the leaf level.
+    height: u16,
+    /// Total number of inserted (key, tuple-id) pairs.
+    len: usize,
+    /// Number of distinct keys.
+    unique: usize,
+    /// Free node-group regions by exact size (dead groups left by splits are
+    /// recycled here, keeping the arena near the paper's ~2x value bytes).
+    free_leaf_groups: Vec<Vec<u32>>,
+    free_internal_groups: Vec<Vec<u32>>,
+}
+
+/// Largest possible node group: a full node has `MAX_KEYS + 1` children and a
+/// split momentarily handles one more.
+const MAX_GROUP: usize = MAX_KEYS + 2;
+
+impl<K: Copy + Ord + Default> Default for CsbTree<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Copy + Ord + Default> CsbTree<K> {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self {
+            internals: Vec::new(),
+            leaves: Vec::new(),
+            pool: PostingsPool::new(),
+            root: NONE,
+            height: 0,
+            len: 0,
+            unique: 0,
+            free_leaf_groups: vec![Vec::new(); MAX_GROUP + 1],
+            free_internal_groups: vec![Vec::new(); MAX_GROUP + 1],
+        }
+    }
+
+    /// Reserve (or reuse) a contiguous region of `size` leaves.
+    fn alloc_leaf_group(&mut self, size: usize) -> u32 {
+        if let Some(start) = self.free_leaf_groups[size].pop() {
+            return start;
+        }
+        let start = self.leaves.len() as u32;
+        self.leaves.resize(
+            start as usize + size,
+            Leaf { n: 0, keys: [K::default(); LEAF_KEYS], posts: [EMPTY_POST; LEAF_KEYS] },
+        );
+        start
+    }
+
+    /// Reserve (or reuse) a contiguous region of `size` internal nodes.
+    fn alloc_internal_group(&mut self, size: usize) -> u32 {
+        if let Some(start) = self.free_internal_groups[size].pop() {
+            return start;
+        }
+        let start = self.internals.len() as u32;
+        self.internals.resize(
+            start as usize + size,
+            Internal { n: 0, child_start: NONE, keys: [K::default(); MAX_KEYS] },
+        );
+        start
+    }
+
+    fn free_group(&mut self, child_level: u16, start: u32, size: usize) {
+        if child_level == 0 {
+            self.free_leaf_groups[size].push(start);
+        } else {
+            self.free_internal_groups[size].push(start);
+        }
+    }
+
+    /// Total number of inserted (key, tuple-id) pairs — the delta's `N_D`
+    /// contribution for this column.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing has been inserted.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct keys — the paper's `|U_D|`.
+    #[inline]
+    pub fn unique_len(&self) -> usize {
+        self.unique
+    }
+
+    /// Number of internal levels (0 when the root is a leaf).
+    #[inline]
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Approximate heap bytes held by the tree (arenas + postings pool),
+    /// including dead groups — this is what the paper's Step 1(a) bandwidth
+    /// term charges at roughly 2× the raw value bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.internals.len() * std::mem::size_of::<Internal<K>>()
+            + self.leaves.len() * std::mem::size_of::<Leaf<K>>()
+            + self.pool.memory_bytes()
+    }
+
+    /// Insert `key` at tuple id `tid`. Duplicate keys append to the existing
+    /// postings list (the Figure 5 "charlie at positions 1 and 3" case).
+    pub fn insert(&mut self, key: K, tid: u32) {
+        if self.root == NONE {
+            let start = self.alloc_leaf_group(1);
+            let post = self.pool.start(tid);
+            let leaf = &mut self.leaves[start as usize];
+            leaf.n = 1;
+            leaf.keys[0] = key;
+            leaf.posts[0] = post;
+            self.root = start;
+            self.len = 1;
+            self.unique = 1;
+            return;
+        }
+        if let Some((sep, right)) = self.insert_at(self.root, self.height, key, tid) {
+            // Root split: build a contiguous 2-node group [old_root, right]
+            // and a fresh root above it. The old root slot (a group of one)
+            // is recycled.
+            let old_root = self.root;
+            let new_start = if self.height == 0 {
+                let start = self.alloc_leaf_group(2);
+                let old = self.leaves[old_root as usize].clone();
+                self.leaves[start as usize] = old;
+                match right {
+                    RightNode::Leaf(l) => self.leaves[start as usize + 1] = l,
+                    RightNode::Internal(_) => unreachable!("leaf level split produced internal"),
+                }
+                start
+            } else {
+                let start = self.alloc_internal_group(2);
+                let old = self.internals[old_root as usize].clone();
+                self.internals[start as usize] = old;
+                match right {
+                    RightNode::Internal(i) => self.internals[start as usize + 1] = i,
+                    RightNode::Leaf(_) => unreachable!("internal level split produced leaf"),
+                }
+                start
+            };
+            self.free_group(self.height, old_root, 1);
+            let root_start = self.alloc_internal_group(1);
+            let root = &mut self.internals[root_start as usize];
+            root.n = 1;
+            root.child_start = new_start;
+            root.keys[0] = sep;
+            self.root = root_start;
+            self.height += 1;
+        }
+    }
+
+    /// Recursive insert. Returns `Some((separator, right_sibling))` when the
+    /// node at `idx` split; the caller owns the node's placement and rebuilds
+    /// the group.
+    fn insert_at(&mut self, idx: u32, level: u16, key: K, tid: u32) -> Option<(K, RightNode<K>)> {
+        if level == 0 {
+            return self.insert_leaf(idx, key, tid);
+        }
+        let (n, child_start) = {
+            let node = &self.internals[idx as usize];
+            (node.n as usize, node.child_start)
+        };
+        let keys = &self.internals[idx as usize].keys[..n];
+        let c = keys.partition_point(|k| *k <= key);
+        let (sep, right) = self.insert_at(child_start + c as u32, level - 1, key, tid)?;
+
+        let cnt = n + 1; // children in the group
+        if n < MAX_KEYS {
+            let new_start = self.copy_group_insert(level - 1, child_start, cnt, c + 1, right);
+            let node = &mut self.internals[idx as usize];
+            let mut i = n;
+            while i > c {
+                node.keys[i] = node.keys[i - 1];
+                i -= 1;
+            }
+            node.keys[c] = sep;
+            node.n += 1;
+            node.child_start = new_start;
+            None
+        } else {
+            // Full node: split into left (kept in place) and right.
+            // Combined separators: old keys with `sep` inserted at c.
+            let mut combined = [K::default(); MAX_KEYS + 1];
+            {
+                let node = &self.internals[idx as usize];
+                combined[..c].copy_from_slice(&node.keys[..c]);
+                combined[c] = sep;
+                combined[c + 1..].copy_from_slice(&node.keys[c..]);
+            }
+            let mid = MAX_KEYS.div_ceil(2); // 7: left keys 0..7, median 7, right 8..15
+            let (left_start, right_start) =
+                self.copy_group_split(level - 1, child_start, cnt, c + 1, right, mid + 1);
+            let node = &mut self.internals[idx as usize];
+            node.keys[..mid].copy_from_slice(&combined[..mid]);
+            node.n = mid as u16;
+            node.child_start = left_start;
+            let mut rnode =
+                Internal { n: (MAX_KEYS - mid) as u16, child_start: right_start, keys: [K::default(); MAX_KEYS] };
+            rnode.keys[..MAX_KEYS - mid].copy_from_slice(&combined[mid + 1..]);
+            Some((combined[mid], RightNode::Internal(rnode)))
+        }
+    }
+
+    fn insert_leaf(&mut self, idx: u32, key: K, tid: u32) -> Option<(K, RightNode<K>)> {
+        let leaf = &mut self.leaves[idx as usize];
+        let n = leaf.n as usize;
+        match leaf.keys[..n].binary_search(&key) {
+            Ok(p) => {
+                let r = leaf.posts[p];
+                let updated = self.pool.push(r, tid);
+                self.leaves[idx as usize].posts[p] = updated;
+                self.len += 1;
+                None
+            }
+            Err(p) => {
+                self.len += 1;
+                self.unique += 1;
+                if n < LEAF_KEYS {
+                    let mut i = n;
+                    while i > p {
+                        leaf.keys[i] = leaf.keys[i - 1];
+                        leaf.posts[i] = leaf.posts[i - 1];
+                        i -= 1;
+                    }
+                    leaf.keys[p] = key;
+                    leaf.n += 1;
+                    let post = self.pool.start(tid);
+                    self.leaves[idx as usize].posts[p] = post;
+                    None
+                } else {
+                    // Split: 15 entries total, left keeps 8, right takes 7.
+                    let post = self.pool.start(tid);
+                    let leaf = &mut self.leaves[idx as usize];
+                    let mut keys = [K::default(); LEAF_KEYS + 1];
+                    let mut posts = [EMPTY_POST; LEAF_KEYS + 1];
+                    keys[..p].copy_from_slice(&leaf.keys[..p]);
+                    posts[..p].copy_from_slice(&leaf.posts[..p]);
+                    keys[p] = key;
+                    posts[p] = post;
+                    keys[p + 1..].copy_from_slice(&leaf.keys[p..]);
+                    posts[p + 1..].copy_from_slice(&leaf.posts[p..]);
+
+                    let left_n = (LEAF_KEYS + 1).div_ceil(2); // 8
+                    let right_n = LEAF_KEYS + 1 - left_n; // 7
+                    leaf.n = left_n as u16;
+                    leaf.keys[..left_n].copy_from_slice(&keys[..left_n]);
+                    leaf.posts[..left_n].copy_from_slice(&posts[..left_n]);
+
+                    let mut right =
+                        Leaf { n: right_n as u16, keys: [K::default(); LEAF_KEYS], posts: [EMPTY_POST; LEAF_KEYS] };
+                    right.keys[..right_n].copy_from_slice(&keys[left_n..]);
+                    right.posts[..right_n].copy_from_slice(&posts[left_n..]);
+                    let sep = right.keys[0];
+                    Some((sep, RightNode::Leaf(right)))
+                }
+            }
+        }
+    }
+
+    /// Copy the child group `[old_start, old_start+cnt)` (at `child_level`) to
+    /// the end of its arena with `new_node` spliced in at `insert_pos`;
+    /// returns the new group start.
+    fn copy_group_insert(
+        &mut self,
+        child_level: u16,
+        old_start: u32,
+        cnt: usize,
+        insert_pos: usize,
+        new_node: RightNode<K>,
+    ) -> u32 {
+        let start = if child_level == 0 {
+            let new_leaf = match new_node {
+                RightNode::Leaf(l) => l,
+                RightNode::Internal(_) => unreachable!("level/arena mismatch"),
+            };
+            let start = self.alloc_leaf_group(cnt + 1);
+            for i in 0..=cnt {
+                let node = if i == insert_pos {
+                    new_leaf.clone()
+                } else {
+                    let src = old_start as usize + if i < insert_pos { i } else { i - 1 };
+                    self.leaves[src].clone()
+                };
+                self.leaves[start as usize + i] = node;
+            }
+            start
+        } else {
+            let new_int = match new_node {
+                RightNode::Internal(n) => n,
+                RightNode::Leaf(_) => unreachable!("level/arena mismatch"),
+            };
+            let start = self.alloc_internal_group(cnt + 1);
+            for i in 0..=cnt {
+                let node = if i == insert_pos {
+                    new_int.clone()
+                } else {
+                    let src = old_start as usize + if i < insert_pos { i } else { i - 1 };
+                    self.internals[src].clone()
+                };
+                self.internals[start as usize + i] = node;
+            }
+            start
+        };
+        self.free_group(child_level, old_start, cnt);
+        start
+    }
+
+    /// As [`Self::copy_group_insert`] but the enlarged group of `cnt + 1`
+    /// children is split into two contiguous groups of `left_cnt` and
+    /// `cnt + 1 - left_cnt` nodes; returns both starts.
+    fn copy_group_split(
+        &mut self,
+        child_level: u16,
+        old_start: u32,
+        cnt: usize,
+        insert_pos: usize,
+        new_node: RightNode<K>,
+        left_cnt: usize,
+    ) -> (u32, u32) {
+        let right_cnt = cnt + 1 - left_cnt;
+        let (left_start, right_start) = if child_level == 0 {
+            (self.alloc_leaf_group(left_cnt), self.alloc_leaf_group(right_cnt))
+        } else {
+            (self.alloc_internal_group(left_cnt), self.alloc_internal_group(right_cnt))
+        };
+        for i in 0..=cnt {
+            let dst = if i < left_cnt {
+                left_start as usize + i
+            } else {
+                right_start as usize + (i - left_cnt)
+            };
+            if child_level == 0 {
+                let node = if i == insert_pos {
+                    match &new_node {
+                        RightNode::Leaf(l) => l.clone(),
+                        RightNode::Internal(_) => unreachable!("level/arena mismatch"),
+                    }
+                } else {
+                    let src = old_start as usize + if i < insert_pos { i } else { i - 1 };
+                    self.leaves[src].clone()
+                };
+                self.leaves[dst] = node;
+            } else {
+                let node = if i == insert_pos {
+                    match &new_node {
+                        RightNode::Internal(n) => n.clone(),
+                        RightNode::Leaf(_) => unreachable!("level/arena mismatch"),
+                    }
+                } else {
+                    let src = old_start as usize + if i < insert_pos { i } else { i - 1 };
+                    self.internals[src].clone()
+                };
+                self.internals[dst] = node;
+            }
+        }
+        self.free_group(child_level, old_start, cnt);
+        (left_start, right_start)
+    }
+
+    /// Postings for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<Postings<'_>> {
+        if self.root == NONE {
+            return None;
+        }
+        let mut idx = self.root;
+        let mut level = self.height;
+        while level > 0 {
+            let node = &self.internals[idx as usize];
+            let c = node.keys[..node.n as usize].partition_point(|k| k <= key);
+            idx = node.child_start + c as u32;
+            level -= 1;
+        }
+        let leaf = &self.leaves[idx as usize];
+        match leaf.keys[..leaf.n as usize].binary_search(key) {
+            Ok(p) => Some(self.pool.iter(leaf.posts[p])),
+            Err(_) => None,
+        }
+    }
+
+    /// True if `key` has been inserted at least once.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of tuple ids recorded for `key` (0 if absent).
+    pub fn postings_len(&self, key: &K) -> usize {
+        match self.get_ref(key) {
+            Some(r) => self.pool.list_len(r),
+            None => 0,
+        }
+    }
+
+    fn get_ref(&self, key: &K) -> Option<PostingsRef> {
+        if self.root == NONE {
+            return None;
+        }
+        let mut idx = self.root;
+        let mut level = self.height;
+        while level > 0 {
+            let node = &self.internals[idx as usize];
+            let c = node.keys[..node.n as usize].partition_point(|k| k <= key);
+            idx = node.child_start + c as u32;
+            level -= 1;
+        }
+        let leaf = &self.leaves[idx as usize];
+        leaf.keys[..leaf.n as usize].binary_search(key).ok().map(|p| leaf.posts[p])
+    }
+
+    /// In-order traversal over `(key, postings)` — the merge Step 1(a) path.
+    pub fn iter(&self) -> Iter<'_, K> {
+        let mut it = Iter {
+            tree: self,
+            stack: Vec::with_capacity(self.height as usize + 1),
+            leaf: NONE,
+            leaf_pos: 0,
+            done: self.root == NONE,
+        };
+        if !it.done {
+            it.descend(self.root, self.height);
+        }
+        it
+    }
+
+    /// In-order traversal starting at the first key `>= key`.
+    pub fn iter_from(&self, key: &K) -> Iter<'_, K> {
+        let mut it = Iter {
+            tree: self,
+            stack: Vec::with_capacity(self.height as usize + 1),
+            leaf: NONE,
+            leaf_pos: 0,
+            done: self.root == NONE,
+        };
+        if it.done {
+            return it;
+        }
+        let mut idx = self.root;
+        let mut level = self.height;
+        while level > 0 {
+            let node = &self.internals[idx as usize];
+            let c = node.keys[..node.n as usize].partition_point(|k| k <= key);
+            it.stack.push((idx, level, (c + 1) as u16));
+            idx = node.child_start + c as u32;
+            level -= 1;
+        }
+        it.leaf = idx;
+        let leaf = &self.leaves[idx as usize];
+        it.leaf_pos = leaf.keys[..leaf.n as usize].partition_point(|k| k < key) as u16;
+        it
+    }
+
+    /// Sorted unique keys — the unmodified Step 1(a) output `U_D`.
+    pub fn sorted_keys(&self) -> Vec<K> {
+        self.iter().map(|(k, _)| k).collect()
+    }
+
+    /// Validate all structural invariants (test/debug helper):
+    /// in-node key order, subtree key bounds, counters vs. traversal.
+    pub fn check_invariants(&self) {
+        if self.root == NONE {
+            assert_eq!(self.len, 0);
+            assert_eq!(self.unique, 0);
+            return;
+        }
+        let mut keys_seen = 0usize;
+        let mut posts_seen = 0usize;
+        let mut prev: Option<K> = None;
+        for (k, postings) in self.iter() {
+            if let Some(p) = prev {
+                assert!(p < k, "iter keys must be strictly increasing");
+            }
+            prev = Some(k);
+            keys_seen += 1;
+            let cnt = postings.count();
+            assert!(cnt >= 1, "every key must have at least one posting");
+            posts_seen += cnt;
+        }
+        assert_eq!(keys_seen, self.unique, "unique counter mismatch");
+        assert_eq!(posts_seen, self.len, "len counter mismatch");
+        self.check_node(self.root, self.height, None, None);
+    }
+
+    fn check_node(&self, idx: u32, level: u16, lower: Option<K>, upper: Option<K>) {
+        if level == 0 {
+            let leaf = &self.leaves[idx as usize];
+            let n = leaf.n as usize;
+            assert!(n >= 1, "non-root leaves must be non-empty");
+            for w in leaf.keys[..n].windows(2) {
+                assert!(w[0] < w[1], "leaf keys must be strictly sorted");
+            }
+            for k in &leaf.keys[..n] {
+                if let Some(lo) = lower {
+                    assert!(*k >= lo, "leaf key below subtree lower bound");
+                }
+                if let Some(hi) = upper {
+                    assert!(*k < hi, "leaf key at/above subtree upper bound");
+                }
+            }
+            return;
+        }
+        let node = &self.internals[idx as usize];
+        let n = node.n as usize;
+        assert!(n >= 1, "internal nodes must have at least one separator");
+        for w in node.keys[..n].windows(2) {
+            assert!(w[0] < w[1], "separators must be strictly sorted");
+        }
+        for c in 0..=n {
+            let lo = if c == 0 { lower } else { Some(node.keys[c - 1]) };
+            let hi = if c == n { upper } else { Some(node.keys[c]) };
+            self.check_node(node.child_start + c as u32, level - 1, lo, hi);
+        }
+    }
+}
+
+/// In-order iterator over `(key, postings)`; see [`CsbTree::iter`].
+pub struct Iter<'a, K> {
+    tree: &'a CsbTree<K>,
+    /// (internal node index, its level, next child position to visit)
+    stack: Vec<(u32, u16, u16)>,
+    leaf: u32,
+    leaf_pos: u16,
+    done: bool,
+}
+
+impl<'a, K: Copy + Ord + Default> Iter<'a, K> {
+    fn descend(&mut self, mut idx: u32, mut level: u16) {
+        while level > 0 {
+            self.stack.push((idx, level, 1));
+            idx = self.tree.internals[idx as usize].child_start;
+            level -= 1;
+        }
+        self.leaf = idx;
+        self.leaf_pos = 0;
+    }
+}
+
+impl<'a, K: Copy + Ord + Default> Iterator for Iter<'a, K> {
+    type Item = (K, Postings<'a>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let leaf = &self.tree.leaves[self.leaf as usize];
+            if (self.leaf_pos as usize) < leaf.n as usize {
+                let p = self.leaf_pos as usize;
+                self.leaf_pos += 1;
+                return Some((leaf.keys[p], self.tree.pool.iter(leaf.posts[p])));
+            }
+            loop {
+                match self.stack.pop() {
+                    None => {
+                        self.done = true;
+                        return None;
+                    }
+                    Some((idx, level, next)) => {
+                        let node = &self.tree.internals[idx as usize];
+                        if next <= node.n {
+                            self.stack.push((idx, level, next + 1));
+                            self.descend(node.child_start + next as u32, level - 1);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let t: CsbTree<u64> = CsbTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.unique_len(), 0);
+        assert!(t.get(&5).is_none());
+        assert_eq!(t.sorted_keys(), Vec::<u64>::new());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn single_key() {
+        let mut t = CsbTree::new();
+        t.insert(42u64, 7);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.unique_len(), 1);
+        let ids: Vec<u32> = t.get(&42).unwrap().collect();
+        assert_eq!(ids, vec![7]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn figure5_delta_partition() {
+        // Values inserted at positions 0..5: bravo charlie charlie golf young.
+        let mut t = CsbTree::new();
+        for (tid, v) in [2u64, 3, 3, 7, 25].iter().enumerate() {
+            t.insert(*v, tid as u32);
+        }
+        assert_eq!(t.sorted_keys(), vec![2, 3, 7, 25]);
+        assert_eq!(t.get(&3).unwrap().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.unique_len(), 4);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn ascending_inserts_split_correctly() {
+        let mut t = CsbTree::new();
+        for i in 0..1000u64 {
+            t.insert(i, i as u32);
+        }
+        assert_eq!(t.unique_len(), 1000);
+        assert!(t.height() >= 2, "1000 keys with fanout 15 must have >= 2 levels");
+        assert_eq!(t.sorted_keys(), (0..1000).collect::<Vec<_>>());
+        for i in (0..1000).step_by(37) {
+            assert_eq!(t.get(&i).unwrap().collect::<Vec<_>>(), vec![i as u32]);
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn descending_inserts_split_correctly() {
+        let mut t = CsbTree::new();
+        for i in (0..1000u64).rev() {
+            t.insert(i, i as u32);
+        }
+        assert_eq!(t.sorted_keys(), (0..1000).collect::<Vec<_>>());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn pseudo_random_inserts_with_duplicates() {
+        let mut t = CsbTree::new();
+        let mut reference: std::collections::BTreeMap<u64, Vec<u32>> = Default::default();
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        for tid in 0..5000u32 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 700; // plenty of duplicates
+            t.insert(key, tid);
+            reference.entry(key).or_default().push(tid);
+        }
+        assert_eq!(t.len(), 5000);
+        assert_eq!(t.unique_len(), reference.len());
+        let got: Vec<(u64, Vec<u32>)> = t.iter().map(|(k, p)| (k, p.collect())).collect();
+        let want: Vec<(u64, Vec<u32>)> = reference.into_iter().collect();
+        assert_eq!(got, want, "tree must equal BTreeMap reference");
+        t.check_invariants();
+    }
+
+    #[test]
+    fn iter_from_starts_at_lower_bound() {
+        let mut t = CsbTree::new();
+        for i in (0..500u64).step_by(5) {
+            t.insert(i, i as u32);
+        }
+        // from an existing key
+        let got: Vec<u64> = t.iter_from(&100).map(|(k, _)| k).take(3).collect();
+        assert_eq!(got, vec![100, 105, 110]);
+        // from a missing key: next greater
+        let got: Vec<u64> = t.iter_from(&101).map(|(k, _)| k).take(3).collect();
+        assert_eq!(got, vec![105, 110, 115]);
+        // past the end
+        assert_eq!(t.iter_from(&1000).count(), 0);
+        // before the beginning
+        assert_eq!(t.iter_from(&0).count(), 100);
+    }
+
+    #[test]
+    fn iter_from_at_leaf_boundary() {
+        // Force splits, then probe around every key to hit leaf-boundary
+        // positions of iter_from.
+        let mut t = CsbTree::new();
+        for i in 0..300u64 {
+            t.insert(i * 2, i as u32);
+        }
+        for probe in 0..600u64 {
+            let want: Vec<u64> = (0..300u64).map(|i| i * 2).filter(|k| *k >= probe).take(2).collect();
+            let got: Vec<u64> = t.iter_from(&probe).map(|(k, _)| k).take(2).collect();
+            assert_eq!(got, want, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn postings_preserve_insertion_order_across_splits() {
+        let mut t = CsbTree::new();
+        // Interleave: repeatedly insert the same 20 keys so postings grow
+        // while the tree splits around them.
+        for round in 0..50u32 {
+            for k in 0..20u64 {
+                t.insert(k * 1000, round * 20 + k as u32);
+            }
+        }
+        for k in 0..20u64 {
+            let ids: Vec<u32> = t.get(&(k * 1000)).unwrap().collect();
+            let want: Vec<u32> = (0..50u32).map(|r| r * 20 + k as u32).collect();
+            assert_eq!(ids, want, "key {k}");
+        }
+        assert_eq!(t.postings_len(&0), 50);
+        assert_eq!(t.postings_len(&999), 0);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn memory_is_bounded_relative_to_values() {
+        // The paper charges ~2x the value bytes for the tree. Dead groups make
+        // our arena larger; assert we stay within a sane constant factor.
+        let mut t = CsbTree::new();
+        let n = 20_000u64;
+        for i in 0..n {
+            t.insert(i.wrapping_mul(0x9E37_79B9_7F4A_7C15), i as u32)
+        }
+        let value_bytes = (n as usize) * 8;
+        // The paper charges ~2x the raw value bytes for the tree (Section
+        // 6.1). Our leaves carry an 8-byte postings handle per key and groups
+        // average ~70% occupancy, so allow a small constant above 2x.
+        assert!(
+            t.memory_bytes() < 8 * value_bytes,
+            "tree memory {} should be within 8x value bytes {}",
+            t.memory_bytes(),
+            value_bytes
+        );
+        t.check_invariants();
+    }
+
+    #[test]
+    fn works_with_u32_and_tuple_keys() {
+        let mut t: CsbTree<u32> = CsbTree::new();
+        t.insert(5, 0);
+        t.insert(3, 1);
+        assert_eq!(t.sorted_keys(), vec![3, 5]);
+
+        let mut t2: CsbTree<(u8, u8)> = CsbTree::new();
+        t2.insert((1, 2), 0);
+        t2.insert((1, 1), 1);
+        t2.insert((0, 9), 2);
+        assert_eq!(t2.sorted_keys(), vec![(0, 9), (1, 1), (1, 2)]);
+    }
+}

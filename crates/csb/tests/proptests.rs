@@ -1,0 +1,72 @@
+//! Property tests: the CSB+ tree must be observationally equivalent to a
+//! `BTreeMap<K, Vec<u32>>` for any insertion sequence, and all structural
+//! invariants must hold after every batch.
+
+use hyrise_csb::CsbTree;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn model_insert(model: &mut BTreeMap<u64, Vec<u32>>, key: u64, tid: u32) {
+    model.entry(key).or_default().push(tid);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn equivalent_to_btreemap(keys in prop::collection::vec(0u64..2_000, 0..2_000)) {
+        let mut tree = CsbTree::new();
+        let mut model: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        for (tid, &k) in keys.iter().enumerate() {
+            tree.insert(k, tid as u32);
+            model_insert(&mut model, k, tid as u32);
+        }
+        prop_assert_eq!(tree.len(), keys.len());
+        prop_assert_eq!(tree.unique_len(), model.len());
+        let got: Vec<(u64, Vec<u32>)> = tree.iter().map(|(k, p)| (k, p.collect())).collect();
+        let want: Vec<(u64, Vec<u32>)> = model.iter().map(|(k, v)| (*k, v.clone())).collect();
+        prop_assert_eq!(got, want);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn point_lookups_match_model(keys in prop::collection::vec(0u64..500, 1..1_000), probes in prop::collection::vec(0u64..600, 50)) {
+        let mut tree = CsbTree::new();
+        let mut model: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        for (tid, &k) in keys.iter().enumerate() {
+            tree.insert(k, tid as u32);
+            model_insert(&mut model, k, tid as u32);
+        }
+        for p in probes {
+            let got: Option<Vec<u32>> = tree.get(&p).map(|it| it.collect());
+            let want = model.get(&p).cloned();
+            prop_assert_eq!(got, want, "probe {}", p);
+        }
+    }
+
+    #[test]
+    fn iter_from_matches_model_range(keys in prop::collection::vec(0u64..1_000, 1..1_000), start in 0u64..1_100) {
+        let mut tree = CsbTree::new();
+        let mut model: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        for (tid, &k) in keys.iter().enumerate() {
+            tree.insert(k, tid as u32);
+            model_insert(&mut model, k, tid as u32);
+        }
+        let got: Vec<u64> = tree.iter_from(&start).map(|(k, _)| k).collect();
+        let want: Vec<u64> = model.range(start..).map(|(k, _)| *k).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sorted_keys_are_sorted_unique(keys in prop::collection::vec(any::<u64>(), 0..3_000)) {
+        let mut tree = CsbTree::new();
+        for (tid, &k) in keys.iter().enumerate() {
+            tree.insert(k, tid as u32);
+        }
+        let sorted = tree.sorted_keys();
+        let mut expect: Vec<u64> = keys.clone();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(sorted, expect);
+    }
+}

@@ -1,0 +1,212 @@
+//! Simple aggregates over attributes — the "complex, unpredictable mostly
+//! read operations on large sets of data with a projectivity on a few
+//! columns" of Section 2, reduced to their access pattern.
+
+use hyrise_storage::{Attribute, ValidityBitmap, Value};
+
+/// Sum of the 64-bit projections of all *valid* rows of `attr`.
+///
+/// Demonstrates the materialization asymmetry: main tuples decode through
+/// the dictionary, delta tuples are read raw.
+pub fn sum_lossy<V: Value>(attr: &Attribute<V>, validity: &ValidityBitmap) -> u128 {
+    let mut acc: u128 = 0;
+    let main = attr.main();
+    let dict = main.dictionary();
+    for (i, code) in main.codes().enumerate() {
+        if validity.is_valid(i) {
+            acc += dict.value_at(code as u32).to_u64_lossy() as u128;
+        }
+    }
+    let base = main.len();
+    for (k, v) in attr.delta().values().iter().enumerate() {
+        if validity.is_valid(base + k) {
+            acc += v.to_u64_lossy() as u128;
+        }
+    }
+    acc
+}
+
+/// Number of valid rows (delegates to the bitmap; kept for operator
+/// symmetry).
+pub fn count_valid(validity: &ValidityBitmap) -> usize {
+    validity.valid_count()
+}
+
+/// Multi-threaded full-column sum over *all* rows (no validity filter): the
+/// bandwidth-bound analytical scan. With enough threads the scan saturates
+/// memory bandwidth, and the main-vs-delta byte asymmetry (`E_C/8` packed
+/// bytes per main tuple vs `E_j` raw bytes per delta tuple) becomes visible
+/// — the read-performance cost of a large delta that Section 4 argues about.
+pub fn sum_lossy_parallel<V: Value>(attr: &Attribute<V>, threads: usize) -> u128 {
+    let main = attr.main();
+    let n_m = main.len();
+    let dict = main.dictionary();
+    let delta_vals = attr.delta().values();
+    let threads = threads.max(1);
+    let chunk = (attr.len().div_ceil(threads)).max(1);
+    let mut total: u128 = 0;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let start = (t * chunk).min(attr.len());
+                let end = ((t + 1) * chunk).min(attr.len());
+                s.spawn(move || {
+                    let mut acc: u128 = 0;
+                    if start < end {
+                        if start < n_m {
+                            let mut cur = main.packed_codes().cursor_at(start);
+                            for _ in start..end.min(n_m) {
+                                acc += dict.value_at(cur.next_value() as u32).to_u64_lossy() as u128;
+                            }
+                        }
+                        if end > n_m {
+                            for v in &delta_vals[start.max(n_m) - n_m..end - n_m] {
+                                acc += v.to_u64_lossy() as u128;
+                            }
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for h in handles {
+            total += h.join().expect("sum worker");
+        }
+    });
+    total
+}
+
+/// Minimum and maximum value over valid rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MinMax<V> {
+    /// Smallest valid value.
+    pub min: V,
+    /// Largest valid value.
+    pub max: V,
+}
+
+impl<V: Value> MinMax<V> {
+    /// Compute min/max over the valid rows of `attr`; `None` if no row is
+    /// valid. On the main partition only the *set of used codes* matters, so
+    /// the scan runs over codes and decodes twice at the end.
+    pub fn compute(attr: &Attribute<V>, validity: &ValidityBitmap) -> Option<Self> {
+        let main = attr.main();
+        let mut min_code: Option<u64> = None;
+        let mut max_code: Option<u64> = None;
+        for (i, code) in main.codes().enumerate() {
+            if validity.is_valid(i) {
+                min_code = Some(min_code.map_or(code, |m| m.min(code)));
+                max_code = Some(max_code.map_or(code, |m| m.max(code)));
+            }
+        }
+        let dict = main.dictionary();
+        let mut min = min_code.map(|c| dict.value_at(c as u32));
+        let mut max = max_code.map(|c| dict.value_at(c as u32));
+        let base = main.len();
+        for (k, v) in attr.delta().values().iter().enumerate() {
+            if validity.is_valid(base + k) {
+                min = Some(min.map_or(*v, |m| m.min(*v)));
+                max = Some(max.map_or(*v, |m| m.max(*v)));
+            }
+        }
+        match (min, max) {
+            (Some(min), Some(max)) => Some(MinMax { min, max }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyrise_storage::MainPartition;
+
+    fn setup() -> (Attribute<u64>, ValidityBitmap) {
+        let mut a = Attribute::from_main(MainPartition::from_values(&[5u64, 1, 9]));
+        a.append(100);
+        a.append(3);
+        (a, ValidityBitmap::all_valid(5))
+    }
+
+    #[test]
+    fn sum_over_all_valid() {
+        let (a, v) = setup();
+        assert_eq!(sum_lossy(&a, &v), 5 + 1 + 9 + 100 + 3);
+    }
+
+    #[test]
+    fn sum_skips_invalidated_rows() {
+        let (a, mut v) = setup();
+        v.invalidate(3); // the 100 in the delta
+        v.invalidate(0); // the 5 in main
+        assert_eq!(sum_lossy(&a, &v), 1 + 9 + 3);
+        assert_eq!(count_valid(&v), 3);
+    }
+
+    #[test]
+    fn min_max_spans_partitions() {
+        let (a, v) = setup();
+        let mm = MinMax::compute(&a, &v).unwrap();
+        assert_eq!(mm, MinMax { min: 1, max: 100 });
+    }
+
+    #[test]
+    fn min_max_respects_validity() {
+        let (a, mut v) = setup();
+        v.invalidate(3); // remove max (delta)
+        v.invalidate(1); // remove min (main)
+        let mm = MinMax::compute(&a, &v).unwrap();
+        assert_eq!(mm, MinMax { min: 3, max: 9 });
+    }
+
+    #[test]
+    fn all_invalid_yields_none() {
+        let (a, mut v) = setup();
+        for i in 0..5 {
+            v.invalidate(i);
+        }
+        assert_eq!(MinMax::compute(&a, &v), None);
+        assert_eq!(sum_lossy(&a, &v), 0);
+    }
+
+    #[test]
+    fn parallel_sum_matches_serial_over_all_rows() {
+        let mut a = Attribute::from_main(MainPartition::from_values(
+            &(0..10_000u64).map(|i| (i * 31) % 977).collect::<Vec<_>>(),
+        ));
+        for i in 0..3_000u64 {
+            a.append((i * 7) % 501);
+        }
+        let v = ValidityBitmap::all_valid(a.len());
+        let serial = sum_lossy(&a, &v);
+        for threads in [1usize, 2, 7, 16] {
+            assert_eq!(sum_lossy_parallel(&a, threads), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_sum_edge_shapes() {
+        // Empty attribute.
+        let a: Attribute<u64> = Attribute::empty();
+        assert_eq!(sum_lossy_parallel(&a, 4), 0);
+        // Delta-only.
+        let mut a: Attribute<u64> = Attribute::empty();
+        for i in 0..100 {
+            a.append(i);
+        }
+        assert_eq!(sum_lossy_parallel(&a, 8), (0..100u128).sum());
+        // Main-only, more threads than rows.
+        let a = Attribute::from_main(MainPartition::from_values(&[1u64, 2, 3]));
+        assert_eq!(sum_lossy_parallel(&a, 64), 6);
+    }
+
+    #[test]
+    fn overflow_safe_sum() {
+        let mut a: Attribute<u64> = Attribute::empty();
+        for _ in 0..4 {
+            a.append(u64::MAX);
+        }
+        let v = ValidityBitmap::all_valid(4);
+        assert_eq!(sum_lossy(&a, &v), (u64::MAX as u128) * 4);
+    }
+}

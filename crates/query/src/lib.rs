@@ -1,0 +1,26 @@
+//! Read operators over main+delta attributes (the query side of Section 2's
+//! mixed workload: key lookups, table scans, range selects, aggregation).
+//!
+//! The operators make the paper's read-path trade-offs concrete:
+//!
+//! * On the **main partition** an equality or range predicate is answered by
+//!   a binary search in the sorted dictionary (O(log |U_M|), "random
+//!   access") followed by a sequential scan over the compressed codes — the
+//!   order-preserving encoding lets range predicates compare codes directly.
+//! * On the **delta partition** a point predicate uses the CSB+ tree; a scan
+//!   touches uncompressed values, which "consume more compute resources and
+//!   memory bandwidth, thereby appreciably slowing down read queries" — this
+//!   is why delta size must be bounded by merging (Section 4), and it is
+//!   exactly what the `ablation_read_overhead` bench measures.
+//!
+//! Row ids are global: main rows first, delta rows appended.
+
+mod aggregate;
+mod groupby;
+mod scan;
+mod table_ops;
+
+pub use aggregate::{count_valid, sum_lossy, sum_lossy_parallel, MinMax};
+pub use groupby::{group_by_sum, GroupAgg};
+pub use scan::{key_lookup, materialize, scan_eq, scan_range};
+pub use table_ops::{table_scan_eq_u64, table_select};

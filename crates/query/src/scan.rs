@@ -1,0 +1,162 @@
+//! Point, equality and range access paths over an [`Attribute`].
+
+use hyrise_storage::{Attribute, Value};
+use std::ops::RangeInclusive;
+
+/// Positional read ("key lookup" against the implicit tuple id): the value of
+/// global row `row`. Reads the bit-packed code plus one dictionary access on
+/// main, or the raw value on delta.
+#[inline]
+pub fn key_lookup<V: Value>(attr: &Attribute<V>, row: usize) -> V {
+    attr.get(row)
+}
+
+/// Materialize the values of a set of rows.
+pub fn materialize<V: Value>(attr: &Attribute<V>, rows: &[usize]) -> Vec<V> {
+    rows.iter().map(|&r| attr.get(r)).collect()
+}
+
+/// All global row ids whose value equals `v`.
+///
+/// Main partition: one dictionary binary search, then a sequential scan of
+/// the compressed codes for the single matching code ("most queries can be
+/// executed with a binary search in the dictionary while scanning the column
+/// for the encoded value only", Section 3). Delta partition: CSB+ lookup.
+pub fn scan_eq<V: Value>(attr: &Attribute<V>, v: &V) -> Vec<usize> {
+    let main = attr.main();
+    let mut out = match main.dictionary().code_of(v) {
+        // Packed-scan kernel: compare codes without materializing values.
+        Some(code) => main.packed_codes().positions_eq(code as u64),
+        None => Vec::new(),
+    };
+    let base = main.len();
+    if let Some(postings) = attr.delta().lookup(v) {
+        out.extend(postings.map(|tid| base + tid as usize));
+    }
+    out
+}
+
+/// All global row ids whose value lies in the inclusive range.
+///
+/// Main partition: the dictionary maps the value range to a code range
+/// (order-preserving encoding), then one sequential code scan with two
+/// comparisons per tuple. Delta partition: in-order CSB+ walk from the lower
+/// bound.
+///
+/// Ordering: main rows come first in ascending row order; delta rows follow
+/// grouped by value (the tree walk's order). Sort the result if global row
+/// order matters.
+pub fn scan_range<V: Value>(attr: &Attribute<V>, range: RangeInclusive<V>) -> Vec<usize> {
+    let main = attr.main();
+    let mut out = match main.dictionary().code_range(range.clone()) {
+        // Order-preserving codes: the value range is a code range, scanned
+        // packed with two comparisons per tuple.
+        Some(codes) => {
+            main.packed_codes().positions_in_range(*codes.start() as u64, *codes.end() as u64)
+        }
+        None => Vec::new(),
+    };
+    let base = main.len();
+    for (value, postings) in attr.delta().index().iter_from(range.start()) {
+        if value > *range.end() {
+            break;
+        }
+        out.extend(postings.map(|tid| base + tid as usize));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyrise_storage::MainPartition;
+
+    /// Attribute with main [10 20 30 20 10] and delta [20 40 10].
+    fn attr() -> Attribute<u64> {
+        let mut a = Attribute::from_main(MainPartition::from_values(&[10u64, 20, 30, 20, 10]));
+        a.append(20);
+        a.append(40);
+        a.append(10);
+        a
+    }
+
+    #[test]
+    fn key_lookup_spans_partitions() {
+        let a = attr();
+        assert_eq!(key_lookup(&a, 0), 10);
+        assert_eq!(key_lookup(&a, 4), 10);
+        assert_eq!(key_lookup(&a, 6), 40);
+    }
+
+    #[test]
+    fn scan_eq_finds_all_occurrences() {
+        let a = attr();
+        assert_eq!(scan_eq(&a, &20), vec![1, 3, 5]);
+        assert_eq!(scan_eq(&a, &10), vec![0, 4, 7]);
+        assert_eq!(scan_eq(&a, &40), vec![6]);
+        assert_eq!(scan_eq(&a, &99), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn scan_eq_value_only_in_delta() {
+        let a = attr();
+        // 40 is not in the main dictionary at all.
+        assert!(a.main().dictionary().code_of(&40).is_none());
+        assert_eq!(scan_eq(&a, &40), vec![6]);
+    }
+
+    #[test]
+    fn scan_range_inclusive_bounds() {
+        let a = attr();
+        // Delta rows are grouped by value: 10 (row 7) sorts before 20 (row 5).
+        assert_eq!(scan_range(&a, 10..=20), vec![0, 1, 3, 4, 7, 5]);
+        assert_eq!(scan_range(&a, 20..=30), vec![1, 2, 3, 5]);
+        assert_eq!(scan_range(&a, 35..=50), vec![6]);
+        assert_eq!(scan_range(&a, 41..=100), Vec::<usize>::new());
+        // Full range returns everything.
+        assert_eq!(scan_range(&a, 0..=u64::MAX).len(), 8);
+    }
+
+    #[test]
+    fn scan_results_match_brute_force() {
+        let mut a = Attribute::from_main(MainPartition::from_values(
+            &(0..500u64).map(|i| (i * 7) % 40).collect::<Vec<_>>(),
+        ));
+        for i in 0..200u64 {
+            a.append((i * 13) % 60);
+        }
+        let all: Vec<u64> = (0..a.len()).map(|i| a.get(i)).collect();
+        for probe in [0u64, 7, 39, 40, 59] {
+            let want: Vec<usize> =
+                all.iter().enumerate().filter(|(_, v)| **v == probe).map(|(i, _)| i).collect();
+            let mut got = scan_eq(&a, &probe);
+            got.sort_unstable();
+            assert_eq!(got, want, "eq probe {probe}");
+        }
+        for range in [(5u64, 10u64), (0, 59), (38, 42), (60, 99)] {
+            let want: Vec<usize> = all
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| **v >= range.0 && **v <= range.1)
+                .map(|(i, _)| i)
+                .collect();
+            let mut got = scan_range(&a, range.0..=range.1);
+            got.sort_unstable();
+            assert_eq!(got, want, "range {range:?}");
+        }
+    }
+
+    #[test]
+    fn materialize_preserves_row_order() {
+        let a = attr();
+        assert_eq!(materialize(&a, &[6, 0, 3]), vec![40, 10, 20]);
+        assert_eq!(materialize(&a, &[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn empty_attribute_scans() {
+        let a: Attribute<u64> = Attribute::empty();
+        assert!(scan_eq(&a, &1).is_empty());
+        assert!(scan_range(&a, 0..=100).is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Table-level read operators: validity-aware selection over dynamically
+//! typed columns.
+
+use hyrise_storage::{AnyValue, Table};
+
+/// Row ids of *valid* rows whose column `col` (a `u64` column) equals `v`.
+///
+/// # Panics
+/// If `col` is not a `u64` column.
+pub fn table_scan_eq_u64(table: &Table, col: usize, v: u64) -> Vec<usize> {
+    let attr = table.column(col).as_u64().expect("column must be u64 for table_scan_eq_u64");
+    crate::scan::scan_eq(attr, &v)
+        .into_iter()
+        .filter(|&r| table.is_valid(r))
+        .collect()
+}
+
+/// Generic predicate select: valid rows where `pred(row values)` holds.
+/// Materializes each row — the slow generic path; typed scans beat it by
+/// orders of magnitude, which is the point of the decomposed storage model.
+pub fn table_select<F: Fn(&[AnyValue]) -> bool>(table: &Table, pred: F) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut row_buf: Vec<AnyValue> = Vec::with_capacity(table.num_columns());
+    for r in 0..table.row_count() {
+        if !table.is_valid(r) {
+            continue;
+        }
+        row_buf.clear();
+        for c in 0..table.num_columns() {
+            row_buf.push(table.column(c).get(r));
+        }
+        if pred(&row_buf) {
+            out.push(r);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyrise_storage::{ColumnType, Schema};
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            "orders",
+            Schema::new(vec![("customer", ColumnType::U64), ("qty", ColumnType::U32)]),
+        );
+        for (cust, qty) in [(7u64, 1u32), (8, 2), (7, 3), (9, 4), (7, 5)] {
+            t.insert_row(&[AnyValue::U64(cust), AnyValue::U32(qty)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn eq_scan_filters_validity() {
+        let mut t = table();
+        assert_eq!(table_scan_eq_u64(&t, 0, 7), vec![0, 2, 4]);
+        t.delete_row(2).unwrap();
+        assert_eq!(table_scan_eq_u64(&t, 0, 7), vec![0, 4]);
+    }
+
+    #[test]
+    fn eq_scan_after_update_sees_only_new_version() {
+        let mut t = table();
+        let new_row = t.update_row(0, &[AnyValue::U64(7), AnyValue::U32(10)]).unwrap();
+        let rows = table_scan_eq_u64(&t, 0, 7);
+        assert!(rows.contains(&new_row));
+        assert!(!rows.contains(&0));
+    }
+
+    #[test]
+    fn generic_select_multi_column_predicate() {
+        let t = table();
+        let rows = table_select(&t, |row| {
+            matches!((row[0], row[1]), (AnyValue::U64(7), AnyValue::U32(q)) if q >= 3)
+        });
+        assert_eq!(rows, vec![2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be u64")]
+    fn wrong_column_type_panics() {
+        let t = table();
+        table_scan_eq_u64(&t, 1, 1);
+    }
+}

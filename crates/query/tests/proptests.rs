@@ -1,0 +1,124 @@
+//! Property tests: every query operator must agree with a brute-force
+//! evaluation over the materialized column, for arbitrary main/delta splits
+//! and validity patterns.
+
+use hyrise_query::{group_by_sum, scan_eq, scan_range, sum_lossy, sum_lossy_parallel, MinMax};
+use hyrise_storage::{Attribute, MainPartition, ValidityBitmap};
+use proptest::prelude::*;
+
+fn attribute(main_vals: &[u64], delta_vals: &[u64]) -> Attribute<u64> {
+    let mut a = if main_vals.is_empty() {
+        Attribute::empty()
+    } else {
+        Attribute::from_main(MainPartition::from_values(main_vals))
+    };
+    for &v in delta_vals {
+        a.append(v);
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scan_eq_equals_brute_force(
+        main_vals in prop::collection::vec(0u64..50, 0..400),
+        delta_vals in prop::collection::vec(0u64..60, 0..200),
+        probe in 0u64..70,
+    ) {
+        let a = attribute(&main_vals, &delta_vals);
+        let all: Vec<u64> = main_vals.iter().chain(&delta_vals).copied().collect();
+        let want: Vec<usize> =
+            all.iter().enumerate().filter(|(_, v)| **v == probe).map(|(i, _)| i).collect();
+        let mut got = scan_eq(&a, &probe);
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scan_range_equals_brute_force(
+        main_vals in prop::collection::vec(0u64..50, 0..400),
+        delta_vals in prop::collection::vec(0u64..60, 0..200),
+        lo in 0u64..70,
+        span in 0u64..30,
+    ) {
+        let a = attribute(&main_vals, &delta_vals);
+        let hi = lo + span;
+        let all: Vec<u64> = main_vals.iter().chain(&delta_vals).copied().collect();
+        let want: Vec<usize> = all
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v >= lo && **v <= hi)
+            .map(|(i, _)| i)
+            .collect();
+        let mut got = scan_range(&a, lo..=hi);
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn aggregates_respect_validity(
+        main_vals in prop::collection::vec(0u64..1000, 0..300),
+        delta_vals in prop::collection::vec(0u64..1000, 0..150),
+        invalid in prop::collection::vec(any::<u16>(), 0..40),
+        threads in 1usize..8,
+    ) {
+        let a = attribute(&main_vals, &delta_vals);
+        let n = a.len();
+        let mut validity = ValidityBitmap::all_valid(n);
+        for i in invalid {
+            if n > 0 {
+                validity.invalidate(i as usize % n);
+            }
+        }
+        let all: Vec<u64> = main_vals.iter().chain(&delta_vals).copied().collect();
+        let want_sum: u128 = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| validity.is_valid(*i))
+            .map(|(_, v)| *v as u128)
+            .sum();
+        prop_assert_eq!(sum_lossy(&a, &validity), want_sum);
+        // The parallel variant sums all rows (no validity filter).
+        let all_sum: u128 = all.iter().map(|v| *v as u128).sum();
+        prop_assert_eq!(sum_lossy_parallel(&a, threads), all_sum);
+
+        let want_minmax = {
+            let vals: Vec<u64> = all
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| validity.is_valid(*i))
+                .map(|(_, v)| *v)
+                .collect();
+            vals.iter().min().map(|min| MinMax { min: *min, max: *vals.iter().max().unwrap() })
+        };
+        prop_assert_eq!(MinMax::compute(&a, &validity), want_minmax);
+    }
+
+    #[test]
+    fn group_by_equals_btreemap(
+        main_pairs in prop::collection::vec((0u64..30, 0u64..100), 0..300),
+        delta_pairs in prop::collection::vec((0u64..40, 0u64..100), 0..150),
+    ) {
+        let main_keys: Vec<u64> = main_pairs.iter().map(|(k, _)| *k).collect();
+        let main_vals: Vec<u64> = main_pairs.iter().map(|(_, v)| *v).collect();
+        let keys = attribute(&main_keys, &delta_pairs.iter().map(|(k, _)| *k).collect::<Vec<_>>());
+        let values = attribute(&main_vals, &delta_pairs.iter().map(|(_, v)| *v).collect::<Vec<_>>());
+        let validity = ValidityBitmap::all_valid(keys.len());
+
+        let mut want: std::collections::BTreeMap<u64, (u64, u128)> = Default::default();
+        for (k, v) in main_pairs.iter().chain(&delta_pairs) {
+            let e = want.entry(*k).or_default();
+            e.0 += 1;
+            e.1 += *v as u128;
+        }
+        let got = group_by_sum(&keys, &values, &validity);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, (k, (count, sum))) in got.iter().zip(want) {
+            prop_assert_eq!(g.key, k);
+            prop_assert_eq!(g.count, count);
+            prop_assert_eq!(g.sum, sum);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! An attribute = main partition + delta partition for one column.
+
+use crate::delta_partition::DeltaPartition;
+use crate::main_partition::MainPartition;
+use crate::value::Value;
+
+/// One column of a table: the compressed main partition and the uncompressed
+/// delta accumulating updates until the next merge. Tuple ids are global:
+/// `0..main.len()` live in main, `main.len()..len()` in the delta.
+pub struct Attribute<V> {
+    main: MainPartition<V>,
+    delta: DeltaPartition<V>,
+}
+
+impl<V: Value> Default for Attribute<V> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl<V: Value> Attribute<V> {
+    /// An attribute with empty main and delta.
+    pub fn empty() -> Self {
+        Self { main: MainPartition::empty(), delta: DeltaPartition::new() }
+    }
+
+    /// Start from a bulk-loaded main partition.
+    pub fn from_main(main: MainPartition<V>) -> Self {
+        Self { main, delta: DeltaPartition::new() }
+    }
+
+    /// Build from explicit parts (merge commit path).
+    pub fn from_parts(main: MainPartition<V>, delta: DeltaPartition<V>) -> Self {
+        Self { main, delta }
+    }
+
+    /// Append a value to the delta; returns the new global tuple id.
+    pub fn append(&mut self, value: V) -> usize {
+        let local = self.delta.insert(value);
+        self.main.len() + local as usize
+    }
+
+    /// Value of global tuple `i`, reading main or delta as appropriate.
+    #[inline]
+    pub fn get(&self, i: usize) -> V {
+        let nm = self.main.len();
+        if i < nm {
+            self.main.get(i)
+        } else {
+            self.delta.get(i - nm)
+        }
+    }
+
+    /// Total tuples (`N_M + N_D`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.main.len() + self.delta.len()
+    }
+
+    /// True if neither partition holds tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The read-optimized partition.
+    #[inline]
+    pub fn main(&self) -> &MainPartition<V> {
+        &self.main
+    }
+
+    /// The write-optimized partition.
+    #[inline]
+    pub fn delta(&self) -> &DeltaPartition<V> {
+        &self.delta
+    }
+
+    /// Mutable delta access (insert path).
+    #[inline]
+    pub fn delta_mut(&mut self) -> &mut DeltaPartition<V> {
+        &mut self.delta
+    }
+
+    /// Replace both partitions atomically from the caller's perspective
+    /// (used by the merge commit: `main := merged`, `delta := second delta`).
+    pub fn replace(&mut self, main: MainPartition<V>, delta: DeltaPartition<V>) {
+        self.main = main;
+        self.delta = delta;
+    }
+
+    /// Delta size as a fraction of main size (`N_D / N_M`); `inf` when main
+    /// is empty but delta is not. The merge trigger compares this against a
+    /// configured threshold (Section 4: "we trigger the merging of partitions
+    /// when the number of tuples N_D in the delta partition is greater than a
+    /// certain pre-defined fraction of tuples in the main partition N_M").
+    pub fn delta_fraction(&self) -> f64 {
+        if self.main.is_empty() {
+            if self.delta.is_empty() {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.delta.len() as f64 / self.main.len() as f64
+        }
+    }
+
+    /// Heap bytes across both partitions.
+    pub fn memory_bytes(&self) -> usize {
+        self.main.memory_bytes() + self.delta.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_tuple_ids_span_main_and_delta() {
+        let mut a = Attribute::from_main(MainPartition::from_values(&[10u64, 20, 30]));
+        assert_eq!(a.len(), 3);
+        let id = a.append(40);
+        assert_eq!(id, 3);
+        let id = a.append(50);
+        assert_eq!(id, 4);
+        assert_eq!(a.get(0), 10);
+        assert_eq!(a.get(2), 30);
+        assert_eq!(a.get(3), 40);
+        assert_eq!(a.get(4), 50);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn empty_attribute_appends_to_delta() {
+        let mut a: Attribute<u32> = Attribute::empty();
+        assert_eq!(a.append(7), 0);
+        assert_eq!(a.get(0), 7);
+        assert_eq!(a.main().len(), 0);
+        assert_eq!(a.delta().len(), 1);
+    }
+
+    #[test]
+    fn delta_fraction_drives_merge_trigger() {
+        let mut a = Attribute::from_main(MainPartition::from_values(&(0u64..100).collect::<Vec<_>>()));
+        assert_eq!(a.delta_fraction(), 0.0);
+        for i in 0..5 {
+            a.append(i);
+        }
+        assert!((a.delta_fraction() - 0.05).abs() < 1e-12);
+
+        let mut b: Attribute<u64> = Attribute::empty();
+        b.append(1);
+        assert!(b.delta_fraction().is_infinite());
+    }
+
+    #[test]
+    fn replace_swaps_partitions() {
+        let mut a = Attribute::from_main(MainPartition::from_values(&[1u64, 2]));
+        a.append(3);
+        let merged = MainPartition::from_values(&[1u64, 2, 3]);
+        let mut second_delta = DeltaPartition::new();
+        second_delta.insert(99);
+        a.replace(merged, second_delta);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.get(2), 3);
+        assert_eq!(a.get(3), 99);
+    }
+}

@@ -1,0 +1,301 @@
+//! Dynamically typed columns, so a [`crate::Table`] can mix value widths
+//! (the paper's tables mix 4/8/16-byte columns; Figure 3's tables have up to
+//! 399 columns of varying types).
+
+use crate::attribute::Attribute;
+use crate::value::{Value, V16};
+use std::fmt;
+
+/// The storage type of a column — one of the paper's evaluated value-lengths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 4-byte values (`E_j = 4`).
+    U32,
+    /// 8-byte values (`E_j = 8`, the paper's "common practical scenario").
+    U64,
+    /// 16-byte values (`E_j = 16`).
+    V16,
+}
+
+impl ColumnType {
+    /// The uncompressed value-length `E_j` in bytes.
+    pub fn value_bytes(self) -> usize {
+        match self {
+            ColumnType::U32 => 4,
+            ColumnType::U64 => 8,
+            ColumnType::V16 => 16,
+        }
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnType::U32 => write!(f, "u32"),
+            ColumnType::U64 => write!(f, "u64"),
+            ColumnType::V16 => write!(f, "v16"),
+        }
+    }
+}
+
+/// A dynamically typed value for row-level APIs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AnyValue {
+    /// 4-byte value.
+    U32(u32),
+    /// 8-byte value.
+    U64(u64),
+    /// 16-byte value.
+    V16(V16),
+}
+
+impl AnyValue {
+    /// The column type this value belongs to.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            AnyValue::U32(_) => ColumnType::U32,
+            AnyValue::U64(_) => ColumnType::U64,
+            AnyValue::V16(_) => ColumnType::V16,
+        }
+    }
+
+    /// Lossy 64-bit projection (checksums, aggregates).
+    pub fn to_u64_lossy(&self) -> u64 {
+        match self {
+            AnyValue::U32(v) => *v as u64,
+            AnyValue::U64(v) => *v,
+            AnyValue::V16(v) => v.to_u64_lossy(),
+        }
+    }
+
+    /// Derive a value of `ty` from a seed (generator support).
+    pub fn from_seed(ty: ColumnType, seed: u64) -> Self {
+        match ty {
+            ColumnType::U32 => AnyValue::U32(u32::from_seed(seed)),
+            ColumnType::U64 => AnyValue::U64(u64::from_seed(seed)),
+            ColumnType::V16 => AnyValue::V16(V16::from_seed(seed)),
+        }
+    }
+}
+
+impl From<u32> for AnyValue {
+    fn from(v: u32) -> Self {
+        AnyValue::U32(v)
+    }
+}
+
+impl From<u64> for AnyValue {
+    fn from(v: u64) -> Self {
+        AnyValue::U64(v)
+    }
+}
+
+impl From<V16> for AnyValue {
+    fn from(v: V16) -> Self {
+        AnyValue::V16(v)
+    }
+}
+
+/// A column of any supported type: a typed [`Attribute`] behind an enum.
+pub enum Column {
+    /// 4-byte column.
+    U32(Attribute<u32>),
+    /// 8-byte column.
+    U64(Attribute<u64>),
+    /// 16-byte column.
+    V16(Attribute<V16>),
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn new(ty: ColumnType) -> Self {
+        match ty {
+            ColumnType::U32 => Column::U32(Attribute::empty()),
+            ColumnType::U64 => Column::U64(Attribute::empty()),
+            ColumnType::V16 => Column::V16(Attribute::empty()),
+        }
+    }
+
+    /// This column's type.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Column::U32(_) => ColumnType::U32,
+            Column::U64(_) => ColumnType::U64,
+            Column::V16(_) => ColumnType::V16,
+        }
+    }
+
+    /// Append `value`; returns the global tuple id or `None` on a type
+    /// mismatch.
+    pub fn append(&mut self, value: AnyValue) -> Option<usize> {
+        match (self, value) {
+            (Column::U32(a), AnyValue::U32(v)) => Some(a.append(v)),
+            (Column::U64(a), AnyValue::U64(v)) => Some(a.append(v)),
+            (Column::V16(a), AnyValue::V16(v)) => Some(a.append(v)),
+            _ => None,
+        }
+    }
+
+    /// Value of global tuple `i`.
+    pub fn get(&self, i: usize) -> AnyValue {
+        match self {
+            Column::U32(a) => AnyValue::U32(a.get(i)),
+            Column::U64(a) => AnyValue::U64(a.get(i)),
+            Column::V16(a) => AnyValue::V16(a.get(i)),
+        }
+    }
+
+    /// Total tuples (main + delta).
+    pub fn len(&self) -> usize {
+        match self {
+            Column::U32(a) => a.len(),
+            Column::U64(a) => a.len(),
+            Column::V16(a) => a.len(),
+        }
+    }
+
+    /// True if the column holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tuples in the main partition.
+    pub fn main_len(&self) -> usize {
+        match self {
+            Column::U32(a) => a.main().len(),
+            Column::U64(a) => a.main().len(),
+            Column::V16(a) => a.main().len(),
+        }
+    }
+
+    /// Tuples in the delta partition.
+    pub fn delta_len(&self) -> usize {
+        match self {
+            Column::U32(a) => a.delta().len(),
+            Column::U64(a) => a.delta().len(),
+            Column::V16(a) => a.delta().len(),
+        }
+    }
+
+    /// `N_D / N_M` for the merge trigger.
+    pub fn delta_fraction(&self) -> f64 {
+        match self {
+            Column::U32(a) => a.delta_fraction(),
+            Column::U64(a) => a.delta_fraction(),
+            Column::V16(a) => a.delta_fraction(),
+        }
+    }
+
+    /// Heap bytes across both partitions.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            Column::U32(a) => a.memory_bytes(),
+            Column::U64(a) => a.memory_bytes(),
+            Column::V16(a) => a.memory_bytes(),
+        }
+    }
+
+    /// Typed access for `u32` columns.
+    pub fn as_u32(&self) -> Option<&Attribute<u32>> {
+        if let Column::U32(a) = self {
+            Some(a)
+        } else {
+            None
+        }
+    }
+
+    /// Typed access for `u64` columns.
+    pub fn as_u64(&self) -> Option<&Attribute<u64>> {
+        if let Column::U64(a) = self {
+            Some(a)
+        } else {
+            None
+        }
+    }
+
+    /// Typed access for 16-byte columns.
+    pub fn as_v16(&self) -> Option<&Attribute<V16>> {
+        if let Column::V16(a) = self {
+            Some(a)
+        } else {
+            None
+        }
+    }
+
+    /// Typed mutable access for `u32` columns.
+    pub fn as_u32_mut(&mut self) -> Option<&mut Attribute<u32>> {
+        if let Column::U32(a) = self {
+            Some(a)
+        } else {
+            None
+        }
+    }
+
+    /// Typed mutable access for `u64` columns.
+    pub fn as_u64_mut(&mut self) -> Option<&mut Attribute<u64>> {
+        if let Column::U64(a) = self {
+            Some(a)
+        } else {
+            None
+        }
+    }
+
+    /// Typed mutable access for 16-byte columns.
+    pub fn as_v16_mut(&mut self) -> Option<&mut Attribute<V16>> {
+        if let Column::V16(a) = self {
+            Some(a)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_get_all_types() {
+        let mut c32 = Column::new(ColumnType::U32);
+        let mut c64 = Column::new(ColumnType::U64);
+        let mut c16 = Column::new(ColumnType::V16);
+        assert_eq!(c32.append(AnyValue::U32(7)), Some(0));
+        assert_eq!(c64.append(AnyValue::U64(8)), Some(0));
+        assert_eq!(c16.append(AnyValue::V16(V16::from_seed(9))), Some(0));
+        assert_eq!(c32.get(0), AnyValue::U32(7));
+        assert_eq!(c64.get(0), AnyValue::U64(8));
+        assert_eq!(c16.get(0), AnyValue::V16(V16::from_seed(9)));
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let mut c = Column::new(ColumnType::U32);
+        assert_eq!(c.append(AnyValue::U64(1)), None);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn value_bytes_match_paper_lengths() {
+        assert_eq!(ColumnType::U32.value_bytes(), 4);
+        assert_eq!(ColumnType::U64.value_bytes(), 8);
+        assert_eq!(ColumnType::V16.value_bytes(), 16);
+    }
+
+    #[test]
+    fn from_seed_respects_type() {
+        for ty in [ColumnType::U32, ColumnType::U64, ColumnType::V16] {
+            let v = AnyValue::from_seed(ty, 42);
+            assert_eq!(v.column_type(), ty);
+        }
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let mut c = Column::new(ColumnType::U64);
+        c.append(AnyValue::U64(5));
+        assert!(c.as_u64().is_some());
+        assert!(c.as_u32().is_none());
+        assert!(c.as_v16().is_none());
+        assert_eq!(c.as_u64().unwrap().get(0), 5);
+    }
+}

@@ -1,0 +1,183 @@
+//! Sorted dictionaries (`U_M`, `U_D`, `U'_M` in the paper's Table 1).
+//!
+//! "An ordered collection is used as a dictionary, allowing fast iterations
+//! over the tuples in sorted order. Additionally, the search operation can be
+//! implemented as binary search that has logarithmic complexity." (Section 3)
+//!
+//! Because the dictionary is sorted and codes are positions, the encoding is
+//! **order-preserving**: code comparisons agree with value comparisons, which
+//! is what lets range selects run on compressed codes.
+
+use crate::value::Value;
+use std::ops::RangeInclusive;
+
+/// A sorted, duplicate-free collection of column values. The compressed code
+/// of a value is its index in this collection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dictionary<V> {
+    values: Vec<V>,
+}
+
+impl<V: Value> Default for Dictionary<V> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl<V: Value> Dictionary<V> {
+    /// An empty dictionary (an empty main partition has one).
+    pub fn empty() -> Self {
+        Self { values: Vec::new() }
+    }
+
+    /// Build from values that are already sorted and unique.
+    ///
+    /// # Panics
+    /// In debug builds, if the input is not strictly increasing.
+    pub fn from_sorted_unique(values: Vec<V>) -> Self {
+        debug_assert!(values.windows(2).all(|w| w[0] < w[1]), "dictionary input must be sorted unique");
+        Self { values }
+    }
+
+    /// Build from arbitrary values (sorts and deduplicates). Used by the
+    /// initial bulk load; the merge path never needs this.
+    pub fn from_unsorted(mut values: Vec<V>) -> Self {
+        values.sort_unstable();
+        values.dedup();
+        Self { values }
+    }
+
+    /// Number of entries — the paper's `|U|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the dictionary has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The uncompressed value for `code` — the Step 2(b) "lookup in the
+    /// dictionary `U_M`" (a direct array access).
+    ///
+    /// # Panics
+    /// If `code` is out of range.
+    #[inline]
+    pub fn value_at(&self, code: u32) -> V {
+        self.values[code as usize]
+    }
+
+    /// The code for `value`, if present — a binary search (Section 3).
+    #[inline]
+    pub fn code_of(&self, value: &V) -> Option<u32> {
+        self.values.binary_search(value).ok().map(|i| i as u32)
+    }
+
+    /// The code range `[lo, hi]` covering all dictionary values within the
+    /// inclusive value range, or `None` if no value falls inside. Used by
+    /// range selects on compressed codes.
+    pub fn code_range(&self, range: RangeInclusive<V>) -> Option<RangeInclusive<u32>> {
+        let lo = self.values.partition_point(|v| v < range.start());
+        let hi = self.values.partition_point(|v| v <= range.end());
+        if lo >= hi {
+            None
+        } else {
+            Some(lo as u32..=(hi - 1) as u32)
+        }
+    }
+
+    /// All values in sorted order.
+    #[inline]
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// Consume into the sorted value vector.
+    pub fn into_values(self) -> Vec<V> {
+        self.values
+    }
+
+    /// Heap bytes (the `E_j * |U|` term of Equations 8–10).
+    pub fn memory_bytes(&self) -> usize {
+        self.values.len() * V::BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict() -> Dictionary<u64> {
+        // The paper's Figure 5 main dictionary (6 values -> 3-bit codes):
+        // apple charlie delta frank hotel inbox, as integers.
+        Dictionary::from_sorted_unique(vec![1, 3, 4, 6, 8, 9])
+    }
+
+    #[test]
+    fn code_of_and_value_at_are_inverse() {
+        let d = dict();
+        for (i, v) in d.values().iter().enumerate() {
+            assert_eq!(d.code_of(v), Some(i as u32));
+            assert_eq!(d.value_at(i as u32), *v);
+        }
+        assert_eq!(d.code_of(&2), None);
+        assert_eq!(d.code_of(&100), None);
+    }
+
+    #[test]
+    fn from_unsorted_sorts_and_dedups() {
+        let d = Dictionary::from_unsorted(vec![5u64, 1, 5, 3, 1, 9]);
+        assert_eq!(d.values(), &[1, 3, 5, 9]);
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d: Dictionary<u64> = Dictionary::empty();
+        assert!(d.is_empty());
+        assert_eq!(d.code_of(&1), None);
+        assert_eq!(d.code_range(0..=100), None);
+        assert_eq!(d.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn code_range_clips_to_existing_values() {
+        let d = dict(); // 1 3 4 6 8 9
+        assert_eq!(d.code_range(3..=8), Some(1..=4));
+        assert_eq!(d.code_range(2..=5), Some(1..=2)); // 3, 4
+        assert_eq!(d.code_range(0..=100), Some(0..=5));
+        assert_eq!(d.code_range(5..=5), None); // nothing in (4, 6)
+        assert_eq!(d.code_range(10..=20), None);
+        assert_eq!(d.code_range(9..=9), Some(5..=5)); // single value
+    }
+
+    #[test]
+    fn codes_are_order_preserving() {
+        let d = dict();
+        let vals = d.values().to_vec();
+        for a in &vals {
+            for b in &vals {
+                let ca = d.code_of(a).unwrap();
+                let cb = d.code_of(b).unwrap();
+                assert_eq!(a.cmp(b), ca.cmp(&cb), "codes must order like values");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_bytes_counts_value_width() {
+        let d32 = Dictionary::<u32>::from_sorted_unique(vec![1, 2, 3]);
+        assert_eq!(d32.memory_bytes(), 12);
+        let d64 = dict();
+        assert_eq!(d64.memory_bytes(), 48);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "sorted unique")]
+    fn from_sorted_unique_rejects_unsorted_in_debug() {
+        let _ = Dictionary::from_sorted_unique(vec![3u64, 1]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Column-store substrate (the paper's Section 3 "System Overview").
+//!
+//! Tables are stored physically as collections of attributes. Each attribute
+//! (column) has two partitions:
+//!
+//! * a **main partition** ([`MainPartition`]) — dictionary-compressed and
+//!   read-optimized: a sorted [`Dictionary`] of the column's unique values
+//!   plus a bit-packed vector of dictionary codes, `ceil(log2 |U|)` bits per
+//!   tuple;
+//! * a **delta partition** ([`DeltaPartition`]) — uncompressed and
+//!   write-optimized: the raw values in insertion order plus a CSB+ tree
+//!   mapping each distinct value to the tuple ids where it occurs.
+//!
+//! [`Attribute`] pairs the two; [`Table`] holds `N_C` attributes with an
+//! insert-only update model (updates insert new versions, deletes invalidate
+//! rows in a [`ValidityBitmap`]; "the implicit offset of a tuple is always
+//! valid for all attributes of a table").
+//!
+//! The merge algorithms that fold a delta back into a main partition live in
+//! the `hyrise-core` crate; this crate only defines the storage they operate
+//! on, plus the accessors the merge needs (sorted leaf traversal, postings
+//! scatter, code iteration).
+
+mod attribute;
+mod column;
+mod delta_partition;
+mod dictionary;
+mod main_partition;
+mod memory;
+mod table;
+mod validity;
+mod value;
+
+pub use attribute::Attribute;
+pub use column::{AnyValue, Column, ColumnType};
+pub use delta_partition::{CompressedDelta, DeltaPartition};
+pub use dictionary::Dictionary;
+pub use main_partition::MainPartition;
+pub use memory::MemoryReport;
+pub use table::{Schema, Table, TableError};
+pub use validity::ValidityBitmap;
+pub use value::{Value, V16};

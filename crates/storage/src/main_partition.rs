@@ -1,0 +1,208 @@
+//! The read-optimized, dictionary-compressed main partition (`M^j`).
+
+use crate::dictionary::Dictionary;
+use crate::value::Value;
+use hyrise_bitpack::{bits_for, BitPackedVec};
+
+/// One column's main partition: a sorted [`Dictionary`] plus the per-tuple
+/// codes bit-packed at `E_C = max(1, ceil(log2 |U_M|))` bits.
+///
+/// "Values in the tuples are replaced by encoded values from the dictionary
+/// ... the compressed value for a given value is its position in the
+/// dictionary, stored using the appropriate number of bits." (Sections 3, 4.1)
+#[derive(Clone, Debug)]
+pub struct MainPartition<V> {
+    dict: Dictionary<V>,
+    codes: BitPackedVec,
+}
+
+impl<V: Value> Default for MainPartition<V> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl<V: Value> MainPartition<V> {
+    /// An empty main partition (fresh tables start with everything in delta).
+    pub fn empty() -> Self {
+        Self { dict: Dictionary::empty(), codes: BitPackedVec::new(1) }
+    }
+
+    /// Bulk-load from raw values: builds the dictionary (sort + dedup) and
+    /// encodes every tuple. This models the initial population of the
+    /// read-optimized store; steady-state growth goes through the merge.
+    pub fn from_values(values: &[V]) -> Self {
+        let dict = Dictionary::from_unsorted(values.to_vec());
+        let bits = bits_for(dict.len());
+        let mut codes = BitPackedVec::with_capacity(bits, values.len());
+        for v in values {
+            let code = dict.code_of(v).expect("value must be in freshly built dictionary");
+            codes.push(code as u64);
+        }
+        Self { dict, codes }
+    }
+
+    /// Assemble from parts — the merge's output path. `codes` must index
+    /// into `dict`.
+    ///
+    /// # Panics
+    /// In debug builds, if any code is out of dictionary range.
+    pub fn from_parts(dict: Dictionary<V>, codes: BitPackedVec) -> Self {
+        debug_assert!(
+            codes.iter().all(|c| (c as usize) < dict.len().max(1)),
+            "all codes must be valid dictionary indices"
+        );
+        Self { dict, codes }
+    }
+
+    /// Number of tuples — the paper's `N_M`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True if the partition holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The dictionary `U_M`.
+    #[inline]
+    pub fn dictionary(&self) -> &Dictionary<V> {
+        &self.dict
+    }
+
+    /// The compressed value-length `E_C` in bits.
+    #[inline]
+    pub fn code_bits(&self) -> u8 {
+        self.codes.bits()
+    }
+
+    /// The bit-packed code of tuple `i`.
+    #[inline]
+    pub fn code(&self, i: usize) -> u32 {
+        self.codes.get(i) as u32
+    }
+
+    /// The uncompressed (materialized) value of tuple `i`: a code read plus a
+    /// dictionary array access.
+    #[inline]
+    pub fn get(&self, i: usize) -> V {
+        self.dict.value_at(self.codes.get(i) as u32)
+    }
+
+    /// Iterate the raw codes in tuple order (the sequential scan path).
+    pub fn codes(&self) -> impl Iterator<Item = u64> + '_ {
+        self.codes.iter()
+    }
+
+    /// Borrow the underlying bit-packed vector (merge input).
+    pub fn packed_codes(&self) -> &BitPackedVec {
+        &self.codes
+    }
+
+    /// Fraction of unique values, the paper's `lambda_M = |U_M| / N_M`
+    /// (0 for an empty partition).
+    pub fn unique_fraction(&self) -> f64 {
+        if self.codes.is_empty() {
+            0.0
+        } else {
+            self.dict.len() as f64 / self.codes.len() as f64
+        }
+    }
+
+    /// Heap bytes: packed codes plus dictionary.
+    pub fn memory_bytes(&self) -> usize {
+        self.codes.packed_bytes() + self.dict.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 5 main partition:
+    /// values hotel delta frank delta (as integers), dictionary of 6.
+    fn figure5_main() -> MainPartition<u64> {
+        // dictionary: apple=1 charlie=3 delta=4 frank=6 hotel=8 inbox=9
+        // partition rows: hotel delta frank delta + the remaining dict values
+        // so all 6 dictionary entries are referenced.
+        MainPartition::from_values(&[8, 4, 6, 4, 1, 3, 9])
+    }
+
+    #[test]
+    fn bulk_load_encodes_correctly() {
+        let m = figure5_main();
+        assert_eq!(m.len(), 7);
+        assert_eq!(m.dictionary().len(), 6);
+        assert_eq!(m.code_bits(), 3, "6 unique values need 3 bits (Figure 5)");
+        assert_eq!(m.get(0), 8);
+        assert_eq!(m.get(1), 4);
+        assert_eq!(m.get(3), 4);
+        // hotel is the 5th of 6 sorted values -> code 4, as in Figure 5/6.
+        assert_eq!(m.code(0), 4);
+    }
+
+    #[test]
+    fn empty_partition() {
+        let m: MainPartition<u32> = MainPartition::empty();
+        assert!(m.is_empty());
+        assert_eq!(m.dictionary().len(), 0);
+        assert_eq!(m.unique_fraction(), 0.0);
+        assert_eq!(m.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn roundtrip_get_matches_source() {
+        let vals: Vec<u64> = (0..500).map(|i| (i * 37) % 101).collect();
+        let m = MainPartition::from_values(&vals);
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(m.get(i), *v, "tuple {i}");
+        }
+        assert_eq!(m.dictionary().len(), 101);
+        assert_eq!(m.code_bits(), 7);
+    }
+
+    #[test]
+    fn unique_fraction_lambda() {
+        let vals: Vec<u64> = (0..1000).map(|i| i % 100).collect();
+        let m = MainPartition::from_values(&vals);
+        assert!((m.unique_fraction() - 0.1).abs() < 1e-9, "lambda_M = 10%");
+    }
+
+    #[test]
+    fn codes_iterator_streams_in_order() {
+        let vals: Vec<u64> = vec![5, 1, 5, 9];
+        let m = MainPartition::from_values(&vals);
+        let codes: Vec<u64> = m.codes().collect();
+        assert_eq!(codes, vec![1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let vals: Vec<u64> = (0..1024).collect(); // 1024 unique, 10-bit codes
+        let m = MainPartition::from_values(&vals);
+        assert_eq!(m.code_bits(), 10);
+        // 1024 * 10 bits = 10240 bits = 160 words = 1280 bytes + dict 8192.
+        assert_eq!(m.memory_bytes(), 1280 + 8192);
+    }
+
+    #[test]
+    fn single_value_column_uses_one_bit() {
+        let vals = vec![7u64; 100];
+        let m = MainPartition::from_values(&vals);
+        assert_eq!(m.dictionary().len(), 1);
+        assert_eq!(m.code_bits(), 1, "|U|=1 clamps to one bit");
+        assert!(m.codes().all(|c| c == 0));
+    }
+
+    #[test]
+    fn works_with_all_value_widths() {
+        use crate::value::{Value, V16};
+        let m32 = MainPartition::from_values(&[3u32, 1, 2]);
+        assert_eq!(m32.get(0), 3);
+        let m16 = MainPartition::from_values(&[V16::from_seed(9), V16::from_seed(2)]);
+        assert_eq!(m16.get(1), V16::from_seed(2));
+    }
+}

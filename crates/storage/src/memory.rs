@@ -1,0 +1,176 @@
+//! Memory accounting: where the bytes live, per partition component.
+//!
+//! Section 2's case for dictionary compression ("columns with a small number
+//! of distinct values and a large value size heavily profit") and Section 4's
+//! case against large deltas ("memory consumption increases") are both
+//! statements about this breakdown, so the substrate can report it.
+
+use crate::attribute::Attribute;
+use crate::column::Column;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Byte breakdown of one attribute.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// Bit-packed code vector of the main partition.
+    pub main_codes: usize,
+    /// Main dictionary values.
+    pub main_dict: usize,
+    /// Uncompressed delta values.
+    pub delta_values: usize,
+    /// CSB+ tree (nodes + postings).
+    pub delta_index: usize,
+}
+
+impl MemoryReport {
+    /// Measure an attribute.
+    pub fn of_attribute<V: Value>(attr: &Attribute<V>) -> Self {
+        let main = attr.main();
+        let delta = attr.delta();
+        Self {
+            main_codes: main.packed_codes().packed_bytes(),
+            main_dict: main.dictionary().memory_bytes(),
+            delta_values: delta.len() * V::BYTES,
+            delta_index: delta.index().memory_bytes(),
+        }
+    }
+
+    /// Measure one (dynamically typed) column.
+    pub fn of_column(col: &Column) -> Self {
+        match col {
+            Column::U32(a) => Self::of_attribute(a),
+            Column::U64(a) => Self::of_attribute(a),
+            Column::V16(a) => Self::of_attribute(a),
+        }
+    }
+
+    /// Sum over all columns of a table.
+    pub fn of_table(table: &Table) -> Self {
+        table.columns().iter().map(Self::of_column).fold(Self::default(), |a, b| a + b)
+    }
+
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.main_codes + self.main_dict + self.delta_values + self.delta_index
+    }
+
+    /// Bytes attributable to the read-optimized side.
+    pub fn main_total(&self) -> usize {
+        self.main_codes + self.main_dict
+    }
+
+    /// Bytes attributable to the write-optimized side — what the merge
+    /// reclaims.
+    pub fn delta_total(&self) -> usize {
+        self.delta_values + self.delta_index
+    }
+
+    /// Compression factor of the main partition vs storing `n_main` raw
+    /// values of `value_bytes` each (> 1 means compressed is smaller).
+    pub fn main_compression_factor(&self, n_main: usize, value_bytes: usize) -> f64 {
+        if self.main_total() == 0 {
+            return 1.0;
+        }
+        (n_main * value_bytes) as f64 / self.main_total() as f64
+    }
+}
+
+impl std::ops::Add for MemoryReport {
+    type Output = MemoryReport;
+
+    fn add(self, rhs: MemoryReport) -> MemoryReport {
+        MemoryReport {
+            main_codes: self.main_codes + rhs.main_codes,
+            main_dict: self.main_dict + rhs.main_dict,
+            delta_values: self.delta_values + rhs.delta_values,
+            delta_index: self.delta_index + rhs.delta_index,
+        }
+    }
+}
+
+impl std::fmt::Display for MemoryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "main codes {} B + dict {} B | delta values {} B + index {} B = {} B",
+            self.main_codes,
+            self.main_dict,
+            self.delta_values,
+            self.delta_index,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::{AnyValue, ColumnType};
+    use crate::main_partition::MainPartition;
+    use crate::table::{Schema, Table};
+    use crate::value::V16;
+
+    #[test]
+    fn breakdown_of_mixed_attribute() {
+        let mut a = Attribute::from_main(MainPartition::from_values(
+            &(0..10_000u64).map(|i| i % 8).collect::<Vec<_>>(),
+        ));
+        for i in 0..1_000u64 {
+            a.append(i % 16);
+        }
+        let r = MemoryReport::of_attribute(&a);
+        // 10K tuples at 3 bits = 3750 bytes rounded to words.
+        assert_eq!(r.main_codes, (10_000 * 3usize).div_ceil(64) * 8);
+        assert_eq!(r.main_dict, 8 * 8);
+        assert_eq!(r.delta_values, 1_000 * 8);
+        assert!(r.delta_index > 0);
+        assert_eq!(r.total(), a.memory_bytes());
+    }
+
+    #[test]
+    fn low_cardinality_wide_values_compress_heavily() {
+        // The Figure 4 premise: 8 distinct 16-byte values over 50K rows.
+        let vals: Vec<V16> = (0..50_000u64).map(|i| V16::from_seed(i % 8)).collect();
+        let a = Attribute::from_main(MainPartition::from_values(&vals));
+        let r = MemoryReport::of_attribute(&a);
+        let factor = r.main_compression_factor(50_000, V16::BYTES);
+        // 16 B -> 3 bits: ~42x. Allow word-rounding slack.
+        assert!(factor > 30.0, "compression factor {factor}");
+    }
+
+    #[test]
+    fn delta_total_is_what_merging_reclaims() {
+        let mut a = Attribute::from_main(MainPartition::from_values(&[1u64, 2, 3]));
+        for i in 0..100u64 {
+            a.append(i);
+        }
+        let r = MemoryReport::of_attribute(&a);
+        assert!(r.delta_total() > r.main_total());
+        assert_eq!(r.delta_total(), r.delta_values + r.delta_index);
+    }
+
+    #[test]
+    fn table_report_sums_columns() {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![("a", ColumnType::U64), ("b", ColumnType::U32)]),
+        );
+        for i in 0..500u64 {
+            t.insert_row(&[AnyValue::U64(i % 10), AnyValue::U32((i % 3) as u32)]).unwrap();
+        }
+        let r = MemoryReport::of_table(&t);
+        let per_col: usize =
+            t.columns().iter().map(|c| MemoryReport::of_column(c).total()).sum();
+        assert_eq!(r.total(), per_col);
+        assert_eq!(r.total(), t.memory_bytes());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let a: Attribute<u64> = Attribute::empty();
+        let s = MemoryReport::of_attribute(&a).to_string();
+        assert!(s.contains("main codes"), "{s}");
+        assert!(s.contains("= 0 B"), "{s}");
+    }
+}

@@ -1,0 +1,348 @@
+//! Tables: `N_C` attributes sharing one tuple-id space, insert-only.
+
+use crate::column::{AnyValue, Column, ColumnType};
+use crate::validity::ValidityBitmap;
+use std::fmt;
+
+/// Column names and types of a table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    names: Vec<String>,
+    types: Vec<ColumnType>,
+}
+
+impl Schema {
+    /// Build a schema from `(name, type)` pairs.
+    pub fn new<S: Into<String>>(columns: Vec<(S, ColumnType)>) -> Self {
+        let mut names = Vec::with_capacity(columns.len());
+        let mut types = Vec::with_capacity(columns.len());
+        for (n, t) in columns {
+            names.push(n.into());
+            types.push(t);
+        }
+        Self { names, types }
+    }
+
+    /// A schema of `n` homogeneous columns `c0..cn` of `ty` (benchmark
+    /// tables: the paper fixes one `E_j` per experiment across `N_C`
+    /// columns).
+    pub fn homogeneous(n: usize, ty: ColumnType) -> Self {
+        Self {
+            names: (0..n).map(|i| format!("c{i}")).collect(),
+            types: vec![ty; n],
+        }
+    }
+
+    /// Number of columns — the paper's `N_C`.
+    pub fn num_columns(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Column name by position.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Column type by position.
+    pub fn column_type(&self, i: usize) -> ColumnType {
+        self.types[i]
+    }
+
+    /// Position of a column by name.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+}
+
+/// Errors from row-level table operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// The row had the wrong number of values.
+    ArityMismatch {
+        /// Columns in the schema.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// A value's type did not match its column.
+    TypeMismatch {
+        /// Offending column position.
+        column: usize,
+        /// The column's type.
+        expected: ColumnType,
+        /// The supplied value's type.
+        got: ColumnType,
+    },
+    /// A row id past the end of the table.
+    RowOutOfRange {
+        /// The requested row.
+        row: usize,
+        /// Current table length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} values, table has {expected} columns")
+            }
+            TableError::TypeMismatch { column, expected, got } => {
+                write!(f, "column {column} expects {expected}, got {got}")
+            }
+            TableError::RowOutOfRange { row, len } => {
+                write!(f, "row {row} out of range (table has {len} rows)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// A table: one write (delta) and one read-optimized (main) partition per
+/// column, a shared validity bitmap, and insert-only modification semantics
+/// (Section 3). All columns always have identical length: "the implicit
+/// offset of a tuple is always valid for all attributes of a table".
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    validity: ValidityBitmap,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new<S: Into<String>>(name: S, schema: Schema) -> Self {
+        let columns = (0..schema.num_columns()).map(|i| Column::new(schema.column_type(i))).collect();
+        Self { name: name.into(), schema, columns, validity: ValidityBitmap::new() }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of columns (`N_C`).
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Total rows ever inserted (valid + invalidated history).
+    pub fn row_count(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.len())
+    }
+
+    /// Rows currently visible.
+    pub fn valid_row_count(&self) -> usize {
+        self.validity.valid_count()
+    }
+
+    /// Insert a full row; returns its tuple id. "Any modification operation
+    /// on the table result\[s\] in an entry in the delta partition."
+    pub fn insert_row(&mut self, values: &[AnyValue]) -> Result<usize, TableError> {
+        self.check_row(values)?;
+        let mut row = 0;
+        for (c, v) in self.columns.iter_mut().zip(values) {
+            row = c.append(*v).expect("types pre-checked");
+        }
+        self.validity.push_valid();
+        Ok(row)
+    }
+
+    /// Insert-only update: writes the new version and invalidates `old_row`.
+    /// Returns the new row id. The history row remains readable.
+    pub fn update_row(&mut self, old_row: usize, values: &[AnyValue]) -> Result<usize, TableError> {
+        if old_row >= self.row_count() {
+            return Err(TableError::RowOutOfRange { row: old_row, len: self.row_count() });
+        }
+        let new_row = self.insert_row(values)?;
+        self.validity.invalidate(old_row);
+        Ok(new_row)
+    }
+
+    /// Invalidate a row ("deletes only invalidate rows").
+    pub fn delete_row(&mut self, row: usize) -> Result<(), TableError> {
+        if row >= self.row_count() {
+            return Err(TableError::RowOutOfRange { row, len: self.row_count() });
+        }
+        self.validity.invalidate(row);
+        Ok(())
+    }
+
+    /// Read a full row (regardless of validity — history reads are allowed).
+    pub fn row(&self, row: usize) -> Result<Vec<AnyValue>, TableError> {
+        if row >= self.row_count() {
+            return Err(TableError::RowOutOfRange { row, len: self.row_count() });
+        }
+        Ok(self.columns.iter().map(|c| c.get(row)).collect())
+    }
+
+    /// Is `row` the current (visible) version?
+    pub fn is_valid(&self, row: usize) -> bool {
+        self.validity.is_valid(row)
+    }
+
+    /// The validity bitmap.
+    pub fn validity(&self) -> &ValidityBitmap {
+        &self.validity
+    }
+
+    /// Column by position.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Mutable column access (merge commit path).
+    pub fn column_mut(&mut self, i: usize) -> &mut Column {
+        &mut self.columns[i]
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// All columns, mutable (merge commit path).
+    pub fn columns_mut(&mut self) -> &mut [Column] {
+        &mut self.columns
+    }
+
+    /// The largest `N_D / N_M` across columns (all columns share tuple ids,
+    /// so in practice they are equal; kept per-column for robustness).
+    pub fn max_delta_fraction(&self) -> f64 {
+        self.columns.iter().map(|c| c.delta_fraction()).fold(0.0, f64::max)
+    }
+
+    /// Total delta tuples across the table (the table-level `N_D`).
+    pub fn delta_len(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.delta_len())
+    }
+
+    /// Total main tuples (the table-level `N_M`).
+    pub fn main_len(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.main_len())
+    }
+
+    /// Heap bytes across all columns.
+    pub fn memory_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.memory_bytes()).sum()
+    }
+
+    fn check_row(&self, values: &[AnyValue]) -> Result<(), TableError> {
+        if values.len() != self.columns.len() {
+            return Err(TableError::ArityMismatch { expected: self.columns.len(), got: values.len() });
+        }
+        for (i, v) in values.iter().enumerate() {
+            let expected = self.schema.column_type(i);
+            if v.column_type() != expected {
+                return Err(TableError::TypeMismatch { column: i, expected, got: v.column_type() });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Value, V16};
+
+    fn sales_schema() -> Schema {
+        Schema::new(vec![
+            ("order_id", ColumnType::U64),
+            ("qty", ColumnType::U32),
+            ("doc", ColumnType::V16),
+        ])
+    }
+
+    fn row(order: u64, qty: u32, doc: u64) -> Vec<AnyValue> {
+        vec![AnyValue::U64(order), AnyValue::U32(qty), AnyValue::V16(V16::from_seed(doc))]
+    }
+
+    #[test]
+    fn insert_and_read_rows() {
+        let mut t = Table::new("sales", sales_schema());
+        let r0 = t.insert_row(&row(100, 5, 1)).unwrap();
+        let r1 = t.insert_row(&row(101, 7, 2)).unwrap();
+        assert_eq!((r0, r1), (0, 1));
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.row(1).unwrap(), row(101, 7, 2));
+        assert!(t.is_valid(0) && t.is_valid(1));
+    }
+
+    #[test]
+    fn update_keeps_history_and_flips_validity() {
+        let mut t = Table::new("sales", sales_schema());
+        let r0 = t.insert_row(&row(100, 5, 1)).unwrap();
+        let r1 = t.update_row(r0, &row(100, 6, 1)).unwrap();
+        assert_eq!(t.row_count(), 2, "insert-only: old version retained");
+        assert!(!t.is_valid(r0), "old version invalidated");
+        assert!(t.is_valid(r1));
+        assert_eq!(t.row(r0).unwrap(), row(100, 5, 1), "history still readable");
+        assert_eq!(t.valid_row_count(), 1);
+    }
+
+    #[test]
+    fn delete_only_invalidates() {
+        let mut t = Table::new("sales", sales_schema());
+        let r = t.insert_row(&row(1, 1, 1)).unwrap();
+        t.delete_row(r).unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.valid_row_count(), 0);
+        assert_eq!(t.row(r).unwrap(), row(1, 1, 1));
+    }
+
+    #[test]
+    fn arity_and_type_errors() {
+        let mut t = Table::new("sales", sales_schema());
+        assert_eq!(
+            t.insert_row(&[AnyValue::U64(1)]),
+            Err(TableError::ArityMismatch { expected: 3, got: 1 })
+        );
+        let bad = vec![AnyValue::U32(1), AnyValue::U32(2), AnyValue::V16(V16::default())];
+        assert_eq!(
+            t.insert_row(&bad),
+            Err(TableError::TypeMismatch { column: 0, expected: ColumnType::U64, got: ColumnType::U32 })
+        );
+        assert_eq!(t.row_count(), 0, "failed inserts must not partially apply");
+    }
+
+    #[test]
+    fn row_out_of_range() {
+        let t = Table::new("sales", sales_schema());
+        assert!(matches!(t.row(0), Err(TableError::RowOutOfRange { .. })));
+    }
+
+    #[test]
+    fn all_inserts_land_in_delta() {
+        let mut t = Table::new("sales", sales_schema());
+        for i in 0..10 {
+            t.insert_row(&row(i, i as u32, i)).unwrap();
+        }
+        assert_eq!(t.main_len(), 0);
+        assert_eq!(t.delta_len(), 10);
+        assert!(t.max_delta_fraction().is_infinite());
+    }
+
+    #[test]
+    fn homogeneous_schema_helper() {
+        let s = Schema::homogeneous(300, ColumnType::U64);
+        assert_eq!(s.num_columns(), 300);
+        assert_eq!(s.name(0), "c0");
+        assert_eq!(s.name(299), "c299");
+        assert_eq!(s.position("c150"), Some(150));
+        assert_eq!(s.position("missing"), None);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = TableError::TypeMismatch { column: 2, expected: ColumnType::U64, got: ColumnType::U32 };
+        assert_eq!(e.to_string(), "column 2 expects u64, got u32");
+    }
+}

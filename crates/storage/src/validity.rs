@@ -1,0 +1,145 @@
+//! Row validity for the insert-only model.
+//!
+//! "Updates are always modeled as new inserts and deletes only invalidate
+//! rows. We keep the insertion order of tuples and only the lastly inserted
+//! version is valid." (Section 3) Invalid rows stay in storage — the history
+//! is queryable — and survive merges unchanged, since the merge concatenates
+//! partitions without reordering.
+
+/// A growable bitmap: bit `i` set means row `i` is valid (visible).
+#[derive(Clone, Debug, Default)]
+pub struct ValidityBitmap {
+    words: Vec<u64>,
+    len: usize,
+    valid_count: usize,
+}
+
+impl ValidityBitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A bitmap of `n` valid rows (bulk-load path).
+    pub fn all_valid(n: usize) -> Self {
+        let mut words = vec![u64::MAX; n.div_ceil(64)];
+        if !n.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << (n % 64)) - 1;
+            }
+        }
+        Self { words, len: n, valid_count: n }
+    }
+
+    /// Number of rows tracked.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no rows are tracked.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of currently valid rows.
+    #[inline]
+    pub fn valid_count(&self) -> usize {
+        self.valid_count
+    }
+
+    /// Append one row, valid.
+    pub fn push_valid(&mut self) {
+        let i = self.len;
+        self.len += 1;
+        if self.words.len() * 64 < self.len {
+            self.words.push(0);
+        }
+        self.words[i / 64] |= 1u64 << (i % 64);
+        self.valid_count += 1;
+    }
+
+    /// Is row `i` valid?
+    ///
+    /// # Panics
+    /// If `i` is out of range.
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        assert!(i < self.len, "row {i} out of range (len {})", self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Invalidate row `i` (idempotent) — the "delete"/"old version" path.
+    pub fn invalidate(&mut self, i: usize) {
+        assert!(i < self.len, "row {i} out of range (len {})", self.len);
+        let mask = 1u64 << (i % 64);
+        if self.words[i / 64] & mask != 0 {
+            self.words[i / 64] &= !mask;
+            self.valid_count -= 1;
+        }
+    }
+
+    /// Iterate the indices of valid rows.
+    pub fn valid_rows(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.words[i / 64] & (1u64 << (i % 64)) != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_check() {
+        let mut v = ValidityBitmap::new();
+        for _ in 0..130 {
+            v.push_valid();
+        }
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.valid_count(), 130);
+        assert!(v.is_valid(0));
+        assert!(v.is_valid(129));
+    }
+
+    #[test]
+    fn invalidate_is_idempotent() {
+        let mut v = ValidityBitmap::all_valid(10);
+        v.invalidate(3);
+        v.invalidate(3);
+        assert_eq!(v.valid_count(), 9);
+        assert!(!v.is_valid(3));
+        assert!(v.is_valid(2));
+    }
+
+    #[test]
+    fn all_valid_partial_last_word() {
+        let v = ValidityBitmap::all_valid(70);
+        assert_eq!(v.valid_count(), 70);
+        assert!(v.is_valid(69));
+        assert_eq!(v.valid_rows().count(), 70);
+    }
+
+    #[test]
+    fn valid_rows_skips_invalidated() {
+        let mut v = ValidityBitmap::all_valid(8);
+        v.invalidate(1);
+        v.invalidate(5);
+        let rows: Vec<usize> = v.valid_rows().collect();
+        assert_eq!(rows, vec![0, 2, 3, 4, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_check_panics() {
+        let v = ValidityBitmap::all_valid(4);
+        v.is_valid(4);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let v = ValidityBitmap::new();
+        assert!(v.is_empty());
+        assert_eq!(v.valid_rows().count(), 0);
+    }
+}

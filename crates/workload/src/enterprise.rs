@@ -1,0 +1,415 @@
+//! Generative reconstructions of the paper's Section 2 customer-data
+//! analyses (Figures 1–4).
+//!
+//! The bar charts are not numerically labeled in the text, so per-category
+//! numbers marked *estimated* below are read off the figures under the hard
+//! constraints the text does state (OLTP ≈17% writes, OLAP ≈7% writes,
+//! TPC-C 46% writes, >80%/>90% reads; Figure 2 counts sum to exactly 73,979
+//! tables with 144 above 10M rows; Figure 4 percentages are printed in the
+//! figure).
+
+use rand::Rng;
+
+/// The six query categories of Figure 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryType {
+    /// Point read through an index.
+    Lookup,
+    /// Full-column sequential scan.
+    TableScan,
+    /// Range predicate select.
+    RangeSelect,
+    /// New row.
+    Insert,
+    /// Insert-only update of an existing row.
+    Modification,
+    /// Row invalidation.
+    Delete,
+}
+
+impl QueryType {
+    /// All categories, reads first.
+    pub const ALL: [QueryType; 6] = [
+        QueryType::Lookup,
+        QueryType::TableScan,
+        QueryType::RangeSelect,
+        QueryType::Insert,
+        QueryType::Modification,
+        QueryType::Delete,
+    ];
+
+    /// Is this a write (delta-entering) operation?
+    pub fn is_write(self) -> bool {
+        matches!(self, QueryType::Insert | QueryType::Modification | QueryType::Delete)
+    }
+}
+
+/// A workload's query-type distribution (weights sum to 100).
+#[derive(Clone, Copy, Debug)]
+pub struct QueryMix {
+    /// Display name ("OLTP", "OLAP", "TPC-C").
+    pub name: &'static str,
+    /// Percentage per [`QueryType::ALL`] entry.
+    pub percent: [f64; 6],
+}
+
+impl QueryMix {
+    /// Customer OLTP systems: ">80% of all queries are read access ...
+    /// ~17% are updates". Per-category split estimated from Figure 1.
+    pub fn oltp() -> Self {
+        Self { name: "OLTP", percent: [45.0, 20.0, 18.0, 9.0, 6.0, 2.0] }
+    }
+
+    /// Customer OLAP systems: ">90% reads, ~7% updates" (bulk loads count as
+    /// inserts). Split estimated from Figure 1.
+    pub fn olap() -> Self {
+        Self { name: "OLAP", percent: [22.0, 42.0, 29.0, 5.0, 1.5, 0.5] }
+    }
+
+    /// The TPC-C contrast case: "a higher write ratio (46%) compared to our
+    /// analysis (17%)". Split estimated from Figure 1.
+    pub fn tpcc() -> Self {
+        Self { name: "TPC-C", percent: [34.0, 8.0, 12.0, 30.0, 13.0, 3.0] }
+    }
+
+    /// Fraction of write queries (0..=1).
+    pub fn write_fraction(&self) -> f64 {
+        QueryType::ALL
+            .iter()
+            .zip(self.percent)
+            .filter(|(t, _)| t.is_write())
+            .map(|(_, p)| p)
+            .sum::<f64>()
+            / 100.0
+    }
+
+    /// Fraction of read queries (0..=1).
+    pub fn read_fraction(&self) -> f64 {
+        1.0 - self.write_fraction()
+    }
+
+    /// Sample one query type.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> QueryType {
+        let mut x = rng.gen_range(0.0..100.0);
+        for (t, p) in QueryType::ALL.iter().zip(self.percent) {
+            if x < p {
+                return *t;
+            }
+            x -= p;
+        }
+        QueryType::Lookup
+    }
+}
+
+/// Figure 2: 73,979 tables clustered by row count. Counts reconstructed from
+/// the arXiv text (see DESIGN.md); they sum exactly to the stated total and
+/// decrease monotonically with size, with the stated 144 tables above 10M
+/// rows.
+#[derive(Clone, Debug)]
+pub struct TableSizeModel;
+
+impl TableSizeModel {
+    /// `(bucket label, max rows in bucket, table count)`; min rows is the
+    /// previous bucket's max + 1.
+    pub const BUCKETS: [(&'static str, u64, u64); 8] = [
+        ("0", 0, 46_418),
+        ("1-100", 100, 15_553),
+        ("100-1K", 1_000, 6_290),
+        ("1K-10K", 10_000, 2_685),
+        ("10K-100K", 100_000, 1_385),
+        ("100K-1M", 1_000_000, 925),
+        ("1M-10M", 10_000_000, 579),
+        (">10M", 1_600_000_000, 144),
+    ];
+
+    /// Total number of tables (the paper's 73,979).
+    pub fn total_tables() -> u64 {
+        Self::BUCKETS.iter().map(|(_, _, c)| c).sum()
+    }
+
+    /// Sample a table's row count: bucket by frequency, uniform within.
+    pub fn sample_rows<R: Rng>(rng: &mut R) -> u64 {
+        let total = Self::total_tables();
+        let mut pick = rng.gen_range(0..total);
+        let mut lo = 0u64;
+        for (_, hi, count) in Self::BUCKETS {
+            if pick < count {
+                if hi == 0 {
+                    return 0;
+                }
+                return rng.gen_range(lo.max(1)..=hi);
+            }
+            pick -= count;
+            lo = hi + 1;
+        }
+        unreachable!("weights cover the whole range")
+    }
+}
+
+/// Figure 3: the 144 largest tables of one customer system. Deterministic
+/// reconstruction matching the stated statistics: rows from 10M to 1.6B
+/// averaging 65M (geometric decay, exponent fitted at construction), columns
+/// from 2 to 399 averaging 70 (seeded exponential, clamped).
+#[derive(Clone, Debug)]
+pub struct LargeTableModel {
+    tables: Vec<(u64, u32)>,
+}
+
+impl LargeTableModel {
+    /// Number of tables in the model.
+    pub const COUNT: usize = 144;
+    const MIN_ROWS: f64 = 10.0e6;
+    const MAX_ROWS: f64 = 1.6e9;
+    const TARGET_AVG_ROWS: f64 = 65.0e6;
+    const TARGET_AVG_COLS: f64 = 70.0;
+
+    /// Build the model (fits the decay exponent numerically).
+    pub fn new() -> Self {
+        // rows_i = MIN * (MAX/MIN)^(((COUNT-1-i)/(COUNT-1))^gamma), fitted so
+        // the mean hits 65M.
+        let ratio = Self::MAX_ROWS / Self::MIN_ROWS;
+        let mean_for = |gamma: f64| -> f64 {
+            (0..Self::COUNT)
+                .map(|i| {
+                    let t = (Self::COUNT - 1 - i) as f64 / (Self::COUNT - 1) as f64;
+                    Self::MIN_ROWS * ratio.powf(t.powf(gamma))
+                })
+                .sum::<f64>()
+                / Self::COUNT as f64
+        };
+        let (mut lo, mut hi) = (0.5f64, 30.0f64);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if mean_for(mid) > Self::TARGET_AVG_ROWS {
+                lo = mid; // larger gamma decays faster -> smaller mean
+            } else {
+                hi = mid;
+            }
+        }
+        let gamma = 0.5 * (lo + hi);
+
+        // Columns: seeded exponential around the target mean, clamped to the
+        // stated [2, 399] range, then mean-corrected.
+        let mut x = 0x5DEECE66Du64;
+        let mut cols: Vec<u32> = (0..Self::COUNT)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+                let c = 2.0 - (Self::TARGET_AVG_COLS - 4.0) * (1.0 - u).ln();
+                c.clamp(2.0, 399.0) as u32
+            })
+            .collect();
+        // Mean correction: nudge the largest entries until the mean matches.
+        loop {
+            let mean: f64 = cols.iter().map(|c| *c as f64).sum::<f64>() / cols.len() as f64;
+            if (mean - Self::TARGET_AVG_COLS).abs() < 0.5 {
+                break;
+            }
+            let idx = cols
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, c)| **c)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            if mean > Self::TARGET_AVG_COLS {
+                cols[idx] = (cols[idx] - (cols[idx] / 10).max(1)).max(2);
+            } else {
+                let idx = cols.iter().enumerate().min_by_key(|(_, c)| **c).map(|(i, _)| i).unwrap();
+                cols[idx] = (cols[idx] + 5).min(399);
+            }
+        }
+
+        let tables = (0..Self::COUNT)
+            .map(|i| {
+                let t = (Self::COUNT - 1 - i) as f64 / (Self::COUNT - 1) as f64;
+                let rows = (Self::MIN_ROWS * ratio.powf(t.powf(gamma))) as u64;
+                (rows, cols[i])
+            })
+            .collect();
+        Self { tables }
+    }
+
+    /// `(rows, columns)` per table, sorted by descending rows (Figure 3's
+    /// abscissa order is by position after sorting).
+    pub fn tables(&self) -> &[(u64, u32)] {
+        &self.tables
+    }
+
+    /// Mean rows across the 144 tables.
+    pub fn avg_rows(&self) -> f64 {
+        self.tables.iter().map(|(r, _)| *r as f64).sum::<f64>() / self.tables.len() as f64
+    }
+
+    /// Mean columns across the 144 tables.
+    pub fn avg_cols(&self) -> f64 {
+        self.tables.iter().map(|(_, c)| *c as f64).sum::<f64>() / self.tables.len() as f64
+    }
+}
+
+impl Default for LargeTableModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Figure 4: distribution of distinct-value counts per column, for the two
+/// analyzed application domains. Percentages are printed in the figure.
+#[derive(Clone, Copy, Debug)]
+pub struct DistinctValueModel {
+    /// Domain name.
+    pub name: &'static str,
+    /// Percent of columns with 1–32 distinct values.
+    pub pct_small: f64,
+    /// Percent with 33–1023.
+    pub pct_medium: f64,
+    /// Percent with 1024–100,000,000.
+    pub pct_large: f64,
+}
+
+impl DistinctValueModel {
+    /// Inventory Management: 64% / 12% / 24%.
+    pub fn inventory_management() -> Self {
+        Self { name: "Inventory Management", pct_small: 64.0, pct_medium: 12.0, pct_large: 24.0 }
+    }
+
+    /// Financial Accounting: 78% / 9% / 13%.
+    pub fn financial_accounting() -> Self {
+        Self { name: "Financial Accounting", pct_small: 78.0, pct_medium: 9.0, pct_large: 13.0 }
+    }
+
+    /// Sample a column's distinct-value count, log-uniform within its bucket,
+    /// capped at `max_rows` (a column cannot have more distinct values than
+    /// rows).
+    pub fn sample_distinct<R: Rng>(&self, rng: &mut R, max_rows: u64) -> u64 {
+        let x = rng.gen_range(0.0..100.0);
+        let (lo, hi) = if x < self.pct_small {
+            (1u64, 32u64)
+        } else if x < self.pct_small + self.pct_medium {
+            (33, 1023)
+        } else {
+            (1024, 100_000_000)
+        };
+        let hi = hi.min(max_rows.max(1));
+        let lo = lo.min(hi);
+        // log-uniform
+        let (llo, lhi) = ((lo as f64).ln(), (hi as f64 + 1.0).ln());
+        let v = rng.gen_range(llo..lhi.max(llo + f64::EPSILON)).exp() as u64;
+        v.clamp(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn figure1_stated_constraints_hold() {
+        let oltp = QueryMix::oltp();
+        let olap = QueryMix::olap();
+        let tpcc = QueryMix::tpcc();
+        // "~17% (OLTP) and ~7% (OLAP) of all queries are updates"
+        assert!((oltp.write_fraction() - 0.17).abs() < 0.005, "{}", oltp.write_fraction());
+        assert!((olap.write_fraction() - 0.07).abs() < 0.005);
+        // "the TPC-C benchmark ... has a higher write ratio (46%)"
+        assert!((tpcc.write_fraction() - 0.46).abs() < 0.005);
+        // ">80% of all queries are read access — for OLAP systems even over 90%"
+        assert!(oltp.read_fraction() > 0.8);
+        assert!(olap.read_fraction() > 0.9);
+        for m in [oltp, olap, tpcc] {
+            assert!((m.percent.iter().sum::<f64>() - 100.0).abs() < 1e-9, "{} sums to 100", m.name);
+        }
+    }
+
+    #[test]
+    fn figure1_sampling_converges_to_mix() {
+        let mix = QueryMix::oltp();
+        let mut r = rng();
+        let n = 200_000;
+        let writes = (0..n).filter(|_| mix.sample(&mut r).is_write()).count();
+        let frac = writes as f64 / n as f64;
+        assert!((frac - mix.write_fraction()).abs() < 0.01, "sampled {frac}");
+    }
+
+    #[test]
+    fn figure2_totals() {
+        assert_eq!(TableSizeModel::total_tables(), 73_979);
+        assert_eq!(TableSizeModel::BUCKETS[7].2, 144, "144 tables above 10M rows");
+        // Counts decrease monotonically with table size.
+        for w in TableSizeModel::BUCKETS.windows(2) {
+            assert!(w[0].2 > w[1].2);
+        }
+    }
+
+    #[test]
+    fn figure2_sampling_respects_buckets() {
+        let mut r = rng();
+        let mut empties = 0usize;
+        let n = 50_000;
+        for _ in 0..n {
+            let rows = TableSizeModel::sample_rows(&mut r);
+            assert!(rows <= 1_600_000_000);
+            if rows == 0 {
+                empties += 1;
+            }
+        }
+        // ~62.7% of tables are empty in the model.
+        let frac = empties as f64 / n as f64;
+        assert!((frac - 46_418.0 / 73_979.0).abs() < 0.01, "empty fraction {frac}");
+    }
+
+    #[test]
+    fn figure3_statistics_match_paper() {
+        let m = LargeTableModel::new();
+        assert_eq!(m.tables().len(), 144);
+        let (max_rows, _) = m.tables()[0];
+        let (min_rows, _) = *m.tables().last().unwrap();
+        // "The number of rows varies from 10 million to 1.6 billion with an
+        // average of 65 million rows, whereas the number of columns varies
+        // from 2 to 399 with an average of 70."
+        assert!((1.55e9..=1.65e9).contains(&(max_rows as f64)), "max {max_rows}");
+        assert!((0.95e7..=1.05e7).contains(&(min_rows as f64)), "min {min_rows}");
+        assert!((m.avg_rows() - 65.0e6).abs() / 65.0e6 < 0.05, "avg rows {}", m.avg_rows());
+        assert!((m.avg_cols() - 70.0).abs() < 2.0, "avg cols {}", m.avg_cols());
+        for (_, c) in m.tables() {
+            assert!((2..=399).contains(c));
+        }
+        // Sorted by descending rows.
+        for w in m.tables().windows(2) {
+            assert!(w[0].0 >= w[1].0);
+        }
+    }
+
+    #[test]
+    fn figure4_bucket_fractions() {
+        let fa = DistinctValueModel::financial_accounting();
+        let mut r = rng();
+        let n = 100_000;
+        let mut small = 0usize;
+        for _ in 0..n {
+            let d = fa.sample_distinct(&mut r, u64::MAX);
+            assert!((1..=100_000_000).contains(&d));
+            if d <= 32 {
+                small += 1;
+            }
+        }
+        let frac = small as f64 / n as f64 * 100.0;
+        assert!((frac - 78.0).abs() < 1.0, "small-bucket fraction {frac}");
+    }
+
+    #[test]
+    fn figure4_distinct_capped_by_rows() {
+        let im = DistinctValueModel::inventory_management();
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(im.sample_distinct(&mut r, 50) <= 50);
+        }
+    }
+}

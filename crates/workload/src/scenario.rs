@@ -1,0 +1,159 @@
+//! The Section 2 "Merge Duration" scenario: the VBAP sales-order table.
+//!
+//! "We picked the VBAP table with sales order data of 3 years (33 million
+//! rows, 230 columns, 15 GB) and measured the merge of new sales order data
+//! from one month of 750,000 rows, taking 1.8 trillion CPU cycles or 12
+//! minutes. Converted, our initial implementation handled ~1,000 merged
+//! updates per second."
+//!
+//! The scenario generator reproduces the table's *shape* — row/column counts
+//! and per-column distinct-value distributions drawn from the Figure 4
+//! model — at a configurable scale, so the `sec2_merge_duration` harness can
+//! replay the measurement on laptop-class hardware and extrapolate.
+
+use crate::enterprise::DistinctValueModel;
+use crate::values::{values_with_unique, UniqueSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The VBAP merge scenario, scalable.
+#[derive(Clone, Copy, Debug)]
+pub struct VbapScenario {
+    /// Rows in the main partition (paper: 33,000,000).
+    pub rows: usize,
+    /// Columns (paper: 230).
+    pub cols: usize,
+    /// Rows in the delta to merge (paper: 750,000 — one month of orders).
+    pub merge_rows: usize,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl VbapScenario {
+    /// The paper's full-size scenario.
+    pub fn paper() -> Self {
+        Self { rows: 33_000_000, cols: 230, merge_rows: 750_000, seed: 0xBA9 }
+    }
+
+    /// Scale rows and delta by `f` (columns unchanged — merge cost is linear
+    /// in columns, so the harness extrapolates instead).
+    pub fn scaled(self, f: f64) -> Self {
+        Self {
+            rows: ((self.rows as f64 * f) as usize).max(1),
+            merge_rows: ((self.merge_rows as f64 * f) as usize).max(1),
+            ..self
+        }
+    }
+
+    /// Same scenario with a different column count (for quick runs that
+    /// extrapolate per-column costs).
+    pub fn with_cols(self, cols: usize) -> Self {
+        Self { cols, ..self }
+    }
+
+    /// Delta-to-main fraction (paper: 750k / 33M ≈ 2.3%).
+    pub fn delta_fraction(&self) -> f64 {
+        self.merge_rows as f64 / self.rows as f64
+    }
+
+    /// Per-column distinct-value counts for the main partition, drawn from
+    /// the Financial Accounting distribution of Figure 4 (sales-order line
+    /// items are dominated by configuration-valued columns).
+    pub fn column_distinct_counts(&self) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let model = DistinctValueModel::financial_accounting();
+        (0..self.cols)
+            .map(|_| model.sample_distinct(&mut rng, self.rows as u64) as usize)
+            .collect()
+    }
+
+    /// Generate one column's main values (`col` indexes into
+    /// [`Self::column_distinct_counts`]).
+    pub fn generate_main_column(&self, col: usize, distinct: usize) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (col as u64).wrapping_mul(0x9E37));
+        values_with_unique(
+            &mut rng,
+            UniqueSpec { n: self.rows, unique: distinct.min(self.rows), seed_offset: 0 },
+        )
+    }
+
+    /// Generate one column's delta values. New sales orders mostly reuse the
+    /// configured value domain (half the seed range overlaps the main's) and
+    /// introduce a few new values — matching Section 2's "free value entries
+    /// are very rare".
+    pub fn generate_delta_column(&self, col: usize, distinct: usize) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (col as u64).wrapping_mul(0x517C) ^ 1);
+        let delta_distinct = ((distinct as f64 * self.delta_fraction()).ceil() as usize)
+            .clamp(1, self.merge_rows.max(1));
+        // Offset by half the delta's distinct count: ~half the delta's values
+        // are new to the dictionary.
+        let offset = (distinct.saturating_sub(delta_distinct / 2)) as u64;
+        values_with_unique(
+            &mut rng,
+            UniqueSpec { n: self.merge_rows, unique: delta_distinct, seed_offset: offset },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn paper_scenario_dimensions() {
+        let s = VbapScenario::paper();
+        assert_eq!(s.rows, 33_000_000);
+        assert_eq!(s.cols, 230);
+        assert_eq!(s.merge_rows, 750_000);
+        assert!((s.delta_fraction() - 0.0227).abs() < 0.001);
+    }
+
+    #[test]
+    fn scaling_preserves_delta_fraction() {
+        let s = VbapScenario::paper().scaled(0.01);
+        assert_eq!(s.rows, 330_000);
+        assert_eq!(s.merge_rows, 7_500);
+        assert!((s.delta_fraction() - VbapScenario::paper().delta_fraction()).abs() < 1e-6);
+        assert_eq!(s.cols, 230, "columns unchanged by scaling");
+    }
+
+    #[test]
+    fn distinct_counts_are_reproducible_and_bounded() {
+        let s = VbapScenario::paper().scaled(0.001).with_cols(20);
+        let a = s.column_distinct_counts();
+        let b = s.column_distinct_counts();
+        assert_eq!(a, b, "same seed, same counts");
+        assert_eq!(a.len(), 20);
+        for &d in &a {
+            assert!((1..=s.rows).contains(&d));
+        }
+        // Figure 4 FA: most columns have few distinct values.
+        let small = a.iter().filter(|d| **d <= 32).count();
+        assert!(small * 2 > a.len(), "majority of FA columns are small-domain");
+    }
+
+    #[test]
+    fn generated_columns_have_requested_shape() {
+        let s = VbapScenario::paper().scaled(0.0005).with_cols(3);
+        let counts = s.column_distinct_counts();
+        let main = s.generate_main_column(0, counts[0]);
+        assert_eq!(main.len(), s.rows);
+        let distinct: HashSet<u64> = main.iter().copied().collect();
+        assert_eq!(distinct.len(), counts[0].min(s.rows));
+
+        let delta = s.generate_delta_column(0, counts[0]);
+        assert_eq!(delta.len(), s.merge_rows);
+    }
+
+    #[test]
+    fn delta_overlaps_main_domain_partially() {
+        let s = VbapScenario { rows: 10_000, cols: 1, merge_rows: 1_000, seed: 42 };
+        let distinct = 1000usize;
+        let main: HashSet<u64> = s.generate_main_column(0, distinct).into_iter().collect();
+        let delta: HashSet<u64> = s.generate_delta_column(0, distinct).into_iter().collect();
+        let shared = main.intersection(&delta).count();
+        assert!(shared > 0, "delta must reuse configured values");
+        assert!(shared < delta.len(), "delta must also introduce new values");
+    }
+}

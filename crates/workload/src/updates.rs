@@ -1,0 +1,242 @@
+//! Update-stream generation: turning Figure 1's aggregate mix into a
+//! concrete stream of table operations.
+//!
+//! Section 2 reports update rates of 3,000–18,000 updates/second against the
+//! most active tables, with modifications concentrated on recent rows
+//! (open orders get edited; historical ones do not). The stream generator
+//! models that with an 80/20 self-similar skew over the row space: 80% of
+//! updates touch the most recent 20% of rows, recursively.
+
+use crate::enterprise::{QueryMix, QueryType};
+use rand::Rng;
+
+/// One operation against a table (reads carry enough detail for a driver to
+/// execute them; writes carry the value seed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operation {
+    /// Point read of a row.
+    Lookup {
+        /// Row to read (index into the *current* row space; drivers clamp).
+        row: u64,
+    },
+    /// Sequential scan of a column window.
+    Scan {
+        /// First row of the window.
+        start: u64,
+        /// Window length.
+        len: u64,
+    },
+    /// Range select on a value interval (seeds; drivers map to values).
+    RangeSelect {
+        /// Low value seed.
+        lo: u64,
+        /// High value seed.
+        hi: u64,
+    },
+    /// Insert a new row built from this seed.
+    Insert {
+        /// Value seed for the new row.
+        seed: u64,
+    },
+    /// Insert-only update of an existing row.
+    Update {
+        /// Row to supersede.
+        row: u64,
+        /// Value seed for the new version.
+        seed: u64,
+    },
+    /// Invalidate a row.
+    Delete {
+        /// Row to invalidate.
+        row: u64,
+    },
+}
+
+impl Operation {
+    /// Does this operation write (enter the delta / flip validity)?
+    pub fn is_write(&self) -> bool {
+        matches!(self, Operation::Insert { .. } | Operation::Update { .. } | Operation::Delete { .. })
+    }
+}
+
+/// Stream generator over a logical row space of `rows` rows.
+#[derive(Clone, Debug)]
+pub struct UpdateStream {
+    mix: QueryMix,
+    /// Current logical row count (grows as the stream emits inserts).
+    rows: u64,
+    /// Skew parameter: probability mass on the most recent fraction (0.8
+    /// on 0.2 gives the classic 80/20 rule; 0.5 is uniform).
+    hot_mass: f64,
+    next_seed: u64,
+}
+
+impl UpdateStream {
+    /// A stream over an initially `rows`-row table with the given mix and
+    /// the 80/20 recency skew.
+    pub fn new(mix: QueryMix, rows: u64) -> Self {
+        Self { mix, rows: rows.max(1), hot_mass: 0.8, next_seed: 1 }
+    }
+
+    /// Replace the skew (0.5 = uniform; must be in `[0.5, 1.0)`).
+    pub fn with_hot_mass(mut self, hot_mass: f64) -> Self {
+        assert!((0.5..1.0).contains(&hot_mass), "hot_mass must be in [0.5, 1.0)");
+        self.hot_mass = hot_mass;
+        self
+    }
+
+    /// Current logical row count.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Self-similar skewed row pick favouring *recent* (high-index) rows.
+    fn skewed_row<R: Rng>(&self, rng: &mut R) -> u64 {
+        let mut lo = 0f64;
+        let mut hi = self.rows as f64;
+        // Recurse the 80/20 split a few levels; 8 levels of 0.8 mass covers
+        // a 6-order-of-magnitude row space adequately.
+        for _ in 0..8 {
+            if hi - lo < 2.0 {
+                break;
+            }
+            if rng.gen_bool(self.hot_mass) {
+                lo = hi - (hi - lo) * (1.0 - self.hot_mass);
+            } else {
+                hi -= (hi - lo) * (1.0 - self.hot_mass);
+            }
+        }
+        (rng.gen_range(lo..hi) as u64).min(self.rows - 1)
+    }
+
+    /// Emit the next operation.
+    pub fn next_op<R: Rng>(&mut self, rng: &mut R) -> Operation {
+        match self.mix.sample(rng) {
+            QueryType::Lookup => Operation::Lookup { row: self.skewed_row(rng) },
+            QueryType::TableScan => {
+                let len = rng.gen_range(64..4096u64).min(self.rows);
+                let start = rng.gen_range(0..self.rows.saturating_sub(len).max(1));
+                Operation::Scan { start, len }
+            }
+            QueryType::RangeSelect => {
+                let lo = rng.gen_range(0..u32::MAX as u64 / 2);
+                let hi = lo + rng.gen_range(1..u32::MAX as u64 / 4);
+                Operation::RangeSelect { lo, hi }
+            }
+            QueryType::Insert => {
+                self.rows += 1;
+                self.next_seed += 1;
+                Operation::Insert { seed: self.next_seed }
+            }
+            QueryType::Modification => {
+                self.rows += 1; // insert-only: new version appends
+                self.next_seed += 1;
+                Operation::Update { row: self.skewed_row(rng), seed: self.next_seed }
+            }
+            QueryType::Delete => Operation::Delete { row: self.skewed_row(rng) },
+        }
+    }
+
+    /// Emit a batch of operations.
+    pub fn batch<R: Rng>(&mut self, rng: &mut R, n: usize) -> Vec<Operation> {
+        (0..n).map(|_| self.next_op(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12)
+    }
+
+    #[test]
+    fn write_fraction_matches_mix() {
+        let mut s = UpdateStream::new(QueryMix::oltp(), 10_000);
+        let mut r = rng();
+        let n = 100_000;
+        let writes = s.batch(&mut r, n).iter().filter(|o| o.is_write()).count();
+        let frac = writes as f64 / n as f64;
+        assert!((frac - QueryMix::oltp().write_fraction()).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn row_count_grows_with_inserts_and_updates() {
+        let mut s = UpdateStream::new(QueryMix::tpcc(), 100);
+        let mut r = rng();
+        let before = s.rows();
+        let batch = s.batch(&mut r, 10_000);
+        let appends = batch
+            .iter()
+            .filter(|o| matches!(o, Operation::Insert { .. } | Operation::Update { .. }))
+            .count() as u64;
+        assert_eq!(s.rows(), before + appends, "insert-only: every write version appends");
+    }
+
+    #[test]
+    fn skew_prefers_recent_rows() {
+        let mut s = UpdateStream::new(QueryMix::oltp(), 1_000_000);
+        let mut r = rng();
+        let mut recent = 0usize;
+        let mut total = 0usize;
+        for _ in 0..200_000 {
+            if let Operation::Update { row, .. } = s.next_op(&mut r) {
+                total += 1;
+                if row >= s.rows() * 4 / 5 {
+                    recent += 1;
+                }
+            }
+        }
+        assert!(total > 1_000, "need updates to measure");
+        let frac = recent as f64 / total as f64;
+        // 80% of mass on the top 20% (approximately; the row space grows).
+        assert!(frac > 0.6, "recent-row fraction {frac} too low for 80/20 skew");
+    }
+
+    #[test]
+    fn uniform_mass_is_unskewed() {
+        let mut s = UpdateStream::new(QueryMix::oltp(), 1_000_000).with_hot_mass(0.5);
+        let mut r = rng();
+        let mut top_half = 0usize;
+        let mut total = 0usize;
+        for _ in 0..100_000 {
+            if let Operation::Lookup { row } = s.next_op(&mut r) {
+                total += 1;
+                if row >= s.rows() / 2 {
+                    top_half += 1;
+                }
+            }
+        }
+        let frac = top_half as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.05, "uniform pick should split evenly, got {frac}");
+    }
+
+    #[test]
+    fn rows_never_out_of_range() {
+        let mut s = UpdateStream::new(QueryMix::tpcc(), 3);
+        let mut r = rng();
+        for _ in 0..20_000 {
+            match s.next_op(&mut r) {
+                Operation::Lookup { row }
+                | Operation::Update { row, .. }
+                | Operation::Delete { row } => {
+                    assert!(row < s.rows());
+                }
+                Operation::Scan { start, len } => {
+                    assert!(start < s.rows());
+                    assert!(len >= 1);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hot_mass")]
+    fn invalid_hot_mass_rejected() {
+        let _ = UpdateStream::new(QueryMix::oltp(), 10).with_hot_mass(1.0);
+    }
+}

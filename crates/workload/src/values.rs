@@ -1,0 +1,155 @@
+//! Uniform value generation with exact unique-value counts.
+//!
+//! Section 7: "The fraction of unique values lambda_M and lambda_D varies
+//! from 0.1% to 100% ... For all experiments, the values are generated
+//! uniformly at random." The experiments need the dictionary sizes to hit
+//! their targets exactly, so the generator guarantees the unique count
+//! rather than sampling a domain and hoping.
+
+use hyrise_storage::Value;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// How a column's values should be generated.
+#[derive(Clone, Copy, Debug)]
+pub struct UniqueSpec {
+    /// Number of values to produce.
+    pub n: usize,
+    /// Exact number of distinct values among them (clamped to `1..=n`).
+    pub unique: usize,
+    /// Start of the seed range. Two generations overlap in value domain
+    /// exactly where their seed ranges overlap, which is how the benchmarks
+    /// control `|U_M ∩ U_D|` (the paper leaves the overlap to uniform
+    /// chance; we default to half-overlap in the harnesses and document it).
+    pub seed_offset: u64,
+}
+
+impl UniqueSpec {
+    /// Spec for `n` values at unique fraction `lambda` (of `n`), seeds from 0.
+    pub fn from_lambda(n: usize, lambda: f64) -> Self {
+        let unique = ((n as f64 * lambda).round() as usize).clamp(1, n.max(1));
+        Self { n, unique, seed_offset: 0 }
+    }
+
+    /// Same spec with a shifted seed range.
+    pub fn offset(self, seed_offset: u64) -> Self {
+        Self { seed_offset, ..self }
+    }
+}
+
+/// Injective spreading of sequential seed indices over the 32-bit seed space
+/// (odd multiplier => bijection mod 2^32), so generated values are not
+/// trivially sorted.
+#[inline]
+fn spread(i: u64) -> u64 {
+    (i.wrapping_mul(2_654_435_761)) & 0xFFFF_FFFF
+}
+
+/// Generate values per `spec`: exactly `spec.unique` distinct values (each
+/// appearing at least once), the rest drawn uniformly among them, in random
+/// order.
+pub fn values_with_unique<V: Value, R: Rng>(rng: &mut R, spec: UniqueSpec) -> Vec<V> {
+    if spec.n == 0 {
+        return Vec::new();
+    }
+    let unique = spec.unique.clamp(1, spec.n);
+    assert!(
+        spec.seed_offset + unique as u64 <= u32::MAX as u64,
+        "seed range exceeds the injective 32-bit seed space"
+    );
+    let mut out = Vec::with_capacity(spec.n);
+    for i in 0..unique as u64 {
+        out.push(V::from_seed(spread(spec.seed_offset + i)));
+    }
+    for _ in unique..spec.n {
+        let i = rng.gen_range(0..unique as u64);
+        out.push(V::from_seed(spread(spec.seed_offset + i)));
+    }
+    out.shuffle(rng);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    fn unique_count<V: Value>(vals: &[V]) -> usize {
+        vals.iter().collect::<HashSet<_>>().len()
+    }
+
+    #[test]
+    fn exact_unique_counts() {
+        let mut r = rng();
+        for (n, u) in [(1000usize, 10usize), (1000, 1000), (1000, 1), (5000, 2500)] {
+            let vals: Vec<u64> = values_with_unique(&mut r, UniqueSpec { n, unique: u, seed_offset: 0 });
+            assert_eq!(vals.len(), n);
+            assert_eq!(unique_count(&vals), u, "n={n} u={u}");
+        }
+    }
+
+    #[test]
+    fn lambda_constructor() {
+        let spec = UniqueSpec::from_lambda(100_000, 0.001);
+        assert_eq!(spec.unique, 100);
+        let spec = UniqueSpec::from_lambda(100, 1.0);
+        assert_eq!(spec.unique, 100);
+        let spec = UniqueSpec::from_lambda(100, 0.0);
+        assert_eq!(spec.unique, 1, "lambda=0 clamps to one distinct value");
+    }
+
+    #[test]
+    fn seed_ranges_control_overlap() {
+        let mut r = rng();
+        let a: Vec<u64> =
+            values_with_unique(&mut r, UniqueSpec { n: 500, unique: 100, seed_offset: 0 });
+        let b_disjoint: Vec<u64> =
+            values_with_unique(&mut r, UniqueSpec { n: 500, unique: 100, seed_offset: 100 });
+        let b_same: Vec<u64> =
+            values_with_unique(&mut r, UniqueSpec { n: 500, unique: 100, seed_offset: 0 });
+        let sa: HashSet<u64> = a.iter().copied().collect();
+        let sd: HashSet<u64> = b_disjoint.iter().copied().collect();
+        let ss: HashSet<u64> = b_same.iter().copied().collect();
+        assert_eq!(sa.intersection(&sd).count(), 0, "disjoint seed ranges");
+        assert_eq!(sa.intersection(&ss).count(), 100, "identical seed ranges");
+    }
+
+    #[test]
+    fn works_for_all_value_types() {
+        use hyrise_storage::V16;
+        let mut r = rng();
+        let spec = UniqueSpec { n: 300, unique: 30, seed_offset: 7 };
+        assert_eq!(unique_count::<u32>(&values_with_unique(&mut r, spec)), 30);
+        assert_eq!(unique_count::<u64>(&values_with_unique(&mut r, spec)), 30);
+        assert_eq!(unique_count::<V16>(&values_with_unique(&mut r, spec)), 30);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_rng() {
+        let a: Vec<u64> = values_with_unique(&mut rng(), UniqueSpec { n: 100, unique: 20, seed_offset: 0 });
+        let b: Vec<u64> = values_with_unique(&mut rng(), UniqueSpec { n: 100, unique: 20, seed_offset: 0 });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_generation() {
+        let vals: Vec<u64> =
+            values_with_unique(&mut rng(), UniqueSpec { n: 0, unique: 0, seed_offset: 0 });
+        assert!(vals.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "seed range")]
+    fn oversized_seed_range_rejected() {
+        let _: Vec<u64> = values_with_unique(
+            &mut rng(),
+            UniqueSpec { n: 10, unique: 10, seed_offset: u32::MAX as u64 },
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Mixed-workload driver: executes a [`workload`](crate::workload) operation
+//! stream against an [`OnlineTable`](crate::merge::OnlineTable), closing the
+//! loop between the Section 2 workload characterization and the merge
+//! machinery — the "single system for both transactional and analytical
+//! workloads" the paper argues for, in miniature.
+
+use crate::merge::OnlineTable;
+use crate::workload::{Operation, UpdateStream};
+use hyrise_storage::Value;
+use rand::Rng;
+
+/// Execution counters for a driven workload.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DriverStats {
+    /// Point lookups executed.
+    pub lookups: u64,
+    /// Scan windows executed (and tuples touched).
+    pub scans: u64,
+    /// Tuples touched by scans.
+    pub scanned_tuples: u64,
+    /// Range selects executed.
+    pub ranges: u64,
+    /// Rows inserted.
+    pub inserts: u64,
+    /// Rows updated (new version + invalidation).
+    pub updates: u64,
+    /// Rows deleted (invalidated).
+    pub deletes: u64,
+    /// Checksum accumulated from reads (prevents dead-code elimination and
+    /// doubles as a determinism probe).
+    pub checksum: u64,
+}
+
+impl DriverStats {
+    /// Total write operations.
+    pub fn writes(&self) -> u64 {
+        self.inserts + self.updates + self.deletes
+    }
+
+    /// Total read operations.
+    pub fn reads(&self) -> u64 {
+        self.lookups + self.scans + self.ranges
+    }
+}
+
+/// Build the row written for value seed `seed` (deterministic, one value per
+/// column derived from the seed).
+pub fn row_for_seed<V: Value>(seed: u64, cols: usize) -> Vec<V> {
+    (0..cols as u64).map(|c| V::from_seed((seed.wrapping_mul(31).wrapping_add(c)) & 0xFFFF_FFFF)).collect()
+}
+
+/// Execute `n` operations from `stream` against `table`. Row indices from
+/// the stream are clamped to the live table (the stream's logical row count
+/// tracks inserts but the driver is authoritative).
+pub fn drive<V: Value, R: Rng>(
+    table: &OnlineTable<V>,
+    stream: &mut UpdateStream,
+    rng: &mut R,
+    n: usize,
+) -> DriverStats {
+    let cols = table.num_columns();
+    let mut stats = DriverStats::default();
+    for _ in 0..n {
+        match stream.next_op(rng) {
+            Operation::Lookup { row } => {
+                let rows = table.row_count();
+                if rows > 0 {
+                    let r = (row as usize).min(rows - 1);
+                    stats.checksum =
+                        stats.checksum.wrapping_add(table.get(r % cols.max(1) % cols, r).to_u64_lossy());
+                    stats.lookups += 1;
+                }
+            }
+            Operation::Scan { start, len } => {
+                let rows = table.row_count();
+                if rows > 0 {
+                    let s = (start as usize).min(rows - 1);
+                    let e = (s + len as usize).min(rows);
+                    let mut acc = 0u64;
+                    for r in s..e {
+                        acc = acc.wrapping_add(table.get(0, r).to_u64_lossy());
+                    }
+                    stats.checksum = stats.checksum.wrapping_add(acc);
+                    stats.scans += 1;
+                    stats.scanned_tuples += (e - s) as u64;
+                }
+            }
+            Operation::RangeSelect { lo, hi } => {
+                // Approximate a range select by probing a sample of rows for
+                // membership (the OnlineTable keeps columns behind a lock, so
+                // the zero-copy scan operators of `hyrise-query` apply to
+                // offline `Attribute`s; this driver exercises the lock path).
+                let rows = table.row_count();
+                if rows > 0 {
+                    let mut hits = 0u64;
+                    let step = (rows / 512).max(1);
+                    for r in (0..rows).step_by(step) {
+                        let v = table.get(0, r).to_u64_lossy();
+                        if v >= lo && v <= hi {
+                            hits += 1;
+                        }
+                    }
+                    stats.checksum = stats.checksum.wrapping_add(hits);
+                    stats.ranges += 1;
+                }
+            }
+            Operation::Insert { seed } => {
+                table.insert_row(&row_for_seed::<V>(seed, cols));
+                stats.inserts += 1;
+            }
+            Operation::Update { row, seed } => {
+                let rows = table.row_count();
+                if rows > 0 {
+                    table.update_row((row as usize).min(rows - 1), &row_for_seed::<V>(seed, cols));
+                    stats.updates += 1;
+                }
+            }
+            Operation::Delete { row } => {
+                let rows = table.row_count();
+                if rows > 0 {
+                    table.delete_row((row as usize).min(rows - 1));
+                    stats.deletes += 1;
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::QueryMix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn driven_table(ops: usize) -> (OnlineTable<u64>, DriverStats) {
+        let table = OnlineTable::<u64>::new(3);
+        for i in 0..2_000u64 {
+            table.insert_row(&row_for_seed(i, 3));
+        }
+        let mut stream = UpdateStream::new(QueryMix::oltp(), 2_000);
+        let mut rng = StdRng::seed_from_u64(5);
+        let stats = drive(&table, &mut stream, &mut rng, ops);
+        (table, stats)
+    }
+
+    #[test]
+    fn driver_executes_the_mix() {
+        let (table, stats) = driven_table(20_000);
+        assert_eq!(stats.reads() + stats.writes(), 20_000);
+        let write_frac = stats.writes() as f64 / 20_000.0;
+        assert!((write_frac - 0.17).abs() < 0.02, "OLTP mix write fraction, got {write_frac}");
+        assert_eq!(table.row_count() as u64, 2_000 + stats.inserts + stats.updates);
+        assert!(stats.scanned_tuples > 0);
+    }
+
+    #[test]
+    fn driver_is_deterministic() {
+        let (_, a) = driven_table(5_000);
+        let (_, b) = driven_table(5_000);
+        assert_eq!(a, b, "same seeds, same execution");
+    }
+
+    #[test]
+    fn driving_across_merges_preserves_results() {
+        let table = OnlineTable::<u64>::new(3);
+        for i in 0..2_000u64 {
+            table.insert_row(&row_for_seed(i, 3));
+        }
+        let mut stream = UpdateStream::new(QueryMix::oltp(), 2_000);
+        let mut rng = StdRng::seed_from_u64(5);
+        // Interleave driving and merging; final row count must balance.
+        let mut total = DriverStats::default();
+        for _ in 0..4 {
+            let s = drive(&table, &mut stream, &mut rng, 2_500);
+            total.inserts += s.inserts;
+            total.updates += s.updates;
+            table.merge(2, None).unwrap();
+            assert_eq!(table.delta_len(), 0);
+        }
+        assert_eq!(table.row_count() as u64, 2_000 + total.inserts + total.updates);
+        assert_eq!(table.main_len(), table.row_count(), "everything merged");
+    }
+}

@@ -1,0 +1,28 @@
+//! # hyrise — facade crate
+//!
+//! Reproduction of *Fast Updates on Read-Optimized Databases Using Multi-Core
+//! CPUs* (Krueger et al., VLDB 2011): a dictionary-encoded in-memory column
+//! store with a write-optimized delta partition and the paper's linear-time,
+//! architecture-aware, multi-core delta merge.
+//!
+//! This crate re-exports the workspace crates under stable module names:
+//!
+//! * [`bitpack`] — fixed-width bit-packed vectors (`E_C` bits per code).
+//! * [`csb`] — the CSB+ tree indexing the delta partition.
+//! * [`storage`] — dictionaries, main/delta partitions, attributes, tables.
+//! * [`merge`] — the merge algorithms (naive, optimized, parallel), the
+//!   analytical cost model and the online merge manager.
+//! * [`query`] — scan / lookup / range-select operators over main+delta.
+//! * [`workload`] — the Section 2 enterprise-data model and generators.
+//!
+//! See `examples/quickstart.rs` for a guided tour and `DESIGN.md` for the
+//! paper-to-module map.
+
+pub mod driver;
+
+pub use hyrise_bitpack as bitpack;
+pub use hyrise_core as merge;
+pub use hyrise_csb as csb;
+pub use hyrise_query as query;
+pub use hyrise_storage as storage;
+pub use hyrise_workload as workload;

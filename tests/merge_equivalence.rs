@@ -1,0 +1,126 @@
+//! Cross-algorithm equivalence at integration scale: naive, optimized and
+//! parallel merges must produce bit-identical partitions across value types,
+//! uniqueness regimes and repeated merge generations.
+
+use hyrise::merge::{merge_column_naive, merge_column_optimized};
+use hyrise::merge::parallel::merge_column_parallel;
+use hyrise::storage::{DeltaPartition, MainPartition, Value, V16};
+use hyrise::workload::values::{values_with_unique, UniqueSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn delta_from<V: Value>(values: &[V]) -> DeltaPartition<V> {
+    let mut d = DeltaPartition::new();
+    for &v in values {
+        d.insert(v);
+    }
+    d
+}
+
+fn assert_all_equal<V: Value>(main: &MainPartition<V>, delta: &DeltaPartition<V>, threads: usize) {
+    let a = merge_column_naive(main, delta, threads).main;
+    let b = merge_column_optimized(main, delta).main;
+    let c = merge_column_parallel(main, delta, threads).main;
+    assert_eq!(a.dictionary().values(), b.dictionary().values());
+    assert_eq!(b.dictionary().values(), c.dictionary().values());
+    let ca: Vec<u64> = a.codes().collect();
+    let cb: Vec<u64> = b.codes().collect();
+    let cc: Vec<u64> = c.codes().collect();
+    assert_eq!(ca, cb);
+    assert_eq!(cb, cc);
+    assert_eq!(a.code_bits(), c.code_bits());
+}
+
+fn scenario<V: Value>(n_m: usize, n_d: usize, lambda_m: f64, lambda_d: f64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let main_vals: Vec<V> = values_with_unique(&mut rng, UniqueSpec::from_lambda(n_m, lambda_m));
+    let main = MainPartition::from_values(&main_vals);
+    // Delta half-overlaps the main's domain.
+    let spec = UniqueSpec::from_lambda(n_d, lambda_d)
+        .offset((main.dictionary().len() / 2) as u64);
+    let delta_vals: Vec<V> = values_with_unique(&mut rng, spec);
+    let delta = delta_from(&delta_vals);
+    for threads in [1, 4, 13] {
+        assert_all_equal(&main, &delta, threads);
+    }
+}
+
+#[test]
+fn equivalence_u64_low_uniqueness() {
+    scenario::<u64>(60_000, 6_000, 0.01, 0.02, 1);
+}
+
+#[test]
+fn equivalence_u64_full_uniqueness() {
+    scenario::<u64>(40_000, 8_000, 1.0, 1.0, 2);
+}
+
+#[test]
+fn equivalence_u32_narrow_values() {
+    scenario::<u32>(50_000, 5_000, 0.1, 0.1, 3);
+}
+
+#[test]
+fn equivalence_v16_wide_values() {
+    scenario::<V16>(30_000, 3_000, 0.5, 0.5, 4);
+}
+
+#[test]
+fn equivalence_degenerate_shapes() {
+    // Empty delta.
+    let main = MainPartition::from_values(&(0u64..10_000).map(|i| i % 37).collect::<Vec<_>>());
+    assert_all_equal(&main, &DeltaPartition::new(), 8);
+    // Empty main.
+    let delta = delta_from(&(0u64..5_000).map(|i| i % 91).collect::<Vec<_>>());
+    assert_all_equal(&MainPartition::empty(), &delta, 8);
+    // Single-value column.
+    let main = MainPartition::from_values(&vec![42u64; 10_000]);
+    let delta = delta_from(&vec![42u64; 1_000]);
+    assert_all_equal(&main, &delta, 8);
+    // Delta entirely new values.
+    let main = MainPartition::from_values(&(0u64..5_000).collect::<Vec<_>>());
+    let delta = delta_from(&(1_000_000u64..1_003_000).collect::<Vec<_>>());
+    assert_all_equal(&main, &delta, 8);
+    // Delta entirely duplicate values.
+    let delta = delta_from(&(0u64..3_000).collect::<Vec<_>>());
+    assert_all_equal(&main, &delta, 8);
+}
+
+#[test]
+fn five_merge_generations_stay_consistent() {
+    // Repeatedly merge successive deltas with the *parallel* algorithm and
+    // verify the final column against a from-scratch bulk load of all data.
+    let mut rng = StdRng::seed_from_u64(55);
+    let mut all: Vec<u64> = values_with_unique(&mut rng, UniqueSpec::from_lambda(20_000, 0.05));
+    let mut main = MainPartition::from_values(&all);
+    for gen in 0..5u64 {
+        let spec = UniqueSpec::from_lambda(4_000, 0.2).offset(gen * 300);
+        let delta_vals: Vec<u64> = values_with_unique(&mut rng, spec);
+        all.extend_from_slice(&delta_vals);
+        main = merge_column_parallel(&main, &delta_from(&delta_vals), 6).main;
+
+        let reference = MainPartition::from_values(&all);
+        assert_eq!(main.dictionary().values(), reference.dictionary().values(), "gen {gen}");
+        assert_eq!(
+            main.codes().collect::<Vec<_>>(),
+            reference.codes().collect::<Vec<_>>(),
+            "gen {gen}: incremental merges must equal a bulk rebuild"
+        );
+    }
+}
+
+#[test]
+fn code_width_growth_across_generations() {
+    // Dictionary growth across merges must widen codes exactly per Eq. 4.
+    let mut main = MainPartition::from_values(&[0u64, 1]); // 2 values, 1 bit
+    assert_eq!(main.code_bits(), 1);
+    let mut next_value = 2u64;
+    for expected_bits in [2u8, 3, 4, 5, 6, 7, 8] {
+        // Double the dictionary by adding as many new values as it holds.
+        let add = main.dictionary().len();
+        let delta = delta_from(&(next_value..next_value + add as u64).collect::<Vec<_>>());
+        next_value += add as u64;
+        main = merge_column_parallel(&main, &delta, 4).main;
+        assert_eq!(main.code_bits(), expected_bits, "after growing to {} values", main.dictionary().len());
+    }
+}
