@@ -14,10 +14,8 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hyrise_bench::build_column;
 use hyrise_bitpack::{bits_for, BitPackedVec};
-use hyrise_core::parallel::{
-    compress_delta_parallel_exact, merge_dictionaries_parallel_exact,
-};
 use hyrise_core::merge_dictionaries;
+use hyrise_core::parallel::{compress_delta_parallel_exact, merge_dictionaries_parallel_exact};
 use hyrise_storage::{DeltaPartition, MainPartition};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -34,7 +32,11 @@ fn step2_u32_aux(main: &MainPartition<u64>, x_m: &[u32], bits_after: u8) -> BitP
 
 /// Step 2 with the auxiliary table bit-packed at `E'_C` bits (the paper's
 /// accounting): 4x smaller aux for 20-bit codes, one extra unpack per tuple.
-fn step2_packed_aux(main: &MainPartition<u64>, x_m_packed: &BitPackedVec, bits_after: u8) -> BitPackedVec {
+fn step2_packed_aux(
+    main: &MainPartition<u64>,
+    x_m_packed: &BitPackedVec,
+    bits_after: u8,
+) -> BitPackedVec {
     let mut out = BitPackedVec::zeroed(bits_after, main.len());
     let mut regions = out.split_mut(1).into_regions();
     let region = regions.first_mut().expect("non-empty");
@@ -53,8 +55,10 @@ fn bench_aux_width(c: &mut Criterion) {
         let compressed = delta.compress();
         let dm = merge_dictionaries(main.dictionary().values(), &compressed.dict);
         let bits_after = bits_for(dm.merged.len());
-        let packed: BitPackedVec =
-            BitPackedVec::from_slice(bits_after, &dm.x_m.iter().map(|x| *x as u64).collect::<Vec<_>>());
+        let packed: BitPackedVec = BitPackedVec::from_slice(
+            bits_after,
+            &dm.x_m.iter().map(|x| *x as u64).collect::<Vec<_>>(),
+        );
         let label = format!("lambda{}", (lambda * 100.0) as u32);
         g.throughput(Throughput::Elements(n_m as u64));
         g.bench_with_input(BenchmarkId::new("u32_aux", &label), &(), |b, _| {
@@ -123,12 +127,25 @@ fn bench_three_phase_threads(c: &mut Criterion) {
     let u_d = delta.sorted_unique();
     g.throughput(Throughput::Elements((u_m.len() + u_d.len()) as u64));
     for threads in [1usize, 2, 4, 8, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            b.iter(|| black_box(merge_dictionaries_parallel_exact(u_m, &u_d, threads)).merged.len())
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(merge_dictionaries_parallel_exact(u_m, &u_d, threads))
+                        .merged
+                        .len()
+                })
+            },
+        );
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_aux_width, bench_step1a_schemes, bench_three_phase_threads);
+criterion_group!(
+    benches,
+    bench_aux_width,
+    bench_step1a_schemes,
+    bench_three_phase_threads
+);
 criterion_main!(benches);

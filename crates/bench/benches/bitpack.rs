@@ -9,7 +9,9 @@ fn bench_pack_unpack(c: &mut Criterion) {
     let n = 1_000_000usize;
     for bits in [8u8, 13, 20, 27] {
         let mask = hyrise_bitpack::max_value_for_bits(bits);
-        let data: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9) & mask).collect();
+        let data: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9) & mask)
+            .collect();
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::new("push", bits), &bits, |b, &bits| {
             b.iter(|| {
@@ -21,26 +23,34 @@ fn bench_pack_unpack(c: &mut Criterion) {
             })
         });
         let packed = BitPackedVec::from_slice(bits, &data);
-        g.bench_with_input(BenchmarkId::new("sequential_decode", bits), &packed, |b, packed| {
-            b.iter(|| {
-                let mut acc = 0u64;
-                for x in packed.iter() {
-                    acc = acc.wrapping_add(x);
-                }
-                black_box(acc)
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("random_get", bits), &packed, |b, packed| {
-            b.iter(|| {
-                let mut acc = 0u64;
-                let mut idx = 12345usize;
-                for _ in 0..10_000 {
-                    idx = (idx.wrapping_mul(1103515245).wrapping_add(12345)) % n;
-                    acc = acc.wrapping_add(packed.get(idx));
-                }
-                black_box(acc)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("sequential_decode", bits),
+            &packed,
+            |b, packed| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for x in packed.iter() {
+                        acc = acc.wrapping_add(x);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("random_get", bits),
+            &packed,
+            |b, packed| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    let mut idx = 12345usize;
+                    for _ in 0..10_000 {
+                        idx = (idx.wrapping_mul(1103515245).wrapping_add(12345)) % n;
+                        acc = acc.wrapping_add(packed.get(idx));
+                    }
+                    black_box(acc)
+                })
+            },
+        );
     }
     g.finish();
 }

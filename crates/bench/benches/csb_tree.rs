@@ -46,16 +46,20 @@ fn bench_csb(c: &mut Criterion) {
                 black_box(hits)
             })
         });
-        g.bench_with_input(BenchmarkId::new("leaf_traversal_step1a", label), &tree, |b, tree| {
-            b.iter(|| {
-                // The merge Step 1(a) access path: in-order keys + postings.
-                let mut acc = 0u64;
-                for (k, postings) in tree.iter() {
-                    acc = acc.wrapping_add(k).wrapping_add(postings.count() as u64);
-                }
-                black_box(acc)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("leaf_traversal_step1a", label),
+            &tree,
+            |b, tree| {
+                b.iter(|| {
+                    // The merge Step 1(a) access path: in-order keys + postings.
+                    let mut acc = 0u64;
+                    for (k, postings) in tree.iter() {
+                        acc = acc.wrapping_add(k).wrapping_add(postings.count() as u64);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -5,7 +5,10 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use hyrise_bench::delta_values;
 use hyrise_storage::{DeltaPartition, Value, V16};
 
-fn bench_insert<V: Value>(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, lambda: f64) {
+fn bench_insert<V: Value>(
+    g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    lambda: f64,
+) {
     let n = 100_000usize;
     let vals: Vec<V> = delta_values(n, lambda, 0, 13);
     g.throughput(Throughput::Elements(n as u64));

@@ -1,8 +1,8 @@
 //! Criterion: Step 1(b) — serial vs three-phase parallel dictionary merge.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hyrise_core::parallel::merge_dictionaries_parallel;
 use hyrise_core::merge_dictionaries;
+use hyrise_core::parallel::merge_dictionaries_parallel;
 
 fn sorted_unique(n: usize, seed: u64, domain: u64) -> Vec<u64> {
     let mut x = seed | 1;
@@ -30,9 +30,17 @@ fn bench_dict_merge(c: &mut Criterion) {
         b.iter(|| black_box(merge_dictionaries(&u_m, &u_d)).merged.len())
     });
     for threads in [2usize, 4, 8, 16] {
-        g.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &threads| {
-            b.iter(|| black_box(merge_dictionaries_parallel(&u_m, &u_d, threads)).merged.len())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(merge_dictionaries_parallel(&u_m, &u_d, threads))
+                        .merged
+                        .len()
+                })
+            },
+        );
     }
     g.finish();
 }

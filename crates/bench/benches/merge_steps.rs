@@ -25,7 +25,11 @@ fn bench_merge(c: &mut Criterion) {
                 BenchmarkId::new(format!("parallel_{threads}t"), &label),
                 &threads,
                 |b, &threads| {
-                    b.iter(|| black_box(merge_column_parallel(&main, &delta, threads)).main.len())
+                    b.iter(|| {
+                        black_box(merge_column_parallel(&main, &delta, threads))
+                            .main
+                            .len()
+                    })
                 },
             );
         }

@@ -12,7 +12,9 @@ fn bench_scan(c: &mut Criterion) {
     let n_m = 1_000_000usize;
     let lambda = 0.01f64;
     let (main, _) = build_column::<u64>(n_m, 1, lambda, lambda, 19);
-    let probe = main.dictionary().value_at((main.dictionary().len() / 2) as u32);
+    let probe = main
+        .dictionary()
+        .value_at((main.dictionary().len() / 2) as u32);
     let lo = main.dictionary().value_at(10);
     let hi = main.dictionary().value_at(60);
 
@@ -28,9 +30,11 @@ fn bench_scan(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("scan_eq", delta_pct), &attr, |b, attr| {
             b.iter(|| black_box(scan_eq(attr, &probe)).len())
         });
-        g.bench_with_input(BenchmarkId::new("scan_range", delta_pct), &attr, |b, attr| {
-            b.iter(|| black_box(scan_range(attr, lo..=hi)).len())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("scan_range", delta_pct),
+            &attr,
+            |b, attr| b.iter(|| black_box(scan_range(attr, lo..=hi)).len()),
+        );
     }
     g.finish();
 }

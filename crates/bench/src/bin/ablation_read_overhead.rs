@@ -40,13 +40,20 @@ fn main() {
     );
 
     let t = TablePrinter::new(&[
-        "N_D/N_M", "par-sum ns/t", "par-sum slwdn", "1T-sum ns/t", "range ms", "memory MB",
+        "N_D/N_M",
+        "par-sum ns/t",
+        "par-sum slwdn",
+        "1T-sum ns/t",
+        "range ms",
+        "memory MB",
         "mem amplif.",
     ]);
     let (main, _) = build_column::<u64>(n_m, 1, lambda, lambda, 66);
     let u_m = main.dictionary().len();
     let range_lo = main.dictionary().value_at((u_m / 4) as u32);
-    let range_hi = main.dictionary().value_at((u_m / 4 + u_m / 50 + 1).min(u_m - 1) as u32);
+    let range_hi = main
+        .dictionary()
+        .value_at((u_m / 4 + u_m / 50 + 1).min(u_m - 1) as u32);
 
     let mut base_psum = 0.0f64;
     let mut base_mem = 0.0f64;
@@ -97,7 +104,10 @@ fn main() {
     }
     println!();
     println!("reading the table: the *parallel* (bandwidth-bound) scan degrades with delta");
-    println!("share because delta tuples move 8 B vs ~{:.1} B packed; the 1T scan is", (main.code_bits() as f64) / 8.0);
+    println!(
+        "share because delta tuples move 8 B vs ~{:.1} B packed; the 1T scan is",
+        (main.code_bits() as f64) / 8.0
+    );
     println!("compute-bound on this machine and barely moves — the paper's 2011 Xeon had");
     println!("~10x less bandwidth per core, making even 1T scans bandwidth-sensitive.");
     println!("Memory amplification is the second §4 cost: uncompressed values + CSB+ tree.");

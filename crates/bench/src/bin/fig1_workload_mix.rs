@@ -21,12 +21,21 @@ fn main() {
 
     let mixes = [QueryMix::oltp(), QueryMix::olap(), QueryMix::tpcc()];
     let t = TablePrinter::new(&[
-        "workload", "lookup%", "scan%", "range%", "insert%", "modif%", "delete%", "writes%",
+        "workload",
+        "lookup%",
+        "scan%",
+        "range%",
+        "insert%",
+        "modif%",
+        "delete%",
+        "writes%",
         "sampled-writes%",
     ]);
     let mut rng = StdRng::seed_from_u64(1);
     for mix in mixes {
-        let writes = (0..samples).filter(|_| mix.sample(&mut rng).is_write()).count();
+        let writes = (0..samples)
+            .filter(|_| mix.sample(&mut rng).is_write())
+            .count();
         let sampled = writes as f64 / samples as f64 * 100.0;
         let p = mix.percent;
         t.row(&[

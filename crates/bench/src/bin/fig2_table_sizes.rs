@@ -17,7 +17,12 @@ fn main() {
         &format!("reconstructed bucket counts + {samples} sampled table sizes"),
     );
 
-    let t = TablePrinter::new(&["rows", "tables (paper)", "sampled fraction", "model fraction"]);
+    let t = TablePrinter::new(&[
+        "rows",
+        "tables (paper)",
+        "sampled fraction",
+        "model fraction",
+    ]);
     let total = TableSizeModel::total_tables() as f64;
 
     // Sample and bucket.
@@ -41,6 +46,9 @@ fn main() {
         ]);
     }
     println!();
-    println!("total tables: {} (paper: 73,979; counts reconstructed from the arXiv", TableSizeModel::total_tables());
+    println!(
+        "total tables: {} (paper: 73,979; counts reconstructed from the arXiv",
+        TableSizeModel::total_tables()
+    );
     println!("text — they sum exactly and 144 tables exceed 10M rows as stated).");
 }

@@ -10,7 +10,10 @@ fn main() {
     banner(
         "Figure 3 — the 144 largest tables (rows & columns)",
         "rows 10M..1.6B avg 65M; columns 2..399 avg 70 (one customer system)",
-        &format!("deterministic reconstruction matching those statistics; showing every {}th", 144 / show.max(1)),
+        &format!(
+            "deterministic reconstruction matching those statistics; showing every {}th",
+            144 / show.max(1)
+        ),
     );
 
     let model = LargeTableModel::new();
@@ -18,7 +21,11 @@ fn main() {
     let step = (LargeTableModel::COUNT / show.max(1)).max(1);
     for (i, (rows, cols)) in model.tables().iter().enumerate() {
         if i % step == 0 || i == LargeTableModel::COUNT - 1 {
-            t.row(&[&(i + 1).to_string(), &fmt_count(*rows as usize), &cols.to_string()]);
+            t.row(&[
+                &(i + 1).to_string(),
+                &fmt_count(*rows as usize),
+                &cols.to_string(),
+            ]);
         }
     }
     println!();

@@ -15,9 +15,18 @@ fn main() {
         &format!("calibrated bucket model, verified by sampling {samples} columns per domain"),
     );
 
-    let domains = [DistinctValueModel::inventory_management(), DistinctValueModel::financial_accounting()];
+    let domains = [
+        DistinctValueModel::inventory_management(),
+        DistinctValueModel::financial_accounting(),
+    ];
     let t = TablePrinter::new(&[
-        "domain", "1-32 (paper)", "sampled", "33-1023 (paper)", "sampled", "1024+ (paper)", "sampled",
+        "domain",
+        "1-32 (paper)",
+        "sampled",
+        "33-1023 (paper)",
+        "sampled",
+        "1024+ (paper)",
+        "sampled",
     ]);
     let mut rng = StdRng::seed_from_u64(4);
     for d in domains {

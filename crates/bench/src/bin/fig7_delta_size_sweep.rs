@@ -44,8 +44,16 @@ fn main() {
     );
 
     let t = TablePrinter::new(&[
-        "N_D", "updDelta cpt", "unopt S1", "unopt S2", "opt S1", "opt S2", "unopt total",
-        "opt total", "S2 speedup", "merge speedup",
+        "N_D",
+        "updDelta cpt",
+        "unopt S1",
+        "unopt S2",
+        "opt S1",
+        "opt S2",
+        "unopt total",
+        "opt total",
+        "S2 speedup",
+        "merge speedup",
     ]);
 
     // Main partition is reused across delta sizes (same as the paper's

@@ -48,17 +48,38 @@ fn main() {
     let n_m = args.usize("nm", 10_000_000);
     let threads = args.usize("threads", default_threads());
     let hz = quick_hz();
-    let fracs: &[f64] = if args.flag("quick") { &[0.01] } else { &[0.01, 0.03] };
+    let fracs: &[f64] = if args.flag("quick") {
+        &[0.01]
+    } else {
+        &[0.01, 0.03]
+    };
 
     banner(
         "Figure 8 — update cost vs value-length (4/8/16B), delta size, uniqueness",
         "N_M=100M, N_D in {1M,3M}, lambda in {1%,100%}, optimized parallel merge",
-        &format!("N_M={}, N_D in {{1%,3%}} of N_M, {} threads, {:.2} GHz", fmt_count(n_m), threads, hz / 1e9),
+        &format!(
+            "N_M={}, N_D in {{1%,3%}} of N_M, {} threads, {:.2} GHz",
+            fmt_count(n_m),
+            threads,
+            hz / 1e9
+        ),
     );
 
     for lambda in [0.01, 1.0] {
-        println!("--- ({}) {}% unique values ---", if lambda < 0.5 { "a" } else { "b" }, lambda * 100.0);
-        let t = TablePrinter::new(&["E_j", "N_D", "unique", "updDelta cpt", "step1 cpt", "step2 cpt", "total cpt"]);
+        println!(
+            "--- ({}) {}% unique values ---",
+            if lambda < 0.5 { "a" } else { "b" },
+            lambda * 100.0
+        );
+        let t = TablePrinter::new(&[
+            "E_j",
+            "N_D",
+            "unique",
+            "updDelta cpt",
+            "step1 cpt",
+            "step2 cpt",
+            "total cpt",
+        ]);
         for &frac in fracs {
             run_case::<u32>(&t, n_m, frac, lambda, threads, hz);
             run_case::<u64>(&t, n_m, frac, lambda, threads, hz);

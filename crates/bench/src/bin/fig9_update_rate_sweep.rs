@@ -18,7 +18,9 @@ use hyrise_bench::{
     time_delta_updates, Args, TablePrinter,
 };
 use hyrise_core::parallel::merge_column_parallel;
-use hyrise_core::rate::{updates_per_second, HIGH_TARGET_UPDATES_PER_SEC, LOW_TARGET_UPDATES_PER_SEC};
+use hyrise_core::rate::{
+    updates_per_second, HIGH_TARGET_UPDATES_PER_SEC, LOW_TARGET_UPDATES_PER_SEC,
+};
 
 fn main() {
     let args = Args::from_env();
@@ -47,8 +49,15 @@ fn main() {
     );
 
     let t = TablePrinter::new(&[
-        "lambda", "N_M", "N_D", "updDelta cpt", "merge cpt", "total cpt", "aux bytes",
-        "K upd/s", "vs targets",
+        "lambda",
+        "N_M",
+        "N_D",
+        "updDelta cpt",
+        "merge cpt",
+        "total cpt",
+        "aux bytes",
+        "K upd/s",
+        "vs targets",
     ]);
     for &lambda in &lambdas {
         for &n_m in &mains {

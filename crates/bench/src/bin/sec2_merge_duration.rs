@@ -62,7 +62,11 @@ fn main() {
                 &fmt_count(dc),
                 &format!("{:.1}", naive.stats.t_total().as_secs_f64() * 1e3),
                 &format!("{:.1}", opt.stats.t_total().as_secs_f64() * 1e3),
-                &format!("{:.1}x", naive.stats.t_total().as_secs_f64() / opt.stats.t_total().as_secs_f64().max(1e-12)),
+                &format!(
+                    "{:.1}x",
+                    naive.stats.t_total().as_secs_f64()
+                        / opt.stats.t_total().as_secs_f64().max(1e-12)
+                ),
             ]);
         }
     }

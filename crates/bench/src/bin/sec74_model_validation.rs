@@ -34,11 +34,21 @@ fn main() {
     banner(
         "Section 7.4 — analytical model vs measurement",
         "N_M=100M, N_D=1M, E_j=8B; model within 1-10% of measured per-step cost",
-        &format!("N_M={}, N_D={}, {} threads, calibrated constants above", fmt_count(n_m), fmt_count(n_d), threads),
+        &format!(
+            "N_M={}, N_D={}, {} threads, calibrated constants above",
+            fmt_count(n_m),
+            fmt_count(n_d),
+            threads
+        ),
     );
 
     let t = TablePrinter::new(&[
-        "unique", "step", "measured cpt", "model cpt", "error", "regime",
+        "unique",
+        "step",
+        "measured cpt",
+        "model cpt",
+        "error",
+        "regime",
     ]);
     for lambda in [0.01f64, 1.0] {
         let (main, _) = build_column::<u64>(n_m, 1, lambda, lambda, 55);
@@ -49,10 +59,26 @@ fn main() {
         let pred = m.predict(&scenario);
 
         let rows = [
-            ("Step 1", out.stats.step1_cycles_per_tuple(m.hz), pred.step1a_cpt + pred.step1b_cpt,
-                if pred.step1b_compute_bound { "compute" } else { "bandwidth" }),
-            ("Step 2", out.stats.step2_cycles_per_tuple(m.hz), pred.step2_cpt,
-                if pred.aux_fits_cache { "aux-in-cache" } else { "aux-in-memory" }),
+            (
+                "Step 1",
+                out.stats.step1_cycles_per_tuple(m.hz),
+                pred.step1a_cpt + pred.step1b_cpt,
+                if pred.step1b_compute_bound {
+                    "compute"
+                } else {
+                    "bandwidth"
+                },
+            ),
+            (
+                "Step 2",
+                out.stats.step2_cycles_per_tuple(m.hz),
+                pred.step2_cpt,
+                if pred.aux_fits_cache {
+                    "aux-in-cache"
+                } else {
+                    "aux-in-memory"
+                },
+            ),
         ];
         for (name, measured, model, regime) in rows {
             let err = (measured - model).abs() / model.max(1e-12) * 100.0;

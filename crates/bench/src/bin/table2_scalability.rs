@@ -48,21 +48,38 @@ fn main() {
     banner(
         "Table 2 — parallel scalability per step (1T vs NT)",
         "N_M=100M, N_D=1M, E_j=8B; 1 vs 6 threads on one socket; 2-socket scaling 1.8-2.0x",
-        &format!("N_M={}, N_D={}, 1 vs {} threads, {:.2} GHz (single machine; no socket column)",
-            fmt_count(n_m), fmt_count(n_d), nt, hz / 1e9),
+        &format!(
+            "N_M={}, N_D={}, 1 vs {} threads, {:.2} GHz (single machine; no socket column)",
+            fmt_count(n_m),
+            fmt_count(n_d),
+            nt,
+            hz / 1e9
+        ),
     );
 
     type PaperRows = [(f64, f64, f64); 3];
     let paper: [(&str, PaperRows); 2] = [
-        ("1%", [(4.52, 0.87, 5.2), (1.29, 0.30, 4.3), (3.89, 1.85, 2.1)]),
-        ("100%", [(20.63, 4.21, 4.9), (20.92, 6.97, 3.0), (66.21, 15.0, 4.4)]),
+        (
+            "1%",
+            [(4.52, 0.87, 5.2), (1.29, 0.30, 4.3), (3.89, 1.85, 2.1)],
+        ),
+        (
+            "100%",
+            [(20.63, 4.21, 4.9), (20.92, 6.97, 3.0), (66.21, 15.0, 4.4)],
+        ),
     ];
 
     for (case, (label, paper_rows)) in [(0.01f64, paper[0]), (1.0, paper[1])] {
         let lambda = case;
         println!("--- {} unique values ---", label);
         let t = TablePrinter::new(&[
-            "step", "1T cpt", &format!("{nt}T cpt"), "scaling", "paper 1T", "paper 6T", "paper scaling",
+            "step",
+            "1T cpt",
+            &format!("{nt}T cpt"),
+            "scaling",
+            "paper 1T",
+            "paper 6T",
+            "paper scaling",
         ]);
         let (main, _) = build_column::<u64>(n_m, 1, lambda, lambda, 21);
         let vals = delta_values::<u64>(n_d, lambda, main.dictionary().len(), 22);
@@ -74,8 +91,8 @@ fn main() {
         let t_par = parallel_delta_update(&vals, nt);
         let upd1 = cpt(t1, total, hz);
         let upd_nt = cpt(t_par, total, hz); // nt columns done in t_par => per-column cost /nt... see below
-        // t_par processed nt columns; per-column wall cost is t_par, but the
-        // per-column *throughput* cost is t_par / nt.
+                                            // t_par processed nt columns; per-column wall cost is t_par, but the
+                                            // per-column *throughput* cost is t_par / nt.
         let upd_nt = upd_nt / nt as f64;
 
         let (delta, _) = time_delta_updates(&vals);
@@ -84,8 +101,16 @@ fn main() {
 
         let rows = [
             ("Update Delta", upd1, upd_nt),
-            ("Step 1", serial.stats.step1_cycles_per_tuple(hz), par.stats.step1_cycles_per_tuple(hz)),
-            ("Step 2", serial.stats.step2_cycles_per_tuple(hz), par.stats.step2_cycles_per_tuple(hz)),
+            (
+                "Step 1",
+                serial.stats.step1_cycles_per_tuple(hz),
+                par.stats.step1_cycles_per_tuple(hz),
+            ),
+            (
+                "Step 2",
+                serial.stats.step2_cycles_per_tuple(hz),
+                par.stats.step2_cycles_per_tuple(hz),
+            ),
         ];
         for ((name, c1, cn), (p1, p6, ps)) in rows.iter().zip(paper_rows) {
             t.row(&[

@@ -42,7 +42,10 @@ impl Args {
     pub fn usize(&self, key: &str, default: usize) -> usize {
         self.map
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer"))
+            })
             .unwrap_or(default)
     }
 
@@ -50,7 +53,10 @@ impl Args {
     pub fn f64(&self, key: &str, default: f64) -> f64 {
         self.map
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects a number"))
+            })
             .unwrap_or(default)
     }
 
@@ -142,7 +148,10 @@ pub fn quick_hz() -> f64 {
         if let Ok(text) = std::fs::read_to_string("/proc/cpuinfo") {
             for line in text.lines() {
                 if line.starts_with("cpu MHz") {
-                    if let Some(v) = line.split(':').nth(1).and_then(|s| s.trim().parse::<f64>().ok())
+                    if let Some(v) = line
+                        .split(':')
+                        .nth(1)
+                        .and_then(|s| s.trim().parse::<f64>().ok())
                     {
                         if v > 100.0 {
                             return v * 1e6;
@@ -166,7 +175,14 @@ impl TablePrinter {
         let widths: Vec<usize> = headers.iter().map(|h| h.len().max(12)).collect();
         let p = Self { widths };
         p.row(headers);
-        println!("{}", p.widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        println!(
+            "{}",
+            p.widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-")
+        );
         p
     }
 
@@ -218,10 +234,19 @@ mod tests {
     #[test]
     fn delta_overlaps_main_domain() {
         let (main, delta) = build_column::<u64>(10_000, 1_000, 0.1, 0.2, 2);
-        let in_main =
-            delta.sorted_unique().iter().filter(|v| main.dictionary().code_of(v).is_some()).count();
-        assert!(in_main > 0, "some delta values must already be in the main dictionary");
-        assert!(in_main < delta.unique_len(), "some delta values must be new");
+        let in_main = delta
+            .sorted_unique()
+            .iter()
+            .filter(|v| main.dictionary().code_of(v).is_some())
+            .count();
+        assert!(
+            in_main > 0,
+            "some delta values must already be in the main dictionary"
+        );
+        assert!(
+            in_main < delta.unique_len(),
+            "some delta values must be new"
+        );
     }
 
     #[test]

@@ -44,9 +44,17 @@ impl BitRegion<'_> {
     /// If `i >= len()` or `value` does not fit the width.
     #[inline]
     pub fn set(&mut self, i: usize, value: u64) {
-        assert!(i < self.len, "local index {i} out of region bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "local index {i} out of region bounds (len {})",
+            self.len
+        );
         let mask = max_value_for_bits(self.bits);
-        assert!(value <= mask, "value {value} does not fit in {} bits", self.bits);
+        assert!(
+            value <= mask,
+            "value {value} does not fit in {} bits",
+            self.bits
+        );
         set_in_words(self.words, self.bits, i, value);
     }
 
@@ -131,7 +139,12 @@ impl BitPackedVec {
             let (mine, rest) = words.split_at_mut(take.min(words.len()));
             words = rest;
             words_consumed += mine.len();
-            regions.push(BitRegion { words: mine, bits, start_index: start, len: n });
+            regions.push(BitRegion {
+                words: mine,
+                bits,
+                start_index: start,
+                len: n,
+            });
             start = end;
         }
         RegionSplit { regions }
@@ -162,9 +175,16 @@ mod tests {
 
     #[test]
     fn regions_cover_exactly_once() {
-        for &(len, pieces) in
-            &[(0usize, 4usize), (1, 4), (63, 4), (64, 4), (65, 4), (1000, 7), (4096, 16), (100, 1)]
-        {
+        for &(len, pieces) in &[
+            (0usize, 4usize),
+            (1, 4),
+            (63, 4),
+            (64, 4),
+            (65, 4),
+            (1000, 7),
+            (4096, 16),
+            (100, 1),
+        ] {
             let mut v = BitPackedVec::zeroed(5, len);
             let regions = v.split_mut(pieces).into_regions();
             let mut covered = 0usize;

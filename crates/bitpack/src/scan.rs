@@ -149,8 +149,9 @@ mod tests {
 
     fn sample(bits: u8, n: usize) -> (BitPackedVec, Vec<u64>) {
         let mask = max_value_for_bits(bits);
-        let data: Vec<u64> =
-            (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask).collect();
+        let data: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask)
+            .collect();
         (BitPackedVec::from_slice(bits, &data), data)
     }
 
@@ -171,8 +172,12 @@ mod tests {
     fn positions_eq_matches_filter() {
         let (v, data) = sample(5, 1000);
         for code in [0u64, 7, 31] {
-            let want: Vec<usize> =
-                data.iter().enumerate().filter(|(_, x)| **x == code).map(|(i, _)| i).collect();
+            let want: Vec<usize> = data
+                .iter()
+                .enumerate()
+                .filter(|(_, x)| **x == code)
+                .map(|(i, _)| i)
+                .collect();
             assert_eq!(v.positions_eq(code), want, "code {code}");
         }
     }

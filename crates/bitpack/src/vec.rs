@@ -40,21 +40,42 @@ impl BitPackedVec {
     /// # Panics
     /// If `bits` is not in `1..=64`.
     pub fn new(bits: u8) -> Self {
-        assert!((1..=64).contains(&bits), "bits must be in 1..=64, got {bits}");
-        Self { words: Vec::new(), len: 0, bits }
+        assert!(
+            (1..=64).contains(&bits),
+            "bits must be in 1..=64, got {bits}"
+        );
+        Self {
+            words: Vec::new(),
+            len: 0,
+            bits,
+        }
     }
 
     /// An empty vector with room for `capacity` values before reallocating.
     pub fn with_capacity(bits: u8, capacity: usize) -> Self {
-        assert!((1..=64).contains(&bits), "bits must be in 1..=64, got {bits}");
-        Self { words: Vec::with_capacity(words_for(capacity, bits)), len: 0, bits }
+        assert!(
+            (1..=64).contains(&bits),
+            "bits must be in 1..=64, got {bits}"
+        );
+        Self {
+            words: Vec::with_capacity(words_for(capacity, bits)),
+            len: 0,
+            bits,
+        }
     }
 
     /// A vector of `len` zero values. Used as the pre-sized output buffer of
     /// the parallel Step 2 (each thread fills its own region).
     pub fn zeroed(bits: u8, len: usize) -> Self {
-        assert!((1..=64).contains(&bits), "bits must be in 1..=64, got {bits}");
-        Self { words: vec![0u64; words_for(len, bits)], len, bits }
+        assert!(
+            (1..=64).contains(&bits),
+            "bits must be in 1..=64, got {bits}"
+        );
+        Self {
+            words: vec![0u64; words_for(len, bits)],
+            len,
+            bits,
+        }
     }
 
     /// Build from a slice of already-valid codes.
@@ -123,7 +144,11 @@ impl BitPackedVec {
     pub fn set(&mut self, i: usize, value: u64) {
         assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
         let mask = max_value_for_bits(self.bits);
-        assert!(value <= mask, "value {value} does not fit in {} bits", self.bits);
+        assert!(
+            value <= mask,
+            "value {value} does not fit in {} bits",
+            self.bits
+        );
         set_in_words(&mut self.words, self.bits, i, value);
     }
 
@@ -134,7 +159,11 @@ impl BitPackedVec {
     #[inline]
     pub fn push(&mut self, value: u64) {
         let mask = max_value_for_bits(self.bits);
-        assert!(value <= mask, "value {value} does not fit in {} bits", self.bits);
+        assert!(
+            value <= mask,
+            "value {value} does not fit in {} bits",
+            self.bits
+        );
         let i = self.len;
         self.len += 1;
         let needed = words_for(self.len, self.bits);
@@ -374,8 +403,9 @@ mod tests {
     fn iterator_matches_get_for_every_width() {
         for bits in 1..=64u8 {
             let mask = max_value_for_bits(bits);
-            let data: Vec<u64> =
-                (0..130u64).map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) & mask).collect();
+            let data: Vec<u64> = (0..130u64)
+                .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) & mask)
+                .collect();
             let v = BitPackedVec::from_slice(bits, &data);
             let decoded: Vec<u64> = v.iter().collect();
             assert_eq!(decoded, data, "width {bits}");

@@ -36,11 +36,11 @@ pub mod stats;
 mod step1;
 
 pub use manager::{MergeCancelled, MergePolicy, MergeSession, OnlineTable};
-pub use scheduler::{MergeScheduler, SchedulerStats};
 pub use model::{calibrate, MachineProfile, MergeScenario, ModelPrediction};
 pub use naive::merge_column_naive;
 pub use optimized::merge_column_optimized;
 pub use parallel::{merge_column_parallel, merge_table_parallel};
 pub use rate::{update_rate, updates_per_second};
+pub use scheduler::{MergeScheduler, SchedulerStats};
 pub use stats::{ColumnMergeStats, MergeAlgo, MergeOutput, TableMergeStats};
 pub use step1::{merge_dictionaries, DictMerge};

@@ -44,7 +44,10 @@ pub struct MergePolicy {
 
 impl Default for MergePolicy {
     fn default() -> Self {
-        Self { delta_fraction: 0.05, threads: std::thread::available_parallelism().map_or(4, |n| n.get()) }
+        Self {
+            delta_fraction: 0.05,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
     }
 }
 
@@ -80,7 +83,11 @@ impl<V: Value> OnlineColumn<V> {
         }
         let nf = self.frozen.as_ref().map_or(0, |f| f.len());
         if row < nm + nf {
-            return self.frozen.as_ref().expect("frozen checked non-empty").get(row - nm);
+            return self
+                .frozen
+                .as_ref()
+                .expect("frozen checked non-empty")
+                .get(row - nm);
         }
         self.active.get(row - nm - nf)
     }
@@ -111,7 +118,10 @@ impl<V: Value> OnlineTable<V> {
             })
             .collect();
         Self {
-            state: RwLock::new(State { cols, validity: ValidityBitmap::new() }),
+            state: RwLock::new(State {
+                cols,
+                validity: ValidityBitmap::new(),
+            }),
             merge_gate: Mutex::new(()),
         }
     }
@@ -120,13 +130,23 @@ impl<V: Value> OnlineTable<V> {
     pub fn from_mains(mains: Vec<MainPartition<V>>) -> Self {
         assert!(!mains.is_empty(), "a table needs at least one column");
         let len = mains[0].len();
-        assert!(mains.iter().all(|m| m.len() == len), "all columns must have equal length");
+        assert!(
+            mains.iter().all(|m| m.len() == len),
+            "all columns must have equal length"
+        );
         let cols = mains
             .into_iter()
-            .map(|m| OnlineColumn { main: Arc::new(m), frozen: None, active: DeltaPartition::new() })
+            .map(|m| OnlineColumn {
+                main: Arc::new(m),
+                frozen: None,
+                active: DeltaPartition::new(),
+            })
             .collect();
         Self {
-            state: RwLock::new(State { cols, validity: ValidityBitmap::all_valid(len) }),
+            state: RwLock::new(State {
+                cols,
+                validity: ValidityBitmap::all_valid(len),
+            }),
             merge_gate: Mutex::new(()),
         }
     }
@@ -151,7 +171,11 @@ impl<V: Value> OnlineTable<V> {
     /// concurrent with a running merge by design.
     pub fn insert_row(&self, values: &[V]) -> usize {
         let mut st = self.state.write();
-        assert_eq!(values.len(), st.cols.len(), "row arity must match column count");
+        assert_eq!(
+            values.len(),
+            st.cols.len(),
+            "row arity must match column count"
+        );
         let mut row = 0usize;
         let nm_nf: Vec<usize> = st
             .cols
@@ -210,7 +234,10 @@ impl<V: Value> OnlineTable<V> {
         let (nd, nm) = {
             let st = self.state.read();
             let c = &st.cols[0];
-            (c.frozen.as_ref().map_or(0, |f| f.len()) + c.active.len(), c.main.len())
+            (
+                c.frozen.as_ref().map_or(0, |f| f.len()) + c.active.len(),
+                c.main.len(),
+            )
         };
         if nm == 0 {
             if nd == 0 {
@@ -233,7 +260,11 @@ impl<V: Value> OnlineTable<V> {
     /// (commit). `cancel`, when set during the merge, aborts it and restores
     /// the pre-merge delta — the table is then exactly as if the merge had
     /// never started.
-    pub fn merge(&self, threads: usize, cancel: Option<&AtomicBool>) -> Result<TableMergeStats, MergeCancelled> {
+    pub fn merge(
+        &self,
+        threads: usize,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<TableMergeStats, MergeCancelled> {
         let _gate = self.merge_gate.lock();
         let t_wall = std::time::Instant::now();
 
@@ -297,7 +328,9 @@ impl<V: Value> OnlineTable<V> {
         {
             let mut st = self.state.write();
             for (c, slot) in st.cols.iter_mut().zip(slots) {
-                let out = slot.into_inner().expect("uncancelled merge fills every slot");
+                let out = slot
+                    .into_inner()
+                    .expect("uncancelled merge fills every slot");
                 c.main = Arc::new(out.main);
                 c.frozen = None;
                 stats.columns.push(out.stats);
@@ -398,7 +431,10 @@ impl<V: Value> MergeSession<'_, V> {
         let (main, frozen) = {
             let st = self.table.state.read();
             let col = &st.cols[c];
-            (Arc::clone(&col.main), Arc::clone(col.frozen.as_ref().expect("session froze all columns")))
+            (
+                Arc::clone(&col.main),
+                Arc::clone(col.frozen.as_ref().expect("session froze all columns")),
+            )
         };
         let out = merge_column_parallel(&main, &frozen, self.threads);
         {
@@ -581,12 +617,18 @@ mod tests {
     fn policy_trigger() {
         let t = table_with_rows(1, 100);
         t.merge(1, None).unwrap();
-        let policy = MergePolicy { delta_fraction: 0.05, threads: 2 };
+        let policy = MergePolicy {
+            delta_fraction: 0.05,
+            threads: 2,
+        };
         assert!(!t.should_merge(&policy));
         for i in 0..5 {
             t.insert_row(&[i]);
         }
-        assert!(!t.should_merge(&policy), "exactly 5% is not strictly greater");
+        assert!(
+            !t.should_merge(&policy),
+            "exactly 5% is not strictly greater"
+        );
         t.insert_row(&[6]);
         assert!(t.should_merge(&policy));
         assert!(t.maybe_merge(&policy).is_some());
@@ -619,7 +661,7 @@ mod tests {
         let t = table_with_rows(3, 1_000);
         let mut s = t.begin_incremental_merge(2);
         assert!(s.step()); // one column committed, two still frozen
-        // Reads span merged and unmerged columns.
+                           // Reads span merged and unmerged columns.
         assert_eq!(t.row(500), vec![5_000, 5_001, 5_002]);
         // Writes land in the second delta.
         t.insert_row(&[7, 8, 9]);
@@ -627,7 +669,11 @@ mod tests {
         let stats = s.finish();
         assert_eq!(stats.columns.len(), 3);
         assert_eq!(t.main_len(), 1_000);
-        assert_eq!(t.delta_len(), 1, "the mid-session insert remains in the delta");
+        assert_eq!(
+            t.delta_len(),
+            1,
+            "the mid-session insert remains in the delta"
+        );
         assert_eq!(t.row(1_000), vec![7, 8, 9]);
     }
 
@@ -637,17 +683,23 @@ mod tests {
         {
             let mut s = t.begin_incremental_merge(2);
             assert!(s.step()); // column 0 commits
-            // dropped here without finish(): columns 1..3 roll back
+                               // dropped here without finish(): columns 1..3 roll back
         }
         // Column 0 merged; the others kept their delta. Table fully readable.
         for r in (0..800).step_by(61) {
-            assert_eq!(t.row(r), vec![r as u64 * 10, r as u64 * 10 + 1, r as u64 * 10 + 2]);
+            assert_eq!(
+                t.row(r),
+                vec![r as u64 * 10, r as u64 * 10 + 1, r as u64 * 10 + 2]
+            );
         }
         // A fresh full merge still works (no stuck frozen deltas).
         t.merge(2, None).unwrap();
         assert_eq!(t.delta_len(), 0);
         for r in (0..800).step_by(61) {
-            assert_eq!(t.row(r), vec![r as u64 * 10, r as u64 * 10 + 1, r as u64 * 10 + 2]);
+            assert_eq!(
+                t.row(r),
+                vec![r as u64 * 10, r as u64 * 10 + 1, r as u64 * 10 + 2]
+            );
         }
     }
 
@@ -676,7 +728,10 @@ mod tests {
         let t2 = std::sync::Arc::clone(&t);
         let h = std::thread::spawn(move || t2.merge(1, None).map(|s| s.columns.len()));
         std::thread::sleep(Duration::from_millis(50));
-        assert!(!h.is_finished(), "merge must block while the session is alive");
+        assert!(
+            !h.is_finished(),
+            "merge must block while the session is alive"
+        );
         let _ = s.finish();
         assert_eq!(h.join().unwrap().unwrap(), 2);
     }

@@ -181,7 +181,8 @@ impl MachineProfile {
         let mut traffic = ej * (s.u_m + s.u_d + s.u_merged) as f64 + aux_traffic; // Eq. 9
         traffic += ej * s.u_merged as f64 + aux_traffic; // Eq. 10
         if s.threads > 1 {
-            traffic += ej * (s.u_m + s.u_d) as f64 + 2.0 * ej * s.u_merged as f64; // Eq. 15
+            traffic += ej * (s.u_m + s.u_d) as f64 + 2.0 * ej * s.u_merged as f64;
+            // Eq. 15
         }
         if self.charge_zero_init {
             // vec![0; ..] passes over the merged dictionary and aux tables.
@@ -210,7 +211,13 @@ impl MachineProfile {
         }
         let step2_cpt = (gather + stream_in + stream_out) / n;
 
-        ModelPrediction { step1a_cpt, step1b_cpt, step2_cpt, aux_fits_cache, step1b_compute_bound }
+        ModelPrediction {
+            step1a_cpt,
+            step1b_cpt,
+            step2_cpt,
+            aux_fits_cache,
+            step1b_compute_bound,
+        }
     }
 }
 
@@ -300,7 +307,9 @@ fn measure_random_bytes_per_sec(threads: usize, bytes_per_thread: usize, cache_l
             let mut idx = Vec::with_capacity(accesses);
             let mut x = 0x9E37_79B9u64 + t as u64;
             for _ in 0..accesses {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 idx.push((x % words as u64) as u32);
             }
             (data, idx)
@@ -407,7 +416,11 @@ mod tests {
         };
         let p = m.predict(&s);
         // (4*8*1M/7 + 132*1M/5) / 101M = 0.306 cpt (Equation 17)
-        assert!((p.step1a_cpt - 0.306).abs() < 0.01, "step1a = {}", p.step1a_cpt);
+        assert!(
+            (p.step1a_cpt - 0.306).abs() < 0.01,
+            "step1a = {}",
+            p.step1a_cpt
+        );
         assert!(!p.aux_fits_cache, "404 MB of aux cannot fit a 12 MB LLC");
     }
 
@@ -515,10 +528,21 @@ mod tests {
             threads: 6,
             aux_entry_bytes: 4,
         };
-        let big = MergeScenario { u_m: 10_000_000, u_merged: 10_005_000, bits_before: 24, bits_after: 24, ..small };
+        let big = MergeScenario {
+            u_m: 10_000_000,
+            u_merged: 10_005_000,
+            bits_before: 24,
+            bits_after: 24,
+            ..small
+        };
         let ps = m.predict(&small);
         let pb = m.predict(&big);
         assert!(ps.aux_fits_cache && !pb.aux_fits_cache);
-        assert!(pb.step2_cpt > 3.0 * ps.step2_cpt, "cliff: {} vs {}", pb.step2_cpt, ps.step2_cpt);
+        assert!(
+            pb.step2_cpt > 3.0 * ps.step2_cpt,
+            "cliff: {} vs {}",
+            pb.step2_cpt,
+            ps.step2_cpt
+        );
     }
 }

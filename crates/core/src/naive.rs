@@ -84,7 +84,9 @@ pub fn merge_column_naive<V: Value>(
                     } else {
                         delta_values[idx - n_m]
                     };
-                    merged.binary_search(&value).expect("merged dictionary must contain value") as u64
+                    merged
+                        .binary_search(&value)
+                        .expect("merged dictionary must contain value") as u64
                 });
             });
         }
@@ -106,7 +108,10 @@ pub fn merge_column_naive<V: Value>(
         t_step2,
     };
     let dict = Dictionary::from_sorted_unique(merged);
-    MergeOutput { main: MainPartition::from_parts(dict, codes), stats }
+    MergeOutput {
+        main: MainPartition::from_parts(dict, codes),
+        stats,
+    }
 }
 
 #[cfg(test)]

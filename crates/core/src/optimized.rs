@@ -77,7 +77,10 @@ pub fn merge_column_optimized<V: Value>(
         t_step2,
     };
     let dict = Dictionary::from_sorted_unique(dm.merged);
-    MergeOutput { main: MainPartition::from_parts(dict, codes), stats }
+    MergeOutput {
+        main: MainPartition::from_parts(dict, codes),
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -175,7 +178,10 @@ mod tests {
         let mut delta = DeltaPartition::new();
         delta.insert(2u32);
         let out = merge_column_optimized(&main, &delta);
-        assert_eq!((0..3).map(|i| out.main.get(i)).collect::<Vec<_>>(), vec![3, 1, 2]);
+        assert_eq!(
+            (0..3).map(|i| out.main.get(i)).collect::<Vec<_>>(),
+            vec![3, 1, 2]
+        );
 
         let main = MainPartition::from_values(&[V16::from_seed(3)]);
         let mut delta = DeltaPartition::new();

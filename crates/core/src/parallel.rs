@@ -53,7 +53,10 @@ pub fn compress_delta_parallel<V: Value>(
     delta: &DeltaPartition<V>,
     threads: usize,
 ) -> CompressedDelta<V> {
-    compress_delta_parallel_exact(delta, effective_threads(threads, delta.len(), MIN_TUPLES_PER_THREAD))
+    compress_delta_parallel_exact(
+        delta,
+        effective_threads(threads, delta.len(), MIN_TUPLES_PER_THREAD),
+    )
 }
 
 /// As [`compress_delta_parallel`] but with exactly `threads` workers, no
@@ -222,7 +225,11 @@ fn merge_range_write<V: Value>(
 /// thread. Produces output identical to [`merge_dictionaries`].
 pub fn merge_dictionaries_parallel<V: Value>(u_m: &[V], u_d: &[V], threads: usize) -> DictMerge<V> {
     let total = u_m.len() + u_d.len();
-    merge_dictionaries_parallel_exact(u_m, u_d, effective_threads(threads, total, MIN_DICT_PER_THREAD))
+    merge_dictionaries_parallel_exact(
+        u_m,
+        u_d,
+        effective_threads(threads, total, MIN_DICT_PER_THREAD),
+    )
 }
 
 /// As [`merge_dictionaries_parallel`] but with exactly `threads` workers, no
@@ -282,7 +289,9 @@ pub fn merge_dictionaries_parallel_exact<V: Value>(
         }
         std::thread::scope(|s| {
             for (start, end, base, m_slice, xm_slice, xd_slice) in tasks {
-                s.spawn(move || merge_range_write(u_m, u_d, start, end, base, m_slice, xm_slice, xd_slice));
+                s.spawn(move || {
+                    merge_range_write(u_m, u_d, start, end, base, m_slice, xm_slice, xd_slice)
+                });
             }
         });
     }
@@ -369,7 +378,10 @@ pub fn merge_column_parallel<V: Value>(
         t_step2,
     };
     let dict = Dictionary::from_sorted_unique(dm.merged);
-    MergeOutput { main: MainPartition::from_parts(dict, codes), stats }
+    MergeOutput {
+        main: MainPartition::from_parts(dict, codes),
+        stats,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -412,7 +424,8 @@ pub fn merge_table_parallel(table: &mut Table, threads: usize) -> TableMergeStat
     let t_wall = Instant::now();
     let n_cols = table.num_columns();
     let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<(PendingMain, ColumnMergeStats)>> = (0..n_cols).map(|_| None).collect();
+    let mut results: Vec<Option<(PendingMain, ColumnMergeStats)>> =
+        (0..n_cols).map(|_| None).collect();
 
     {
         // Collect results through per-column slots; each slot is written by
@@ -478,7 +491,13 @@ mod tests {
     #[test]
     fn parallel_dict_merge_equals_serial_small_and_large() {
         let mut next = xorshift(42);
-        for (na, nb) in [(0usize, 10usize), (10, 0), (100, 77), (5000, 4000), (9000, 12000)] {
+        for (na, nb) in [
+            (0usize, 10usize),
+            (10, 0),
+            (100, 77),
+            (5000, 4000),
+            (9000, 12000),
+        ] {
             let mut a: Vec<u64> = (0..na).map(|_| next() % 50_000).collect();
             a.sort_unstable();
             a.dedup();
@@ -556,7 +575,8 @@ mod tests {
         let schema = Schema::new(vec![("a", ColumnType::U64), ("b", ColumnType::U32)]);
         let mut t = Table::new("t", schema);
         for i in 0..500u64 {
-            t.insert_row(&[AnyValue::U64(i % 40), AnyValue::U32((i % 7) as u32)]).unwrap();
+            t.insert_row(&[AnyValue::U64(i % 40), AnyValue::U32((i % 7) as u32)])
+                .unwrap();
         }
         assert_eq!(t.delta_len(), 500);
         let stats = merge_table_parallel(&mut t, 4);
@@ -566,7 +586,10 @@ mod tests {
         assert_eq!(stats.columns.len(), 2);
         assert_eq!(stats.total_tuples(), 1000);
         // Data survives the merge.
-        assert_eq!(t.row(123).unwrap(), vec![AnyValue::U64(123 % 40), AnyValue::U32((123 % 7) as u32)]);
+        assert_eq!(
+            t.row(123).unwrap(),
+            vec![AnyValue::U64(123 % 40), AnyValue::U32((123 % 7) as u32)]
+        );
     }
 
     #[test]
@@ -578,7 +601,11 @@ mod tests {
         merge_table_parallel(&mut t, 2);
         assert!(!t.is_valid(r0));
         assert!(t.is_valid(r1));
-        assert_eq!(t.row(r0).unwrap(), vec![AnyValue::U64(1)], "history survives merge");
+        assert_eq!(
+            t.row(r0).unwrap(),
+            vec![AnyValue::U64(1)],
+            "history survives merge"
+        );
         assert_eq!(t.row(r1).unwrap(), vec![AnyValue::U64(2)]);
     }
 

@@ -115,13 +115,19 @@ mod tests {
             assert_eq!(bounds[0], (0, 0));
             assert_eq!(*bounds.last().unwrap(), (a.len(), b.len()));
             for w in bounds.windows(2) {
-                assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1, "boundaries must be monotone");
+                assert!(
+                    w[0].0 <= w[1].0 && w[0].1 <= w[1].1,
+                    "boundaries must be monotone"
+                );
             }
             // Pieces are near-equal in combined size.
             for w in bounds.windows(2) {
                 let size = (w[1].0 - w[0].0) + (w[1].1 - w[0].1);
                 let target = (a.len() + b.len()).div_ceil(pieces);
-                assert!(size <= target + 1, "piece of {size} exceeds target {target}");
+                assert!(
+                    size <= target + 1,
+                    "piece of {size} exceeds target {target}"
+                );
             }
         }
     }

@@ -148,7 +148,10 @@ mod tests {
         insert_rows(&table, 10_000, 0);
         table.merge(2, None).unwrap();
 
-        let policy = MergePolicy { delta_fraction: 0.01, threads: 2 };
+        let policy = MergePolicy {
+            delta_fraction: 0.01,
+            threads: 2,
+        };
         let sched = MergeScheduler::spawn(Arc::clone(&table), policy, Duration::from_millis(5));
         // Push past the trigger and wait for the daemon.
         insert_rows(&table, 500, 1_000_000);
@@ -159,7 +162,10 @@ mod tests {
         sched.shutdown();
         let stats = sched.stats();
         assert!(stats.merges >= 1, "daemon must have merged");
-        assert!(stats.tuples_merged >= 500 * 2, "both columns' delta tuples counted");
+        assert!(
+            stats.tuples_merged >= 500 * 2,
+            "both columns' delta tuples counted"
+        );
         assert_eq!(table.delta_len(), 0);
         assert_eq!(table.row_count(), 10_500);
     }
@@ -168,7 +174,10 @@ mod tests {
     fn paused_scheduler_does_not_merge() {
         let table = Arc::new(OnlineTable::<u64>::new(2));
         insert_rows(&table, 1_000, 0); // delta_fraction infinite: always triggered
-        let policy = MergePolicy { delta_fraction: 0.01, threads: 1 };
+        let policy = MergePolicy {
+            delta_fraction: 0.01,
+            threads: 1,
+        };
         let sched = MergeScheduler::spawn(Arc::clone(&table), policy, Duration::from_millis(2));
         sched.pause();
         assert!(sched.is_paused());
@@ -176,14 +185,24 @@ mod tests {
         std::thread::sleep(Duration::from_millis(100));
         // It may have completed at most one merge started before the pause.
         let before = sched.stats().merges;
-        assert!(before <= 1, "paused scheduler must not keep merging, ran {before}");
+        assert!(
+            before <= 1,
+            "paused scheduler must not keep merging, ran {before}"
+        );
+        // Refill the delta while paused: if the daemon won the race and merged
+        // everything before the pause landed, resume would otherwise have
+        // nothing to do and the test would hang on an empty delta.
+        insert_rows(&table, 1_000, 2_000_000);
         sched.resume();
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while sched.stats().merges == before && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
         sched.shutdown();
-        assert!(sched.stats().merges > before, "resume must re-enable merging");
+        assert!(
+            sched.stats().merges > before,
+            "resume must re-enable merging"
+        );
     }
 
     #[test]
@@ -202,7 +221,10 @@ mod tests {
         // Scheduler dropped: its table Arc released; ours remains.
         assert!(weak.upgrade().is_some());
         drop(table);
-        assert!(weak.upgrade().is_none(), "daemon thread must have released the table");
+        assert!(
+            weak.upgrade().is_none(),
+            "daemon thread must have released the table"
+        );
     }
 
     #[test]
@@ -210,7 +232,10 @@ mod tests {
         let table = Arc::new(OnlineTable::<u64>::new(2));
         insert_rows(&table, 5_000, 0);
         table.merge(2, None).unwrap();
-        let policy = MergePolicy { delta_fraction: 0.02, threads: 2 };
+        let policy = MergePolicy {
+            delta_fraction: 0.02,
+            threads: 2,
+        };
         let sched = MergeScheduler::spawn(Arc::clone(&table), policy, Duration::from_millis(1));
         let writer = {
             let table = Arc::clone(&table);
@@ -223,14 +248,20 @@ mod tests {
         writer.join().unwrap();
         // Let the scheduler drain the tail.
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
-        while table.delta_fraction() > policy.delta_fraction
-            && std::time::Instant::now() < deadline
+        while table.delta_fraction() > policy.delta_fraction && std::time::Instant::now() < deadline
         {
             std::thread::sleep(Duration::from_millis(10));
         }
         sched.shutdown();
-        assert_eq!(table.row_count(), 25_000, "no rows lost under daemon merging");
-        assert!(sched.stats().merges > 1, "sustained writes force repeated merges");
+        assert_eq!(
+            table.row_count(),
+            25_000,
+            "no rows lost under daemon merging"
+        );
+        assert!(
+            sched.stats().merges > 1,
+            "sustained writes force repeated merges"
+        );
         assert!(
             table.delta_fraction() <= policy.delta_fraction,
             "scheduler must keep the delta bounded"

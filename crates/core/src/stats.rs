@@ -170,7 +170,7 @@ mod tests {
     #[test]
     fn cycles_per_tuple_matches_hand_calc() {
         let s = stats(0, 0, 10); // 10ms for 1000 tuples
-        // at 1 GHz: 10ms = 1e7 cycles / 1000 tuples = 1e4 cpt
+                                 // at 1 GHz: 10ms = 1e7 cycles / 1000 tuples = 1e4 cpt
         assert!((s.cycles_per_tuple(1e9) - 1e4).abs() < 1.0);
         assert!((s.step2_cycles_per_tuple(1e9) - 1e4).abs() < 1.0);
         assert_eq!(s.step1_cycles_per_tuple(1e9), 0.0);

@@ -27,8 +27,14 @@ pub struct DictMerge<V> {
 /// When both pointers see the same value, it is "appended to the dictionary
 /// once and ... the same index will be added to the two mapping tables".
 pub fn merge_dictionaries<V: Value>(u_m: &[V], u_d: &[V]) -> DictMerge<V> {
-    debug_assert!(u_m.windows(2).all(|w| w[0] < w[1]), "U_M must be sorted unique");
-    debug_assert!(u_d.windows(2).all(|w| w[0] < w[1]), "U_D must be sorted unique");
+    debug_assert!(
+        u_m.windows(2).all(|w| w[0] < w[1]),
+        "U_M must be sorted unique"
+    );
+    debug_assert!(
+        u_d.windows(2).all(|w| w[0] < w[1]),
+        "U_D must be sorted unique"
+    );
 
     let mut merged = Vec::with_capacity(u_m.len() + u_d.len());
     let mut x_m = vec![0u32; u_m.len()];

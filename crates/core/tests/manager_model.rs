@@ -32,7 +32,9 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn row_of(seed: u64) -> Vec<u64> {
-    (0..COLS as u64).map(|c| seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(c)).collect()
+    (0..COLS as u64)
+        .map(|c| seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(c))
+        .collect()
 }
 
 #[derive(Default)]

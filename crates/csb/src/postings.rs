@@ -46,7 +46,10 @@ impl PostingsPool {
     /// Start a new list containing a single id — free of pool space.
     pub(crate) fn start(&mut self, id: u32) -> PostingsRef {
         debug_assert!(id < INLINE, "tuple ids must be < u32::MAX - 1");
-        PostingsRef { head: INLINE, tail: id }
+        PostingsRef {
+            head: INLINE,
+            tail: id,
+        }
     }
 
     /// Append an id to an existing list, returning the (possibly updated)
@@ -58,8 +61,15 @@ impl PostingsPool {
             let mut ids = [0u32; CHUNK_IDS];
             ids[0] = r.tail;
             ids[1] = id;
-            self.chunks.push(Chunk { ids, len: 2, next: NONE });
-            return PostingsRef { head: idx, tail: idx };
+            self.chunks.push(Chunk {
+                ids,
+                len: 2,
+                next: NONE,
+            });
+            return PostingsRef {
+                head: idx,
+                tail: idx,
+            };
         }
         let mut r = r;
         let tail = &mut self.chunks[r.tail as usize];
@@ -71,7 +81,11 @@ impl PostingsPool {
             let idx = self.chunks.len() as u32;
             let mut ids = [0u32; CHUNK_IDS];
             ids[0] = id;
-            self.chunks.push(Chunk { ids, len: 1, next: NONE });
+            self.chunks.push(Chunk {
+                ids,
+                len: 1,
+                next: NONE,
+            });
             self.chunks[r.tail as usize].next = idx;
             r.tail = idx;
             r
@@ -81,9 +95,19 @@ impl PostingsPool {
     /// Iterate a list in insertion order.
     pub(crate) fn iter(&self, r: PostingsRef) -> Postings<'_> {
         if r.head == INLINE {
-            Postings { pool: self, chunk: NONE, pos: 0, inline: Some(r.tail) }
+            Postings {
+                pool: self,
+                chunk: NONE,
+                pos: 0,
+                inline: Some(r.tail),
+            }
         } else {
-            Postings { pool: self, chunk: r.head, pos: 0, inline: None }
+            Postings {
+                pool: self,
+                chunk: r.head,
+                pos: 0,
+                inline: None,
+            }
         }
     }
 

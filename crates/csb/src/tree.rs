@@ -30,7 +30,10 @@ struct Leaf<K> {
     posts: [PostingsRef; LEAF_KEYS],
 }
 
-const EMPTY_POST: PostingsRef = PostingsRef { head: NONE, tail: NONE };
+const EMPTY_POST: PostingsRef = PostingsRef {
+    head: NONE,
+    tail: NONE,
+};
 
 enum RightNode<K> {
     Internal(Internal<K>),
@@ -92,7 +95,11 @@ impl<K: Copy + Ord + Default> CsbTree<K> {
         let start = self.leaves.len() as u32;
         self.leaves.resize(
             start as usize + size,
-            Leaf { n: 0, keys: [K::default(); LEAF_KEYS], posts: [EMPTY_POST; LEAF_KEYS] },
+            Leaf {
+                n: 0,
+                keys: [K::default(); LEAF_KEYS],
+                posts: [EMPTY_POST; LEAF_KEYS],
+            },
         );
         start
     }
@@ -105,7 +112,11 @@ impl<K: Copy + Ord + Default> CsbTree<K> {
         let start = self.internals.len() as u32;
         self.internals.resize(
             start as usize + size,
-            Internal { n: 0, child_start: NONE, keys: [K::default(); MAX_KEYS] },
+            Internal {
+                n: 0,
+                child_start: NONE,
+                keys: [K::default(); MAX_KEYS],
+            },
         );
         start
     }
@@ -247,8 +258,11 @@ impl<K: Copy + Ord + Default> CsbTree<K> {
             node.keys[..mid].copy_from_slice(&combined[..mid]);
             node.n = mid as u16;
             node.child_start = left_start;
-            let mut rnode =
-                Internal { n: (MAX_KEYS - mid) as u16, child_start: right_start, keys: [K::default(); MAX_KEYS] };
+            let mut rnode = Internal {
+                n: (MAX_KEYS - mid) as u16,
+                child_start: right_start,
+                keys: [K::default(); MAX_KEYS],
+            };
             rnode.keys[..MAX_KEYS - mid].copy_from_slice(&combined[mid + 1..]);
             Some((combined[mid], RightNode::Internal(rnode)))
         }
@@ -299,8 +313,11 @@ impl<K: Copy + Ord + Default> CsbTree<K> {
                     leaf.keys[..left_n].copy_from_slice(&keys[..left_n]);
                     leaf.posts[..left_n].copy_from_slice(&posts[..left_n]);
 
-                    let mut right =
-                        Leaf { n: right_n as u16, keys: [K::default(); LEAF_KEYS], posts: [EMPTY_POST; LEAF_KEYS] };
+                    let mut right = Leaf {
+                        n: right_n as u16,
+                        keys: [K::default(); LEAF_KEYS],
+                        posts: [EMPTY_POST; LEAF_KEYS],
+                    };
                     right.keys[..right_n].copy_from_slice(&keys[left_n..]);
                     right.posts[..right_n].copy_from_slice(&posts[left_n..]);
                     let sep = right.keys[0];
@@ -372,9 +389,15 @@ impl<K: Copy + Ord + Default> CsbTree<K> {
     ) -> (u32, u32) {
         let right_cnt = cnt + 1 - left_cnt;
         let (left_start, right_start) = if child_level == 0 {
-            (self.alloc_leaf_group(left_cnt), self.alloc_leaf_group(right_cnt))
+            (
+                self.alloc_leaf_group(left_cnt),
+                self.alloc_leaf_group(right_cnt),
+            )
         } else {
-            (self.alloc_internal_group(left_cnt), self.alloc_internal_group(right_cnt))
+            (
+                self.alloc_internal_group(left_cnt),
+                self.alloc_internal_group(right_cnt),
+            )
         };
         for i in 0..=cnt {
             let dst = if i < left_cnt {
@@ -456,7 +479,10 @@ impl<K: Copy + Ord + Default> CsbTree<K> {
             level -= 1;
         }
         let leaf = &self.leaves[idx as usize];
-        leaf.keys[..leaf.n as usize].binary_search(key).ok().map(|p| leaf.posts[p])
+        leaf.keys[..leaf.n as usize]
+            .binary_search(key)
+            .ok()
+            .map(|p| leaf.posts[p])
     }
 
     /// In-order traversal over `(key, postings)` — the merge Step 1(a) path.
@@ -557,7 +583,11 @@ impl<K: Copy + Ord + Default> CsbTree<K> {
             assert!(w[0] < w[1], "separators must be strictly sorted");
         }
         for c in 0..=n {
-            let lo = if c == 0 { lower } else { Some(node.keys[c - 1]) };
+            let lo = if c == 0 {
+                lower
+            } else {
+                Some(node.keys[c - 1])
+            };
             let hi = if c == n { upper } else { Some(node.keys[c]) };
             self.check_node(node.child_start + c as u32, level - 1, lo, hi);
         }
@@ -666,7 +696,10 @@ mod tests {
             t.insert(i, i as u32);
         }
         assert_eq!(t.unique_len(), 1000);
-        assert!(t.height() >= 2, "1000 keys with fanout 15 must have >= 2 levels");
+        assert!(
+            t.height() >= 2,
+            "1000 keys with fanout 15 must have >= 2 levels"
+        );
         assert_eq!(t.sorted_keys(), (0..1000).collect::<Vec<_>>());
         for i in (0..1000).step_by(37) {
             assert_eq!(t.get(&i).unwrap().collect::<Vec<_>>(), vec![i as u32]);
@@ -732,7 +765,11 @@ mod tests {
             t.insert(i * 2, i as u32);
         }
         for probe in 0..600u64 {
-            let want: Vec<u64> = (0..300u64).map(|i| i * 2).filter(|k| *k >= probe).take(2).collect();
+            let want: Vec<u64> = (0..300u64)
+                .map(|i| i * 2)
+                .filter(|k| *k >= probe)
+                .take(2)
+                .collect();
             let got: Vec<u64> = t.iter_from(&probe).map(|(k, _)| k).take(2).collect();
             assert_eq!(got, want, "probe {probe}");
         }

@@ -56,7 +56,8 @@ pub fn sum_lossy_parallel<V: Value>(attr: &Attribute<V>, threads: usize) -> u128
                         if start < n_m {
                             let mut cur = main.packed_codes().cursor_at(start);
                             for _ in start..end.min(n_m) {
-                                acc += dict.value_at(cur.next_value() as u32).to_u64_lossy() as u128;
+                                acc +=
+                                    dict.value_at(cur.next_value() as u32).to_u64_lossy() as u128;
                             }
                         }
                         if end > n_m {

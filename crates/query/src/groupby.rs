@@ -33,7 +33,10 @@ pub fn group_by_sum<K: Value, V: Value>(
     validity: &ValidityBitmap,
 ) -> Vec<GroupAgg<K>> {
     assert_eq!(keys.len(), values.len(), "group-by columns must align");
-    assert!(validity.len() >= keys.len(), "validity must cover the columns");
+    assert!(
+        validity.len() >= keys.len(),
+        "validity must cover the columns"
+    );
 
     let main = keys.main();
     let n_m = main.len();
@@ -131,10 +134,26 @@ mod tests {
         assert_eq!(
             got,
             vec![
-                GroupAgg { key: 1, count: 3, sum: 120 }, // 10+30+80
-                GroupAgg { key: 2, count: 3, sum: 130 }, // 20+50+60
-                GroupAgg { key: 3, count: 1, sum: 40 },
-                GroupAgg { key: 4, count: 1, sum: 70 }, // delta-only key
+                GroupAgg {
+                    key: 1,
+                    count: 3,
+                    sum: 120
+                }, // 10+30+80
+                GroupAgg {
+                    key: 2,
+                    count: 3,
+                    sum: 130
+                }, // 20+50+60
+                GroupAgg {
+                    key: 3,
+                    count: 1,
+                    sum: 40
+                },
+                GroupAgg {
+                    key: 4,
+                    count: 1,
+                    sum: 70
+                }, // delta-only key
             ]
         );
     }
@@ -148,9 +167,21 @@ mod tests {
         assert_eq!(
             got,
             vec![
-                GroupAgg { key: 1, count: 2, sum: 40 },
-                GroupAgg { key: 2, count: 3, sum: 130 },
-                GroupAgg { key: 4, count: 1, sum: 70 },
+                GroupAgg {
+                    key: 1,
+                    count: 2,
+                    sum: 40
+                },
+                GroupAgg {
+                    key: 2,
+                    count: 3,
+                    sum: 130
+                },
+                GroupAgg {
+                    key: 4,
+                    count: 1,
+                    sum: 70
+                },
             ]
         );
     }
@@ -169,7 +200,11 @@ mod tests {
         let val_vals: Vec<u64> = (0..main_n).map(|_| next() % 1000).collect();
         let mut keys = Attribute::from_main(MainPartition::from_values(&key_vals));
         let mut values = Attribute::from_main(MainPartition::from_values(&val_vals));
-        let mut all: Vec<(u64, u64)> = key_vals.iter().copied().zip(val_vals.iter().copied()).collect();
+        let mut all: Vec<(u64, u64)> = key_vals
+            .iter()
+            .copied()
+            .zip(val_vals.iter().copied())
+            .collect();
         for _ in 0..1_000 {
             let k = next() % 140; // delta introduces new keys
             let v = next() % 1000;

@@ -51,9 +51,9 @@ pub fn scan_range<V: Value>(attr: &Attribute<V>, range: RangeInclusive<V>) -> Ve
     let mut out = match main.dictionary().code_range(range.clone()) {
         // Order-preserving codes: the value range is a code range, scanned
         // packed with two comparisons per tuple.
-        Some(codes) => {
-            main.packed_codes().positions_in_range(*codes.start() as u64, *codes.end() as u64)
-        }
+        Some(codes) => main
+            .packed_codes()
+            .positions_in_range(*codes.start() as u64, *codes.end() as u64),
         None => Vec::new(),
     };
     let base = main.len();
@@ -127,8 +127,12 @@ mod tests {
         }
         let all: Vec<u64> = (0..a.len()).map(|i| a.get(i)).collect();
         for probe in [0u64, 7, 39, 40, 59] {
-            let want: Vec<usize> =
-                all.iter().enumerate().filter(|(_, v)| **v == probe).map(|(i, _)| i).collect();
+            let want: Vec<usize> = all
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| **v == probe)
+                .map(|(i, _)| i)
+                .collect();
             let mut got = scan_eq(&a, &probe);
             got.sort_unstable();
             assert_eq!(got, want, "eq probe {probe}");

@@ -8,7 +8,10 @@ use hyrise_storage::{AnyValue, Table};
 /// # Panics
 /// If `col` is not a `u64` column.
 pub fn table_scan_eq_u64(table: &Table, col: usize, v: u64) -> Vec<usize> {
-    let attr = table.column(col).as_u64().expect("column must be u64 for table_scan_eq_u64");
+    let attr = table
+        .column(col)
+        .as_u64()
+        .expect("column must be u64 for table_scan_eq_u64");
     crate::scan::scan_eq(attr, &v)
         .into_iter()
         .filter(|&r| table.is_valid(r))
@@ -44,10 +47,14 @@ mod tests {
     fn table() -> Table {
         let mut t = Table::new(
             "orders",
-            Schema::new(vec![("customer", ColumnType::U64), ("qty", ColumnType::U32)]),
+            Schema::new(vec![
+                ("customer", ColumnType::U64),
+                ("qty", ColumnType::U32),
+            ]),
         );
         for (cust, qty) in [(7u64, 1u32), (8, 2), (7, 3), (9, 4), (7, 5)] {
-            t.insert_row(&[AnyValue::U64(cust), AnyValue::U32(qty)]).unwrap();
+            t.insert_row(&[AnyValue::U64(cust), AnyValue::U32(qty)])
+                .unwrap();
         }
         t
     }
@@ -63,7 +70,9 @@ mod tests {
     #[test]
     fn eq_scan_after_update_sees_only_new_version() {
         let mut t = table();
-        let new_row = t.update_row(0, &[AnyValue::U64(7), AnyValue::U32(10)]).unwrap();
+        let new_row = t
+            .update_row(0, &[AnyValue::U64(7), AnyValue::U32(10)])
+            .unwrap();
         let rows = table_scan_eq_u64(&t, 0, 7);
         assert!(rows.contains(&new_row));
         assert!(!rows.contains(&0));
@@ -72,9 +81,10 @@ mod tests {
     #[test]
     fn generic_select_multi_column_predicate() {
         let t = table();
-        let rows = table_select(&t, |row| {
-            matches!((row[0], row[1]), (AnyValue::U64(7), AnyValue::U32(q)) if q >= 3)
-        });
+        let rows = table_select(
+            &t,
+            |row| matches!((row[0], row[1]), (AnyValue::U64(7), AnyValue::U32(q)) if q >= 3),
+        );
         assert_eq!(rows, vec![2, 4]);
     }
 

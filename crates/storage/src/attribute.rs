@@ -21,12 +21,18 @@ impl<V: Value> Default for Attribute<V> {
 impl<V: Value> Attribute<V> {
     /// An attribute with empty main and delta.
     pub fn empty() -> Self {
-        Self { main: MainPartition::empty(), delta: DeltaPartition::new() }
+        Self {
+            main: MainPartition::empty(),
+            delta: DeltaPartition::new(),
+        }
     }
 
     /// Start from a bulk-loaded main partition.
     pub fn from_main(main: MainPartition<V>) -> Self {
-        Self { main, delta: DeltaPartition::new() }
+        Self {
+            main,
+            delta: DeltaPartition::new(),
+        }
     }
 
     /// Build from explicit parts (merge commit path).
@@ -141,7 +147,8 @@ mod tests {
 
     #[test]
     fn delta_fraction_drives_merge_trigger() {
-        let mut a = Attribute::from_main(MainPartition::from_values(&(0u64..100).collect::<Vec<_>>()));
+        let mut a =
+            Attribute::from_main(MainPartition::from_values(&(0u64..100).collect::<Vec<_>>()));
         assert_eq!(a.delta_fraction(), 0.0);
         for i in 0..5 {
             a.append(i);

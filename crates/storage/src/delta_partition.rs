@@ -38,7 +38,10 @@ pub struct CompressedDelta<V> {
 impl<V: Value> DeltaPartition<V> {
     /// An empty delta.
     pub fn new() -> Self {
-        Self { values: Vec::new(), index: CsbTree::new() }
+        Self {
+            values: Vec::new(),
+            index: CsbTree::new(),
+        }
     }
 
     /// Append a value; returns its delta-local tuple id. This is the `T_U`

@@ -35,7 +35,10 @@ impl<V: Value> Dictionary<V> {
     /// # Panics
     /// In debug builds, if the input is not strictly increasing.
     pub fn from_sorted_unique(values: Vec<V>) -> Self {
-        debug_assert!(values.windows(2).all(|w| w[0] < w[1]), "dictionary input must be sorted unique");
+        debug_assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "dictionary input must be sorted unique"
+        );
         Self { values }
     }
 

@@ -25,7 +25,10 @@ impl<V: Value> Default for MainPartition<V> {
 impl<V: Value> MainPartition<V> {
     /// An empty main partition (fresh tables start with everything in delta).
     pub fn empty() -> Self {
-        Self { dict: Dictionary::empty(), codes: BitPackedVec::new(1) }
+        Self {
+            dict: Dictionary::empty(),
+            codes: BitPackedVec::new(1),
+        }
     }
 
     /// Bulk-load from raw values: builds the dictionary (sort + dedup) and
@@ -36,7 +39,9 @@ impl<V: Value> MainPartition<V> {
         let bits = bits_for(dict.len());
         let mut codes = BitPackedVec::with_capacity(bits, values.len());
         for v in values {
-            let code = dict.code_of(v).expect("value must be in freshly built dictionary");
+            let code = dict
+                .code_of(v)
+                .expect("value must be in freshly built dictionary");
             codes.push(code as u64);
         }
         Self { dict, codes }

@@ -47,7 +47,11 @@ impl MemoryReport {
 
     /// Sum over all columns of a table.
     pub fn of_table(table: &Table) -> Self {
-        table.columns().iter().map(Self::of_column).fold(Self::default(), |a, b| a + b)
+        table
+            .columns()
+            .iter()
+            .map(Self::of_column)
+            .fold(Self::default(), |a, b| a + b)
     }
 
     /// Total bytes.
@@ -157,11 +161,15 @@ mod tests {
             Schema::new(vec![("a", ColumnType::U64), ("b", ColumnType::U32)]),
         );
         for i in 0..500u64 {
-            t.insert_row(&[AnyValue::U64(i % 10), AnyValue::U32((i % 3) as u32)]).unwrap();
+            t.insert_row(&[AnyValue::U64(i % 10), AnyValue::U32((i % 3) as u32)])
+                .unwrap();
         }
         let r = MemoryReport::of_table(&t);
-        let per_col: usize =
-            t.columns().iter().map(|c| MemoryReport::of_column(c).total()).sum();
+        let per_col: usize = t
+            .columns()
+            .iter()
+            .map(|c| MemoryReport::of_column(c).total())
+            .sum();
         assert_eq!(r.total(), per_col);
         assert_eq!(r.total(), t.memory_bytes());
     }

@@ -88,7 +88,11 @@ impl fmt::Display for TableError {
             TableError::ArityMismatch { expected, got } => {
                 write!(f, "row has {got} values, table has {expected} columns")
             }
-            TableError::TypeMismatch { column, expected, got } => {
+            TableError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => {
                 write!(f, "column {column} expects {expected}, got {got}")
             }
             TableError::RowOutOfRange { row, len } => {
@@ -114,8 +118,15 @@ pub struct Table {
 impl Table {
     /// An empty table with the given schema.
     pub fn new<S: Into<String>>(name: S, schema: Schema) -> Self {
-        let columns = (0..schema.num_columns()).map(|i| Column::new(schema.column_type(i))).collect();
-        Self { name: name.into(), schema, columns, validity: ValidityBitmap::new() }
+        let columns = (0..schema.num_columns())
+            .map(|i| Column::new(schema.column_type(i)))
+            .collect();
+        Self {
+            name: name.into(),
+            schema,
+            columns,
+            validity: ValidityBitmap::new(),
+        }
     }
 
     /// Table name.
@@ -159,7 +170,10 @@ impl Table {
     /// Returns the new row id. The history row remains readable.
     pub fn update_row(&mut self, old_row: usize, values: &[AnyValue]) -> Result<usize, TableError> {
         if old_row >= self.row_count() {
-            return Err(TableError::RowOutOfRange { row: old_row, len: self.row_count() });
+            return Err(TableError::RowOutOfRange {
+                row: old_row,
+                len: self.row_count(),
+            });
         }
         let new_row = self.insert_row(values)?;
         self.validity.invalidate(old_row);
@@ -169,7 +183,10 @@ impl Table {
     /// Invalidate a row ("deletes only invalidate rows").
     pub fn delete_row(&mut self, row: usize) -> Result<(), TableError> {
         if row >= self.row_count() {
-            return Err(TableError::RowOutOfRange { row, len: self.row_count() });
+            return Err(TableError::RowOutOfRange {
+                row,
+                len: self.row_count(),
+            });
         }
         self.validity.invalidate(row);
         Ok(())
@@ -178,7 +195,10 @@ impl Table {
     /// Read a full row (regardless of validity — history reads are allowed).
     pub fn row(&self, row: usize) -> Result<Vec<AnyValue>, TableError> {
         if row >= self.row_count() {
-            return Err(TableError::RowOutOfRange { row, len: self.row_count() });
+            return Err(TableError::RowOutOfRange {
+                row,
+                len: self.row_count(),
+            });
         }
         Ok(self.columns.iter().map(|c| c.get(row)).collect())
     }
@@ -216,7 +236,10 @@ impl Table {
     /// The largest `N_D / N_M` across columns (all columns share tuple ids,
     /// so in practice they are equal; kept per-column for robustness).
     pub fn max_delta_fraction(&self) -> f64 {
-        self.columns.iter().map(|c| c.delta_fraction()).fold(0.0, f64::max)
+        self.columns
+            .iter()
+            .map(|c| c.delta_fraction())
+            .fold(0.0, f64::max)
     }
 
     /// Total delta tuples across the table (the table-level `N_D`).
@@ -236,12 +259,19 @@ impl Table {
 
     fn check_row(&self, values: &[AnyValue]) -> Result<(), TableError> {
         if values.len() != self.columns.len() {
-            return Err(TableError::ArityMismatch { expected: self.columns.len(), got: values.len() });
+            return Err(TableError::ArityMismatch {
+                expected: self.columns.len(),
+                got: values.len(),
+            });
         }
         for (i, v) in values.iter().enumerate() {
             let expected = self.schema.column_type(i);
             if v.column_type() != expected {
-                return Err(TableError::TypeMismatch { column: i, expected, got: v.column_type() });
+                return Err(TableError::TypeMismatch {
+                    column: i,
+                    expected,
+                    got: v.column_type(),
+                });
             }
         }
         Ok(())
@@ -262,7 +292,11 @@ mod tests {
     }
 
     fn row(order: u64, qty: u32, doc: u64) -> Vec<AnyValue> {
-        vec![AnyValue::U64(order), AnyValue::U32(qty), AnyValue::V16(V16::from_seed(doc))]
+        vec![
+            AnyValue::U64(order),
+            AnyValue::U32(qty),
+            AnyValue::V16(V16::from_seed(doc)),
+        ]
     }
 
     #[test]
@@ -303,12 +337,23 @@ mod tests {
         let mut t = Table::new("sales", sales_schema());
         assert_eq!(
             t.insert_row(&[AnyValue::U64(1)]),
-            Err(TableError::ArityMismatch { expected: 3, got: 1 })
+            Err(TableError::ArityMismatch {
+                expected: 3,
+                got: 1
+            })
         );
-        let bad = vec![AnyValue::U32(1), AnyValue::U32(2), AnyValue::V16(V16::default())];
+        let bad = vec![
+            AnyValue::U32(1),
+            AnyValue::U32(2),
+            AnyValue::V16(V16::default()),
+        ];
         assert_eq!(
             t.insert_row(&bad),
-            Err(TableError::TypeMismatch { column: 0, expected: ColumnType::U64, got: ColumnType::U32 })
+            Err(TableError::TypeMismatch {
+                column: 0,
+                expected: ColumnType::U64,
+                got: ColumnType::U32
+            })
         );
         assert_eq!(t.row_count(), 0, "failed inserts must not partially apply");
     }
@@ -342,7 +387,11 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        let e = TableError::TypeMismatch { column: 2, expected: ColumnType::U64, got: ColumnType::U32 };
+        let e = TableError::TypeMismatch {
+            column: 2,
+            expected: ColumnType::U64,
+            got: ColumnType::U32,
+        };
         assert_eq!(e.to_string(), "column 2 expects u64, got u32");
     }
 }

@@ -28,7 +28,11 @@ impl ValidityBitmap {
                 *last = (1u64 << (n % 64)) - 1;
             }
         }
-        Self { words, len: n, valid_count: n }
+        Self {
+            words,
+            len: n,
+            valid_count: n,
+        }
     }
 
     /// Number of rows tracked.

@@ -12,9 +12,7 @@ use std::hash::Hash;
 ///
 /// Implementors must order consistently with their byte-encoded form so that
 /// dictionary codes are order-preserving (range queries compare codes).
-pub trait Value:
-    Copy + Ord + Eq + Hash + Default + Send + Sync + fmt::Debug + 'static
-{
+pub trait Value: Copy + Ord + Eq + Hash + Default + Send + Sync + fmt::Debug + 'static {
     /// The paper's uncompressed value-length `E_j` in bytes.
     const BYTES: usize;
 

@@ -40,7 +40,10 @@ impl QueryType {
 
     /// Is this a write (delta-entering) operation?
     pub fn is_write(self) -> bool {
-        matches!(self, QueryType::Insert | QueryType::Modification | QueryType::Delete)
+        matches!(
+            self,
+            QueryType::Insert | QueryType::Modification | QueryType::Delete
+        )
     }
 }
 
@@ -57,19 +60,28 @@ impl QueryMix {
     /// Customer OLTP systems: ">80% of all queries are read access ...
     /// ~17% are updates". Per-category split estimated from Figure 1.
     pub fn oltp() -> Self {
-        Self { name: "OLTP", percent: [45.0, 20.0, 18.0, 9.0, 6.0, 2.0] }
+        Self {
+            name: "OLTP",
+            percent: [45.0, 20.0, 18.0, 9.0, 6.0, 2.0],
+        }
     }
 
     /// Customer OLAP systems: ">90% reads, ~7% updates" (bulk loads count as
     /// inserts). Split estimated from Figure 1.
     pub fn olap() -> Self {
-        Self { name: "OLAP", percent: [22.0, 42.0, 29.0, 5.0, 1.5, 0.5] }
+        Self {
+            name: "OLAP",
+            percent: [22.0, 42.0, 29.0, 5.0, 1.5, 0.5],
+        }
     }
 
     /// The TPC-C contrast case: "a higher write ratio (46%) compared to our
     /// analysis (17%)". Split estimated from Figure 1.
     pub fn tpcc() -> Self {
-        Self { name: "TPC-C", percent: [34.0, 8.0, 12.0, 30.0, 13.0, 3.0] }
+        Self {
+            name: "TPC-C",
+            percent: [34.0, 8.0, 12.0, 30.0, 13.0, 3.0],
+        }
     }
 
     /// Fraction of write queries (0..=1).
@@ -216,7 +228,12 @@ impl LargeTableModel {
             if mean > Self::TARGET_AVG_COLS {
                 cols[idx] = (cols[idx] - (cols[idx] / 10).max(1)).max(2);
             } else {
-                let idx = cols.iter().enumerate().min_by_key(|(_, c)| **c).map(|(i, _)| i).unwrap();
+                let idx = cols
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, c)| **c)
+                    .map(|(i, _)| i)
+                    .unwrap();
                 cols[idx] = (cols[idx] + 5).min(399);
             }
         }
@@ -271,12 +288,22 @@ pub struct DistinctValueModel {
 impl DistinctValueModel {
     /// Inventory Management: 64% / 12% / 24%.
     pub fn inventory_management() -> Self {
-        Self { name: "Inventory Management", pct_small: 64.0, pct_medium: 12.0, pct_large: 24.0 }
+        Self {
+            name: "Inventory Management",
+            pct_small: 64.0,
+            pct_medium: 12.0,
+            pct_large: 24.0,
+        }
     }
 
     /// Financial Accounting: 78% / 9% / 13%.
     pub fn financial_accounting() -> Self {
-        Self { name: "Financial Accounting", pct_small: 78.0, pct_medium: 9.0, pct_large: 13.0 }
+        Self {
+            name: "Financial Accounting",
+            pct_small: 78.0,
+            pct_medium: 9.0,
+            pct_large: 13.0,
+        }
     }
 
     /// Sample a column's distinct-value count, log-uniform within its bucket,
@@ -316,7 +343,11 @@ mod tests {
         let olap = QueryMix::olap();
         let tpcc = QueryMix::tpcc();
         // "~17% (OLTP) and ~7% (OLAP) of all queries are updates"
-        assert!((oltp.write_fraction() - 0.17).abs() < 0.005, "{}", oltp.write_fraction());
+        assert!(
+            (oltp.write_fraction() - 0.17).abs() < 0.005,
+            "{}",
+            oltp.write_fraction()
+        );
         assert!((olap.write_fraction() - 0.07).abs() < 0.005);
         // "the TPC-C benchmark ... has a higher write ratio (46%)"
         assert!((tpcc.write_fraction() - 0.46).abs() < 0.005);
@@ -324,7 +355,11 @@ mod tests {
         assert!(oltp.read_fraction() > 0.8);
         assert!(olap.read_fraction() > 0.9);
         for m in [oltp, olap, tpcc] {
-            assert!((m.percent.iter().sum::<f64>() - 100.0).abs() < 1e-9, "{} sums to 100", m.name);
+            assert!(
+                (m.percent.iter().sum::<f64>() - 100.0).abs() < 1e-9,
+                "{} sums to 100",
+                m.name
+            );
         }
     }
 
@@ -341,7 +376,11 @@ mod tests {
     #[test]
     fn figure2_totals() {
         assert_eq!(TableSizeModel::total_tables(), 73_979);
-        assert_eq!(TableSizeModel::BUCKETS[7].2, 144, "144 tables above 10M rows");
+        assert_eq!(
+            TableSizeModel::BUCKETS[7].2,
+            144,
+            "144 tables above 10M rows"
+        );
         // Counts decrease monotonically with table size.
         for w in TableSizeModel::BUCKETS.windows(2) {
             assert!(w[0].2 > w[1].2);
@@ -362,7 +401,10 @@ mod tests {
         }
         // ~62.7% of tables are empty in the model.
         let frac = empties as f64 / n as f64;
-        assert!((frac - 46_418.0 / 73_979.0).abs() < 0.01, "empty fraction {frac}");
+        assert!(
+            (frac - 46_418.0 / 73_979.0).abs() < 0.01,
+            "empty fraction {frac}"
+        );
     }
 
     #[test]
@@ -374,10 +416,24 @@ mod tests {
         // "The number of rows varies from 10 million to 1.6 billion with an
         // average of 65 million rows, whereas the number of columns varies
         // from 2 to 399 with an average of 70."
-        assert!((1.55e9..=1.65e9).contains(&(max_rows as f64)), "max {max_rows}");
-        assert!((0.95e7..=1.05e7).contains(&(min_rows as f64)), "min {min_rows}");
-        assert!((m.avg_rows() - 65.0e6).abs() / 65.0e6 < 0.05, "avg rows {}", m.avg_rows());
-        assert!((m.avg_cols() - 70.0).abs() < 2.0, "avg cols {}", m.avg_cols());
+        assert!(
+            (1.55e9..=1.65e9).contains(&(max_rows as f64)),
+            "max {max_rows}"
+        );
+        assert!(
+            (0.95e7..=1.05e7).contains(&(min_rows as f64)),
+            "min {min_rows}"
+        );
+        assert!(
+            (m.avg_rows() - 65.0e6).abs() / 65.0e6 < 0.05,
+            "avg rows {}",
+            m.avg_rows()
+        );
+        assert!(
+            (m.avg_cols() - 70.0).abs() < 2.0,
+            "avg cols {}",
+            m.avg_cols()
+        );
         for (_, c) in m.tables() {
             assert!((2..=399).contains(c));
         }

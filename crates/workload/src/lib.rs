@@ -26,9 +26,7 @@ pub mod scenario;
 pub mod updates;
 pub mod values;
 
-pub use enterprise::{
-    DistinctValueModel, LargeTableModel, QueryMix, QueryType, TableSizeModel,
-};
+pub use enterprise::{DistinctValueModel, LargeTableModel, QueryMix, QueryType, TableSizeModel};
 pub use scenario::VbapScenario;
 pub use updates::{Operation, UpdateStream};
 pub use values::{values_with_unique, UniqueSpec};

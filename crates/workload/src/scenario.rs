@@ -32,7 +32,12 @@ pub struct VbapScenario {
 impl VbapScenario {
     /// The paper's full-size scenario.
     pub fn paper() -> Self {
-        Self { rows: 33_000_000, cols: 230, merge_rows: 750_000, seed: 0xBA9 }
+        Self {
+            rows: 33_000_000,
+            cols: 230,
+            merge_rows: 750_000,
+            seed: 0xBA9,
+        }
     }
 
     /// Scale rows and delta by `f` (columns unchanged — merge cost is linear
@@ -73,7 +78,11 @@ impl VbapScenario {
         let mut rng = StdRng::seed_from_u64(self.seed ^ (col as u64).wrapping_mul(0x9E37));
         values_with_unique(
             &mut rng,
-            UniqueSpec { n: self.rows, unique: distinct.min(self.rows), seed_offset: 0 },
+            UniqueSpec {
+                n: self.rows,
+                unique: distinct.min(self.rows),
+                seed_offset: 0,
+            },
         )
     }
 
@@ -90,7 +99,11 @@ impl VbapScenario {
         let offset = (distinct.saturating_sub(delta_distinct / 2)) as u64;
         values_with_unique(
             &mut rng,
-            UniqueSpec { n: self.merge_rows, unique: delta_distinct, seed_offset: offset },
+            UniqueSpec {
+                n: self.merge_rows,
+                unique: delta_distinct,
+                seed_offset: offset,
+            },
         )
     }
 }
@@ -130,7 +143,10 @@ mod tests {
         }
         // Figure 4 FA: most columns have few distinct values.
         let small = a.iter().filter(|d| **d <= 32).count();
-        assert!(small * 2 > a.len(), "majority of FA columns are small-domain");
+        assert!(
+            small * 2 > a.len(),
+            "majority of FA columns are small-domain"
+        );
     }
 
     #[test]
@@ -148,7 +164,12 @@ mod tests {
 
     #[test]
     fn delta_overlaps_main_domain_partially() {
-        let s = VbapScenario { rows: 10_000, cols: 1, merge_rows: 1_000, seed: 42 };
+        let s = VbapScenario {
+            rows: 10_000,
+            cols: 1,
+            merge_rows: 1_000,
+            seed: 42,
+        };
         let distinct = 1000usize;
         let main: HashSet<u64> = s.generate_main_column(0, distinct).into_iter().collect();
         let delta: HashSet<u64> = s.generate_delta_column(0, distinct).into_iter().collect();

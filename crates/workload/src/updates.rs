@@ -55,7 +55,10 @@ pub enum Operation {
 impl Operation {
     /// Does this operation write (enter the delta / flip validity)?
     pub fn is_write(&self) -> bool {
-        matches!(self, Operation::Insert { .. } | Operation::Update { .. } | Operation::Delete { .. })
+        matches!(
+            self,
+            Operation::Insert { .. } | Operation::Update { .. } | Operation::Delete { .. }
+        )
     }
 }
 
@@ -75,12 +78,20 @@ impl UpdateStream {
     /// A stream over an initially `rows`-row table with the given mix and
     /// the 80/20 recency skew.
     pub fn new(mix: QueryMix, rows: u64) -> Self {
-        Self { mix, rows: rows.max(1), hot_mass: 0.8, next_seed: 1 }
+        Self {
+            mix,
+            rows: rows.max(1),
+            hot_mass: 0.8,
+            next_seed: 1,
+        }
     }
 
     /// Replace the skew (0.5 = uniform; must be in `[0.5, 1.0)`).
     pub fn with_hot_mass(mut self, hot_mass: f64) -> Self {
-        assert!((0.5..1.0).contains(&hot_mass), "hot_mass must be in [0.5, 1.0)");
+        assert!(
+            (0.5..1.0).contains(&hot_mass),
+            "hot_mass must be in [0.5, 1.0)"
+        );
         self.hot_mass = hot_mass;
         self
     }
@@ -112,7 +123,9 @@ impl UpdateStream {
     /// Emit the next operation.
     pub fn next_op<R: Rng>(&mut self, rng: &mut R) -> Operation {
         match self.mix.sample(rng) {
-            QueryType::Lookup => Operation::Lookup { row: self.skewed_row(rng) },
+            QueryType::Lookup => Operation::Lookup {
+                row: self.skewed_row(rng),
+            },
             QueryType::TableScan => {
                 let len = rng.gen_range(64..4096u64).min(self.rows);
                 let start = rng.gen_range(0..self.rows.saturating_sub(len).max(1));
@@ -126,14 +139,21 @@ impl UpdateStream {
             QueryType::Insert => {
                 self.rows += 1;
                 self.next_seed += 1;
-                Operation::Insert { seed: self.next_seed }
+                Operation::Insert {
+                    seed: self.next_seed,
+                }
             }
             QueryType::Modification => {
                 self.rows += 1; // insert-only: new version appends
                 self.next_seed += 1;
-                Operation::Update { row: self.skewed_row(rng), seed: self.next_seed }
+                Operation::Update {
+                    row: self.skewed_row(rng),
+                    seed: self.next_seed,
+                }
             }
-            QueryType::Delete => Operation::Delete { row: self.skewed_row(rng) },
+            QueryType::Delete => Operation::Delete {
+                row: self.skewed_row(rng),
+            },
         }
     }
 
@@ -160,7 +180,10 @@ mod tests {
         let n = 100_000;
         let writes = s.batch(&mut r, n).iter().filter(|o| o.is_write()).count();
         let frac = writes as f64 / n as f64;
-        assert!((frac - QueryMix::oltp().write_fraction()).abs() < 0.01, "got {frac}");
+        assert!(
+            (frac - QueryMix::oltp().write_fraction()).abs() < 0.01,
+            "got {frac}"
+        );
     }
 
     #[test]
@@ -173,7 +196,11 @@ mod tests {
             .iter()
             .filter(|o| matches!(o, Operation::Insert { .. } | Operation::Update { .. }))
             .count() as u64;
-        assert_eq!(s.rows(), before + appends, "insert-only: every write version appends");
+        assert_eq!(
+            s.rows(),
+            before + appends,
+            "insert-only: every write version appends"
+        );
     }
 
     #[test]
@@ -193,7 +220,10 @@ mod tests {
         assert!(total > 1_000, "need updates to measure");
         let frac = recent as f64 / total as f64;
         // 80% of mass on the top 20% (approximately; the row space grows).
-        assert!(frac > 0.6, "recent-row fraction {frac} too low for 80/20 skew");
+        assert!(
+            frac > 0.6,
+            "recent-row fraction {frac} too low for 80/20 skew"
+        );
     }
 
     #[test]
@@ -211,7 +241,10 @@ mod tests {
             }
         }
         let frac = top_half as f64 / total as f64;
-        assert!((frac - 0.5).abs() < 0.05, "uniform pick should split evenly, got {frac}");
+        assert!(
+            (frac - 0.5).abs() < 0.05,
+            "uniform pick should split evenly, got {frac}"
+        );
     }
 
     #[test]

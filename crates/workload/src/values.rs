@@ -28,12 +28,19 @@ impl UniqueSpec {
     /// Spec for `n` values at unique fraction `lambda` (of `n`), seeds from 0.
     pub fn from_lambda(n: usize, lambda: f64) -> Self {
         let unique = ((n as f64 * lambda).round() as usize).clamp(1, n.max(1));
-        Self { n, unique, seed_offset: 0 }
+        Self {
+            n,
+            unique,
+            seed_offset: 0,
+        }
     }
 
     /// Same spec with a shifted seed range.
     pub fn offset(self, seed_offset: u64) -> Self {
-        Self { seed_offset, ..self }
+        Self {
+            seed_offset,
+            ..self
+        }
     }
 }
 
@@ -88,7 +95,14 @@ mod tests {
     fn exact_unique_counts() {
         let mut r = rng();
         for (n, u) in [(1000usize, 10usize), (1000, 1000), (1000, 1), (5000, 2500)] {
-            let vals: Vec<u64> = values_with_unique(&mut r, UniqueSpec { n, unique: u, seed_offset: 0 });
+            let vals: Vec<u64> = values_with_unique(
+                &mut r,
+                UniqueSpec {
+                    n,
+                    unique: u,
+                    seed_offset: 0,
+                },
+            );
             assert_eq!(vals.len(), n);
             assert_eq!(unique_count(&vals), u, "n={n} u={u}");
         }
@@ -107,12 +121,30 @@ mod tests {
     #[test]
     fn seed_ranges_control_overlap() {
         let mut r = rng();
-        let a: Vec<u64> =
-            values_with_unique(&mut r, UniqueSpec { n: 500, unique: 100, seed_offset: 0 });
-        let b_disjoint: Vec<u64> =
-            values_with_unique(&mut r, UniqueSpec { n: 500, unique: 100, seed_offset: 100 });
-        let b_same: Vec<u64> =
-            values_with_unique(&mut r, UniqueSpec { n: 500, unique: 100, seed_offset: 0 });
+        let a: Vec<u64> = values_with_unique(
+            &mut r,
+            UniqueSpec {
+                n: 500,
+                unique: 100,
+                seed_offset: 0,
+            },
+        );
+        let b_disjoint: Vec<u64> = values_with_unique(
+            &mut r,
+            UniqueSpec {
+                n: 500,
+                unique: 100,
+                seed_offset: 100,
+            },
+        );
+        let b_same: Vec<u64> = values_with_unique(
+            &mut r,
+            UniqueSpec {
+                n: 500,
+                unique: 100,
+                seed_offset: 0,
+            },
+        );
         let sa: HashSet<u64> = a.iter().copied().collect();
         let sd: HashSet<u64> = b_disjoint.iter().copied().collect();
         let ss: HashSet<u64> = b_same.iter().copied().collect();
@@ -124,7 +156,11 @@ mod tests {
     fn works_for_all_value_types() {
         use hyrise_storage::V16;
         let mut r = rng();
-        let spec = UniqueSpec { n: 300, unique: 30, seed_offset: 7 };
+        let spec = UniqueSpec {
+            n: 300,
+            unique: 30,
+            seed_offset: 7,
+        };
         assert_eq!(unique_count::<u32>(&values_with_unique(&mut r, spec)), 30);
         assert_eq!(unique_count::<u64>(&values_with_unique(&mut r, spec)), 30);
         assert_eq!(unique_count::<V16>(&values_with_unique(&mut r, spec)), 30);
@@ -132,15 +168,35 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_rng() {
-        let a: Vec<u64> = values_with_unique(&mut rng(), UniqueSpec { n: 100, unique: 20, seed_offset: 0 });
-        let b: Vec<u64> = values_with_unique(&mut rng(), UniqueSpec { n: 100, unique: 20, seed_offset: 0 });
+        let a: Vec<u64> = values_with_unique(
+            &mut rng(),
+            UniqueSpec {
+                n: 100,
+                unique: 20,
+                seed_offset: 0,
+            },
+        );
+        let b: Vec<u64> = values_with_unique(
+            &mut rng(),
+            UniqueSpec {
+                n: 100,
+                unique: 20,
+                seed_offset: 0,
+            },
+        );
         assert_eq!(a, b);
     }
 
     #[test]
     fn empty_generation() {
-        let vals: Vec<u64> =
-            values_with_unique(&mut rng(), UniqueSpec { n: 0, unique: 0, seed_offset: 0 });
+        let vals: Vec<u64> = values_with_unique(
+            &mut rng(),
+            UniqueSpec {
+                n: 0,
+                unique: 0,
+                seed_offset: 0,
+            },
+        );
         assert!(vals.is_empty());
     }
 
@@ -149,7 +205,11 @@ mod tests {
     fn oversized_seed_range_rejected() {
         let _: Vec<u64> = values_with_unique(
             &mut rng(),
-            UniqueSpec { n: 10, unique: 10, seed_offset: u32::MAX as u64 },
+            UniqueSpec {
+                n: 10,
+                unique: 10,
+                seed_offset: u32::MAX as u64,
+            },
         );
     }
 }

@@ -43,7 +43,11 @@ fn main() {
         Ok(_) => println!("    merge finished before the cancel landed (also fine)"),
     }
     assert_eq!(table.row_count(), before_rows, "no rows may be lost");
-    println!("    table intact: {} rows, {} still in delta", table.row_count(), table.delta_len());
+    println!(
+        "    table intact: {} rows, {} still in delta",
+        table.row_count(),
+        table.delta_len()
+    );
 
     // --- 2. Throttled vs full-resource merge. ---
     if table.delta_len() > 0 {
@@ -68,9 +72,18 @@ fn main() {
         full.merge(threads, None).unwrap();
         let t_full = t0.elapsed();
 
-        println!("    1 thread   : {:>8.1} ms  (strategy (b): minimize resource footprint)", t_throttled.as_secs_f64() * 1e3);
-        println!("    {threads:>2} threads : {:>8.1} ms  (strategy (a): merge with all resources)", t_full.as_secs_f64() * 1e3);
-        println!("    speedup    : {:>8.1}x", t_throttled.as_secs_f64() / t_full.as_secs_f64().max(1e-12));
+        println!(
+            "    1 thread   : {:>8.1} ms  (strategy (b): minimize resource footprint)",
+            t_throttled.as_secs_f64() * 1e3
+        );
+        println!(
+            "    {threads:>2} threads : {:>8.1} ms  (strategy (a): merge with all resources)",
+            t_full.as_secs_f64() * 1e3
+        );
+        println!(
+            "    speedup    : {:>8.1}x",
+            t_throttled.as_secs_f64() / t_full.as_secs_f64().max(1e-12)
+        );
     }
 
     // --- 3. And the retried merge commits. ---

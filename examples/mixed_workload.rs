@@ -21,7 +21,10 @@ use std::time::{Duration, Instant};
 const COLS: usize = 4;
 
 fn main() {
-    let seconds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let seconds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
     let workers = 4usize;
 
     // Bulk-load 200K rows, merge them into main as the starting state.
@@ -31,7 +34,10 @@ fn main() {
         table.insert_row(&row);
     }
     table.merge(8, None).expect("initial merge");
-    println!("loaded {} rows into main; running the Figure-1 OLTP mix for {seconds}s...", table.main_len());
+    println!(
+        "loaded {} rows into main; running the Figure-1 OLTP mix for {seconds}s...",
+        table.main_len()
+    );
 
     let stop = Arc::new(AtomicBool::new(false));
     let reads = Arc::new(AtomicU64::new(0));
@@ -42,9 +48,13 @@ fn main() {
         // Background merge scheduler: the Section 3 strategy (b), constantly
         // merging in the background when the trigger fires.
         {
-            let (table, stop, merges) = (Arc::clone(&table), Arc::clone(&stop), Arc::clone(&merges));
+            let (table, stop, merges) =
+                (Arc::clone(&table), Arc::clone(&stop), Arc::clone(&merges));
             s.spawn(move || {
-                let policy = MergePolicy { delta_fraction: 0.05, threads: 4 };
+                let policy = MergePolicy {
+                    delta_fraction: 0.05,
+                    threads: 4,
+                };
                 while !stop.load(Ordering::Relaxed) {
                     if table.maybe_merge(&policy).is_some() {
                         merges.fetch_add(1, Ordering::Relaxed);
@@ -55,8 +65,12 @@ fn main() {
         }
         // Mixed-workload workers.
         for w in 0..workers {
-            let (table, stop, reads, writes) =
-                (Arc::clone(&table), Arc::clone(&stop), Arc::clone(&reads), Arc::clone(&writes));
+            let (table, stop, reads, writes) = (
+                Arc::clone(&table),
+                Arc::clone(&stop),
+                Arc::clone(&reads),
+                Arc::clone(&writes),
+            );
             s.spawn(move || {
                 let mix = QueryMix::oltp();
                 let mut rng = StdRng::seed_from_u64(1000 + w as u64);
@@ -82,13 +96,15 @@ fn main() {
                         }
                         QueryType::Insert => {
                             let i = writes.fetch_add(1, Ordering::Relaxed);
-                            let row: Vec<u64> = (0..COLS as u64).map(|c| (i * 7 + c) % 10_000).collect();
+                            let row: Vec<u64> =
+                                (0..COLS as u64).map(|c| (i * 7 + c) % 10_000).collect();
                             table.insert_row(&row);
                         }
                         QueryType::Modification => {
                             let i = writes.fetch_add(1, Ordering::Relaxed);
                             let old = rng.gen_range(0..rows);
-                            let row: Vec<u64> = (0..COLS as u64).map(|c| (i * 11 + c) % 10_000).collect();
+                            let row: Vec<u64> =
+                                (0..COLS as u64).map(|c| (i * 11 + c) % 10_000).collect();
                             table.update_row(old, &row);
                         }
                         QueryType::Delete => {
@@ -113,10 +129,23 @@ fn main() {
     let w = writes.load(Ordering::Relaxed);
     let m = merges.load(Ordering::Relaxed);
     println!("\nresults over {elapsed:.0}s with {workers} workers:");
-    println!("  read queries : {:>10}  ({:>9.0}/s)", r, r as f64 / elapsed);
-    println!("  writes       : {:>10}  ({:>9.0}/s)", w, w as f64 / elapsed);
+    println!(
+        "  read queries : {:>10}  ({:>9.0}/s)",
+        r,
+        r as f64 / elapsed
+    );
+    println!(
+        "  writes       : {:>10}  ({:>9.0}/s)",
+        w,
+        w as f64 / elapsed
+    );
     println!("  merges run   : {:>10}  (online, in the background)", m);
-    println!("  final state  : {} rows in main, {} awaiting merge, {} valid", table.main_len(), table.delta_len(), table.valid_row_count());
+    println!(
+        "  final state  : {} rows in main, {} awaiting merge, {} valid",
+        table.main_len(),
+        table.delta_len(),
+        table.valid_row_count()
+    );
     println!("\npaper context: the analyzed customer systems required 3,000-18,000");
     println!("updates/second sustained; writes above landed in the delta without ever");
     println!("blocking on the {m} merges that ran concurrently.");

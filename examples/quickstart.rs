@@ -17,9 +17,20 @@ fn main() {
     // apple=1 bravo=2 charlie=3 delta=4 frank=6 golf=7 hotel=8 inbox=9 young=25
     println!("== Main partition (read-optimized, dictionary-compressed) ==");
     let main = MainPartition::from_values(&[8u64, 4, 6, 4, 1, 3, 9]);
-    println!("tuples      : {:?}", (0..main.len()).map(|i| main.get(i)).collect::<Vec<_>>());
-    println!("dictionary  : {:?} ({} values)", main.dictionary().values(), main.dictionary().len());
-    println!("code width  : {} bits (ceil(log2 {}))", main.code_bits(), main.dictionary().len());
+    println!(
+        "tuples      : {:?}",
+        (0..main.len()).map(|i| main.get(i)).collect::<Vec<_>>()
+    );
+    println!(
+        "dictionary  : {:?} ({} values)",
+        main.dictionary().values(),
+        main.dictionary().len()
+    );
+    println!(
+        "code width  : {} bits (ceil(log2 {}))",
+        main.code_bits(),
+        main.dictionary().len()
+    );
     println!("codes       : {:?}", main.codes().collect::<Vec<_>>());
     println!("'hotel'(=8) is encoded as {}", main.code(0));
     println!();
@@ -31,7 +42,10 @@ fn main() {
     }
     println!("tuples      : {:?}", delta.values());
     println!("unique      : {:?}", delta.sorted_unique());
-    println!("'charlie'(=3) occurs at delta positions {:?}", delta.lookup(&3).unwrap().collect::<Vec<u32>>());
+    println!(
+        "'charlie'(=3) occurs at delta positions {:?}",
+        delta.lookup(&3).unwrap().collect::<Vec<u32>>()
+    );
     println!();
 
     println!("== Queries spanning both partitions ==");
@@ -45,15 +59,34 @@ fn main() {
 
     println!("== The optimized merge (Section 5.3) ==");
     let merged = merge_column_optimized(&main, &delta);
-    println!("merged dictionary : {:?} ({} values)", merged.main.dictionary().values(), merged.main.dictionary().len());
-    println!("code width        : {} bits (grew from 3)", merged.main.code_bits());
-    println!("'hotel' re-encoded: {} -> {}", main.code(0), merged.main.code(0));
-    println!("merged column     : {:?}", (0..merged.main.len()).map(|i| merged.main.get(i)).collect::<Vec<_>>());
+    println!(
+        "merged dictionary : {:?} ({} values)",
+        merged.main.dictionary().values(),
+        merged.main.dictionary().len()
+    );
+    println!(
+        "code width        : {} bits (grew from 3)",
+        merged.main.code_bits()
+    );
+    println!(
+        "'hotel' re-encoded: {} -> {}",
+        main.code(0),
+        merged.main.code(0)
+    );
+    println!(
+        "merged column     : {:?}",
+        (0..merged.main.len())
+            .map(|i| merged.main.get(i))
+            .collect::<Vec<_>>()
+    );
     println!();
 
     println!("== Same merge, multi-core (Section 6.2) ==");
     let par = merge_column_parallel(&main, &delta, 4);
-    assert_eq!(par.main.dictionary().values(), merged.main.dictionary().values());
+    assert_eq!(
+        par.main.dictionary().values(),
+        merged.main.dictionary().values()
+    );
     assert_eq!(
         par.main.codes().collect::<Vec<_>>(),
         merged.main.codes().collect::<Vec<_>>(),

@@ -21,7 +21,10 @@ fn main() {
 
     let full = VbapScenario::paper();
     let s = full.scaled(scale).with_cols(cols);
-    println!("VBAP scenario: {} rows x {} cols, merging {} new rows ({}x scale of the paper's", s.rows, s.cols, s.merge_rows, scale);
+    println!(
+        "VBAP scenario: {} rows x {} cols, merging {} new rows ({}x scale of the paper's",
+        s.rows, s.cols, s.merge_rows, scale
+    );
     println!("33M x 230 with 750K-row delta); {threads} threads\n");
 
     let distinct = s.column_distinct_counts();
@@ -45,13 +48,28 @@ fn main() {
     }
 
     println!("measured at this scale ({} columns):", s.cols);
-    println!("  naive merge     : {:>10.1} ms", t_naive.as_secs_f64() * 1e3);
+    println!(
+        "  naive merge     : {:>10.1} ms",
+        t_naive.as_secs_f64() * 1e3
+    );
     println!("  optimized merge : {:>10.1} ms", t_opt.as_secs_f64() * 1e3);
-    println!("  speedup         : {:>10.1}x", t_naive.as_secs_f64() / t_opt.as_secs_f64().max(1e-12));
+    println!(
+        "  speedup         : {:>10.1}x",
+        t_naive.as_secs_f64() / t_opt.as_secs_f64().max(1e-12)
+    );
 
     let factor = (full.rows as f64 / s.rows as f64) * (full.cols as f64 / s.cols as f64);
     println!("\nextrapolated to the full VBAP table (33M rows x 230 columns):");
-    println!("  naive merge     : {:>10.1} min   (paper measured 12 min on their machine)", t_naive.as_secs_f64() * factor / 60.0);
-    println!("  optimized merge : {:>10.1} min", t_opt.as_secs_f64() * factor / 60.0);
-    println!("  merged updates/s: {:>10.0}      (paper: ~1,000 naive)", full.merge_rows as f64 / (t_opt.as_secs_f64() * factor));
+    println!(
+        "  naive merge     : {:>10.1} min   (paper measured 12 min on their machine)",
+        t_naive.as_secs_f64() * factor / 60.0
+    );
+    println!(
+        "  optimized merge : {:>10.1} min",
+        t_opt.as_secs_f64() * factor / 60.0
+    );
+    println!(
+        "  merged updates/s: {:>10.0}      (paper: ~1,000 naive)",
+        full.merge_rows as f64 / (t_opt.as_secs_f64() * factor)
+    );
 }

@@ -46,7 +46,9 @@ impl DriverStats {
 /// Build the row written for value seed `seed` (deterministic, one value per
 /// column derived from the seed).
 pub fn row_for_seed<V: Value>(seed: u64, cols: usize) -> Vec<V> {
-    (0..cols as u64).map(|c| V::from_seed((seed.wrapping_mul(31).wrapping_add(c)) & 0xFFFF_FFFF)).collect()
+    (0..cols as u64)
+        .map(|c| V::from_seed((seed.wrapping_mul(31).wrapping_add(c)) & 0xFFFF_FFFF))
+        .collect()
 }
 
 /// Execute `n` operations from `stream` against `table`. Row indices from
@@ -66,8 +68,9 @@ pub fn drive<V: Value, R: Rng>(
                 let rows = table.row_count();
                 if rows > 0 {
                     let r = (row as usize).min(rows - 1);
-                    stats.checksum =
-                        stats.checksum.wrapping_add(table.get(r % cols.max(1) % cols, r).to_u64_lossy());
+                    stats.checksum = stats
+                        .checksum
+                        .wrapping_add(table.get(r % cols.max(1) % cols, r).to_u64_lossy());
                     stats.lookups += 1;
                 }
             }
@@ -150,8 +153,14 @@ mod tests {
         let (table, stats) = driven_table(20_000);
         assert_eq!(stats.reads() + stats.writes(), 20_000);
         let write_frac = stats.writes() as f64 / 20_000.0;
-        assert!((write_frac - 0.17).abs() < 0.02, "OLTP mix write fraction, got {write_frac}");
-        assert_eq!(table.row_count() as u64, 2_000 + stats.inserts + stats.updates);
+        assert!(
+            (write_frac - 0.17).abs() < 0.02,
+            "OLTP mix write fraction, got {write_frac}"
+        );
+        assert_eq!(
+            table.row_count() as u64,
+            2_000 + stats.inserts + stats.updates
+        );
         assert!(stats.scanned_tuples > 0);
     }
 
@@ -179,7 +188,10 @@ mod tests {
             table.merge(2, None).unwrap();
             assert_eq!(table.delta_len(), 0);
         }
-        assert_eq!(table.row_count() as u64, 2_000 + total.inserts + total.updates);
+        assert_eq!(
+            table.row_count() as u64,
+            2_000 + total.inserts + total.updates
+        );
         assert_eq!(table.main_len(), table.row_count(), "everything merged");
     }
 }

@@ -4,8 +4,8 @@
 
 use hyrise::merge::parallel::merge_table_parallel;
 use hyrise::query::{table_scan_eq_u64, table_select};
-use hyrise::storage::{AnyValue, ColumnType, Schema, Table, V16};
 use hyrise::storage::Value as _;
+use hyrise::storage::{AnyValue, ColumnType, Schema, Table, V16};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -17,7 +17,10 @@ struct Reference {
 
 impl Reference {
     fn new() -> Self {
-        Self { rows: Vec::new(), valid: Vec::new() }
+        Self {
+            rows: Vec::new(),
+            valid: Vec::new(),
+        }
     }
 
     fn insert(&mut self, row: Vec<AnyValue>) -> usize {
@@ -43,7 +46,10 @@ fn check_equal(table: &Table, reference: &Reference) {
         assert_eq!(&table.row(r).unwrap(), want, "row {r}");
         assert_eq!(table.is_valid(r), reference.valid[r], "validity of row {r}");
     }
-    assert_eq!(table.valid_row_count(), reference.valid.iter().filter(|v| **v).count());
+    assert_eq!(
+        table.valid_row_count(),
+        reference.valid.iter().filter(|v| **v).count()
+    );
 }
 
 fn random_row(rng: &mut StdRng) -> Vec<AnyValue> {
@@ -106,27 +112,37 @@ fn queries_agree_before_and_after_merge() {
     let mut rng = StdRng::seed_from_u64(7);
     for _ in 0..3_000 {
         table
-            .insert_row(&[AnyValue::U64(rng.gen_range(0..50)), AnyValue::U32(rng.gen_range(0..10))])
+            .insert_row(&[
+                AnyValue::U64(rng.gen_range(0..50)),
+                AnyValue::U32(rng.gen_range(0..10)),
+            ])
             .unwrap();
     }
     // Some history churn.
     for _ in 0..300 {
         let old = rng.gen_range(0..table.row_count());
-        table.update_row(old, &[AnyValue::U64(rng.gen_range(0..50)), AnyValue::U32(1)]).unwrap();
+        table
+            .update_row(
+                old,
+                &[AnyValue::U64(rng.gen_range(0..50)), AnyValue::U32(1)],
+            )
+            .unwrap();
     }
 
     let probe = 17u64;
     let before_eq = table_scan_eq_u64(&table, 0, probe);
-    let before_pred = table_select(&table, |row| {
-        matches!((row[0], row[1]), (AnyValue::U64(k), AnyValue::U32(v)) if k < 5 && v > 3)
-    });
+    let before_pred = table_select(
+        &table,
+        |row| matches!((row[0], row[1]), (AnyValue::U64(k), AnyValue::U32(v)) if k < 5 && v > 3),
+    );
 
     merge_table_parallel(&mut table, 4);
 
     assert_eq!(table_scan_eq_u64(&table, 0, probe), before_eq);
-    let after_pred = table_select(&table, |row| {
-        matches!((row[0], row[1]), (AnyValue::U64(k), AnyValue::U32(v)) if k < 5 && v > 3)
-    });
+    let after_pred = table_select(
+        &table,
+        |row| matches!((row[0], row[1]), (AnyValue::U64(k), AnyValue::U32(v)) if k < 5 && v > 3),
+    );
     assert_eq!(after_pred, before_pred);
 }
 
@@ -137,12 +153,20 @@ fn dictionary_shrinks_memory_versus_uncompressed() {
     let schema = Schema::new(vec![("status", ColumnType::V16)]);
     let mut table = Table::new("t", schema);
     for i in 0..20_000u64 {
-        table.insert_row(&[AnyValue::V16(V16::from_seed(i % 8))]).unwrap();
+        table
+            .insert_row(&[AnyValue::V16(V16::from_seed(i % 8))])
+            .unwrap();
     }
     let before = table.memory_bytes();
     merge_table_parallel(&mut table, 2);
     let after = table.memory_bytes();
     // 20K x 16B = 320KB raw; merged: 3 bits/tuple + 8-entry dictionary.
-    assert!(after < before / 10, "merge must compress: {before} -> {after}");
-    assert!(after < 20_000, "3-bit codes for 20K tuples stay under 20KB, got {after}");
+    assert!(
+        after < before / 10,
+        "merge must compress: {before} -> {after}"
+    );
+    assert!(
+        after < 20_000,
+        "3-bit codes for 20K tuples stay under 20KB, got {after}"
+    );
 }

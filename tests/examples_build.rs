@@ -1,0 +1,45 @@
+//! Smoke test: every example under `examples/` must keep building.
+//!
+//! The examples are the facade crate's public-API walkthroughs; nothing
+//! else forces them through the compiler on `cargo test`, so a re-export
+//! rename in `src/lib.rs` could silently rot them. This test shells out
+//! to the same cargo that is running the test suite and asserts
+//! `cargo build --examples` succeeds and covers all four examples.
+
+use std::path::Path;
+use std::process::Command;
+
+const EXPECTED_EXAMPLES: [&str; 4] = [
+    "merge_scheduling",
+    "mixed_workload",
+    "quickstart",
+    "sales_order_merge",
+];
+
+#[test]
+fn all_examples_build() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+
+    for name in EXPECTED_EXAMPLES {
+        let path = Path::new(manifest_dir)
+            .join("examples")
+            .join(format!("{name}.rs"));
+        assert!(
+            path.is_file(),
+            "expected example source {} is missing",
+            path.display()
+        );
+    }
+
+    let output = Command::new(cargo)
+        .args(["build", "--examples", "--quiet"])
+        .current_dir(manifest_dir)
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        output.status.success(),
+        "`cargo build --examples` failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}

@@ -2,8 +2,8 @@
 //! crate's public API. Every concrete number in the figures is asserted.
 
 use hyrise::bitpack::bits_for;
-use hyrise::merge::{merge_column_naive, merge_column_optimized, merge_dictionaries};
 use hyrise::merge::parallel::merge_column_parallel;
+use hyrise::merge::{merge_column_naive, merge_column_optimized, merge_dictionaries};
 use hyrise::storage::{DeltaPartition, MainPartition};
 
 /// Word encoding preserving lexicographic order:
@@ -40,7 +40,10 @@ fn figure5_pre_merge_state() {
     // 3 (= ceil(log 6)) bits."
     assert_eq!(main.dictionary().len(), 6);
     assert_eq!(main.code_bits(), 3);
-    assert_eq!(main.dictionary().values(), &[APPLE, CHARLIE, DELTA, FRANK, HOTEL, INBOX]);
+    assert_eq!(
+        main.dictionary().values(),
+        &[APPLE, CHARLIE, DELTA, FRANK, HOTEL, INBOX]
+    );
 
     let delta = paper_delta();
     // "there are five tuples ... the CSB+ tree containing all the unique
@@ -48,7 +51,10 @@ fn figure5_pre_merge_state() {
     // 1 and 3."
     assert_eq!(delta.len(), 5);
     assert_eq!(delta.unique_len(), 4);
-    assert_eq!(delta.lookup(&CHARLIE).unwrap().collect::<Vec<_>>(), vec![1, 3]);
+    assert_eq!(
+        delta.lookup(&CHARLIE).unwrap().collect::<Vec<_>>(),
+        vec![1, 3]
+    );
 }
 
 #[test]
@@ -73,7 +79,10 @@ fn figure6_step1b_auxiliary_structures() {
     // Delta auxiliary: 0001 0010 0101 1000.
     assert_eq!(dm.x_d, vec![1, 2, 5, 8]);
     // Merged dictionary: 9 sorted unique words.
-    assert_eq!(dm.merged, vec![APPLE, BRAVO, CHARLIE, DELTA, FRANK, GOLF, HOTEL, INBOX, YOUNG]);
+    assert_eq!(
+        dm.merged,
+        vec![APPLE, BRAVO, CHARLIE, DELTA, FRANK, GOLF, HOTEL, INBOX, YOUNG]
+    );
 }
 
 #[test]
@@ -92,7 +101,9 @@ fn figure6_step2b_lookup_replaces_search() {
     let got: Vec<u64> = (0..out.main.len()).map(|i| out.main.get(i)).collect();
     assert_eq!(
         got,
-        vec![HOTEL, DELTA, FRANK, DELTA, APPLE, CHARLIE, INBOX, BRAVO, CHARLIE, GOLF, CHARLIE, YOUNG]
+        vec![
+            HOTEL, DELTA, FRANK, DELTA, APPLE, CHARLIE, INBOX, BRAVO, CHARLIE, GOLF, CHARLIE, YOUNG
+        ]
     );
 }
 
@@ -105,7 +116,11 @@ fn all_algorithms_reproduce_the_figure() {
         ("naive", merge_column_naive(&main, &delta, 2).main),
         ("parallel", merge_column_parallel(&main, &delta, 3).main),
     ] {
-        assert_eq!(out.dictionary().values(), reference.main.dictionary().values(), "{name}");
+        assert_eq!(
+            out.dictionary().values(),
+            reference.main.dictionary().values(),
+            "{name}"
+        );
         assert_eq!(
             out.codes().collect::<Vec<_>>(),
             reference.main.codes().collect::<Vec<_>>(),

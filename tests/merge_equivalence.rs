@@ -2,8 +2,8 @@
 //! parallel merges must produce bit-identical partitions across value types,
 //! uniqueness regimes and repeated merge generations.
 
-use hyrise::merge::{merge_column_naive, merge_column_optimized};
 use hyrise::merge::parallel::merge_column_parallel;
+use hyrise::merge::{merge_column_naive, merge_column_optimized};
 use hyrise::storage::{DeltaPartition, MainPartition, Value, V16};
 use hyrise::workload::values::{values_with_unique, UniqueSpec};
 use rand::rngs::StdRng;
@@ -36,8 +36,7 @@ fn scenario<V: Value>(n_m: usize, n_d: usize, lambda_m: f64, lambda_d: f64, seed
     let main_vals: Vec<V> = values_with_unique(&mut rng, UniqueSpec::from_lambda(n_m, lambda_m));
     let main = MainPartition::from_values(&main_vals);
     // Delta half-overlaps the main's domain.
-    let spec = UniqueSpec::from_lambda(n_d, lambda_d)
-        .offset((main.dictionary().len() / 2) as u64);
+    let spec = UniqueSpec::from_lambda(n_d, lambda_d).offset((main.dictionary().len() / 2) as u64);
     let delta_vals: Vec<V> = values_with_unique(&mut rng, spec);
     let delta = delta_from(&delta_vals);
     for threads in [1, 4, 13] {
@@ -100,7 +99,11 @@ fn five_merge_generations_stay_consistent() {
         main = merge_column_parallel(&main, &delta_from(&delta_vals), 6).main;
 
         let reference = MainPartition::from_values(&all);
-        assert_eq!(main.dictionary().values(), reference.dictionary().values(), "gen {gen}");
+        assert_eq!(
+            main.dictionary().values(),
+            reference.dictionary().values(),
+            "gen {gen}"
+        );
         assert_eq!(
             main.codes().collect::<Vec<_>>(),
             reference.codes().collect::<Vec<_>>(),
@@ -121,6 +124,11 @@ fn code_width_growth_across_generations() {
         let delta = delta_from(&(next_value..next_value + add as u64).collect::<Vec<_>>());
         next_value += add as u64;
         main = merge_column_parallel(&main, &delta, 4).main;
-        assert_eq!(main.code_bits(), expected_bits, "after growing to {} values", main.dictionary().len());
+        assert_eq!(
+            main.code_bits(),
+            expected_bits,
+            "after growing to {} values",
+            main.dictionary().len()
+        );
     }
 }

@@ -7,7 +7,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn seeded_row(i: u64, cols: usize) -> Vec<u64> {
-    (0..cols as u64).map(|c| i.wrapping_mul(2654435761).wrapping_add(c) % 100_000).collect()
+    (0..cols as u64)
+        .map(|c| i.wrapping_mul(2654435761).wrapping_add(c) % 100_000)
+        .collect()
 }
 
 #[test]
@@ -25,7 +27,8 @@ fn writers_and_mergers_race_without_losing_rows() {
     std::thread::scope(|s| {
         // Two writers.
         for w in 0..2u64 {
-            let (table, stop, inserted) = (Arc::clone(&table), Arc::clone(&stop), Arc::clone(&inserted));
+            let (table, stop, inserted) =
+                (Arc::clone(&table), Arc::clone(&stop), Arc::clone(&inserted));
             s.spawn(move || {
                 let mut i = 1_000_000 * (w + 1);
                 while !stop.load(Ordering::Relaxed) {
@@ -41,15 +44,22 @@ fn writers_and_mergers_race_without_losing_rows() {
             s.spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     for r in (0..5_000).step_by(431) {
-                        assert_eq!(table.row(r), seeded_row(r as u64, COLS), "pre-loaded rows stable");
+                        assert_eq!(
+                            table.row(r),
+                            seeded_row(r as u64, COLS),
+                            "pre-loaded rows stable"
+                        );
                     }
                 }
             });
         }
         // One merger hammering merges.
         {
-            let (table, stop, merges_done) =
-                (Arc::clone(&table), Arc::clone(&stop), Arc::clone(&merges_done));
+            let (table, stop, merges_done) = (
+                Arc::clone(&table),
+                Arc::clone(&stop),
+                Arc::clone(&merges_done),
+            );
             s.spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     if table.delta_len() > 0 {
@@ -64,8 +74,15 @@ fn writers_and_mergers_race_without_losing_rows() {
         stop.store(true, Ordering::Relaxed);
     });
 
-    assert_eq!(table.row_count() as u64, inserted.load(Ordering::Relaxed), "no lost rows");
-    assert!(merges_done.load(Ordering::Relaxed) > 0, "merges actually ran");
+    assert_eq!(
+        table.row_count() as u64,
+        inserted.load(Ordering::Relaxed),
+        "no lost rows"
+    );
+    assert!(
+        merges_done.load(Ordering::Relaxed) > 0,
+        "merges actually ran"
+    );
     // Everything still readable and correct after the dust settles.
     for r in (0..5_000).step_by(97) {
         assert_eq!(table.row(r), seeded_row(r as u64, 3));
@@ -95,9 +112,17 @@ fn cancellation_under_concurrent_inserts_is_atomic() {
         }
         cancel.store(true, Ordering::Relaxed);
         let result = handle.join().unwrap();
-        assert_eq!(table.row_count(), before_rows + 500, "round {round}: rows conserved");
+        assert_eq!(
+            table.row_count(),
+            before_rows + 500,
+            "round {round}: rows conserved"
+        );
         match result {
-            Ok(_) => assert_eq!(table.delta_len(), 500, "committed: only the racing inserts remain"),
+            Ok(_) => assert_eq!(
+                table.delta_len(),
+                500,
+                "committed: only the racing inserts remain"
+            ),
             Err(_) => assert!(table.delta_len() >= 500, "cancelled: frozen delta restored"),
         }
         // Spot-check content integrity.
@@ -118,7 +143,10 @@ fn trigger_policy_keeps_delta_bounded() {
     }
     table.merge(4, None).unwrap();
 
-    let policy = MergePolicy { delta_fraction: 0.02, threads: 4 };
+    let policy = MergePolicy {
+        delta_fraction: 0.02,
+        threads: 4,
+    };
     let mut merges = 0;
     for i in 0..20_000u64 {
         table.insert_row(&seeded_row(100_000 + i, 2));
@@ -132,7 +160,10 @@ fn trigger_policy_keeps_delta_bounded() {
             "delta must never exceed the trigger by more than one insert"
         );
     }
-    assert!(merges >= 10, "2% trigger on a growing 20K..40K main: many merges, got {merges}");
+    assert!(
+        merges >= 10,
+        "2% trigger on a growing 20K..40K main: many merges, got {merges}"
+    );
     assert_eq!(table.row_count(), 40_000);
 }
 

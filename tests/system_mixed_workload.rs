@@ -25,7 +25,10 @@ fn loaded_table() -> Arc<OnlineTable<u64>> {
 #[test]
 fn oltp_mix_with_background_merging_stays_consistent() {
     let table = loaded_table();
-    let policy = MergePolicy { delta_fraction: 0.05, threads: 2 };
+    let policy = MergePolicy {
+        delta_fraction: 0.05,
+        threads: 2,
+    };
     let sched = MergeScheduler::spawn(Arc::clone(&table), policy, Duration::from_millis(2));
 
     // Drive the OLTP mix from two concurrent workers.
@@ -40,7 +43,10 @@ fn oltp_mix_with_background_merging_stays_consistent() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     });
 
     // Let the scheduler drain, then stop it.
@@ -52,7 +58,11 @@ fn oltp_mix_with_background_merging_stays_consistent() {
 
     // Accounting: every insert/update appended exactly one row.
     let appended: u64 = totals.iter().map(|t| t.inserts + t.updates).sum();
-    assert_eq!(table.row_count() as u64, INITIAL_ROWS + appended, "no rows lost or duplicated");
+    assert_eq!(
+        table.row_count() as u64,
+        INITIAL_ROWS + appended,
+        "no rows lost or duplicated"
+    );
 
     // The scheduler really ran and kept the delta bounded.
     assert!(sched.stats().merges >= 1, "background merges must have run");
@@ -70,13 +80,20 @@ fn oltp_mix_with_background_merging_stays_consistent() {
     let valid = table.valid_row_count() as u64;
     let total_rows = table.row_count() as u64;
     assert!(valid <= total_rows);
-    assert!(valid >= total_rows - invalidated, "{valid} vs {total_rows} - {invalidated}");
+    assert!(
+        valid >= total_rows - invalidated,
+        "{valid} vs {total_rows} - {invalidated}"
+    );
 
     // The original rows that were never touched must read back exactly.
     let mut intact = 0;
     for r in (0..INITIAL_ROWS as usize).step_by(999) {
         if table.is_valid(r) {
-            assert_eq!(table.row(r), row_for_seed(r as u64, COLS), "row {r} corrupted");
+            assert_eq!(
+                table.row(r),
+                row_for_seed(r as u64, COLS),
+                "row {r} corrupted"
+            );
             intact += 1;
         }
     }
@@ -91,7 +108,10 @@ fn sustained_update_rate_meets_the_low_target() {
     // 300-column normalization the paper uses, so this is a smoke bound,
     // not the fig9 reproduction).
     let table = loaded_table();
-    let policy = MergePolicy { delta_fraction: 0.05, threads: 4 };
+    let policy = MergePolicy {
+        delta_fraction: 0.05,
+        threads: 4,
+    };
     let sched = MergeScheduler::spawn(Arc::clone(&table), policy, Duration::from_millis(1));
 
     let n = 50_000u64;
@@ -112,9 +132,15 @@ fn sustained_update_rate_meets_the_low_target() {
     let rate = n as f64 / elapsed.as_secs_f64();
     if cfg!(debug_assertions) {
         // Debug builds are 10-50x slower; only sanity-check the plumbing.
-        assert!(rate > 100.0, "sustained {rate:.0} upd/s even in a debug build");
+        assert!(
+            rate > 100.0,
+            "sustained {rate:.0} upd/s even in a debug build"
+        );
     } else {
-        assert!(rate > 3_000.0, "sustained {rate:.0} upd/s must beat the paper's low target");
+        assert!(
+            rate > 3_000.0,
+            "sustained {rate:.0} upd/s must beat the paper's low target"
+        );
     }
     assert_eq!(table.row_count() as u64, INITIAL_ROWS + n);
 }

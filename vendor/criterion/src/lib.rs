@@ -1,0 +1,346 @@
+//! Offline stub of the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this path crate
+//! implements the API surface the workspace's `benches/` use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`] with [`BenchmarkId`] and
+//! [`Throughput`], plus the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement model: each benchmark is calibrated to pick an iteration
+//! count whose batch lasts roughly [`TARGET_BATCH`], then `sample_size`
+//! batches are timed. The harness reports min / mean / max ns per
+//! iteration and derived throughput — intentionally simpler than real
+//! criterion (no outlier analysis, no HTML reports, no saved baselines),
+//! but stable enough to track order-of-magnitude regressions.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    /// Marker measurement type (only wall-clock time is supported).
+    pub struct WallTime;
+}
+
+/// Re-export of the compiler optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Target duration for one timed batch of iterations.
+const TARGET_BATCH: Duration = Duration::from_millis(10);
+
+pub struct Criterion {
+    /// Substring filter taken from the CLI (cargo bench passes trailing
+    /// args through; flags are ignored).
+    filter: Option<String>,
+}
+
+/// Real-criterion flags that take a value in the next argument; their
+/// values must not be mistaken for the positional benchmark filter.
+const VALUE_FLAGS: [&str; 9] = [
+    "--sample-size",
+    "--measurement-time",
+    "--warm-up-time",
+    "--save-baseline",
+    "--baseline",
+    "--load-baseline",
+    "--output-format",
+    "--color",
+    "--profile-time",
+];
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if VALUE_FLAGS.contains(&a.as_str()) {
+                args.next(); // consume the flag's value
+            } else if !a.starts_with('-') && !a.is_empty() {
+                filter = Some(a);
+                break;
+            }
+            // Bare flags (--bench, --verbose, …) and --flag=value forms
+            // are ignored.
+        }
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _measurement: PhantomData,
+        }
+    }
+
+    pub fn final_summary(&self) {}
+
+    fn matches(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.label);
+        if self._criterion.matches(&full) {
+            let mut bencher = Bencher::with_samples(self.sample_size);
+            f(&mut bencher);
+            report(&full, &bencher, self.throughput.as_ref());
+        }
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.label);
+        if self._criterion.matches(&full) {
+            let mut bencher = Bencher::with_samples(self.sample_size);
+            f(&mut bencher, input);
+            report(&full, &bencher, self.throughput.as_ref());
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Collects per-sample timings; filled in by [`Bencher::iter`].
+#[derive(Default)]
+pub struct Bencher {
+    samples_ns_per_iter: Vec<f64>,
+    requested_samples: usize,
+}
+
+impl Bencher {
+    fn with_samples(samples: usize) -> Self {
+        Bencher {
+            samples_ns_per_iter: Vec::new(),
+            requested_samples: samples,
+        }
+    }
+
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Calibrate: find an iteration count whose batch takes ~TARGET_BATCH.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_BATCH || iters >= 1 << 30 {
+                break;
+            }
+            let scale = if elapsed.is_zero() {
+                16.0
+            } else {
+                (TARGET_BATCH.as_secs_f64() / elapsed.as_secs_f64()).min(16.0)
+            };
+            iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
+        }
+
+        let samples = self.requested_samples.max(2);
+        self.samples_ns_per_iter.clear();
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns_per_iter
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+fn report(full_id: &str, bencher: &Bencher, throughput: Option<&Throughput>) {
+    let s = &bencher.samples_ns_per_iter;
+    if s.is_empty() {
+        println!("{full_id:<50} (no samples collected)");
+        return;
+    }
+    let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = s.iter().cloned().fold(0.0f64, f64::max);
+    let mean = s.iter().sum::<f64>() / s.len() as f64;
+    let thrpt = throughput.map(|t| {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (*n as f64, "elem"),
+            Throughput::Bytes(n) => (*n as f64, "B"),
+        };
+        format!("  thrpt: {}", human_rate(count / (mean * 1e-9), unit))
+    });
+    println!(
+        "{full_id:<50} time: [{} {} {}]{}",
+        human_time(min),
+        human_time(mean),
+        human_time(max),
+        thrpt.unwrap_or_default(),
+    );
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::with_samples(3);
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples_ns_per_iter.len(), 3);
+        assert!(b.samples_ns_per_iter.iter().all(|&ns| ns > 0.0));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("scan_eq", 8).label, "scan_eq/8");
+        assert_eq!(BenchmarkId::from_parameter(4).label, "4");
+    }
+}

@@ -1,0 +1,139 @@
+//! Offline stub of `proptest`.
+//!
+//! The build environment has no registry access, so this path crate
+//! re-implements the subset of proptest the workspace's property suites
+//! use: the [`proptest!`] macro, `prop_assert*` / [`prop_assume!`] /
+//! [`prop_oneof!`], the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_flat_map`, `Just`, `any::<T>()`, numeric-range strategies,
+//! weighted unions and `prop::collection::vec`.
+//!
+//! Semantics versus real proptest:
+//! * Case generation is **deterministic**: the RNG is seeded from the
+//!   test's module path and name, so failures always reproduce.
+//! * There is **no shrinking**. On failure the harness prints the full
+//!   `Debug` rendering of the generated inputs and the case index, then
+//!   re-raises the panic.
+//! * The default number of cases is 64 (smaller than upstream's 256) to
+//!   keep CI runs fast; suites can still override it with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_prop(x in 0u64..100, (a, b) in (any::<u8>(), 0f64..=1.0)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::Config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__cfg.cases {
+                    let __vals = (
+                        $( $crate::strategy::Strategy::generate(&($strat), &mut __rng), )+
+                    );
+                    let __dbg = format!("{:#?}", &__vals);
+                    let ( $($pat,)+ ) = __vals;
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || { $body }),
+                    );
+                    if let ::std::result::Result::Err(__panic) = __outcome {
+                        eprintln!(
+                            "\n[proptest stub] property `{}` failed at case {}/{}; inputs were:\n{}\n",
+                            stringify!($name),
+                            __case + 1,
+                            __cfg.cases,
+                            __dbg,
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that participates in the proptest harness (no shrinking here,
+/// so it simply panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+/// Skip the current case when a precondition does not hold.
+/// Expands to an early return from the per-case closure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Weighted (or unweighted) union of strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:expr => $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}

@@ -1,0 +1,222 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+//!
+//! A strategy here is just a deterministic sampler: `generate` draws one
+//! value from the strategy's distribution using the harness RNG. There is
+//! no value tree and no shrinking.
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// Weighted union of boxed strategies, built by `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T: Debug> Union<T> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight as u128) as u64;
+        for (weight, strat) in &self.arms {
+            if pick < *weight as u64 {
+                return strat.generate(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! uint_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let lo = self.start as u128;
+                let span = self.end as u128 - lo;
+                (lo + rng.below(span)) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "strategy range is empty");
+                let lo = start as u128;
+                let span = end as u128 - lo + 1;
+                (lo + rng.below(span)) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                (self.start..=<$t>::MAX).generate(rng)
+            }
+        }
+    )*};
+}
+
+uint_range_strategies!(u8, u16, u32, u64, usize);
+
+macro_rules! float_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let v = self.start + (rng.unit_f64() as $t) * (self.end - self.start);
+                // `start + u * span` can round up to `end`; the half-open
+                // contract excludes it.
+                if v >= self.end {
+                    self.end.next_down().max(self.start)
+                } else {
+                    v
+                }
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "strategy range is empty");
+                let v = start + (rng.unit_f64_inclusive() as $t) * (end - start);
+                // Both endpoints are in-contract; rounding must not
+                // overshoot either.
+                v.clamp(start, end)
+            }
+        }
+    )*};
+}
+
+float_range_strategies!(f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}

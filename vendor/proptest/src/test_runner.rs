@@ -1,0 +1,70 @@
+//! Test configuration and the deterministic RNG driving case generation.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Mirror of `proptest::test_runner::Config`, exposing only `cases`.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the full workspace suite
+        // CI-friendly while still exercising wide input diversity.
+        Config { cases: 64 }
+    }
+}
+
+/// The vendored `rand` generator, seeded from an FNV-1a hash of the
+/// test's full path, so every property test has an independent,
+/// reproducible stream (real proptest also builds on `rand`).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform value in `[0, span)` (`span > 0`) via widening multiply.
+    #[inline]
+    pub fn below(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        rand::bounded(self.next_u64(), span)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        rand::unit_f64(self.next_u64())
+    }
+
+    /// Uniform `f64` in `[0, 1]` (both endpoints reachable).
+    #[inline]
+    pub fn unit_f64_inclusive(&mut self) -> f64 {
+        rand::unit_f64_inclusive(self.next_u64())
+    }
+}

@@ -1,0 +1,221 @@
+//! Offline stub of the `rand` crate.
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so the workspace vendors the *exact* API surface it consumes:
+//! [`Rng::gen_range`] / [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`],
+//! [`rngs::StdRng`] and [`seq::SliceRandom::shuffle`]. The generator is
+//! xoshiro256++ seeded via SplitMix64 — deterministic, fast, and of more
+//! than sufficient quality for workload generation and benchmarks.
+//!
+//! This is NOT a cryptographic RNG and makes no attempt to reproduce the
+//! value streams of the real `rand` crate; all seeds in this workspace are
+//! fixed, so results are reproducible against *this* implementation.
+
+pub mod rngs;
+pub mod seq;
+
+/// Minimal core trait: a source of uniformly random 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`] just like the real crate.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (must be in `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of range");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seeding interface; only the `seed_from_u64` entry point is provided.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A range that can produce a single uniform sample.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Map a random word to `[0, 1)` with 53 bits of precision.
+///
+/// Public so the sibling vendored `proptest` stub shares one
+/// implementation of the sampling arithmetic (real `proptest` builds on
+/// `rand` the same way).
+#[inline]
+pub fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Map a random word to `[0, 1]` (both endpoints reachable) with 53 bits
+/// of precision — the inclusive-range counterpart of [`unit_f64`].
+#[inline]
+pub fn unit_f64_inclusive(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+}
+
+/// Uniform integer in `[0, span)` via 128-bit widening multiply
+/// (Lemire's method without the rejection step; the bias is < 2^-64
+/// per sample, irrelevant for workload generation).
+///
+/// Public for the same reason as [`unit_f64`].
+#[inline]
+pub fn bounded(word: u64, span: u128) -> u128 {
+    (word as u128 * span) >> 64
+}
+
+macro_rules! uint_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let lo = self.start as u128;
+                let span = self.end as u128 - lo;
+                (lo + bounded(rng.next_u64(), span)) as $t
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let lo = start as u128;
+                let span = end as u128 - lo + 1;
+                (lo + bounded(rng.next_u64(), span)) as $t
+            }
+        }
+    )*};
+}
+
+uint_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let lo = self.start as i128;
+                let span = (self.end as i128 - lo) as u128;
+                (lo + bounded(rng.next_u64(), span) as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let lo = start as i128;
+                let span = (end as i128 - lo) as u128 + 1;
+                (lo + bounded(rng.next_u64(), span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let v = self.start + (unit_f64(rng.next_u64()) as $t) * (self.end - self.start);
+                // `start + u * span` can round up to `end`; the half-open
+                // contract excludes it.
+                if v >= self.end {
+                    self.end.next_down().max(self.start)
+                } else {
+                    v
+                }
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let v = start + (unit_f64_inclusive(rng.next_u64()) as $t) * (end - start);
+                // Both endpoints are in-contract; rounding must not
+                // overshoot either.
+                v.clamp(start, end)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: u64 = rng.gen_range(5..=5);
+            assert_eq!(y, 5);
+            let f: f64 = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let u: usize = rng.gen_range(0..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn full_u64_range_inclusive_does_not_panic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let _: u64 = rng.gen_range(0..=u64::MAX);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Sequence helpers: only `SliceRandom::shuffle` (Fisher–Yates).
+
+use crate::{Rng, RngCore};
+
+pub trait SliceRandom {
+    fn shuffle<R>(&mut self, rng: &mut R)
+    where
+        R: Rng + RngCore + ?Sized;
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R>(&mut self, rng: &mut R)
+    where
+        R: Rng + RngCore + ?Sized,
+    {
+        for i in (1..self.len()).rev() {
+            let j = (crate::bounded(rng.next_u64(), i as u128 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle should not be identity");
+    }
+}
