@@ -1,0 +1,162 @@
+//! Shard-count scalability sweep (the Table-2 exercise lifted to the
+//! sharded layer): one logical table partitioned over 1/2/4/8 shards,
+//! serving concurrent routed inserts and cross-shard scans while a
+//! [`ShardedScheduler`] grants at most K merge slots across shards.
+//!
+//! The paper stops at one table on one box; this harness measures what the
+//! ROADMAP's scale-out step buys: per-shard merges touch `1/N`-th of the
+//! data, writers to different shards do not contend on one table lock, and
+//! scans fan out. On a single-core container expect flat write throughput
+//! and growing merge counts (merges get smaller and cheaper as N grows);
+//! on multi-core hardware expect write throughput to climb with N.
+//!
+//! ```text
+//! cargo run --release -p hyrise-bench --bin shard_scalability -- \
+//!     --rows 200000 --writes 50000 --max-shards 8 --merge-slots 2
+//! ```
+
+use hyrise_bench::{banner, default_threads, fmt_count, Args, TablePrinter};
+use hyrise_core::shard::{ShardedScheduler, ShardedTable};
+use hyrise_core::MergePolicy;
+use hyrise_query::{sharded_scan_eq, sharded_sum};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const KEY_DOMAIN: u64 = 10_000;
+
+fn row(i: u64) -> [u64; 2] {
+    [i % KEY_DOMAIN, i.wrapping_mul(2654435761) % 1_000_000]
+}
+
+/// One sweep point: returns (preload ms, write upd/s, scans/s, merges,
+/// max delta fraction at end, total rows at end).
+fn sweep(
+    shards: usize,
+    rows: usize,
+    writes: usize,
+    merge_slots: usize,
+    trigger: f64,
+    threads: usize,
+) -> (u128, f64, f64, u64, f64, usize) {
+    let table = Arc::new(ShardedTable::<u64>::hash(shards, 2));
+    let t0 = Instant::now();
+    let preload: Vec<[u64; 2]> = (0..rows as u64).map(row).collect();
+    table.insert_rows(&preload);
+    table.merge_all(threads);
+    let preload_ms = t0.elapsed().as_millis();
+
+    let policy = MergePolicy {
+        delta_fraction: trigger,
+        threads: 1,
+    };
+    let sched = ShardedScheduler::spawn(
+        Arc::clone(&table),
+        policy,
+        merge_slots,
+        Duration::from_millis(1),
+    );
+
+    // One writer per shard plus one fan-out scanner, racing.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scans = Arc::new(AtomicU64::new(0));
+    let t1 = Instant::now();
+    let mut write_secs = 0f64;
+    std::thread::scope(|s| {
+        let writers: Vec<_> = (0..shards)
+            .map(|w| {
+                let table = Arc::clone(&table);
+                s.spawn(move || {
+                    let base = (rows + w * writes) as u64;
+                    for chunk in (0..writes as u64).collect::<Vec<_>>().chunks(256) {
+                        let batch: Vec<[u64; 2]> = chunk.iter().map(|i| row(base + i)).collect();
+                        table.insert_rows(&batch);
+                    }
+                })
+            })
+            .collect();
+        {
+            let (table, stop, scans) = (Arc::clone(&table), Arc::clone(&stop), Arc::clone(&scans));
+            s.spawn(move || {
+                let mut probe = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    std::hint::black_box(sharded_scan_eq(&table, 0, &(probe % KEY_DOMAIN)));
+                    std::hint::black_box(sharded_sum(&table, 1));
+                    scans.fetch_add(2, Ordering::Relaxed);
+                    probe += 1;
+                }
+            });
+        }
+        for h in writers {
+            h.join().expect("writer");
+        }
+        write_secs = t1.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Drain to the trigger bound, then freeze the scheduler's counters.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while table.max_delta_fraction() > trigger && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    sched.shutdown();
+    let stats = sched.stats();
+    (
+        preload_ms,
+        (shards * writes) as f64 / write_secs,
+        scans.load(Ordering::Relaxed) as f64 / write_secs,
+        stats.merges,
+        table.max_delta_fraction(),
+        table.row_count(),
+    )
+}
+
+fn main() {
+    let args = Args::from_env();
+    let rows = args.usize("rows", 200_000);
+    let writes = args.usize("writes", 50_000);
+    let max_shards = args.usize("max-shards", 8);
+    let merge_slots = args.usize("merge-slots", 2);
+    let trigger = args.f64("trigger", 0.02);
+    let threads = args.usize("threads", default_threads());
+
+    banner(
+        "Shard scalability — concurrent inserts + fan-out scans + K-slot merges",
+        "no paper reference: the paper evaluates one table on one box (Secs 3/9)",
+        &format!(
+            "preload {} rows, {} writes per writer (one writer per shard), trigger {trigger}, \
+             {merge_slots} merge slots, {threads} HW threads",
+            fmt_count(rows),
+            fmt_count(writes),
+        ),
+    );
+
+    let t = TablePrinter::new(&[
+        "shards",
+        "preload ms",
+        "write upd/s",
+        "scan/s",
+        "merges",
+        "end frac",
+        "end rows",
+    ]);
+
+    let mut shards = 1usize;
+    while shards <= max_shards {
+        let (pre_ms, upd_s, scan_s, merges, frac, end_rows) =
+            sweep(shards, rows, writes, merge_slots, trigger, threads);
+        t.row(&[
+            &shards.to_string(),
+            &pre_ms.to_string(),
+            &format!("{upd_s:.0}"),
+            &format!("{scan_s:.1}"),
+            &merges.to_string(),
+            &format!("{frac:.4}"),
+            &fmt_count(end_rows),
+        ]);
+        shards *= 2;
+    }
+    println!();
+    println!("expected shape: merges grow with shard count (each merge covers 1/N of the");
+    println!("data); write throughput grows with cores available, flat on one core.");
+}

@@ -1,0 +1,278 @@
+//! The CI perf-regression gate: parse the bencher output of the vendored
+//! criterion stub, compare medians against a committed baseline
+//! (`BENCH_baseline.json` at the repo root), and fail on regressions.
+//!
+//! The stub prints one line per benchmark:
+//!
+//! ```text
+//! scan/scan_eq/0       time: [1.32 ms 1.35 ms 1.41 ms]  thrpt: 743 Melem/s
+//! ```
+//!
+//! where the bracketed triple is `[min median max]` per iteration. The gate
+//! compares the **median** — min is too optimistic under CI noise, max too
+//! pessimistic — and trips when `median > baseline * (1 + tolerance)`.
+//! The baseline is a flat JSON object `{"bench id": median_ns}`; it is
+//! hardware-specific, so refresh it (`scripts/refresh_bench_baseline.sh`)
+//! on the machine class CI runs on whenever a deliberate perf change lands.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One benchmark's parsed result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function/param`).
+    pub name: String,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: f64,
+}
+
+fn unit_to_ns(unit: &str) -> Option<f64> {
+    match unit {
+        "ns" => Some(1.0),
+        "µs" | "us" => Some(1e3),
+        "ms" => Some(1e6),
+        "s" => Some(1e9),
+        _ => None,
+    }
+}
+
+/// Parse every `time: [min median max]` line out of a bench run's stdout.
+/// Non-matching lines (cargo noise, group banners) are ignored.
+pub fn parse_bench_output(text: &str) -> Vec<BenchResult> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some((id_part, rest)) = line.split_once("time: [") else {
+            continue;
+        };
+        let name = id_part.trim().to_string();
+        let Some((triple, _)) = rest.split_once(']') else {
+            continue;
+        };
+        // `min min_unit median median_unit max max_unit`
+        let tokens: Vec<&str> = triple.split_whitespace().collect();
+        if tokens.len() != 6 || name.is_empty() {
+            continue;
+        }
+        let (Ok(value), Some(scale)) = (tokens[2].parse::<f64>(), unit_to_ns(tokens[3])) else {
+            continue;
+        };
+        out.push(BenchResult {
+            name,
+            median_ns: value * scale,
+        });
+    }
+    out
+}
+
+/// Serialize results as the flat, sorted baseline JSON object.
+pub fn to_json(results: &[BenchResult]) -> String {
+    let sorted: BTreeMap<&str, f64> = results
+        .iter()
+        .map(|r| (r.name.as_str(), r.median_ns))
+        .collect();
+    let mut s = String::from("{\n");
+    for (i, (name, ns)) in sorted.iter().enumerate() {
+        let comma = if i + 1 < sorted.len() { "," } else { "" };
+        writeln!(s, "  \"{name}\": {ns:.1}{comma}").expect("write to String");
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Parse the baseline JSON (the exact shape [`to_json`] emits; bench ids
+/// contain no quotes or escapes, so no general JSON parser is needed).
+pub fn parse_json(text: &str) -> Result<Vec<BenchResult>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() || line == "{" || line == "}" || line == "{}" {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("malformed baseline line: {line:?}"))?;
+        let name = name.trim().trim_matches('"');
+        let median_ns: f64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad number in baseline line {line:?}: {e}"))?;
+        if name.is_empty() {
+            return Err(format!("empty bench name in baseline line {line:?}"));
+        }
+        out.push(BenchResult {
+            name: name.to_string(),
+            median_ns,
+        });
+    }
+    Ok(out)
+}
+
+/// One benchmark's baseline-vs-current comparison.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// Benchmark id.
+    pub name: String,
+    /// Baseline median, ns.
+    pub baseline_ns: f64,
+    /// This run's median, ns.
+    pub current_ns: f64,
+}
+
+impl Delta {
+    /// `current / baseline` (> 1 is slower).
+    pub fn ratio(&self) -> f64 {
+        self.current_ns / self.baseline_ns
+    }
+}
+
+/// Outcome of comparing a run against the baseline.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    /// Benches slower than `baseline * (1 + tolerance)` — these fail CI.
+    pub regressions: Vec<Delta>,
+    /// Benches within tolerance (including improvements).
+    pub passed: Vec<Delta>,
+    /// Ran now but absent from the baseline (new benches — refresh soon).
+    pub missing_in_baseline: Vec<String>,
+    /// In the baseline but not in this run (filtered-out or removed).
+    pub missing_in_run: Vec<String>,
+}
+
+impl GateReport {
+    /// Does the gate pass?
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compare `current` against `baseline` with the given relative
+/// `tolerance` (0.25 = fail on >25% median regression).
+pub fn compare(baseline: &[BenchResult], current: &[BenchResult], tolerance: f64) -> GateReport {
+    let base: BTreeMap<&str, f64> = baseline
+        .iter()
+        .map(|r| (r.name.as_str(), r.median_ns))
+        .collect();
+    let cur: BTreeMap<&str, f64> = current
+        .iter()
+        .map(|r| (r.name.as_str(), r.median_ns))
+        .collect();
+    let mut report = GateReport::default();
+    for (name, &now) in &cur {
+        match base.get(name) {
+            None => report.missing_in_baseline.push(name.to_string()),
+            Some(&was) => {
+                let d = Delta {
+                    name: name.to_string(),
+                    baseline_ns: was,
+                    current_ns: now,
+                };
+                if now > was * (1.0 + tolerance) {
+                    report.regressions.push(d);
+                } else {
+                    report.passed.push(d);
+                }
+            }
+        }
+    }
+    for name in base.keys() {
+        if !cur.contains_key(name) {
+            report.missing_in_run.push(name.to_string());
+        }
+    }
+    // Worst offenders first, so the CI log leads with the problem.
+    report
+        .regressions
+        .sort_by(|a, b| b.ratio().total_cmp(&a.ratio()));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+   Compiling hyrise-bench v0.1.0 (/root/repo/crates/bench)
+    Finished `bench` profile [optimized + debuginfo] target(s) in 3.43s
+     Running benches/scan.rs (target/release/deps/scan-cafe)
+scan/scan_eq/0                                     time: [1.32 ms 1.35 ms 1.41 ms]  thrpt: 743.143 Melem/s
+scan/scan_range/0                                  time: [1.88 ms 1.90 ms 1.99 ms]
+dict_merge/serial                                  time: [3.31 ms 3.41 ms 3.52 ms]  thrpt: 322.581 Melem/s
+shard_scale/scan_eq/8                              time: [151.94 µs 175.66 µs 224.42 µs]  thrpt: 1.139 Gelem/s
+shard_scale/tiny                                   time: [151.94 ns 175.66 ns 224.42 ns]
+not a bench line
+";
+
+    #[test]
+    fn parses_ids_and_median_in_ns() {
+        let r = parse_bench_output(SAMPLE);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r[0].name, "scan/scan_eq/0");
+        assert!((r[0].median_ns - 1.35e6).abs() < 1.0);
+        assert_eq!(r[3].name, "shard_scale/scan_eq/8");
+        assert!((r[3].median_ns - 175_660.0).abs() < 1.0);
+        assert!((r[4].median_ns - 175.66).abs() < 0.01, "ns stays ns");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = parse_bench_output(SAMPLE);
+        let json = to_json(&r);
+        let back = parse_json(&json).unwrap();
+        // to_json sorts by name; compare as maps.
+        let a: BTreeMap<String, i64> = r
+            .iter()
+            .map(|x| (x.name.clone(), x.median_ns.round() as i64))
+            .collect();
+        let b: BTreeMap<String, i64> = back
+            .iter()
+            .map(|x| (x.name.clone(), x.median_ns.round() as i64))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(parse_json("{\n  \"a\" 12\n}").is_err());
+        assert!(parse_json("{\n  \"a\": twelve\n}").is_err());
+        assert!(parse_json("{}\n").unwrap().is_empty());
+    }
+
+    fn res(name: &str, ns: f64) -> BenchResult {
+        BenchResult {
+            name: name.into(),
+            median_ns: ns,
+        }
+    }
+
+    #[test]
+    fn gate_trips_only_past_tolerance() {
+        let base = vec![res("a", 100.0), res("b", 100.0), res("c", 100.0)];
+        let cur = vec![res("a", 124.0), res("b", 126.0), res("c", 60.0)];
+        let rep = compare(&base, &cur, 0.25);
+        assert!(!rep.ok());
+        assert_eq!(rep.regressions.len(), 1);
+        assert_eq!(rep.regressions[0].name, "b");
+        assert!((rep.regressions[0].ratio() - 1.26).abs() < 1e-9);
+        assert_eq!(rep.passed.len(), 2, "improvement and within-tolerance pass");
+    }
+
+    #[test]
+    fn gate_reports_membership_drift_without_failing() {
+        let base = vec![res("old", 10.0), res("shared", 10.0)];
+        let cur = vec![res("new", 10.0), res("shared", 10.0)];
+        let rep = compare(&base, &cur, 0.25);
+        assert!(rep.ok(), "membership drift alone must not fail the gate");
+        assert_eq!(rep.missing_in_baseline, vec!["new".to_string()]);
+        assert_eq!(rep.missing_in_run, vec!["old".to_string()]);
+    }
+
+    #[test]
+    fn worst_regression_sorts_first() {
+        let base = vec![res("a", 100.0), res("b", 100.0)];
+        let cur = vec![res("a", 200.0), res("b", 400.0)];
+        let rep = compare(&base, &cur, 0.25);
+        assert_eq!(rep.regressions[0].name, "b");
+        assert_eq!(rep.regressions[1].name, "a");
+    }
+}

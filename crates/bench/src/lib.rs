@@ -6,6 +6,8 @@
 //! prints the paper's reference numbers next to the measured ones;
 //! `EXPERIMENTS.md` records a full run.
 
+pub mod gate;
+
 use hyrise_core::model::{calibrate, MachineProfile};
 use hyrise_storage::{DeltaPartition, MainPartition, Value};
 use hyrise_workload::values::{values_with_unique, UniqueSpec};
@@ -58,6 +60,14 @@ impl Args {
                     .unwrap_or_else(|_| panic!("--{key} expects a number"))
             })
             .unwrap_or(default)
+    }
+
+    /// String argument with default.
+    pub fn string(&self, key: &str, default: &str) -> String {
+        self.map
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Boolean flag.

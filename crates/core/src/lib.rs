@@ -19,6 +19,11 @@
 //!   merge, brief table locks only at the beginning and end, atomic commit,
 //!   cancellation that leaves the table untouched, and the merge trigger
 //!   policy (`N_D > fraction * N_M`).
+//! * [`shard`] — the scale-out layer beyond the paper's single-table
+//!   evaluation: [`shard::ShardedTable`] hash- or range-partitions rows
+//!   across N online tables, and [`shard::ShardedScheduler`] grants merge
+//!   threads across shards (at most K concurrent merges, worst delta
+//!   fraction first).
 //! * [`rate`] — Equations 1 and 16: update-rate accounting.
 //!
 //! All three algorithms produce bit-identical merged main partitions; the
@@ -32,15 +37,19 @@ pub mod parallel;
 pub mod partition;
 pub mod rate;
 pub mod scheduler;
+pub mod shard;
 pub mod stats;
 mod step1;
 
-pub use manager::{MergeCancelled, MergePolicy, MergeSession, OnlineTable};
+pub use manager::{
+    ColumnSnapshot, MergeCancelled, MergePolicy, MergeSession, OnlineTable, TableSnapshot,
+};
 pub use model::{calibrate, MachineProfile, MergeScenario, ModelPrediction};
 pub use naive::merge_column_naive;
 pub use optimized::merge_column_optimized;
 pub use parallel::{merge_column_parallel, merge_table_parallel};
 pub use rate::{update_rate, updates_per_second};
-pub use scheduler::{MergeScheduler, SchedulerStats};
+pub use scheduler::{MergeOutcome, MergeScheduler, MergeSource, SchedulerStats, SourceScheduler};
+pub use shard::{ShardBy, ShardRowId, ShardedScheduler, ShardedSchedulerStats, ShardedTable};
 pub use stats::{ColumnMergeStats, MergeAlgo, MergeOutput, TableMergeStats};
 pub use step1::{merge_dictionaries, DictMerge};

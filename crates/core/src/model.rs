@@ -38,7 +38,7 @@ pub struct MachineProfile {
     /// Cache line size `L` in bytes.
     pub cache_line: usize,
     /// Instructions per merged dictionary element in Step 1(b) ("each element
-    /// appended to the output dictionary involves around 12 ops" [5]).
+    /// appended to the output dictionary involves around 12 ops" \[5\]).
     pub dict_merge_ops_per_element: f64,
     /// Instructions per tuple for the cache-resident Step 2 gather (the "4"
     /// in the paper's Equation 18 evaluation).

@@ -6,11 +6,16 @@
 //! available bandwidth and thus adjust the degree of parallelization for the
 //! merge process." (Sections 3, 9)
 //!
-//! [`MergeScheduler`] owns a daemon thread that polls an [`OnlineTable`]'s
+//! [`SourceScheduler`] owns a daemon thread that polls a [`MergeSource`]'s
 //! delta fraction and runs merges per a [`MergePolicy`] — the piece that
 //! turns the merge primitive into the hands-off system the paper describes.
 //! It supports pausing (the scheduler finishes nothing new while paused) and
 //! reports cumulative statistics.
+//!
+//! The scheduler is generic over *what* it merges: [`MergeScheduler`] is the
+//! single-[`OnlineTable`] instance; the sharded generalization (N tables,
+//! at most K concurrent merges, highest delta fraction first) lives in
+//! [`crate::shard::ShardedScheduler`] and drives the same trait.
 
 use crate::manager::{MergePolicy, OnlineTable};
 use hyrise_storage::Value;
@@ -18,6 +23,54 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// What one completed background merge moved and cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Tuples moved from delta partitions into main partitions (per-column
+    /// sum).
+    pub tuples_moved: u64,
+    /// Wall time of the merge.
+    pub wall: Duration,
+}
+
+/// Something a background scheduler can merge: reports its merge-trigger
+/// ratio and runs one merge on demand. Implemented by [`OnlineTable`]; a
+/// resource-granting scheduler ([`SourceScheduler`],
+/// [`crate::shard::ShardedScheduler`]) needs nothing more from its tables.
+pub trait MergeSource: Send + Sync + 'static {
+    /// The merge-trigger ratio `N_D / max(N_M, 1)` (always finite; see
+    /// [`OnlineTable::delta_fraction`]).
+    fn delta_fraction(&self) -> f64;
+
+    /// Does `policy` call for a merge now?
+    fn should_merge(&self, policy: &MergePolicy) -> bool {
+        self.delta_fraction() > policy.delta_fraction
+    }
+
+    /// Run one merge with `threads` granted threads. Returns `None` when
+    /// the merge did not commit (cancelled); schedulers simply retry on the
+    /// next poll.
+    fn run_merge(&self, threads: usize) -> Option<MergeOutcome>;
+}
+
+impl<V: Value> MergeSource for OnlineTable<V> {
+    fn delta_fraction(&self) -> f64 {
+        OnlineTable::delta_fraction(self)
+    }
+
+    fn should_merge(&self, policy: &MergePolicy) -> bool {
+        OnlineTable::should_merge(self, policy)
+    }
+
+    fn run_merge(&self, threads: usize) -> Option<MergeOutcome> {
+        let stats = self.merge(threads, None).ok()?;
+        Some(MergeOutcome {
+            tuples_moved: stats.columns.iter().map(|c| c.n_d as u64).sum(),
+            wall: stats.t_wall,
+        })
+    }
+}
 
 /// Cumulative scheduler statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -31,10 +84,10 @@ pub struct SchedulerStats {
     pub merge_millis: u64,
 }
 
-/// Handle to a running background merge scheduler. Dropping the handle stops
-/// the daemon (joining its thread).
-pub struct MergeScheduler<V: Value> {
-    table: Arc<OnlineTable<V>>,
+/// Handle to a running background merge scheduler over one [`MergeSource`].
+/// Dropping the handle stops the daemon (joining its thread).
+pub struct SourceScheduler<S: MergeSource> {
+    source: Arc<S>,
     stop: Arc<AtomicBool>,
     paused: Arc<AtomicBool>,
     merges: Arc<AtomicU64>,
@@ -43,10 +96,14 @@ pub struct MergeScheduler<V: Value> {
     handle: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
-impl<V: Value> MergeScheduler<V> {
-    /// Spawn a scheduler over `table` with `policy`, checking the trigger
+/// The single-table scheduler: a [`SourceScheduler`] over one
+/// [`OnlineTable`].
+pub type MergeScheduler<V> = SourceScheduler<OnlineTable<V>>;
+
+impl<S: MergeSource> SourceScheduler<S> {
+    /// Spawn a scheduler over `source` with `policy`, checking the trigger
     /// every `poll`.
-    pub fn spawn(table: Arc<OnlineTable<V>>, policy: MergePolicy, poll: Duration) -> Self {
+    pub fn spawn(source: Arc<S>, policy: MergePolicy, poll: Duration) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let paused = Arc::new(AtomicBool::new(false));
         let merges = Arc::new(AtomicU64::new(0));
@@ -54,7 +111,7 @@ impl<V: Value> MergeScheduler<V> {
         let millis = Arc::new(AtomicU64::new(0));
 
         let handle = {
-            let table = Arc::clone(&table);
+            let source = Arc::clone(&source);
             let stop = Arc::clone(&stop);
             let paused = Arc::clone(&paused);
             let merges = Arc::clone(&merges);
@@ -62,12 +119,11 @@ impl<V: Value> MergeScheduler<V> {
             let millis = Arc::clone(&millis);
             std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
-                    if !paused.load(Ordering::Relaxed) && table.should_merge(&policy) {
-                        if let Ok(stats) = table.merge(policy.threads, None) {
+                    if !paused.load(Ordering::Relaxed) && source.should_merge(&policy) {
+                        if let Some(out) = source.run_merge(policy.threads) {
                             merges.fetch_add(1, Ordering::Relaxed);
-                            let moved: usize = stats.columns.iter().map(|c| c.n_d).sum();
-                            tuples.fetch_add(moved as u64, Ordering::Relaxed);
-                            millis.fetch_add(stats.t_wall.as_millis() as u64, Ordering::Relaxed);
+                            tuples.fetch_add(out.tuples_moved, Ordering::Relaxed);
+                            millis.fetch_add(out.wall.as_millis() as u64, Ordering::Relaxed);
                         }
                     }
                     std::thread::sleep(poll);
@@ -75,7 +131,7 @@ impl<V: Value> MergeScheduler<V> {
             })
         };
         Self {
-            table,
+            source,
             stop,
             paused,
             merges,
@@ -85,9 +141,9 @@ impl<V: Value> MergeScheduler<V> {
         }
     }
 
-    /// The table being managed.
-    pub fn table(&self) -> &Arc<OnlineTable<V>> {
-        &self.table
+    /// The merge source being managed (the table, for [`MergeScheduler`]).
+    pub fn table(&self) -> &Arc<S> {
+        &self.source
     }
 
     /// Pause scheduling: no new merges start until [`Self::resume`]. An
@@ -126,7 +182,7 @@ impl<V: Value> MergeScheduler<V> {
     }
 }
 
-impl<V: Value> Drop for MergeScheduler<V> {
+impl<S: MergeSource> Drop for SourceScheduler<S> {
     fn drop(&mut self) {
         self.shutdown();
     }
@@ -173,7 +229,7 @@ mod tests {
     #[test]
     fn paused_scheduler_does_not_merge() {
         let table = Arc::new(OnlineTable::<u64>::new(2));
-        insert_rows(&table, 1_000, 0); // delta_fraction infinite: always triggered
+        insert_rows(&table, 1_000, 0); // fraction N_D/1: always triggered
         let policy = MergePolicy {
             delta_fraction: 0.01,
             threads: 1,
@@ -266,5 +322,16 @@ mod tests {
             table.delta_fraction() <= policy.delta_fraction,
             "scheduler must keep the delta bounded"
         );
+    }
+
+    #[test]
+    fn merge_source_trait_reports_through_online_table() {
+        let table = OnlineTable::<u64>::new(2);
+        insert_rows(&table, 64, 0);
+        let src: &dyn MergeSource = &table;
+        assert_eq!(src.delta_fraction(), 64.0);
+        let out = src.run_merge(2).expect("uncancelled merge commits");
+        assert_eq!(out.tuples_moved, 64 * 2, "both columns counted");
+        assert_eq!(src.delta_fraction(), 0.0);
     }
 }

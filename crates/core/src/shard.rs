@@ -1,0 +1,663 @@
+//! Horizontal sharding: N [`OnlineTable`] shards behind one facade, with a
+//! scheduler that grants merge threads *across* shards.
+//!
+//! The paper engineers a single table that absorbs writes while staying
+//! read-optimized (Sections 3 and 9) and argues the merge should be granted
+//! resources by a scheduler rather than take the machine (Section 6.2). At
+//! production scale the natural next step is horizontal: partition rows
+//! across independent tables so that (a) merges are per-shard and touch
+//! `1/N`-th of the data, (b) writes to different shards never contend on a
+//! table lock, and (c) scans fan out and stitch. Each shard keeps the exact
+//! online-merge protocol of [`crate::manager`]; nothing about the paper's
+//! merge changes — this layer only routes and coordinates.
+//!
+//! * [`ShardedTable`] — hash- or range-partitions rows by a key column;
+//!   batched [`ShardedTable::insert_rows`], per-shard
+//!   [`TableSnapshot`]s for lock-free scans (the fan-out operators live in
+//!   `hyrise-query`).
+//! * [`ShardedScheduler`] — generalizes the single-table scheduler: at most
+//!   `max_concurrent` merges in flight, shards picked by highest delta
+//!   fraction first, pause/resume globally.
+//! * [`ShardedTable`] also implements [`MergeSource`] (merge the worst
+//!   shard), so the plain [`crate::scheduler::SourceScheduler`] can drive a
+//!   sharded table one merge at a time when concurrency is not wanted.
+
+use crate::manager::{MergePolicy, OnlineTable, TableSnapshot};
+use crate::scheduler::{MergeOutcome, MergeSource};
+use crate::stats::TableMergeStats;
+use hyrise_storage::Value;
+use parking_lot::Mutex;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Global address of a row in a [`ShardedTable`]: which shard, and the
+/// tuple id within that shard. Tuple ids are shard-local (each shard's
+/// merge keeps its own ids stable), so the pair is the stable global key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShardRowId {
+    /// Index of the shard holding the row.
+    pub shard: usize,
+    /// Tuple id within that shard.
+    pub row: usize,
+}
+
+/// How rows are routed to shards (always on one key column's value).
+#[derive(Clone, Debug)]
+pub enum ShardBy<V> {
+    /// Hash of the key value modulo the shard count — uniform spread, no
+    /// ordering guarantees across shards.
+    Hash,
+    /// Range partitioning over `bounds` (sorted, ascending): shard `i`
+    /// holds keys below `bounds[i]`; the last shard holds the rest. With
+    /// `k` bounds there are `k + 1` shards. Range sharding keeps key
+    /// locality, so range scans touch few shards.
+    Range(Vec<V>),
+}
+
+/// N [`OnlineTable`] shards behind one facade: rows are routed by a key
+/// column, reads fan out, and every shard merges independently.
+pub struct ShardedTable<V: Value> {
+    shards: Vec<Arc<OnlineTable<V>>>,
+    by: ShardBy<V>,
+    key_col: usize,
+}
+
+impl<V: Value> ShardedTable<V> {
+    /// Hash-partitioned table of `num_shards` shards, each with
+    /// `num_columns` columns, keyed on column 0 (see
+    /// [`Self::with_key_col`]).
+    pub fn hash(num_shards: usize, num_columns: usize) -> Self {
+        assert!(num_shards > 0, "a sharded table needs at least one shard");
+        Self {
+            shards: (0..num_shards)
+                .map(|_| Arc::new(OnlineTable::new(num_columns)))
+                .collect(),
+            by: ShardBy::Hash,
+            key_col: 0,
+        }
+    }
+
+    /// Range-partitioned table over ascending `bounds` (producing
+    /// `bounds.len() + 1` shards), keyed on column 0.
+    pub fn range(bounds: Vec<V>, num_columns: usize) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "range bounds must be strictly ascending"
+        );
+        Self {
+            shards: (0..bounds.len() + 1)
+                .map(|_| Arc::new(OnlineTable::new(num_columns)))
+                .collect(),
+            by: ShardBy::Range(bounds),
+            key_col: 0,
+        }
+    }
+
+    /// Route on `col` instead of column 0.
+    pub fn with_key_col(mut self, col: usize) -> Self {
+        assert!(col < self.num_columns(), "key column out of range");
+        self.key_col = col;
+        self
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of columns (same for every shard).
+    pub fn num_columns(&self) -> usize {
+        self.shards[0].num_columns()
+    }
+
+    /// The routing key column.
+    pub fn key_col(&self) -> usize {
+        self.key_col
+    }
+
+    /// All shards (for fan-out drivers and schedulers).
+    pub fn shards(&self) -> &[Arc<OnlineTable<V>>] {
+        &self.shards
+    }
+
+    /// One shard.
+    pub fn shard(&self, i: usize) -> &Arc<OnlineTable<V>> {
+        &self.shards[i]
+    }
+
+    /// The shard a key value routes to.
+    pub fn shard_of_key(&self, key: &V) -> usize {
+        match &self.by {
+            ShardBy::Hash => {
+                // DefaultHasher with `new()` uses fixed keys, so routing is
+                // deterministic across processes and runs.
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                key.hash(&mut h);
+                (h.finish() % self.shards.len() as u64) as usize
+            }
+            ShardBy::Range(bounds) => bounds.partition_point(|b| key >= b),
+        }
+    }
+
+    /// The shard a full row routes to (its key column's value).
+    pub fn shard_of(&self, values: &[V]) -> usize {
+        self.shard_of_key(&values[self.key_col])
+    }
+
+    /// Insert one row, routed by its key; returns its global address.
+    pub fn insert_row(&self, values: &[V]) -> ShardRowId {
+        let shard = self.shard_of(values);
+        ShardRowId {
+            shard,
+            row: self.shards[shard].insert_row(values),
+        }
+    }
+
+    /// Batched insert: rows are grouped by target shard and each group is
+    /// appended under a single shard-lock acquisition
+    /// ([`OnlineTable::insert_rows`]), so a large batch takes `O(shards)`
+    /// lock round-trips instead of `O(rows)`. Returns each row's global
+    /// address, in input order.
+    pub fn insert_rows<R: AsRef<[V]>>(&self, rows: &[R]) -> Vec<ShardRowId> {
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, r) in rows.iter().enumerate() {
+            groups[self.shard_of(r.as_ref())].push(i);
+        }
+        let mut ids = vec![ShardRowId { shard: 0, row: 0 }; rows.len()];
+        for (shard, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let batch: Vec<&[V]> = group.iter().map(|&i| rows[i].as_ref()).collect();
+            let range = self.shards[shard].insert_rows(&batch);
+            for (&i, row) in group.iter().zip(range) {
+                ids[i] = ShardRowId { shard, row };
+            }
+        }
+        ids
+    }
+
+    /// Read one cell.
+    pub fn get(&self, id: ShardRowId, col: usize) -> V {
+        self.shards[id.shard].get(col, id.row)
+    }
+
+    /// Read a whole row.
+    pub fn row(&self, id: ShardRowId) -> Vec<V> {
+        self.shards[id.shard].row(id.row)
+    }
+
+    /// Is the row visible?
+    pub fn is_valid(&self, id: ShardRowId) -> bool {
+        self.shards[id.shard].is_valid(id.row)
+    }
+
+    /// Insert-only update: the new version is routed by its *new* key (it
+    /// may land on a different shard than `old`), then the old row is
+    /// invalidated. Returns the new version's address.
+    pub fn update_row(&self, old: ShardRowId, values: &[V]) -> ShardRowId {
+        let new_id = self.insert_row(values);
+        self.shards[old.shard].delete_row(old.row);
+        new_id
+    }
+
+    /// Invalidate a row.
+    pub fn delete_row(&self, id: ShardRowId) {
+        self.shards[id.shard].delete_row(id.row);
+    }
+
+    /// Total rows across shards (valid + history).
+    pub fn row_count(&self) -> usize {
+        self.shards.iter().map(|s| s.row_count()).sum()
+    }
+
+    /// Visible rows across shards.
+    pub fn valid_row_count(&self) -> usize {
+        self.shards.iter().map(|s| s.valid_row_count()).sum()
+    }
+
+    /// Tuples awaiting a merge, across shards.
+    pub fn delta_len(&self) -> usize {
+        self.shards.iter().map(|s| s.delta_len()).sum()
+    }
+
+    /// Tuples in main partitions, across shards.
+    pub fn main_len(&self) -> usize {
+        self.shards.iter().map(|s| s.main_len()).sum()
+    }
+
+    /// Every shard's merge-trigger ratio (finite; see
+    /// [`OnlineTable::delta_fraction`]).
+    pub fn delta_fractions(&self) -> Vec<f64> {
+        self.shards.iter().map(|s| s.delta_fraction()).collect()
+    }
+
+    /// The worst shard's trigger ratio — what a global back-pressure check
+    /// should look at.
+    pub fn max_delta_fraction(&self) -> f64 {
+        self.delta_fractions().into_iter().fold(0.0, f64::max)
+    }
+
+    /// A consistent per-shard snapshot set for lock-free fan-out scans.
+    /// Each snapshot is internally consistent; across shards the snapshots
+    /// are taken in sequence (per-shard snapshot isolation — the same
+    /// guarantee concurrent per-shard readers get).
+    pub fn snapshots(&self) -> Vec<TableSnapshot<V>> {
+        self.shards.iter().map(|s| s.snapshot()).collect()
+    }
+
+    /// Merge every shard that has delta tuples, one after the other (the
+    /// quiesce path; the scheduler is the concurrent path). Returns the
+    /// per-shard stats of the merges that ran.
+    pub fn merge_all(&self, threads: usize) -> Vec<TableMergeStats> {
+        self.shards
+            .iter()
+            .filter(|s| s.delta_len() > 0)
+            .filter_map(|s| s.merge(threads, None).ok())
+            .collect()
+    }
+}
+
+/// Merging a sharded table as a single [`MergeSource`] means: report the
+/// worst shard's ratio, merge the worst shard. This lets the plain
+/// [`crate::scheduler::SourceScheduler`] keep a sharded table bounded one
+/// merge at a time; [`ShardedScheduler`] is the concurrent upgrade.
+impl<V: Value> MergeSource for ShardedTable<V> {
+    fn delta_fraction(&self) -> f64 {
+        self.max_delta_fraction()
+    }
+
+    fn run_merge(&self, threads: usize) -> Option<MergeOutcome> {
+        let fractions = self.delta_fractions();
+        let worst = fractions
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))?
+            .0;
+        self.shards[worst].run_merge(threads)
+    }
+}
+
+/// Cumulative [`ShardedScheduler`] statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardedSchedulerStats {
+    /// Merges completed across all shards.
+    pub merges: u64,
+    /// Tuples moved from delta to main, across all shards and columns.
+    pub tuples_merged: u64,
+    /// Total milliseconds spent inside merges (sums across concurrent
+    /// merges, so it can exceed wall time).
+    pub merge_millis: u64,
+    /// Merges completed per shard.
+    pub per_shard: Vec<u64>,
+}
+
+/// Background merge scheduler over a [`ShardedTable`]: each poll round it
+/// ranks the shards whose [`MergePolicy`] trigger fires by delta fraction
+/// (worst first), grants merge threads to at most `max_concurrent` of them,
+/// and runs those merges concurrently — the multi-table version of the
+/// paper's "scheduling algorithm \[that\] could constantly analyze the
+/// available bandwidth and thus adjust the degree of parallelization"
+/// (Section 9). Pause/resume apply globally across all shards.
+pub struct ShardedScheduler<V: Value> {
+    table: Arc<ShardedTable<V>>,
+    stop: Arc<AtomicBool>,
+    paused: Arc<AtomicBool>,
+    merges: Arc<AtomicU64>,
+    tuples: Arc<AtomicU64>,
+    millis: Arc<AtomicU64>,
+    per_shard: Arc<Vec<AtomicU64>>,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl<V: Value> ShardedScheduler<V> {
+    /// Spawn the scheduler daemon: check triggers every `poll`, run at most
+    /// `max_concurrent` shard merges at a time, `policy.threads` threads
+    /// granted to each.
+    pub fn spawn(
+        table: Arc<ShardedTable<V>>,
+        policy: MergePolicy,
+        max_concurrent: usize,
+        poll: Duration,
+    ) -> Self {
+        let max_concurrent = max_concurrent.max(1);
+        let stop = Arc::new(AtomicBool::new(false));
+        let paused = Arc::new(AtomicBool::new(false));
+        let merges = Arc::new(AtomicU64::new(0));
+        let tuples = Arc::new(AtomicU64::new(0));
+        let millis = Arc::new(AtomicU64::new(0));
+        let per_shard: Arc<Vec<AtomicU64>> =
+            Arc::new((0..table.num_shards()).map(|_| AtomicU64::new(0)).collect());
+
+        let handle = {
+            let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop);
+            let paused = Arc::clone(&paused);
+            let merges = Arc::clone(&merges);
+            let tuples = Arc::clone(&tuples);
+            let millis = Arc::clone(&millis);
+            let per_shard = Arc::clone(&per_shard);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if !paused.load(Ordering::Relaxed) {
+                        // Rank the shards whose trigger fires, worst first.
+                        let mut eligible: Vec<(usize, f64)> = table
+                            .shards()
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| s.should_merge(&policy))
+                            .map(|(i, s)| (i, s.delta_fraction()))
+                            .collect();
+                        eligible.sort_by(|a, b| b.1.total_cmp(&a.1));
+                        eligible.truncate(max_concurrent);
+                        if !eligible.is_empty() {
+                            // Grant merge threads to the chosen shards; the
+                            // scope is the at-most-K concurrency bound.
+                            std::thread::scope(|s| {
+                                for &(i, _) in &eligible {
+                                    let shard = Arc::clone(table.shard(i));
+                                    let (merges, tuples, millis, per_shard) =
+                                        (&merges, &tuples, &millis, &per_shard);
+                                    s.spawn(move || {
+                                        if let Some(out) = shard.run_merge(policy.threads) {
+                                            merges.fetch_add(1, Ordering::Relaxed);
+                                            tuples.fetch_add(out.tuples_moved, Ordering::Relaxed);
+                                            millis.fetch_add(
+                                                out.wall.as_millis() as u64,
+                                                Ordering::Relaxed,
+                                            );
+                                            per_shard[i].fetch_add(1, Ordering::Relaxed);
+                                        }
+                                    });
+                                }
+                            });
+                        }
+                    }
+                    std::thread::sleep(poll);
+                }
+            })
+        };
+        Self {
+            table,
+            stop,
+            paused,
+            merges,
+            tuples,
+            millis,
+            per_shard,
+            handle: Mutex::new(Some(handle)),
+        }
+    }
+
+    /// The sharded table being managed.
+    pub fn table(&self) -> &Arc<ShardedTable<V>> {
+        &self.table
+    }
+
+    /// Pause scheduling globally: no shard starts a new merge until
+    /// [`Self::resume`]; in-flight merges complete.
+    pub fn pause(&self) {
+        self.paused.store(true, Ordering::Relaxed);
+    }
+
+    /// Resume scheduling after [`Self::pause`].
+    pub fn resume(&self) {
+        self.paused.store(false, Ordering::Relaxed);
+    }
+
+    /// Is the scheduler currently paused?
+    pub fn is_paused(&self) -> bool {
+        self.paused.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of cumulative statistics.
+    pub fn stats(&self) -> ShardedSchedulerStats {
+        ShardedSchedulerStats {
+            merges: self.merges.load(Ordering::Relaxed),
+            tuples_merged: self.tuples.load(Ordering::Relaxed),
+            merge_millis: self.millis.load(Ordering::Relaxed),
+            per_shard: self
+                .per_shard
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Stop the daemon and wait for it (and any in-flight merges) to
+    /// finish. Called automatically on drop.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<V: Value> Drop for ShardedScheduler<V> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SourceScheduler;
+
+    fn row(i: u64, cols: usize) -> Vec<u64> {
+        (0..cols as u64).map(|c| i * 10 + c).collect()
+    }
+
+    #[test]
+    fn hash_routing_is_deterministic_and_covers_shards() {
+        let t = ShardedTable::<u64>::hash(4, 2);
+        let mut seen = [false; 4];
+        for i in 0..1_000u64 {
+            let a = t.shard_of(&row(i, 2));
+            let b = t.shard_of(&row(i, 2));
+            assert_eq!(a, b, "routing must be deterministic");
+            seen[a] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "1000 keys must hit all 4 shards");
+    }
+
+    #[test]
+    fn range_routing_respects_bounds() {
+        let t = ShardedTable::<u64>::range(vec![100, 200], 1);
+        assert_eq!(t.num_shards(), 3);
+        assert_eq!(t.shard_of_key(&0), 0);
+        assert_eq!(t.shard_of_key(&99), 0);
+        assert_eq!(t.shard_of_key(&100), 1, "bounds are inclusive lower ends");
+        assert_eq!(t.shard_of_key(&199), 1);
+        assert_eq!(t.shard_of_key(&200), 2);
+        assert_eq!(t.shard_of_key(&u64::MAX), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_range_bounds_rejected() {
+        let _ = ShardedTable::<u64>::range(vec![200, 100], 1);
+    }
+
+    #[test]
+    fn insert_read_roundtrip_across_shards() {
+        let t = ShardedTable::<u64>::hash(3, 2);
+        let ids: Vec<ShardRowId> = (0..300u64).map(|i| t.insert_row(&row(i, 2))).collect();
+        assert_eq!(t.row_count(), 300);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(t.row(*id), row(i as u64, 2), "row {i}");
+            assert!(t.is_valid(*id));
+        }
+    }
+
+    #[test]
+    fn batched_insert_matches_single_inserts() {
+        let a = ShardedTable::<u64>::hash(4, 3);
+        let b = ShardedTable::<u64>::hash(4, 3);
+        let rows: Vec<Vec<u64>> = (0..500u64).map(|i| row(i, 3)).collect();
+        let batch_ids = a.insert_rows(&rows);
+        let single_ids: Vec<ShardRowId> = rows.iter().map(|r| b.insert_row(r)).collect();
+        assert_eq!(batch_ids, single_ids, "same routing, same local ids");
+        for (r, id) in rows.iter().zip(&batch_ids) {
+            assert_eq!(&a.row(*id), r);
+        }
+        assert_eq!(a.row_count(), 500);
+        assert_eq!(a.valid_row_count(), 500);
+    }
+
+    #[test]
+    fn update_may_move_rows_across_shards() {
+        let t = ShardedTable::<u64>::range(vec![1_000], 2).with_key_col(0);
+        let old = t.insert_row(&[5, 50]);
+        assert_eq!(old.shard, 0);
+        let new = t.update_row(old, &[2_000, 50]);
+        assert_eq!(new.shard, 1, "new key routes to the other shard");
+        assert!(!t.is_valid(old), "old version invalidated");
+        assert!(t.is_valid(new));
+        assert_eq!(t.valid_row_count(), 1);
+        assert_eq!(t.row_count(), 2, "insert-only model keeps history");
+    }
+
+    #[test]
+    fn merges_are_per_shard_and_preserve_reads() {
+        let t = ShardedTable::<u64>::hash(4, 2);
+        let rows: Vec<Vec<u64>> = (0..2_000u64).map(|i| row(i, 2)).collect();
+        let ids = t.insert_rows(&rows);
+        assert_eq!(t.main_len(), 0);
+        let stats = t.merge_all(2);
+        assert_eq!(stats.len(), 4, "every shard had delta tuples");
+        assert_eq!(t.main_len(), 2_000);
+        assert_eq!(t.delta_len(), 0);
+        for (r, id) in rows.iter().zip(&ids).step_by(97) {
+            assert_eq!(&t.row(*id), r, "ids stable across per-shard merges");
+        }
+    }
+
+    #[test]
+    fn worst_shard_first_via_merge_source() {
+        let t = ShardedTable::<u64>::range(vec![10_000], 1);
+        // Shard 0: big main, small delta. Shard 1: small main, big delta.
+        t.insert_rows(&(0..1_000u64).map(|i| vec![i]).collect::<Vec<_>>());
+        t.merge_all(1);
+        t.insert_rows(&(0..10u64).map(|i| vec![i]).collect::<Vec<_>>());
+        t.insert_rows(&(0..500u64).map(|i| vec![20_000 + i]).collect::<Vec<_>>());
+        let f = t.delta_fractions();
+        assert!(f[1] > f[0]);
+        assert_eq!(t.max_delta_fraction(), f[1]);
+        // One MergeSource merge hits the worst shard (1) only.
+        let out = t.run_merge(1).unwrap();
+        assert_eq!(out.tuples_moved, 500);
+        assert_eq!(t.shard(1).delta_len(), 0);
+        assert_eq!(t.shard(0).delta_len(), 10, "shard 0 untouched");
+        // And the generic single-source scheduler can drain the rest.
+        let policy = MergePolicy {
+            delta_fraction: 0.001,
+            threads: 1,
+        };
+        let sched = SourceScheduler::spawn(Arc::new(t), policy, Duration::from_millis(1));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while sched.table().delta_len() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sched.shutdown();
+        assert_eq!(
+            sched.table().delta_len(),
+            0,
+            "generic scheduler drains shards"
+        );
+    }
+
+    #[test]
+    fn sharded_scheduler_keeps_all_shards_bounded() {
+        let t = Arc::new(ShardedTable::<u64>::hash(4, 2));
+        t.insert_rows(&(0..8_000u64).map(|i| row(i, 2)).collect::<Vec<_>>());
+        t.merge_all(2);
+        let policy = MergePolicy {
+            delta_fraction: 0.02,
+            threads: 1,
+        };
+        let sched = ShardedScheduler::spawn(Arc::clone(&t), policy, 2, Duration::from_millis(1));
+        // Write through the facade from two threads.
+        std::thread::scope(|s| {
+            for w in 0..2u64 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        t.insert_row(&row(1_000_000 * (w + 1) + i, 2));
+                    }
+                });
+            }
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while t.max_delta_fraction() > policy.delta_fraction && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sched.shutdown();
+        let stats = sched.stats();
+        assert_eq!(t.row_count(), 28_000, "no rows lost");
+        assert!(stats.merges >= 4, "sustained writes force many merges");
+        assert_eq!(stats.per_shard.len(), 4);
+        assert_eq!(stats.per_shard.iter().sum::<u64>(), stats.merges);
+        assert!(
+            stats.per_shard.iter().all(|&m| m > 0),
+            "hash routing loads every shard, so every shard must merge: {:?}",
+            stats.per_shard
+        );
+        assert!(
+            t.max_delta_fraction() <= policy.delta_fraction,
+            "every shard's delta bounded after drain"
+        );
+    }
+
+    #[test]
+    fn sharded_scheduler_pause_resume_is_global() {
+        let t = Arc::new(ShardedTable::<u64>::hash(3, 1));
+        t.insert_rows(&(0..900u64).map(|i| vec![i]).collect::<Vec<_>>());
+        let policy = MergePolicy {
+            delta_fraction: 0.01,
+            threads: 1,
+        };
+        let sched = ShardedScheduler::spawn(Arc::clone(&t), policy, 3, Duration::from_millis(2));
+        sched.pause();
+        assert!(sched.is_paused());
+        std::thread::sleep(Duration::from_millis(80));
+        let before = sched.stats().merges;
+        assert!(
+            before <= 3,
+            "at most one in-flight round may finish after pause, ran {before}"
+        );
+        // Refill every shard while paused (the daemon may have won the race).
+        t.insert_rows(&(0..900u64).map(|i| vec![7_000 + i]).collect::<Vec<_>>());
+        sched.resume();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while sched.stats().merges == before && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sched.shutdown();
+        assert!(sched.stats().merges > before, "resume re-enables merging");
+    }
+
+    #[test]
+    fn snapshots_cover_every_shard_consistently() {
+        let t = ShardedTable::<u64>::hash(3, 2);
+        let ids = t.insert_rows(&(0..600u64).map(|i| row(i, 2)).collect::<Vec<_>>());
+        t.delete_row(ids[5]);
+        let snaps = t.snapshots();
+        assert_eq!(snaps.len(), 3);
+        let total: usize = snaps.iter().map(|s| s.row_count()).sum();
+        assert_eq!(total, 600);
+        let valid: usize = snaps.iter().map(|s| s.validity().valid_count()).sum();
+        assert_eq!(valid, 599);
+        // Writes after the snapshot are invisible.
+        t.insert_row(&row(9_999, 2));
+        assert_eq!(snaps.iter().map(|s| s.row_count()).sum::<usize>(), 600);
+        // Every inserted row is present in exactly its shard's snapshot.
+        for (i, id) in ids.iter().enumerate().step_by(83) {
+            assert_eq!(snaps[id.shard].row(id.row), row(i as u64, 2));
+        }
+    }
+}

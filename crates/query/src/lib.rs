@@ -14,13 +14,23 @@
 //!   exactly what the `ablation_read_overhead` bench measures.
 //!
 //! Row ids are global: main rows first, delta rows appended.
+//!
+//! The [`mod@shard_ops`] module lifts the same access paths to a
+//! [`hyrise_core::shard::ShardedTable`]: per-shard snapshot scans fan out
+//! across shards (lock-free, concurrent with per-shard merges) and stitch
+//! `(shard, row)` results.
 
 mod aggregate;
 mod groupby;
 mod scan;
+pub mod shard_ops;
 mod table_ops;
 
 pub use aggregate::{count_valid, sum_lossy, sum_lossy_parallel, MinMax};
 pub use groupby::{group_by_sum, GroupAgg};
 pub use scan::{key_lookup, materialize, scan_eq, scan_range};
+pub use shard_ops::{
+    sharded_count_valid, sharded_min_max, sharded_scan_eq, sharded_scan_range, sharded_sum,
+    snapshot_scan_eq, snapshot_scan_range, snapshot_sum,
+};
 pub use table_ops::{table_scan_eq_u64, table_select};

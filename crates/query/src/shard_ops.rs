@@ -1,0 +1,368 @@
+//! Shard-aware read operators: scans and aggregates that fan out across a
+//! [`ShardedTable`]'s shards and stitch the results.
+//!
+//! Each shard contributes a consistent [`TableSnapshot`] (one brief read
+//! lock per shard; see [`hyrise_core::OnlineTable::snapshot`]), so the scan
+//! itself runs with **no table lock held** — inserts and per-shard merges
+//! proceed underneath, which is exactly the property the online merge
+//! protocol was built for. The per-snapshot access paths mirror the
+//! single-attribute operators in [`crate::scan_eq`] / [`crate::scan_range`]:
+//! dictionary binary search
+//! plus a packed-code scan on the main partition, CSB+ postings on a frozen
+//! delta, and a raw linear pass over the (small, merge-bounded) active
+//! delta.
+//!
+//! Unlike the raw attribute scans, every operator here filters by validity
+//! — the sharded facade's contract is "visible rows", since routing hides
+//! the physical layout from the caller anyway.
+
+use hyrise_core::shard::{ShardRowId, ShardedTable};
+use hyrise_core::TableSnapshot;
+use hyrise_storage::Value;
+use std::ops::RangeInclusive;
+
+/// Valid snapshot rows (shard-local ids, ascending) whose column `col`
+/// equals `v`.
+pub fn snapshot_scan_eq<V: Value>(snap: &TableSnapshot<V>, col: usize, v: &V) -> Vec<usize> {
+    let c = snap.col(col);
+    let main = c.main();
+    let mut out = match main.dictionary().code_of(v) {
+        Some(code) => main.packed_codes().positions_eq(code as u64),
+        None => Vec::new(),
+    };
+    let mut base = main.len();
+    if let Some(frozen) = c.frozen() {
+        if let Some(postings) = frozen.lookup(v) {
+            out.extend(postings.map(|tid| base + tid as usize));
+        }
+        base += frozen.len();
+    }
+    for (k, av) in c.active().iter().enumerate() {
+        if av == v {
+            out.push(base + k);
+        }
+    }
+    out.retain(|&r| snap.is_valid(r));
+    out
+}
+
+/// Valid snapshot rows (shard-local ids) whose column `col` lies in the
+/// inclusive range. Main rows come first in ascending row order, frozen
+/// rows grouped by value (CSB+ walk order), active rows last in insertion
+/// order.
+pub fn snapshot_scan_range<V: Value>(
+    snap: &TableSnapshot<V>,
+    col: usize,
+    range: RangeInclusive<V>,
+) -> Vec<usize> {
+    let c = snap.col(col);
+    let main = c.main();
+    let mut out = match main.dictionary().code_range(range.clone()) {
+        Some(codes) => main
+            .packed_codes()
+            .positions_in_range(*codes.start() as u64, *codes.end() as u64),
+        None => Vec::new(),
+    };
+    let mut base = main.len();
+    if let Some(frozen) = c.frozen() {
+        for (value, postings) in frozen.index().iter_from(range.start()) {
+            if value > *range.end() {
+                break;
+            }
+            out.extend(postings.map(|tid| base + tid as usize));
+        }
+        base += frozen.len();
+    }
+    for (k, av) in c.active().iter().enumerate() {
+        if av >= range.start() && av <= range.end() {
+            out.push(base + k);
+        }
+    }
+    out.retain(|&r| snap.is_valid(r));
+    out
+}
+
+/// Sum of the 64-bit projections of column `col` over the snapshot's valid
+/// rows (main tuples decode through the dictionary, delta tuples are read
+/// raw — the materialization asymmetry of Section 4).
+pub fn snapshot_sum<V: Value>(snap: &TableSnapshot<V>, col: usize) -> u128 {
+    let c = snap.col(col);
+    let main = c.main();
+    let dict = main.dictionary();
+    let mut acc: u128 = 0;
+    for (i, code) in main.codes().enumerate() {
+        if snap.is_valid(i) {
+            acc += dict.value_at(code as u32).to_u64_lossy() as u128;
+        }
+    }
+    let mut base = main.len();
+    if let Some(frozen) = c.frozen() {
+        for (k, v) in frozen.values().iter().enumerate() {
+            if snap.is_valid(base + k) {
+                acc += v.to_u64_lossy() as u128;
+            }
+        }
+        base += frozen.len();
+    }
+    for (k, v) in c.active().iter().enumerate() {
+        if snap.is_valid(base + k) {
+            acc += v.to_u64_lossy() as u128;
+        }
+    }
+    acc
+}
+
+/// Min and max of column `col` over the snapshot's valid rows; `None` when
+/// no row is valid.
+pub fn snapshot_min_max<V: Value>(snap: &TableSnapshot<V>, col: usize) -> Option<(V, V)> {
+    let c = snap.col(col);
+    let mut mm: Option<(V, V)> = None;
+    let mut fold = |v: V| {
+        mm = Some(match mm {
+            None => (v, v),
+            Some((lo, hi)) => (lo.min(v), hi.max(v)),
+        });
+    };
+    let main = c.main();
+    let dict = main.dictionary();
+    for (i, code) in main.codes().enumerate() {
+        if snap.is_valid(i) {
+            fold(dict.value_at(code as u32));
+        }
+    }
+    let mut base = main.len();
+    if let Some(frozen) = c.frozen() {
+        for (k, v) in frozen.values().iter().enumerate() {
+            if snap.is_valid(base + k) {
+                fold(*v);
+            }
+        }
+        base += frozen.len();
+    }
+    for (k, v) in c.active().iter().enumerate() {
+        if snap.is_valid(base + k) {
+            fold(*v);
+        }
+    }
+    mm
+}
+
+/// Run `f` over every shard's snapshot concurrently (one worker per shard)
+/// and collect the results in shard order — the fan-out skeleton all
+/// `sharded_*` operators share.
+fn fan_out<V: Value, T: Send, F>(table: &ShardedTable<V>, f: F) -> Vec<T>
+where
+    F: Fn(usize, &TableSnapshot<V>) -> T + Sync,
+{
+    let snaps = table.snapshots();
+    let mut out: Vec<Option<T>> = (0..snaps.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (slot, (i, snap)) in out.iter_mut().zip(snaps.iter().enumerate()) {
+            let f = &f;
+            s.spawn(move || *slot = Some(f(i, snap)));
+        }
+    });
+    out.into_iter()
+        .map(|t| t.expect("every fan-out worker fills its slot"))
+        .collect()
+}
+
+/// All visible rows of the sharded table whose column `col` equals `v`,
+/// fanned out shard-parallel and stitched in `(shard, row)` order.
+pub fn sharded_scan_eq<V: Value>(table: &ShardedTable<V>, col: usize, v: &V) -> Vec<ShardRowId> {
+    fan_out(table, |shard, snap| {
+        snapshot_scan_eq(snap, col, v)
+            .into_iter()
+            .map(|row| ShardRowId { shard, row })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// All visible rows whose column `col` lies in the inclusive range, fanned
+/// out shard-parallel and stitched in shard order (within a shard, the
+/// [`snapshot_scan_range`] ordering applies).
+pub fn sharded_scan_range<V: Value>(
+    table: &ShardedTable<V>,
+    col: usize,
+    range: RangeInclusive<V>,
+) -> Vec<ShardRowId> {
+    fan_out(table, |shard, snap| {
+        snapshot_scan_range(snap, col, range.clone())
+            .into_iter()
+            .map(|row| ShardRowId { shard, row })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Sum of column `col` over all visible rows of all shards.
+pub fn sharded_sum<V: Value>(table: &ShardedTable<V>, col: usize) -> u128 {
+    fan_out(table, |_, snap| snapshot_sum(snap, col))
+        .into_iter()
+        .sum()
+}
+
+/// Visible rows across all shards (snapshot-consistent per shard).
+pub fn sharded_count_valid<V: Value>(table: &ShardedTable<V>) -> usize {
+    fan_out(table, |_, snap| snap.validity().valid_count())
+        .into_iter()
+        .sum()
+}
+
+/// Min and max of column `col` over all visible rows of all shards;
+/// `None` when nothing is visible.
+pub fn sharded_min_max<V: Value>(table: &ShardedTable<V>, col: usize) -> Option<(V, V)> {
+    fan_out(table, |_, snap| snapshot_min_max(snap, col))
+        .into_iter()
+        .flatten()
+        .reduce(|(alo, ahi), (blo, bhi)| (alo.min(blo), ahi.max(bhi)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyrise_core::shard::ShardedTable;
+
+    /// 4 hash shards, 2 columns; column 1 = key * 3.
+    fn table(rows: u64) -> ShardedTable<u64> {
+        let t = ShardedTable::hash(4, 2);
+        t.insert_rows(
+            &(0..rows)
+                .map(|i| vec![i % 50, (i % 50) * 3])
+                .collect::<Vec<_>>(),
+        );
+        t
+    }
+
+    fn brute_eq(t: &ShardedTable<u64>, col: usize, v: u64) -> Vec<ShardRowId> {
+        let mut out = Vec::new();
+        for (shard, s) in t.shards().iter().enumerate() {
+            for row in 0..s.row_count() {
+                if s.is_valid(row) && s.get(col, row) == v {
+                    out.push(ShardRowId { shard, row });
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sharded_scan_eq_matches_brute_force_across_merge_states() {
+        let t = table(400);
+        for probe in [0u64, 7, 49, 99] {
+            assert_eq!(sharded_scan_eq(&t, 0, &probe), brute_eq(&t, 0, probe));
+        }
+        // Merge two shards only: scans must span main, frozen and active.
+        t.shard(0).merge(1, None).unwrap();
+        t.shard(2).merge(1, None).unwrap();
+        t.insert_rows(
+            &(0..100u64)
+                .map(|i| vec![i % 50, (i % 50) * 3])
+                .collect::<Vec<_>>(),
+        );
+        for probe in [0u64, 7, 49] {
+            let got = sharded_scan_eq(&t, 0, &probe);
+            let mut want = brute_eq(&t, 0, probe);
+            want.sort_unstable();
+            let mut got_sorted = got.clone();
+            got_sorted.sort_unstable();
+            assert_eq!(got_sorted, want, "probe {probe}");
+        }
+        // Second column scans too.
+        assert_eq!(sharded_scan_eq(&t, 1, &21).len(), brute_eq(&t, 1, 21).len());
+    }
+
+    #[test]
+    fn sharded_scan_range_matches_brute_force() {
+        let t = table(300);
+        t.shard(1).merge(1, None).unwrap();
+        for (lo, hi) in [(0u64, 10u64), (25, 49), (40, 200), (60, 80)] {
+            let got: std::collections::BTreeSet<ShardRowId> =
+                sharded_scan_range(&t, 0, lo..=hi).into_iter().collect();
+            let want: std::collections::BTreeSet<ShardRowId> =
+                (lo..=hi.min(49)).flat_map(|v| brute_eq(&t, 0, v)).collect();
+            assert_eq!(got, want, "range {lo}..={hi}");
+        }
+    }
+
+    #[test]
+    fn scans_filter_invalidated_rows() {
+        let t = table(200);
+        let hits = sharded_scan_eq(&t, 0, &13);
+        assert!(!hits.is_empty());
+        for id in &hits {
+            t.delete_row(*id);
+        }
+        assert_eq!(sharded_scan_eq(&t, 0, &13), Vec::new());
+        assert_eq!(sharded_count_valid(&t), 200 - hits.len());
+    }
+
+    #[test]
+    fn sharded_aggregates_match_brute_force() {
+        let t = table(500);
+        t.shard(3).merge(1, None).unwrap();
+        let mut want_sum: u128 = 0;
+        let mut want_mm: Option<(u64, u64)> = None;
+        for s in t.shards() {
+            for row in 0..s.row_count() {
+                if s.is_valid(row) {
+                    let v = s.get(1, row);
+                    want_sum += v as u128;
+                    want_mm = Some(match want_mm {
+                        None => (v, v),
+                        Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                    });
+                }
+            }
+        }
+        assert_eq!(sharded_sum(&t, 1), want_sum);
+        assert_eq!(sharded_min_max(&t, 1), want_mm);
+        assert_eq!(sharded_min_max(&t, 1), Some((0, 49 * 3)));
+    }
+
+    #[test]
+    fn empty_table_aggregates() {
+        let t = ShardedTable::<u64>::hash(2, 1);
+        assert_eq!(sharded_sum(&t, 0), 0);
+        assert_eq!(sharded_count_valid(&t), 0);
+        assert_eq!(sharded_min_max(&t, 0), None);
+        assert_eq!(sharded_scan_eq(&t, 0, &1), Vec::new());
+        assert_eq!(sharded_scan_range(&t, 0, 0..=10), Vec::new());
+    }
+
+    #[test]
+    fn scans_are_stable_while_merges_run() {
+        // The lock-free property: scans against snapshots keep returning
+        // correct results while every shard merges concurrently.
+        let t = std::sync::Arc::new(table(2_000));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let (t2, stop2) = (std::sync::Arc::clone(&t), std::sync::Arc::clone(&stop));
+            s.spawn(move || {
+                while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                    t2.merge_all(1);
+                    t2.insert_rows(
+                        &(0..40u64)
+                            .map(|i| vec![i % 50, (i % 50) * 3])
+                            .collect::<Vec<_>>(),
+                    );
+                }
+            });
+            // Each visible key-0 row contributes 0 to the sum of col 0 times
+            // nothing — instead assert on an invariant: every scan hit
+            // really holds the probed value.
+            for _ in 0..200 {
+                for id in sharded_scan_eq(&t, 0, &7) {
+                    assert_eq!(t.get(id, 0), 7);
+                    assert_eq!(t.get(id, 1), 21);
+                }
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+    }
+}

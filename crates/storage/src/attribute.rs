@@ -94,21 +94,16 @@ impl<V: Value> Attribute<V> {
         self.delta = delta;
     }
 
-    /// Delta size as a fraction of main size (`N_D / N_M`); `inf` when main
-    /// is empty but delta is not. The merge trigger compares this against a
-    /// configured threshold (Section 4: "we trigger the merging of partitions
-    /// when the number of tuples N_D in the delta partition is greater than a
-    /// certain pre-defined fraction of tuples in the main partition N_M").
+    /// Delta size as a fraction of main size, `N_D / max(N_M, 1)` — always
+    /// **finite**: an empty main with a non-empty delta reads as `N_D`
+    /// (which exceeds any sane trigger threshold) rather than `inf`, so
+    /// custom merge-policy arithmetic never sees a non-finite value. The
+    /// merge trigger compares this against a configured threshold
+    /// (Section 4: "we trigger the merging of partitions when the number of
+    /// tuples N_D in the delta partition is greater than a certain
+    /// pre-defined fraction of tuples in the main partition N_M").
     pub fn delta_fraction(&self) -> f64 {
-        if self.main.is_empty() {
-            if self.delta.is_empty() {
-                0.0
-            } else {
-                f64::INFINITY
-            }
-        } else {
-            self.delta.len() as f64 / self.main.len() as f64
-        }
+        self.delta.len() as f64 / self.main.len().max(1) as f64
     }
 
     /// Heap bytes across both partitions.
@@ -156,8 +151,15 @@ mod tests {
         assert!((a.delta_fraction() - 0.05).abs() < 1e-12);
 
         let mut b: Attribute<u64> = Attribute::empty();
+        assert_eq!(b.delta_fraction(), 0.0);
         b.append(1);
-        assert!(b.delta_fraction().is_infinite());
+        b.append(2);
+        assert_eq!(
+            b.delta_fraction(),
+            2.0,
+            "empty main reads as N_D / 1 — finite, above any sane trigger"
+        );
+        assert!(b.delta_fraction().is_finite());
     }
 
     #[test]

@@ -372,7 +372,11 @@ mod tests {
         }
         assert_eq!(t.main_len(), 0);
         assert_eq!(t.delta_len(), 10);
-        assert!(t.max_delta_fraction().is_infinite());
+        assert_eq!(
+            t.max_delta_fraction(),
+            10.0,
+            "empty main reads as N_D / 1 (finite)"
+        );
     }
 
     #[test]

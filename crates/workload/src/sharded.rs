@@ -1,0 +1,144 @@
+//! Multi-shard workload: the Section 2 enterprise mix replayed against a
+//! horizontally partitioned table.
+//!
+//! Section 2's analysis is per-system, not per-table: a Business Suite
+//! instance spreads its 3,000–18,000 updates/second and its analytical
+//! scans over many hot tables at once. The sharded scenario models that
+//! one step down — one logical table partitioned over N shards, each shard
+//! receiving its own slice of the global operation stream from a dedicated
+//! worker. Per-shard streams are seeded independently and deterministically,
+//! so a run is reproducible while the shards stay uncorrelated (no two
+//! workers replay the same op sequence in lockstep).
+
+use crate::enterprise::QueryMix;
+use crate::updates::UpdateStream;
+
+/// A multi-shard Section-2 scenario: the shape of the workload each
+/// shard-worker replays. The driver owning the actual table (the `hyrise`
+/// facade's `drive_sharded`) turns each [`ShardedWorkload::stream`] into
+/// executed operations.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedWorkload {
+    /// Number of shards (= concurrent workers).
+    pub shards: usize,
+    /// The Figure-1 query mix every worker draws from.
+    pub mix: QueryMix,
+    /// Rows preloaded per shard before the mix starts.
+    pub initial_rows_per_shard: u64,
+    /// Operations each worker executes.
+    pub ops_per_shard: usize,
+    /// Base RNG seed; per-shard seeds derive from it.
+    pub seed: u64,
+}
+
+impl ShardedWorkload {
+    /// An OLTP-mix scenario over `shards` shards (the heavy-concurrent-
+    /// traffic default).
+    pub fn oltp(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+            mix: QueryMix::oltp(),
+            initial_rows_per_shard: 10_000,
+            ops_per_shard: 10_000,
+            seed: 0x5AD,
+        }
+    }
+
+    /// Same scenario with a different mix.
+    pub fn with_mix(self, mix: QueryMix) -> Self {
+        Self { mix, ..self }
+    }
+
+    /// Same scenario with different preload / op counts.
+    pub fn with_volumes(self, initial_rows_per_shard: u64, ops_per_shard: usize) -> Self {
+        Self {
+            initial_rows_per_shard,
+            ops_per_shard,
+            ..self
+        }
+    }
+
+    /// Total rows preloaded across shards.
+    pub fn initial_rows(&self) -> u64 {
+        self.initial_rows_per_shard * self.shards as u64
+    }
+
+    /// Total operations across shards.
+    pub fn total_ops(&self) -> usize {
+        self.ops_per_shard * self.shards
+    }
+
+    /// The deterministic RNG seed for shard `shard`'s worker (distinct per
+    /// shard, stable across runs).
+    pub fn shard_seed(&self, shard: usize) -> u64 {
+        self.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(shard as u64 + 1)
+    }
+
+    /// The operation stream shard `shard`'s worker replays. Each stream
+    /// sees the *global* initial row space (reads may address any row; the
+    /// driver routes) but advances independently.
+    pub fn stream(&self, shard: usize) -> UpdateStream {
+        // Distinct hot-set evolution per shard comes from the per-shard RNG
+        // seed; the stream itself is shaped purely by the mix and row count.
+        let _ = shard;
+        UpdateStream::new(self.mix, self.initial_rows())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scenario_dimensions() {
+        let w = ShardedWorkload::oltp(4).with_volumes(5_000, 2_000);
+        assert_eq!(w.shards, 4);
+        assert_eq!(w.initial_rows(), 20_000);
+        assert_eq!(w.total_ops(), 8_000);
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct_and_stable() {
+        let w = ShardedWorkload::oltp(8);
+        let seeds: Vec<u64> = (0..8).map(|s| w.shard_seed(s)).collect();
+        let unique: std::collections::HashSet<u64> = seeds.iter().copied().collect();
+        assert_eq!(unique.len(), 8, "no two shards share a seed");
+        assert_eq!(seeds, (0..8).map(|s| w.shard_seed(s)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn per_shard_streams_diverge_under_their_seeds() {
+        let w = ShardedWorkload::oltp(2);
+        let mut a = w.stream(0);
+        let mut b = w.stream(1);
+        let mut rng_a = StdRng::seed_from_u64(w.shard_seed(0));
+        let mut rng_b = StdRng::seed_from_u64(w.shard_seed(1));
+        let ops_a = a.batch(&mut rng_a, 200);
+        let ops_b = b.batch(&mut rng_b, 200);
+        assert_ne!(ops_a, ops_b, "different seeds, different op sequences");
+    }
+
+    #[test]
+    fn streams_honour_the_mix() {
+        let w = ShardedWorkload::oltp(3).with_mix(QueryMix::olap());
+        let mut s = w.stream(1);
+        let mut rng = StdRng::seed_from_u64(w.shard_seed(1));
+        let n = 20_000;
+        let writes = s.batch(&mut rng, n).iter().filter(|o| o.is_write()).count();
+        let frac = writes as f64 / n as f64;
+        assert!(
+            (frac - QueryMix::olap().write_fraction()).abs() < 0.02,
+            "OLAP write fraction off: {frac}"
+        );
+    }
+
+    #[test]
+    fn at_least_one_shard() {
+        let w = ShardedWorkload::oltp(0);
+        assert_eq!(w.shards, 1);
+    }
+}

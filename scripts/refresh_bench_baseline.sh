@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Refresh BENCH_baseline.json — the medians the CI perf-regression gate
+# compares against. Run this from the repo root on the machine class CI
+# uses, whenever a deliberate perf change (or a new gated bench) lands:
+#
+#   scripts/refresh_bench_baseline.sh
+#
+# The gated benches are scan, dict_merge and shard_scale; the gate fails CI
+# when any median regresses more than 25% (see crates/bench/src/gate.rs).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+for bench in scan dict_merge shard_scale; do
+    cargo bench -p hyrise-bench --bench "$bench" | tee -a "$out"
+done
+
+cargo run --release -p hyrise-bench --bin bench_gate -- update "$out" \
+    --baseline BENCH_baseline.json
+echo "refreshed BENCH_baseline.json — commit it with your change"

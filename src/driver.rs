@@ -1,13 +1,23 @@
 //! Mixed-workload driver: executes a [`workload`](crate::workload) operation
-//! stream against an [`OnlineTable`](crate::merge::OnlineTable), closing the
+//! stream against an [`OnlineTable`], closing the
 //! loop between the Section 2 workload characterization and the merge
 //! machinery — the "single system for both transactional and analytical
 //! workloads" the paper argues for, in miniature.
+//!
+//! [`drive_sharded`] is the scale-out version: one worker thread per shard
+//! replays a [`ShardedWorkload`] stream against a [`ShardedTable`] facade —
+//! lookups and updates address rows by global `(shard, row)` id, range
+//! selects fan out across shards, and window scans read per-shard
+//! snapshots, all while a `ShardedScheduler` (owned by the caller) keeps
+//! each shard's delta bounded.
 
 use crate::merge::OnlineTable;
-use crate::workload::{Operation, UpdateStream};
+use crate::shard::{ShardRowId, ShardedTable};
+use crate::workload::{Operation, ShardedWorkload, UpdateStream};
 use hyrise_storage::Value;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Execution counters for a driven workload.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -130,6 +140,126 @@ pub fn drive<V: Value, R: Rng>(
     stats
 }
 
+/// Preload a [`ShardedTable`] with the scenario's initial rows (batched
+/// routing, then a quiescing merge of every shard) and return their global
+/// ids in seed order.
+pub fn preload_sharded<V: Value>(
+    table: &ShardedTable<V>,
+    workload: &ShardedWorkload,
+) -> Vec<ShardRowId> {
+    let cols = table.num_columns();
+    let rows: Vec<Vec<V>> = (0..workload.initial_rows())
+        .map(|i| row_for_seed(i, cols))
+        .collect();
+    let ids = table.insert_rows(&rows);
+    table.merge_all(crate::merge::MergePolicy::default().threads);
+    ids
+}
+
+/// Execute the sharded scenario: `workload.shards` worker threads, each
+/// replaying its own deterministic stream against the shared facade.
+/// `preloaded` are the ids returned by [`preload_sharded`]; workers address
+/// reads/updates against them plus their own appended rows. Returns one
+/// [`DriverStats`] per worker.
+pub fn drive_sharded<V: Value>(
+    table: &ShardedTable<V>,
+    workload: &ShardedWorkload,
+    preloaded: &[ShardRowId],
+) -> Vec<DriverStats> {
+    let cols = table.num_columns();
+    let base: Arc<Vec<ShardRowId>> = Arc::new(preloaded.to_vec());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workload.shards)
+            .map(|w| {
+                let base = Arc::clone(&base);
+                s.spawn(move || {
+                    let mut stream = workload.stream(w);
+                    let mut rng = StdRng::seed_from_u64(workload.shard_seed(w));
+                    let mut stats = DriverStats::default();
+                    // Rows this worker appended (readable without races; other
+                    // workers' appends are invisible to its id space).
+                    let mut own: Vec<ShardRowId> = Vec::new();
+                    // Worker-unique value seeds: mix the worker index into
+                    // the low bits (`row_for_seed` masks to 32 bits, so a
+                    // high-bit tag would vanish).
+                    let tag = (w as u64 + 1).wrapping_mul(0x9E37_79B9) << 16;
+                    // None until this worker knows at least one row (empty
+                    // preload and no own inserts yet): row-addressed ops are
+                    // skipped rather than underflowing.
+                    let pick = |row: u64, own: &[ShardRowId]| -> Option<ShardRowId> {
+                        let n = base.len() + own.len();
+                        let idx = (row as usize).min(n.checked_sub(1)?);
+                        Some(if idx < base.len() {
+                            base[idx]
+                        } else {
+                            own[idx - base.len()]
+                        })
+                    };
+                    for _ in 0..workload.ops_per_shard {
+                        match stream.next_op(&mut rng) {
+                            Operation::Lookup { row } => {
+                                let Some(id) = pick(row, &own) else { continue };
+                                stats.checksum =
+                                    stats.checksum.wrapping_add(table.get(id, 0).to_u64_lossy());
+                                stats.lookups += 1;
+                            }
+                            Operation::Scan { start, len } => {
+                                // Window scan over one shard's snapshot: reads
+                                // are lock-free and consistent mid-merge.
+                                let shard = (start as usize) % table.num_shards();
+                                let snap = table.shard(shard).snapshot();
+                                let rows = snap.row_count();
+                                if rows > 0 {
+                                    let s0 = (start as usize) % rows;
+                                    let e = (s0 + len as usize).min(rows);
+                                    let mut acc = 0u64;
+                                    for r in s0..e {
+                                        acc = acc.wrapping_add(snap.col(0).get(r).to_u64_lossy());
+                                    }
+                                    stats.checksum = stats.checksum.wrapping_add(acc);
+                                    stats.scanned_tuples += (e - s0) as u64;
+                                }
+                                stats.scans += 1;
+                            }
+                            Operation::RangeSelect { lo, hi } => {
+                                // Cross-shard fan-out on the key column.
+                                let hits = hyrise_query::sharded_scan_range(
+                                    table,
+                                    table.key_col(),
+                                    V::from_seed(lo)..=V::from_seed(hi),
+                                );
+                                stats.checksum = stats.checksum.wrapping_add(hits.len() as u64);
+                                stats.ranges += 1;
+                            }
+                            Operation::Insert { seed } => {
+                                own.push(table.insert_row(&row_for_seed::<V>(tag | seed, cols)));
+                                stats.inserts += 1;
+                            }
+                            Operation::Update { row, seed } => {
+                                let Some(old) = pick(row, &own) else { continue };
+                                own.push(
+                                    table.update_row(old, &row_for_seed::<V>(tag | seed, cols)),
+                                );
+                                stats.updates += 1;
+                            }
+                            Operation::Delete { row } => {
+                                let Some(id) = pick(row, &own) else { continue };
+                                table.delete_row(id);
+                                stats.deletes += 1;
+                            }
+                        }
+                    }
+                    stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker"))
+            .collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +299,69 @@ mod tests {
         let (_, a) = driven_table(5_000);
         let (_, b) = driven_table(5_000);
         assert_eq!(a, b, "same seeds, same execution");
+    }
+
+    #[test]
+    fn sharded_driver_executes_the_mix_with_exact_accounting() {
+        let table = ShardedTable::<u64>::hash(4, 3);
+        let w = ShardedWorkload::oltp(4).with_volumes(2_000, 3_000);
+        let ids = preload_sharded(&table, &w);
+        assert_eq!(ids.len(), 8_000);
+        assert_eq!(table.main_len(), 8_000, "preload quiesces into main");
+
+        let stats = drive_sharded(&table, &w, &ids);
+        assert_eq!(stats.len(), 4);
+        let ops: u64 = stats.iter().map(|s| s.reads() + s.writes()).sum();
+        assert_eq!(ops, 12_000);
+        let appended: u64 = stats.iter().map(|s| s.inserts + s.updates).sum();
+        assert_eq!(
+            table.row_count() as u64,
+            8_000 + appended,
+            "every insert/update appended exactly one row"
+        );
+        let invalidated: u64 = stats.iter().map(|s| s.updates + s.deletes).sum();
+        let valid = table.valid_row_count() as u64;
+        assert!(valid <= table.row_count() as u64);
+        assert!(valid >= table.row_count() as u64 - invalidated);
+        assert!(stats.iter().any(|s| s.ranges > 0), "fan-out ranges ran");
+        assert!(stats.iter().any(|s| s.scanned_tuples > 0));
+    }
+
+    #[test]
+    fn sharded_driver_tolerates_empty_preload() {
+        let table = ShardedTable::<u64>::hash(2, 2);
+        let w = ShardedWorkload::oltp(2).with_volumes(0, 500);
+        let ids = preload_sharded(&table, &w);
+        assert!(ids.is_empty());
+        let stats = drive_sharded(&table, &w, &ids);
+        // Row-addressed ops before the first insert are skipped, not panics;
+        // inserts still execute and later reads can proceed.
+        assert!(stats.iter().map(|s| s.inserts).sum::<u64>() > 0);
+        assert_eq!(
+            table.row_count() as u64,
+            stats.iter().map(|s| s.inserts + s.updates).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn sharded_driver_op_counts_are_deterministic() {
+        // Checksums may vary with cross-worker interleavings (scans see other
+        // workers' fresh rows), but each worker's op sequence is seeded, so
+        // the per-kind counts must reproduce exactly.
+        let run = || {
+            let table = ShardedTable::<u64>::hash(3, 2);
+            let w = ShardedWorkload::oltp(3).with_volumes(1_000, 2_000);
+            let ids = preload_sharded(&table, &w);
+            drive_sharded(&table, &w, &ids)
+                .into_iter()
+                .map(|s| {
+                    (
+                        s.lookups, s.scans, s.ranges, s.inserts, s.updates, s.deletes,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //! * [`storage`] — dictionaries, main/delta partitions, attributes, tables.
 //! * [`merge`] — the merge algorithms (naive, optimized, parallel), the
 //!   analytical cost model and the online merge manager.
-//! * [`query`] — scan / lookup / range-select operators over main+delta.
+//! * [`shard`] — the scale-out layer: [`shard::ShardedTable`] partitions
+//!   rows across N online tables and [`shard::ShardedScheduler`] grants
+//!   merge threads across shards.
+//! * [`query`] — scan / lookup / range-select operators over main+delta,
+//!   plus the shard-aware fan-out operators (`sharded_scan_eq`, …).
 //! * [`workload`] — the Section 2 enterprise-data model and generators.
 //!
 //! See `examples/quickstart.rs` for a guided tour and `DESIGN.md` for the
@@ -22,6 +26,7 @@ pub mod driver;
 
 pub use hyrise_bitpack as bitpack;
 pub use hyrise_core as merge;
+pub use hyrise_core::shard;
 pub use hyrise_csb as csb;
 pub use hyrise_query as query;
 pub use hyrise_storage as storage;

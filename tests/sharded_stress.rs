@@ -1,0 +1,171 @@
+//! System-level stress for the sharding layer: concurrent routed inserts
+//! and cross-shard fan-out scans must stay correct while the
+//! [`ShardedScheduler`] runs per-shard merges underneath — the acceptance
+//! bar for the scale-out layer.
+
+use hyrise::driver::{drive_sharded, preload_sharded};
+use hyrise::merge::MergePolicy;
+use hyrise::query::{sharded_count_valid, sharded_scan_eq, sharded_sum};
+use hyrise::shard::{ShardedScheduler, ShardedTable};
+use hyrise::workload::ShardedWorkload;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const COLS: usize = 2;
+const KEY_DOMAIN: u64 = 500;
+
+/// Rows keep an invariant scans can check mid-flight: col1 = col0 * 7 + 1.
+fn linked_row(i: u64) -> [u64; 2] {
+    let key = i % KEY_DOMAIN;
+    [key, key * 7 + 1]
+}
+
+#[test]
+fn concurrent_inserts_and_scans_survive_per_shard_merges() {
+    const SHARDS: usize = 4;
+    let table = Arc::new(ShardedTable::<u64>::hash(SHARDS, COLS));
+    table.insert_rows(&(0..20_000u64).map(linked_row).collect::<Vec<_>>());
+    table.merge_all(2);
+
+    let policy = MergePolicy {
+        delta_fraction: 0.02,
+        threads: 1,
+    };
+    let sched = ShardedScheduler::spawn(Arc::clone(&table), policy, 2, Duration::from_millis(1));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let inserted = Arc::new(AtomicU64::new(20_000));
+    let scans_run = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        // Two writers: one batched, one row-at-a-time.
+        for w in 0..2u64 {
+            let (table, stop, inserted) =
+                (Arc::clone(&table), Arc::clone(&stop), Arc::clone(&inserted));
+            s.spawn(move || {
+                let mut i = 1_000_000 * (w + 1);
+                while !stop.load(Ordering::Relaxed) {
+                    if w == 0 {
+                        let batch: Vec<[u64; 2]> = (0..64).map(|k| linked_row(i + k)).collect();
+                        table.insert_rows(&batch);
+                        inserted.fetch_add(64, Ordering::Relaxed);
+                        i += 64;
+                    } else {
+                        table.insert_row(&linked_row(i));
+                        inserted.fetch_add(1, Ordering::Relaxed);
+                        i += 1;
+                    }
+                }
+            });
+        }
+        // Two fan-out readers verifying invariants while merges run.
+        for r in 0..2u64 {
+            let (table, stop, scans_run) = (
+                Arc::clone(&table),
+                Arc::clone(&stop),
+                Arc::clone(&scans_run),
+            );
+            s.spawn(move || {
+                let mut probe = r * 31;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = probe % KEY_DOMAIN;
+                    let hits = sharded_scan_eq(&table, 0, &key);
+                    assert!(
+                        hits.len() >= (20_000 / KEY_DOMAIN) as usize,
+                        "preloaded occurrences of key {key} must stay visible"
+                    );
+                    for id in hits {
+                        assert_eq!(table.get(id, 0), key, "scan hit holds probed key");
+                        assert_eq!(table.get(id, 1), key * 7 + 1, "row invariant");
+                    }
+                    assert!(sharded_count_valid(&table) >= 20_000);
+                    scans_run.fetch_add(1, Ordering::Relaxed);
+                    probe += 1;
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(500));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Drain, then check global accounting.
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    while table.max_delta_fraction() > policy.delta_fraction && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    sched.shutdown();
+    let stats = sched.stats();
+
+    assert_eq!(
+        table.row_count() as u64,
+        inserted.load(Ordering::Relaxed),
+        "no rows lost across routed inserts and per-shard merges"
+    );
+    assert!(
+        scans_run.load(Ordering::Relaxed) > 0,
+        "readers made progress"
+    );
+    assert!(stats.merges >= 2, "merges ran during the stress window");
+    assert!(
+        stats.per_shard.iter().filter(|&&m| m > 0).count() >= 2,
+        "merges spread across shards: {:?}",
+        stats.per_shard
+    );
+    assert!(
+        table.max_delta_fraction() <= policy.delta_fraction,
+        "every shard's delta bounded after drain"
+    );
+    // Aggregate cross-check after quiescing: sum(col1) = 7*sum(col0) + N.
+    table.merge_all(2);
+    let keys_sum = sharded_sum(&table, 0);
+    let linked_sum = sharded_sum(&table, 1);
+    assert_eq!(
+        linked_sum,
+        keys_sum * 7 + sharded_count_valid(&table) as u128,
+        "column invariant holds in aggregate across all shards"
+    );
+}
+
+#[test]
+fn sharded_mix_with_scheduler_stays_consistent() {
+    let table = ShardedTable::<u64>::hash(3, 3);
+    let workload = ShardedWorkload::oltp(3).with_volumes(4_000, 5_000);
+    let ids = preload_sharded(&table, &workload);
+    assert_eq!(ids.len() as u64, workload.initial_rows());
+
+    let table = Arc::new(table);
+    let policy = MergePolicy {
+        delta_fraction: 0.05,
+        threads: 1,
+    };
+    let sched = ShardedScheduler::spawn(Arc::clone(&table), policy, 2, Duration::from_millis(2));
+    let stats = drive_sharded(&table, &workload, &ids);
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    while table.max_delta_fraction() > policy.delta_fraction && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    sched.shutdown();
+
+    let appended: u64 = stats.iter().map(|s| s.inserts + s.updates).sum();
+    assert_eq!(
+        table.row_count() as u64,
+        workload.initial_rows() + appended,
+        "exact accounting under the full mix + background merging"
+    );
+    let invalidated: u64 = stats.iter().map(|s| s.updates + s.deletes).sum();
+    let valid = table.valid_row_count() as u64;
+    assert!(valid <= table.row_count() as u64);
+    assert!(valid >= table.row_count() as u64 - invalidated);
+    assert_eq!(valid as usize, sharded_count_valid(&table));
+    assert!(
+        sched.stats().merges >= 1,
+        "the mix's writes must have triggered background merges"
+    );
+    assert!(
+        table.max_delta_fraction() <= policy.delta_fraction,
+        "delta bounded after drain: {}",
+        table.max_delta_fraction()
+    );
+}

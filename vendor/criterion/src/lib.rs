@@ -8,11 +8,13 @@
 //! macros.
 //!
 //! Measurement model: each benchmark is calibrated to pick an iteration
-//! count whose batch lasts roughly [`TARGET_BATCH`], then `sample_size`
-//! batches are timed. The harness reports min / mean / max ns per
-//! iteration and derived throughput — intentionally simpler than real
-//! criterion (no outlier analysis, no HTML reports, no saved baselines),
-//! but stable enough to track order-of-magnitude regressions.
+//! count whose batch lasts roughly `TARGET_BATCH` (10 ms), then `sample_size`
+//! batches are timed. The harness reports min / median / max ns per
+//! iteration and derived throughput (median-based; the median is what the
+//! repo's CI regression gate compares against `BENCH_baseline.json`) —
+//! intentionally simpler than real criterion (no outlier analysis, no HTML
+//! reports, no saved baselines), but stable enough to track
+//! order-of-magnitude regressions.
 
 use std::fmt::Display;
 use std::marker::PhantomData;
@@ -286,18 +288,27 @@ fn report(full_id: &str, bencher: &Bencher, throughput: Option<&Throughput>) {
     }
     let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = s.iter().cloned().fold(0.0f64, f64::max);
-    let mean = s.iter().sum::<f64>() / s.len() as f64;
+    let median = {
+        let mut sorted = s.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        if sorted.len().is_multiple_of(2) {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        } else {
+            sorted[mid]
+        }
+    };
     let thrpt = throughput.map(|t| {
         let (count, unit) = match t {
             Throughput::Elements(n) => (*n as f64, "elem"),
             Throughput::Bytes(n) => (*n as f64, "B"),
         };
-        format!("  thrpt: {}", human_rate(count / (mean * 1e-9), unit))
+        format!("  thrpt: {}", human_rate(count / (median * 1e-9), unit))
     });
     println!(
         "{full_id:<50} time: [{} {} {}]{}",
         human_time(min),
-        human_time(mean),
+        human_time(median),
         human_time(max),
         thrpt.unwrap_or_default(),
     );
