@@ -3,7 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hyrise_bench::{build_column, delta_values};
-use hyrise_query::{scan_eq, scan_range};
+use hyrise_query::Query;
 use hyrise_storage::Attribute;
 
 fn bench_scan(c: &mut Criterion) {
@@ -27,13 +27,15 @@ fn bench_scan(c: &mut Criterion) {
             }
         }
         g.throughput(Throughput::Elements((attr.len()) as u64));
+        let eq = Query::scan(0).eq(probe);
         g.bench_with_input(BenchmarkId::new("scan_eq", delta_pct), &attr, |b, attr| {
-            b.iter(|| black_box(scan_eq(attr, &probe)).len())
+            b.iter(|| black_box(eq.run(attr).into_rows()).len())
         });
+        let range = Query::scan(0).between(lo, hi);
         g.bench_with_input(
             BenchmarkId::new("scan_range", delta_pct),
             &attr,
-            |b, attr| b.iter(|| black_box(scan_range(attr, lo..=hi)).len()),
+            |b, attr| b.iter(|| black_box(range.run(attr).into_rows()).len()),
         );
     }
     g.finish();

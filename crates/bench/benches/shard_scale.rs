@@ -7,7 +7,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hyrise_core::shard::ShardedTable;
-use hyrise_query::{sharded_scan_eq, sharded_sum};
+use hyrise_query::Query;
 
 const TOTAL_ROWS: usize = 200_000;
 const KEY_DOMAIN: u64 = 1_000;
@@ -29,11 +29,13 @@ fn bench_shard_scale(c: &mut Criterion) {
     for shards in [1usize, 2, 4, 8] {
         let t = loaded(shards);
         g.throughput(Throughput::Elements(TOTAL_ROWS as u64));
+        let scan = Query::scan(0).eq(7);
         g.bench_with_input(BenchmarkId::new("scan_eq", shards), &t, |b, t| {
-            b.iter(|| black_box(sharded_scan_eq(t, 0, &7)).len())
+            b.iter(|| black_box(scan.run(t).into_rows()).len())
         });
+        let sum = Query::scan(0).sum(1);
         g.bench_with_input(BenchmarkId::new("sum", shards), &t, |b, t| {
-            b.iter(|| black_box(sharded_sum(t, 1)))
+            b.iter(|| black_box(sum.run(t).sum()))
         });
     }
 

@@ -16,7 +16,7 @@ use hyrise_bench::{
     banner, build_column, default_threads, delta_values, fmt_count, quick_hz, Args, TablePrinter,
 };
 use hyrise_core::parallel::merge_column_parallel;
-use hyrise_query::{scan_range, sum_lossy, sum_lossy_parallel};
+use hyrise_query::{AttributeExecutor, Query};
 use hyrise_storage::{Attribute, ValidityBitmap};
 use std::time::Instant;
 
@@ -72,18 +72,29 @@ fn main() {
         // E_C/8 bytes per tuple, the delta E_j = 8 bytes per tuple.
         let t0 = Instant::now();
         for _ in 0..reps {
-            std::hint::black_box(sum_lossy_parallel(&attr, threads));
+            std::hint::black_box(Query::scan(0).sum(0).with_threads(threads).run(&attr).sum());
         }
         let psum_ns = t0.elapsed().as_secs_f64() * 1e9 / reps as f64 / tuples as f64;
 
         // Compute-bound single-thread scan for contrast.
         let t0 = Instant::now();
-        std::hint::black_box(sum_lossy(&attr, &validity));
+        std::hint::black_box(
+            Query::scan(0)
+                .sum(0)
+                .run(&AttributeExecutor::with_validity(&attr, &validity))
+                .sum(),
+        );
         let sum_ns = t0.elapsed().as_secs_f64() * 1e9 / tuples as f64;
 
         let t0 = Instant::now();
         for _ in 0..reps {
-            std::hint::black_box(scan_range(&attr, range_lo..=range_hi).len());
+            std::hint::black_box(
+                Query::scan(0)
+                    .between(range_lo, range_hi)
+                    .run(&attr)
+                    .into_rows()
+                    .len(),
+            );
         }
         let range_ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
 
@@ -126,7 +137,12 @@ fn main() {
     let validity = ValidityBitmap::all_valid(merged_attr.len());
     let t0 = Instant::now();
     for _ in 0..reps {
-        std::hint::black_box(sum_lossy(&merged_attr, &validity));
+        std::hint::black_box(
+            Query::scan(0)
+                .sum(0)
+                .run(&AttributeExecutor::with_validity(&merged_attr, &validity))
+                .sum(),
+        );
     }
     let after = t0.elapsed().as_secs_f64() * 1e9 / reps as f64 / merged_attr.len() as f64;
     println!("after merging the 100% delta (merge took {merge_ms:.0} ms): sum costs {after:.2}");

@@ -18,7 +18,7 @@
 use hyrise_bench::{banner, default_threads, fmt_count, Args, TablePrinter};
 use hyrise_core::shard::{ShardedScheduler, ShardedTable};
 use hyrise_core::MergePolicy;
-use hyrise_query::{sharded_scan_eq, sharded_sum};
+use hyrise_query::Query;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -80,8 +80,13 @@ fn sweep(
             s.spawn(move || {
                 let mut probe = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    std::hint::black_box(sharded_scan_eq(&table, 0, &(probe % KEY_DOMAIN)));
-                    std::hint::black_box(sharded_sum(&table, 1));
+                    std::hint::black_box(
+                        Query::scan(0)
+                            .eq(probe % KEY_DOMAIN)
+                            .run(&*table)
+                            .into_rows(),
+                    );
+                    std::hint::black_box(Query::scan(0).sum(1).run(&*table).sum());
                     scans.fetch_add(2, Ordering::Relaxed);
                     probe += 1;
                 }

@@ -99,17 +99,44 @@ impl BitPackedVec {
         }
     }
 
-    /// Indices whose value equals `code` (the equality-scan kernel).
-    pub fn positions_eq(&self, code: u64) -> Vec<usize> {
-        let mut out = Vec::new();
+    /// Value-id equality kernel: append `base + i` to `out` for every index
+    /// `i` whose packed value equals `code`. The `base` offset lets a query
+    /// engine compose per-partition scans into one global selection vector
+    /// without a re-map pass; appending (rather than returning a fresh
+    /// vector) lets disjoint partitions share the allocation.
+    pub fn select_eq_into(&self, code: u64, base: usize, out: &mut Vec<usize>) {
         if code > max_value_for_bits(self.bits()) {
-            return out;
+            return;
         }
         self.for_each(|i, v| {
             if v == code {
-                out.push(i);
+                out.push(base + i);
             }
         });
+    }
+
+    /// Value-id range kernel: append `base + i` to `out` for every index `i`
+    /// whose packed value lies in `[lo, hi]` — the compressed-scan primitive
+    /// behind predicate pushdown (codes are order-preserving, so a value
+    /// range is a code range; no value is ever materialized).
+    pub fn select_in_range_into(&self, lo: u64, hi: u64, base: usize, out: &mut Vec<usize>) {
+        if lo > hi {
+            return;
+        }
+        if lo == hi {
+            return self.select_eq_into(lo, base, out);
+        }
+        self.for_each(|i, v| {
+            if v >= lo && v <= hi {
+                out.push(base + i);
+            }
+        });
+    }
+
+    /// Indices whose value equals `code` (the equality-scan kernel).
+    pub fn positions_eq(&self, code: u64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.select_eq_into(code, 0, &mut out);
         out
     }
 
@@ -117,14 +144,7 @@ impl BitPackedVec {
     /// because dictionary codes are order-preserving).
     pub fn positions_in_range(&self, lo: u64, hi: u64) -> Vec<usize> {
         let mut out = Vec::new();
-        if lo > hi {
-            return out;
-        }
-        self.for_each(|i, v| {
-            if v >= lo && v <= hi {
-                out.push(i);
-            }
-        });
+        self.select_in_range_into(lo, hi, 0, &mut out);
         out
     }
 
@@ -209,6 +229,41 @@ mod tests {
         assert_eq!(v.sum(), data.iter().map(|x| *x as u128).sum::<u128>());
         let c = data[17];
         assert_eq!(v.count_eq(c), data.iter().filter(|x| **x == c).count());
+    }
+
+    #[test]
+    fn select_into_offsets_and_appends() {
+        let (v, data) = sample(6, 500);
+        let code = data[3];
+        let mut out = vec![7usize];
+        v.select_eq_into(code, 1_000, &mut out);
+        let want: Vec<usize> = std::iter::once(7)
+            .chain(
+                data.iter()
+                    .enumerate()
+                    .filter(|(_, x)| **x == code)
+                    .map(|(i, _)| 1_000 + i),
+            )
+            .collect();
+        assert_eq!(out, want, "appends with base offset, keeps prior content");
+
+        let mut ranged = Vec::new();
+        v.select_in_range_into(10, 40, 64, &mut ranged);
+        let want: Vec<usize> = data
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| **x >= 10 && **x <= 40)
+            .map(|(i, _)| 64 + i)
+            .collect();
+        assert_eq!(ranged, want);
+
+        // Degenerate ranges: inverted is empty, collapsed equals eq.
+        let mut none = Vec::new();
+        v.select_in_range_into(40, 10, 0, &mut none);
+        assert!(none.is_empty());
+        let mut collapsed = Vec::new();
+        v.select_in_range_into(code, code, 0, &mut collapsed);
+        assert_eq!(collapsed, v.positions_eq(code));
     }
 
     #[test]

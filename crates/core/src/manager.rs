@@ -478,6 +478,14 @@ impl<V: Value> ColumnSnapshot<V> {
         self.frozen.as_deref()
     }
 
+    /// The frozen delta's raw values in row order (empty when no merge was
+    /// in flight at snapshot time). With [`Self::active`], this exposes the
+    /// snapshot's uncompressed tail as plain slices — the shape query
+    /// executors scan with value comparisons.
+    pub fn frozen_values(&self) -> &[V] {
+        self.frozen.as_deref().map_or(&[], |f| f.values())
+    }
+
     /// The active delta's values at snapshot time (after main and frozen
     /// rows in global id order).
     pub fn active(&self) -> &[V] {
@@ -524,6 +532,11 @@ impl<V: Value> TableSnapshot<V> {
     /// One column's snapshot.
     pub fn col(&self, col: usize) -> &ColumnSnapshot<V> {
         &self.cols[col]
+    }
+
+    /// All column snapshots in schema order (executor fan-in path).
+    pub fn cols(&self) -> &[ColumnSnapshot<V>] {
+        &self.cols
     }
 
     /// The validity bitmap as of snapshot time.
@@ -944,6 +957,9 @@ mod tests {
         assert_eq!(snap.col(0).main().len(), 300);
         assert_eq!(snap.col(0).active().len(), 50);
         assert!(snap.col(0).frozen().is_none());
+        assert!(snap.col(0).frozen_values().is_empty());
+        assert_eq!(snap.cols().len(), 2);
+        assert_eq!(snap.cols()[1].get(320), 9_120);
     }
 
     #[test]

@@ -1,29 +1,26 @@
 //! Simple aggregates over attributes — the "complex, unpredictable mostly
 //! read operations on large sets of data with a projectivity on a few
 //! columns" of Section 2, reduced to their access pattern.
+//!
+//! The free functions are thin compatibility wrappers over the unified
+//! [`Query`] engine (via [`AttributeExecutor`]); the engine's
+//! unfiltered sum keeps the multi-threaded bandwidth-bound scan behind
+//! [`Query::with_threads`].
 
+use crate::exec::AttributeExecutor;
+use crate::Query;
 use hyrise_storage::{Attribute, ValidityBitmap, Value};
 
 /// Sum of the 64-bit projections of all *valid* rows of `attr`.
 ///
 /// Demonstrates the materialization asymmetry: main tuples decode through
 /// the dictionary, delta tuples are read raw.
+#[deprecated(note = "use `Query::scan(0).sum(0)` against an `AttributeExecutor::with_validity`")]
 pub fn sum_lossy<V: Value>(attr: &Attribute<V>, validity: &ValidityBitmap) -> u128 {
-    let mut acc: u128 = 0;
-    let main = attr.main();
-    let dict = main.dictionary();
-    for (i, code) in main.codes().enumerate() {
-        if validity.is_valid(i) {
-            acc += dict.value_at(code as u32).to_u64_lossy() as u128;
-        }
-    }
-    let base = main.len();
-    for (k, v) in attr.delta().values().iter().enumerate() {
-        if validity.is_valid(base + k) {
-            acc += v.to_u64_lossy() as u128;
-        }
-    }
-    acc
+    Query::scan(0)
+        .sum(0)
+        .run(&AttributeExecutor::with_validity(attr, validity))
+        .sum()
 }
 
 /// Number of valid rows (delegates to the bitmap; kept for operator
@@ -37,44 +34,11 @@ pub fn count_valid(validity: &ValidityBitmap) -> usize {
 /// memory bandwidth, and the main-vs-delta byte asymmetry (`E_C/8` packed
 /// bytes per main tuple vs `E_j` raw bytes per delta tuple) becomes visible
 /// — the read-performance cost of a large delta that Section 4 argues about.
+#[deprecated(
+    note = "use `Query::scan(0).sum(0).with_threads(n)` — the engine keeps the parallel scan"
+)]
 pub fn sum_lossy_parallel<V: Value>(attr: &Attribute<V>, threads: usize) -> u128 {
-    let main = attr.main();
-    let n_m = main.len();
-    let dict = main.dictionary();
-    let delta_vals = attr.delta().values();
-    let threads = threads.max(1);
-    let chunk = (attr.len().div_ceil(threads)).max(1);
-    let mut total: u128 = 0;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let start = (t * chunk).min(attr.len());
-                let end = ((t + 1) * chunk).min(attr.len());
-                s.spawn(move || {
-                    let mut acc: u128 = 0;
-                    if start < end {
-                        if start < n_m {
-                            let mut cur = main.packed_codes().cursor_at(start);
-                            for _ in start..end.min(n_m) {
-                                acc +=
-                                    dict.value_at(cur.next_value() as u32).to_u64_lossy() as u128;
-                            }
-                        }
-                        if end > n_m {
-                            for v in &delta_vals[start.max(n_m) - n_m..end - n_m] {
-                                acc += v.to_u64_lossy() as u128;
-                            }
-                        }
-                    }
-                    acc
-                })
-            })
-            .collect();
-        for h in handles {
-            total += h.join().expect("sum worker");
-        }
-    });
-    total
+    Query::scan(0).sum(0).with_threads(threads).run(attr).sum()
 }
 
 /// Minimum and maximum value over valid rows.
@@ -88,36 +52,23 @@ pub struct MinMax<V> {
 
 impl<V: Value> MinMax<V> {
     /// Compute min/max over the valid rows of `attr`; `None` if no row is
-    /// valid. On the main partition only the *set of used codes* matters, so
-    /// the scan runs over codes and decodes twice at the end.
+    /// valid. On the main partition only the *set of used value ids*
+    /// matters, so the engine folds over codes and decodes only the two
+    /// extremes.
+    #[deprecated(
+        note = "use `Query::scan(0).min_max(0)` against an `AttributeExecutor::with_validity`"
+    )]
     pub fn compute(attr: &Attribute<V>, validity: &ValidityBitmap) -> Option<Self> {
-        let main = attr.main();
-        let mut min_code: Option<u64> = None;
-        let mut max_code: Option<u64> = None;
-        for (i, code) in main.codes().enumerate() {
-            if validity.is_valid(i) {
-                min_code = Some(min_code.map_or(code, |m| m.min(code)));
-                max_code = Some(max_code.map_or(code, |m| m.max(code)));
-            }
-        }
-        let dict = main.dictionary();
-        let mut min = min_code.map(|c| dict.value_at(c as u32));
-        let mut max = max_code.map(|c| dict.value_at(c as u32));
-        let base = main.len();
-        for (k, v) in attr.delta().values().iter().enumerate() {
-            if validity.is_valid(base + k) {
-                min = Some(min.map_or(*v, |m| m.min(*v)));
-                max = Some(max.map_or(*v, |m| m.max(*v)));
-            }
-        }
-        match (min, max) {
-            (Some(min), Some(max)) => Some(MinMax { min, max }),
-            _ => None,
-        }
+        Query::scan(0)
+            .min_max(0)
+            .run(&AttributeExecutor::with_validity(attr, validity))
+            .min_max()
+            .map(|(min, max)| MinMax { min, max })
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use hyrise_storage::MainPartition;
@@ -199,6 +150,17 @@ mod tests {
         // Main-only, more threads than rows.
         let a = Attribute::from_main(MainPartition::from_values(&[1u64, 2, 3]));
         assert_eq!(sum_lossy_parallel(&a, 64), 6);
+    }
+
+    #[test]
+    fn count_clamps_to_attribute_rows_for_longer_bitmaps() {
+        // The bitmap only has to *cover* the attribute; valid bits past its
+        // end must not count.
+        let (a, _) = setup(); // 5 rows
+        let v = ValidityBitmap::all_valid(9);
+        let exec = AttributeExecutor::with_validity(&a, &v);
+        assert_eq!(Query::scan(0).count().run(&exec).count(), 5);
+        assert_eq!(Query::scan(0).sum(0).run(&exec).sum(), 5 + 1 + 9 + 100 + 3);
     }
 
     #[test]

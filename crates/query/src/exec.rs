@@ -1,0 +1,687 @@
+//! The unified execution engine: one [`Executor`] trait over every backend,
+//! with a [`SelectionVector`] intermediate and dictionary value-id pushdown.
+//!
+//! Every backend reduces its columns to the same physical shape — a
+//! dictionary-compressed main partition plus up to two uncompressed tails
+//! (frozen delta and active delta) — and runs one engine over it:
+//!
+//! 1. **First predicate**: the value interval is rewritten against the
+//!    main dictionary ([`Dictionary::value_id_range`]) and the bit-packed
+//!    codes are scanned **entirely in value-id space** (no tuple is
+//!    decoded); the tails fall back to value comparisons — they are small
+//!    by construction, the merge bounds them.
+//! 2. **Further predicates** refine the selection vector: main rows compare
+//!    their packed code against that column's value-id range (random
+//!    access, still no decode), tail rows compare values.
+//! 3. **Validity** filters last; the surviving [`SelectionVector`] feeds
+//!    row output, projection, or aggregation.
+//!
+//! Implementations: [`TableSnapshot`] (the canonical engine),
+//! [`OnlineTable`] (snapshot, then execute), [`ShardedTable`] (fan out one
+//! engine per shard snapshot, merge partial results), [`Attribute`] /
+//! [`AttributeExecutor`] (single column, optional validity), and the
+//! heterogeneous [`Table`] (per-column typed dispatch over [`AnyValue`]
+//! predicates).
+
+use crate::plan::{Action, CompiledPredicate, Query};
+use hyrise_core::shard::{ShardRowId, ShardedTable};
+use hyrise_core::{OnlineTable, TableSnapshot};
+#[cfg(doc)]
+use hyrise_storage::Dictionary;
+use hyrise_storage::{AnyValue, Attribute, Column, MainPartition, Table, ValidityBitmap, Value};
+
+/// The positional intermediate between predicate evaluation and output:
+/// matching row ids in ascending order. Operators refine it in place
+/// (conjunction, validity) instead of materializing values between steps —
+/// the late-materialization discipline of a column store.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SelectionVector {
+    rows: Vec<usize>,
+}
+
+impl SelectionVector {
+    /// Wrap an ascending row-id list.
+    pub fn from_rows(rows: Vec<usize>) -> Self {
+        Self { rows }
+    }
+
+    /// Selected rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when nothing is selected.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The selected row ids, ascending.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.rows
+    }
+
+    /// Iterate the selected row ids.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.rows.iter().copied()
+    }
+
+    /// Keep only rows satisfying `f` (conjunction / validity refinement).
+    pub fn retain(&mut self, mut f: impl FnMut(usize) -> bool) {
+        self.rows.retain(|&r| f(r));
+    }
+
+    /// Unwrap into the row-id vector.
+    pub fn into_rows(self) -> Vec<usize> {
+        self.rows
+    }
+}
+
+/// A query's result: one variant per [`Query`] output action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Output<V, R> {
+    /// Matching row ids (backend-specific id type — `usize` for single
+    /// tables and snapshots, [`ShardRowId`] for sharded tables).
+    Rows(Vec<R>),
+    /// Materialized values of the projected columns, one `Vec` per row.
+    Projected(Vec<Vec<V>>),
+    /// Number of matching rows.
+    Count(usize),
+    /// Sum of 64-bit projections over matching rows.
+    Sum(u128),
+    /// Min and max over matching rows (`None` when nothing matched).
+    MinMax(Option<(V, V)>),
+}
+
+impl<V, R> Output<V, R> {
+    fn kind(&self) -> &'static str {
+        match self {
+            Output::Rows(_) => "rows",
+            Output::Projected(_) => "projected",
+            Output::Count(_) => "count",
+            Output::Sum(_) => "sum",
+            Output::MinMax(_) => "min_max",
+        }
+    }
+
+    /// The matching row ids.
+    ///
+    /// # Panics
+    /// If the query requested a different output.
+    pub fn into_rows(self) -> Vec<R> {
+        match self {
+            Output::Rows(rows) => rows,
+            other => panic!("query output is {}, not rows", other.kind()),
+        }
+    }
+
+    /// The projected rows.
+    ///
+    /// # Panics
+    /// If the query requested a different output.
+    pub fn into_projected(self) -> Vec<Vec<V>> {
+        match self {
+            Output::Projected(rows) => rows,
+            other => panic!("query output is {}, not a projection", other.kind()),
+        }
+    }
+
+    /// The matching-row count.
+    ///
+    /// # Panics
+    /// If the query requested a different output.
+    pub fn count(&self) -> usize {
+        match self {
+            Output::Count(n) => *n,
+            other => panic!("query output is {}, not a count", other.kind()),
+        }
+    }
+
+    /// The sum.
+    ///
+    /// # Panics
+    /// If the query requested a different output.
+    pub fn sum(&self) -> u128 {
+        match self {
+            Output::Sum(s) => *s,
+            other => panic!("query output is {}, not a sum", other.kind()),
+        }
+    }
+
+    /// The min/max pair.
+    ///
+    /// # Panics
+    /// If the query requested a different output.
+    pub fn min_max(&self) -> Option<(V, V)>
+    where
+        V: Copy,
+    {
+        match self {
+            Output::MinMax(mm) => *mm,
+            other => panic!("query output is {}, not min/max", other.kind()),
+        }
+    }
+}
+
+/// A backend that can execute a [`Query`]. One implementation serves all
+/// query shapes — scans, conjunctions, projections and aggregates all go
+/// through [`Executor::execute`], so a new backend plugs into the whole
+/// query surface at once.
+pub trait Executor<V> {
+    /// How this backend addresses rows.
+    type RowId: Copy + Ord + Send + std::fmt::Debug;
+
+    /// Run the query and return its output.
+    fn execute(&self, q: &Query<V>) -> Output<V, Self::RowId>;
+}
+
+/// One column reduced to the engine's physical shape: a compressed main
+/// partition plus up to two uncompressed tails in row order (frozen delta,
+/// then active delta; unused tails are empty).
+pub(crate) struct ColView<'a, V> {
+    pub(crate) main: &'a MainPartition<V>,
+    pub(crate) tails: [&'a [V]; 2],
+}
+
+impl<V: Value> ColView<'_, V> {
+    fn len(&self) -> usize {
+        self.main.len() + self.tails[0].len() + self.tails[1].len()
+    }
+
+    /// Value of a tail row (row id relative to the end of main).
+    fn tail_value(&self, i: usize) -> V {
+        let t0 = self.tails[0].len();
+        if i < t0 {
+            self.tails[0][i]
+        } else {
+            self.tails[1][i - t0]
+        }
+    }
+
+    /// Materialize one row (main rows decode through the dictionary).
+    fn value(&self, row: usize) -> V {
+        let nm = self.main.len();
+        if row < nm {
+            self.main.get(row)
+        } else {
+            self.tail_value(row - nm)
+        }
+    }
+}
+
+/// First-predicate scan: append all rows of `col` whose value lies in
+/// `[lo, hi]`, ascending. Main rows are matched in value-id space (the
+/// pushdown path); tail rows compare values.
+pub(crate) fn scan_col_into<V: Value>(col: &ColView<'_, V>, lo: &V, hi: &V, out: &mut Vec<usize>) {
+    if let Some(ids) = col.main.dictionary().value_id_range(lo, hi) {
+        col.main.packed_codes().select_in_range_into(
+            *ids.start() as u64,
+            *ids.end() as u64,
+            0,
+            out,
+        );
+    }
+    let mut base = col.main.len();
+    for tail in col.tails {
+        for (k, v) in tail.iter().enumerate() {
+            if v >= lo && v <= hi {
+                out.push(base + k);
+            }
+        }
+        base += tail.len();
+    }
+}
+
+/// Conjunction refinement: keep only selected rows whose `col` value lies
+/// in `[lo, hi]`. Main rows compare their packed code against the value-id
+/// range (random access, no decode); tail rows compare values.
+pub(crate) fn refine_col<V: Value>(col: &ColView<'_, V>, lo: &V, hi: &V, rows: &mut Vec<usize>) {
+    let ids = col.main.dictionary().value_id_range(lo, hi);
+    let (id_lo, id_hi) = ids.map_or((1, 0), |r| (*r.start() as u64, *r.end() as u64));
+    let nm = col.main.len();
+    let codes = col.main.packed_codes();
+    rows.retain(|&r| {
+        if r < nm {
+            let code = codes.get(r);
+            code >= id_lo && code <= id_hi
+        } else {
+            let v = col.tail_value(r - nm);
+            v >= *lo && v <= *hi
+        }
+    });
+}
+
+/// Evaluate the conjunction over homogeneous columns into a selection.
+fn select_cols<V: Value>(
+    cols: &[ColView<'_, V>],
+    n_rows: usize,
+    preds: &[CompiledPredicate<V>],
+    validity: Option<&ValidityBitmap>,
+) -> SelectionVector {
+    let mut rows = match preds.split_first() {
+        None => (0..n_rows).collect(),
+        Some((first, rest)) => {
+            let mut rows = Vec::new();
+            scan_col_into(&cols[first.col], &first.lo, &first.hi, &mut rows);
+            for p in rest {
+                refine_col(&cols[p.col], &p.lo, &p.hi, &mut rows);
+            }
+            rows
+        }
+    };
+    if let Some(v) = validity {
+        rows.retain(|&r| v.is_valid(r));
+    }
+    SelectionVector::from_rows(rows)
+}
+
+fn fold_mm<V: Ord + Copy>(mm: Option<(V, V)>, v: V) -> Option<(V, V)> {
+    Some(match mm {
+        None => (v, v),
+        Some((lo, hi)) => (lo.min(v), hi.max(v)),
+    })
+}
+
+/// Full-column sum (no predicates): the bandwidth-bound analytical scan.
+/// `threads > 1` splits the column into contiguous tuple ranges (each
+/// worker resumes the packed cursor at its range start); a validity bitmap,
+/// when present, is checked per row in either mode.
+fn sum_full<V: Value>(
+    col: &ColView<'_, V>,
+    validity: Option<&ValidityBitmap>,
+    threads: usize,
+) -> u128 {
+    let dict = col.main.dictionary();
+    let n = col.len();
+    let nm = col.main.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        let mut acc: u128 = 0;
+        col.main.packed_codes().for_each(|i, code| {
+            if validity.is_none_or(|val| val.is_valid(i)) {
+                acc += dict.value_at(code as u32).to_u64_lossy() as u128;
+            }
+        });
+        let mut row = nm;
+        for tail in col.tails {
+            for v in tail {
+                if validity.is_none_or(|val| val.is_valid(row)) {
+                    acc += v.to_u64_lossy() as u128;
+                }
+                row += 1;
+            }
+        }
+        return acc;
+    }
+    let chunk = n.div_ceil(threads).max(1);
+    let mut total: u128 = 0;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let start = (t * chunk).min(n);
+                let end = ((t + 1) * chunk).min(n);
+                s.spawn(move || {
+                    let mut acc: u128 = 0;
+                    if start < nm {
+                        let mut cur = col.main.packed_codes().cursor_at(start);
+                        for row in start..end.min(nm) {
+                            let code = cur.next_value();
+                            if validity.is_none_or(|val| val.is_valid(row)) {
+                                acc += dict.value_at(code as u32).to_u64_lossy() as u128;
+                            }
+                        }
+                    }
+                    let mut base = nm;
+                    for tail in col.tails {
+                        let tail_end = base + tail.len();
+                        if start < tail_end && end > base {
+                            let lo = start.max(base);
+                            for (k, v) in
+                                tail[lo - base..end.min(tail_end) - base].iter().enumerate()
+                            {
+                                if validity.is_none_or(|val| val.is_valid(lo + k)) {
+                                    acc += v.to_u64_lossy() as u128;
+                                }
+                            }
+                        }
+                        base = tail_end;
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for h in handles {
+            total += h.join().expect("sum worker");
+        }
+    });
+    total
+}
+
+/// Full-column min/max (no predicates): the main partition folds over
+/// *codes* and decodes only the two extremes; tails fold values.
+fn min_max_full<V: Value>(
+    col: &ColView<'_, V>,
+    validity: Option<&ValidityBitmap>,
+) -> Option<(V, V)> {
+    let mut code_mm: Option<(u64, u64)> = None;
+    col.main.packed_codes().for_each(|i, code| {
+        if validity.is_none_or(|v| v.is_valid(i)) {
+            code_mm = fold_mm(code_mm, code);
+        }
+    });
+    let dict = col.main.dictionary();
+    let mut mm = code_mm.map(|(lo, hi)| (dict.value_at(lo as u32), dict.value_at(hi as u32)));
+    let mut row = col.main.len();
+    for tail in col.tails {
+        for v in tail {
+            if validity.is_none_or(|val| val.is_valid(row)) {
+                mm = fold_mm(mm, *v);
+            }
+            row += 1;
+        }
+    }
+    mm
+}
+
+/// The canonical engine over homogeneous column views — every typed
+/// backend lands here.
+fn execute_cols<V: Value>(
+    cols: &[ColView<'_, V>],
+    n_rows: usize,
+    validity: Option<&ValidityBitmap>,
+    q: &Query<V>,
+) -> Output<V, usize> {
+    let preds = q.predicates();
+    match q.action() {
+        Action::Rows => Output::Rows(select_cols(cols, n_rows, preds, validity).into_rows()),
+        Action::Project(pcols) => {
+            let sel = select_cols(cols, n_rows, preds, validity);
+            Output::Projected(
+                sel.iter()
+                    .map(|r| pcols.iter().map(|&c| cols[c].value(r)).collect())
+                    .collect(),
+            )
+        }
+        Action::Count => Output::Count(if preds.is_empty() {
+            match validity {
+                None => n_rows,
+                // Bitmap and table agree on length (every table backend):
+                // the maintained counter answers in O(1).
+                Some(v) if v.len() == n_rows => v.valid_count(),
+                // A caller-supplied bitmap may be longer than the attribute
+                // (it only has to *cover* it) — count the covered rows.
+                Some(v) => (0..n_rows).filter(|&r| v.is_valid(r)).count(),
+            }
+        } else {
+            select_cols(cols, n_rows, preds, validity).len()
+        }),
+        Action::Sum(c) => Output::Sum(if preds.is_empty() {
+            sum_full(&cols[*c], validity, q.threads())
+        } else {
+            let col = &cols[*c];
+            select_cols(cols, n_rows, preds, validity)
+                .iter()
+                .map(|r| col.value(r).to_u64_lossy() as u128)
+                .sum()
+        }),
+        Action::MinMax(c) => Output::MinMax(if preds.is_empty() {
+            min_max_full(&cols[*c], validity)
+        } else {
+            let col = &cols[*c];
+            select_cols(cols, n_rows, preds, validity)
+                .iter()
+                .fold(None, |mm, r| fold_mm(mm, col.value(r)))
+        }),
+    }
+}
+
+impl<V: Value> Executor<V> for TableSnapshot<V> {
+    type RowId = usize;
+
+    /// The canonical engine: scan the snapshot's main partitions in
+    /// value-id space, its frozen/active tails by value, entirely without
+    /// the table lock.
+    fn execute(&self, q: &Query<V>) -> Output<V, usize> {
+        let views: Vec<ColView<'_, V>> = self
+            .cols()
+            .iter()
+            .map(|c| ColView {
+                main: c.main(),
+                tails: [c.frozen_values(), c.active()],
+            })
+            .collect();
+        execute_cols(&views, self.row_count(), Some(self.validity()), q)
+    }
+}
+
+impl<V: Value> Executor<V> for OnlineTable<V> {
+    type RowId = usize;
+
+    /// Snapshot-then-execute: one brief read lock to take a consistent
+    /// [`TableSnapshot`], then the canonical engine runs lock-free —
+    /// inserts and merges proceed underneath.
+    fn execute(&self, q: &Query<V>) -> Output<V, usize> {
+        self.snapshot().execute(q)
+    }
+}
+
+impl<V: Value> Executor<V> for Attribute<V> {
+    type RowId = usize;
+
+    /// Single-column engine over main + delta; every row is visible (an
+    /// [`Attribute`] carries no validity — see [`AttributeExecutor`] for
+    /// the validity-aware view). Column index 0 addresses the attribute.
+    fn execute(&self, q: &Query<V>) -> Output<V, usize> {
+        AttributeExecutor::new(self).execute(q)
+    }
+}
+
+/// An [`Attribute`] paired with an optional table-level [`ValidityBitmap`]
+/// — the executor behind the legacy validity-aware free functions
+/// (`sum_lossy` and friends).
+pub struct AttributeExecutor<'a, V: Value> {
+    attr: &'a Attribute<V>,
+    validity: Option<&'a ValidityBitmap>,
+}
+
+impl<'a, V: Value> AttributeExecutor<'a, V> {
+    /// Every row visible.
+    pub fn new(attr: &'a Attribute<V>) -> Self {
+        Self {
+            attr,
+            validity: None,
+        }
+    }
+
+    /// Filter by `validity` (must cover the attribute's rows).
+    pub fn with_validity(attr: &'a Attribute<V>, validity: &'a ValidityBitmap) -> Self {
+        Self {
+            attr,
+            validity: Some(validity),
+        }
+    }
+}
+
+impl<V: Value> Executor<V> for AttributeExecutor<'_, V> {
+    type RowId = usize;
+
+    fn execute(&self, q: &Query<V>) -> Output<V, usize> {
+        let views = [ColView {
+            main: self.attr.main(),
+            tails: [self.attr.delta().values(), &[]],
+        }];
+        execute_cols(&views, self.attr.len(), self.validity, q)
+    }
+}
+
+/// Run `f` over every shard snapshot concurrently (one worker per shard),
+/// collecting results in shard order.
+fn fan_out<V: Value, T: Send>(
+    snaps: &[TableSnapshot<V>],
+    f: impl Fn(&TableSnapshot<V>) -> T + Sync,
+) -> Vec<T> {
+    let mut out: Vec<Option<T>> = (0..snaps.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (slot, snap) in out.iter_mut().zip(snaps) {
+            let f = &f;
+            s.spawn(move || *slot = Some(f(snap)));
+        }
+    });
+    out.into_iter()
+        .map(|t| t.expect("every fan-out worker fills its slot"))
+        .collect()
+}
+
+impl<V: Value> Executor<V> for ShardedTable<V> {
+    type RowId = ShardRowId;
+
+    /// Fan-out + merge: each shard contributes a consistent snapshot (no
+    /// table lock held during the scan), the canonical engine runs once per
+    /// shard concurrently, and the partial results are stitched — rows map
+    /// to global [`ShardRowId`]s, counts and sums add, min/max reduce.
+    fn execute(&self, q: &Query<V>) -> Output<V, ShardRowId> {
+        let snaps = self.snapshots();
+        // The per-shard workers are the parallelism: reset the thread hint
+        // so an N-shard table doesn't oversubscribe to N × threads.
+        let per_shard = q.serial();
+        let partials = fan_out(&snaps, |snap| snap.execute(&per_shard));
+        match q.action() {
+            Action::Rows => Output::Rows(
+                partials
+                    .into_iter()
+                    .enumerate()
+                    .flat_map(|(shard, p)| {
+                        p.into_rows()
+                            .into_iter()
+                            .map(move |row| ShardRowId { shard, row })
+                    })
+                    .collect(),
+            ),
+            Action::Project(_) => Output::Projected(
+                partials
+                    .into_iter()
+                    .flat_map(|p| p.into_projected())
+                    .collect(),
+            ),
+            Action::Count => Output::Count(partials.iter().map(|p| p.count()).sum()),
+            Action::Sum(_) => Output::Sum(partials.iter().map(|p| p.sum()).sum()),
+            Action::MinMax(_) => Output::MinMax(
+                partials
+                    .iter()
+                    .filter_map(|p| p.min_max())
+                    .reduce(|(alo, ahi), (blo, bhi)| (alo.min(blo), ahi.max(bhi))),
+            ),
+        }
+    }
+}
+
+fn attr_view<V: Value>(a: &Attribute<V>) -> ColView<'_, V> {
+    ColView {
+        main: a.main(),
+        tails: [a.delta().values(), &[]],
+    }
+}
+
+/// Apply one predicate to a heterogeneous table column: `first == true`
+/// scans into `rows`, otherwise refines `rows` in place.
+///
+/// # Panics
+/// If the predicate bounds' type does not match the column's type.
+fn apply_table_pred(
+    table: &Table,
+    p: &CompiledPredicate<AnyValue>,
+    first: bool,
+    rows: &mut Vec<usize>,
+) {
+    macro_rules! typed {
+        ($attr:expr, $lo:expr, $hi:expr) => {{
+            let view = attr_view($attr);
+            if first {
+                scan_col_into(&view, $lo, $hi, rows);
+            } else {
+                refine_col(&view, $lo, $hi, rows);
+            }
+        }};
+    }
+    match (table.column(p.col), &p.lo, &p.hi) {
+        (Column::U32(a), AnyValue::U32(lo), AnyValue::U32(hi)) => typed!(a, lo, hi),
+        (Column::U64(a), AnyValue::U64(lo), AnyValue::U64(hi)) => typed!(a, lo, hi),
+        (Column::V16(a), AnyValue::V16(lo), AnyValue::V16(hi)) => typed!(a, lo, hi),
+        (col, lo, hi) => panic!(
+            "predicate bounds {lo:?}..={hi:?} on column {} must be {}",
+            p.col,
+            col.column_type()
+        ),
+    }
+}
+
+impl Executor<AnyValue> for Table {
+    type RowId = usize;
+
+    /// Heterogeneous engine: each predicate dispatches to its column's
+    /// concrete type (the same typed value-id kernels as everywhere else),
+    /// then output materializes through [`AnyValue`].
+    ///
+    /// # Panics
+    /// If a predicate's value type does not match its column's type, or a
+    /// column index is out of range.
+    fn execute(&self, q: &Query<AnyValue>) -> Output<AnyValue, usize> {
+        let preds = q.predicates();
+        // Predicate-free aggregates need no selection vector: dispatch to
+        // the typed bulk kernels on the aggregated column.
+        if preds.is_empty() {
+            match q.action() {
+                Action::Count => return Output::Count(self.valid_row_count()),
+                Action::Sum(c) => {
+                    let validity = Some(self.validity());
+                    return Output::Sum(match self.column(*c) {
+                        Column::U32(a) => sum_full(&attr_view(a), validity, q.threads()),
+                        Column::U64(a) => sum_full(&attr_view(a), validity, q.threads()),
+                        Column::V16(a) => sum_full(&attr_view(a), validity, q.threads()),
+                    });
+                }
+                Action::MinMax(c) => {
+                    let validity = Some(self.validity());
+                    return Output::MinMax(match self.column(*c) {
+                        Column::U32(a) => min_max_full(&attr_view(a), validity)
+                            .map(|(lo, hi)| (AnyValue::U32(lo), AnyValue::U32(hi))),
+                        Column::U64(a) => min_max_full(&attr_view(a), validity)
+                            .map(|(lo, hi)| (AnyValue::U64(lo), AnyValue::U64(hi))),
+                        Column::V16(a) => min_max_full(&attr_view(a), validity)
+                            .map(|(lo, hi)| (AnyValue::V16(lo), AnyValue::V16(hi))),
+                    });
+                }
+                Action::Rows | Action::Project(_) => {}
+            }
+        }
+        let mut rows: Vec<usize> = match preds.split_first() {
+            None => (0..self.row_count()).collect(),
+            Some((first, rest)) => {
+                let mut rows = Vec::new();
+                apply_table_pred(self, first, true, &mut rows);
+                for p in rest {
+                    apply_table_pred(self, p, false, &mut rows);
+                }
+                rows
+            }
+        };
+        rows.retain(|&r| self.is_valid(r));
+        match q.action() {
+            Action::Rows => Output::Rows(rows),
+            Action::Project(pcols) => Output::Projected(
+                rows.iter()
+                    .map(|&r| pcols.iter().map(|&c| self.column(c).get(r)).collect())
+                    .collect(),
+            ),
+            Action::Count => Output::Count(rows.len()),
+            Action::Sum(c) => Output::Sum(
+                rows.iter()
+                    .map(|&r| self.column(*c).get(r).to_u64_lossy() as u128)
+                    .sum(),
+            ),
+            Action::MinMax(c) => Output::MinMax(
+                rows.iter()
+                    .fold(None, |mm, &r| fold_mm(mm, self.column(*c).get(r))),
+            ),
+        }
+    }
+}

@@ -1,36 +1,60 @@
-//! Read operators over main+delta attributes (the query side of Section 2's
-//! mixed workload: key lookups, table scans, range selects, aggregation).
+//! The unified query layer over main+delta storage (the query side of
+//! Section 2's mixed workload: key lookups, table scans, range selects,
+//! aggregation).
 //!
-//! The operators make the paper's read-path trade-offs concrete:
+//! One typed logical-query API serves every backend:
 //!
-//! * On the **main partition** an equality or range predicate is answered by
-//!   a binary search in the sorted dictionary (O(log |U_M|), "random
-//!   access") followed by a sequential scan over the compressed codes — the
-//!   order-preserving encoding lets range predicates compare codes directly.
-//! * On the **delta partition** a point predicate uses the CSB+ tree; a scan
-//!   touches uncompressed values, which "consume more compute resources and
-//!   memory bandwidth, thereby appreciably slowing down read queries" — this
-//!   is why delta size must be bounded by merging (Section 4), and it is
-//!   exactly what the `ablation_read_overhead` bench measures.
+//! * [`Query`] — the builder: `Query::scan(col).eq(v)` / `.between(lo, hi)`
+//!   / `.and(col)` for conjunctions, plus `.project(cols)` / `.sum(col)` /
+//!   `.min_max(col)` / `.count()` outputs.
+//! * [`Executor`] — the one trait backends implement:
+//!   [`hyrise_core::TableSnapshot`] (the canonical engine),
+//!   [`hyrise_core::OnlineTable`] (snapshot-then-execute),
+//!   [`hyrise_core::shard::ShardedTable`] (fan-out + merge partial
+//!   results), [`hyrise_storage::Attribute`] (single column) and the
+//!   heterogeneous [`hyrise_storage::Table`] (dynamically typed
+//!   [`hyrise_storage::AnyValue`] predicates).
+//! * [`SelectionVector`] — the positional intermediate predicates refine.
 //!
-//! Row ids are global: main rows first, delta rows appended.
+//! The engine makes the paper's read-path trade-offs concrete: on the
+//! **main partition** an equality or range predicate is rewritten to a
+//! dictionary **value-id range**
+//! ([`hyrise_storage::Dictionary::value_id_range`], O(log |U_M|)) and
+//! evaluated as a sequential scan over the bit-packed codes — no tuple is
+//! ever decoded; the order-preserving encoding makes code comparisons agree
+//! with value comparisons. On the **delta partition** predicates fall back
+//! to value comparisons over the uncompressed tail, which "consume\[s\]
+//! more compute resources and memory bandwidth" — this is why delta size
+//! must be bounded by merging (Section 4), and it is exactly what the
+//! `query_engine` bench measures.
 //!
-//! The [`mod@shard_ops`] module lifts the same access paths to a
-//! [`hyrise_core::shard::ShardedTable`]: per-shard snapshot scans fan out
-//! across shards (lock-free, concurrent with per-shard merges) and stitch
-//! `(shard, row)` results.
+//! Row ids are global: main rows first, delta rows appended. The legacy
+//! free functions (`scan_eq`, `snapshot_scan_*`, `sharded_*`, …) are
+//! deprecated one-line wrappers over the engine, kept so no caller breaks.
 
 mod aggregate;
+mod exec;
 mod groupby;
+mod plan;
 mod scan;
 pub mod shard_ops;
 mod table_ops;
 
-pub use aggregate::{count_valid, sum_lossy, sum_lossy_parallel, MinMax};
+pub use exec::{AttributeExecutor, Executor, Output, SelectionVector};
+pub use plan::{CompiledPredicate, Query};
+
+pub use aggregate::{count_valid, MinMax};
+#[allow(deprecated)]
+pub use aggregate::{sum_lossy, sum_lossy_parallel};
 pub use groupby::{group_by_sum, GroupAgg};
-pub use scan::{key_lookup, materialize, scan_eq, scan_range};
+pub use scan::{key_lookup, materialize};
+#[allow(deprecated)]
+pub use scan::{scan_eq, scan_range};
+#[allow(deprecated)]
 pub use shard_ops::{
     sharded_count_valid, sharded_min_max, sharded_scan_eq, sharded_scan_range, sharded_sum,
     snapshot_scan_eq, snapshot_scan_range, snapshot_sum,
 };
-pub use table_ops::{table_scan_eq_u64, table_select};
+#[allow(deprecated)]
+pub use table_ops::table_scan_eq_u64;
+pub use table_ops::table_select;

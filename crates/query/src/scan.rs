@@ -1,5 +1,12 @@
-//! Point, equality and range access paths over an [`Attribute`].
+//! Point, equality and range access paths over an [`Attribute`] — thin
+//! compatibility wrappers over the unified [`Query`] engine.
+//!
+//! The free functions predate the builder API; each is now a one-line
+//! delegation, so there is exactly one scan implementation in the crate
+//! (dictionary value-id pushdown on main, value comparison on the delta
+//! tail — see [`crate::exec`]).
 
+use crate::Query;
 use hyrise_storage::{Attribute, Value};
 use std::ops::RangeInclusive;
 
@@ -16,57 +23,35 @@ pub fn materialize<V: Value>(attr: &Attribute<V>, rows: &[usize]) -> Vec<V> {
     rows.iter().map(|&r| attr.get(r)).collect()
 }
 
-/// All global row ids whose value equals `v`.
+/// All global row ids whose value equals `v`, ascending.
 ///
 /// Main partition: one dictionary binary search, then a sequential scan of
-/// the compressed codes for the single matching code ("most queries can be
-/// executed with a binary search in the dictionary while scanning the column
-/// for the encoded value only", Section 3). Delta partition: CSB+ lookup.
+/// the compressed codes for the single matching value id ("most queries can
+/// be executed with a binary search in the dictionary while scanning the
+/// column for the encoded value only", Section 3). Delta partition: value
+/// comparisons over the uncompressed tail.
+#[deprecated(note = "use `Query::scan(0).eq(v)` — one engine behind every scan")]
 pub fn scan_eq<V: Value>(attr: &Attribute<V>, v: &V) -> Vec<usize> {
-    let main = attr.main();
-    let mut out = match main.dictionary().code_of(v) {
-        // Packed-scan kernel: compare codes without materializing values.
-        Some(code) => main.packed_codes().positions_eq(code as u64),
-        None => Vec::new(),
-    };
-    let base = main.len();
-    if let Some(postings) = attr.delta().lookup(v) {
-        out.extend(postings.map(|tid| base + tid as usize));
-    }
-    out
+    Query::scan(0).eq(*v).run(attr).into_rows()
 }
 
-/// All global row ids whose value lies in the inclusive range.
+/// All global row ids whose value lies in the inclusive range, ascending
+/// (main rows first, then delta rows in insertion order).
 ///
-/// Main partition: the dictionary maps the value range to a code range
+/// Main partition: the dictionary maps the value range to a value-id range
 /// (order-preserving encoding), then one sequential code scan with two
-/// comparisons per tuple. Delta partition: in-order CSB+ walk from the lower
-/// bound.
-///
-/// Ordering: main rows come first in ascending row order; delta rows follow
-/// grouped by value (the tree walk's order). Sort the result if global row
-/// order matters.
+/// comparisons per tuple. Delta partition: value comparisons over the
+/// uncompressed tail.
+#[deprecated(note = "use `Query::scan(0).between(lo, hi)` — one engine behind every scan")]
 pub fn scan_range<V: Value>(attr: &Attribute<V>, range: RangeInclusive<V>) -> Vec<usize> {
-    let main = attr.main();
-    let mut out = match main.dictionary().code_range(range.clone()) {
-        // Order-preserving codes: the value range is a code range, scanned
-        // packed with two comparisons per tuple.
-        Some(codes) => main
-            .packed_codes()
-            .positions_in_range(*codes.start() as u64, *codes.end() as u64),
-        None => Vec::new(),
-    };
-    let base = main.len();
-    for (value, postings) in attr.delta().index().iter_from(range.start()) {
-        if value > *range.end() {
-            break;
-        }
-        out.extend(postings.map(|tid| base + tid as usize));
-    }
-    out
+    Query::scan(0)
+        .between(*range.start(), *range.end())
+        .run(attr)
+        .into_rows()
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use hyrise_storage::MainPartition;
@@ -108,8 +93,8 @@ mod tests {
     #[test]
     fn scan_range_inclusive_bounds() {
         let a = attr();
-        // Delta rows are grouped by value: 10 (row 7) sorts before 20 (row 5).
-        assert_eq!(scan_range(&a, 10..=20), vec![0, 1, 3, 4, 7, 5]);
+        // Ascending global row order, main rows first then delta rows.
+        assert_eq!(scan_range(&a, 10..=20), vec![0, 1, 3, 4, 5, 7]);
         assert_eq!(scan_range(&a, 20..=30), vec![1, 2, 3, 5]);
         assert_eq!(scan_range(&a, 35..=50), vec![6]);
         assert_eq!(scan_range(&a, 41..=100), Vec::<usize>::new());

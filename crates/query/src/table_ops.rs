@@ -1,21 +1,24 @@
 //! Table-level read operators: validity-aware selection over dynamically
 //! typed columns.
+//!
+//! The heterogeneous [`Table`] implements [`Executor`]
+//! over [`AnyValue`] predicates, so the full [`Query`]
+//! surface — equality, ranges, conjunctions, projections, aggregates —
+//! works on any column type; each predicate dispatches to its column's
+//! concrete type and runs the same value-id kernels as the typed backends.
 
+use crate::Query;
 use hyrise_storage::{AnyValue, Table};
 
 /// Row ids of *valid* rows whose column `col` (a `u64` column) equals `v`.
 ///
 /// # Panics
 /// If `col` is not a `u64` column.
+#[deprecated(
+    note = "use `Query::scan(col).eq(v.into())` — the Table executor takes any `AnyValue` predicate, not just u64"
+)]
 pub fn table_scan_eq_u64(table: &Table, col: usize, v: u64) -> Vec<usize> {
-    let attr = table
-        .column(col)
-        .as_u64()
-        .expect("column must be u64 for table_scan_eq_u64");
-    crate::scan::scan_eq(attr, &v)
-        .into_iter()
-        .filter(|&r| table.is_valid(r))
-        .collect()
+    Query::scan(col).eq(AnyValue::U64(v)).run(table).into_rows()
 }
 
 /// Generic predicate select: valid rows where `pred(row values)` holds.
@@ -40,9 +43,10 @@ pub fn table_select<F: Fn(&[AnyValue]) -> bool>(table: &Table, pred: F) -> Vec<u
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use hyrise_storage::{ColumnType, Schema};
+    use hyrise_storage::{ColumnType, Schema, Value, V16};
 
     fn table() -> Table {
         let mut t = Table::new(
@@ -79,6 +83,62 @@ mod tests {
     }
 
     #[test]
+    fn any_value_predicates_on_non_u64_columns() {
+        // The u64-only limitation is gone: predicates dispatch on the
+        // column's concrete type.
+        let mut t = table();
+        t.delete_row(1).unwrap();
+        assert_eq!(
+            Query::scan(1)
+                .between(AnyValue::U32(2), AnyValue::U32(4))
+                .run(&t)
+                .into_rows(),
+            vec![2, 3],
+            "u32 range predicate (row 1 invalidated)"
+        );
+        // Conjunction across mixed column types.
+        assert_eq!(
+            Query::scan(0)
+                .eq(AnyValue::U64(7))
+                .and(1)
+                .between(AnyValue::U32(3), AnyValue::U32(9))
+                .run(&t)
+                .into_rows(),
+            vec![2, 4]
+        );
+        // V16 columns work too.
+        let mut v16 = Table::new("docs", Schema::new(vec![("doc", ColumnType::V16)]));
+        for seed in [3u64, 1, 2] {
+            v16.insert_row(&[AnyValue::V16(V16::from_seed(seed))])
+                .unwrap();
+        }
+        assert_eq!(
+            Query::scan(0)
+                .eq(AnyValue::V16(V16::from_seed(1)))
+                .run(&v16)
+                .into_rows(),
+            vec![1]
+        );
+        // Aggregates over AnyValue columns.
+        assert_eq!(
+            Query::scan(0).eq(AnyValue::U64(7)).sum(1).run(&t).sum(),
+            1 + 3 + 5,
+        );
+        assert_eq!(
+            Query::scan(0).min_max(1).run(&t).min_max(),
+            Some((AnyValue::U32(1), AnyValue::U32(5)))
+        );
+        assert_eq!(
+            Query::scan(0)
+                .eq(AnyValue::U64(9))
+                .project(&[1, 0])
+                .run(&t)
+                .into_projected(),
+            vec![vec![AnyValue::U32(4), AnyValue::U64(9)]]
+        );
+    }
+
+    #[test]
     fn generic_select_multi_column_predicate() {
         let t = table();
         let rows = table_select(
@@ -89,9 +149,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must be u64")]
+    #[should_panic(expected = "must be u32")]
     fn wrong_column_type_panics() {
         let t = table();
+        // Column 1 is u32; a u64 predicate is a type error.
         table_scan_eq_u64(&t, 1, 1);
     }
 }

@@ -1,6 +1,11 @@
 //! Property tests: every query operator must agree with a brute-force
 //! evaluation over the materialized column, for arbitrary main/delta splits
 //! and validity patterns.
+//!
+//! These drive the *legacy wrapper* functions on purpose — they pin the
+//! compatibility surface to the same oracle as the engine underneath (the
+//! engine itself is exercised by `query_engine_proptests.rs`).
+#![allow(deprecated)]
 
 use hyrise_query::{group_by_sum, scan_eq, scan_range, sum_lossy, sum_lossy_parallel, MinMax};
 use hyrise_storage::{Attribute, MainPartition, ValidityBitmap};

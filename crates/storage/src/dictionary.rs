@@ -82,12 +82,26 @@ impl<V: Value> Dictionary<V> {
     /// inclusive value range, or `None` if no value falls inside. Used by
     /// range selects on compressed codes.
     pub fn code_range(&self, range: RangeInclusive<V>) -> Option<RangeInclusive<u32>> {
-        let lo = self.values.partition_point(|v| v < range.start());
-        let hi = self.values.partition_point(|v| v <= range.end());
-        if lo >= hi {
+        self.value_id_range(range.start(), range.end())
+    }
+
+    /// Predicate pushdown hook: rewrite the inclusive value interval
+    /// `[lo, hi]` into the range of **value ids** (dictionary codes) it
+    /// covers, or `None` when no dictionary value falls inside (the
+    /// predicate cannot match any main-partition tuple). Two binary searches
+    /// (Section 3's "binary search in the dictionary while scanning the
+    /// column for the encoded value only"); equality is the collapsed case
+    /// `lo == hi`, which yields `Some(c..=c)` exactly when the value is
+    /// present. Because the encoding is order-preserving, scanning the
+    /// packed codes against the returned id range is equivalent to
+    /// evaluating the value predicate — without decoding a single tuple.
+    pub fn value_id_range(&self, lo: &V, hi: &V) -> Option<RangeInclusive<u32>> {
+        let start = self.values.partition_point(|v| v < lo);
+        let end = self.values.partition_point(|v| v <= hi);
+        if start >= end {
             None
         } else {
-            Some(lo as u32..=(hi - 1) as u32)
+            Some(start as u32..=(end - 1) as u32)
         }
     }
 
@@ -154,6 +168,21 @@ mod tests {
         assert_eq!(d.code_range(5..=5), None); // nothing in (4, 6)
         assert_eq!(d.code_range(10..=20), None);
         assert_eq!(d.code_range(9..=9), Some(5..=5)); // single value
+    }
+
+    #[test]
+    fn value_id_range_is_the_pushdown_hook() {
+        let d = dict(); // 1 3 4 6 8 9
+                        // Equality collapses to a one-code range iff the value exists.
+        assert_eq!(d.value_id_range(&4, &4), Some(2..=2));
+        assert_eq!(d.value_id_range(&5, &5), None);
+        // Ranges clip to present values; bounds need not be present.
+        assert_eq!(d.value_id_range(&2, &8), Some(1..=4));
+        assert_eq!(d.value_id_range(&0, &100), Some(0..=5));
+        // Inverted interval can never match.
+        assert_eq!(d.value_id_range(&8, &3), None);
+        // code_range delegates to the same hook.
+        assert_eq!(d.code_range(2..=8), d.value_id_range(&2, &8));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! width growth (3 -> 4 bits) from the paper's running example.
 
 use hyrise::merge::{merge_column_optimized, parallel::merge_column_parallel};
-use hyrise::query::{scan_eq, scan_range};
+use hyrise::query::Query;
 use hyrise::storage::{Attribute, DeltaPartition, MainPartition};
 
 fn main() {
@@ -48,13 +48,29 @@ fn main() {
     );
     println!();
 
-    println!("== Queries spanning both partitions ==");
+    println!("== Queries spanning both partitions (the unified Query builder) ==");
     let mut attr = Attribute::from_main(main.clone());
     for v in [2u64, 3, 7, 3, 25] {
         attr.append(v);
     }
-    println!("scan_eq(3)      -> rows {:?}", scan_eq(&attr, &3));
-    println!("scan_range(4..=8) -> rows {:?}", scan_range(&attr, 4..=8));
+    // Predicates compile to dictionary value-id ranges: the main partition
+    // is scanned in code space (no tuple decoded), the delta by value.
+    println!(
+        "Query::scan(0).eq(3)         -> rows {:?}",
+        Query::scan(0).eq(3).run(&attr).into_rows()
+    );
+    println!(
+        "Query::scan(0).between(4, 8) -> rows {:?}",
+        Query::scan(0).between(4, 8).run(&attr).into_rows()
+    );
+    println!(
+        "  ...same query .sum(0)      -> {}",
+        Query::scan(0).between(4, 8).sum(0).run(&attr).sum()
+    );
+    println!(
+        "  ...same query .min_max(0)  -> {:?}",
+        Query::scan(0).between(4, 8).min_max(0).run(&attr).min_max()
+    );
     println!();
 
     println!("== The optimized merge (Section 5.3) ==");

@@ -14,6 +14,7 @@
 use crate::merge::OnlineTable;
 use crate::shard::{ShardRowId, ShardedTable};
 use crate::workload::{Operation, ShardedWorkload, UpdateStream};
+use hyrise_query::Query;
 use hyrise_storage::Value;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -99,23 +100,17 @@ pub fn drive<V: Value, R: Rng>(
                 }
             }
             Operation::RangeSelect { lo, hi } => {
-                // Approximate a range select by probing a sample of rows for
-                // membership (the OnlineTable keeps columns behind a lock, so
-                // the zero-copy scan operators of `hyrise-query` apply to
-                // offline `Attribute`s; this driver exercises the lock path).
-                let rows = table.row_count();
-                if rows > 0 {
-                    let mut hits = 0u64;
-                    let step = (rows / 512).max(1);
-                    for r in (0..rows).step_by(step) {
-                        let v = table.get(0, r).to_u64_lossy();
-                        if v >= lo && v <= hi {
-                            hits += 1;
-                        }
-                    }
-                    stats.checksum = stats.checksum.wrapping_add(hits);
-                    stats.ranges += 1;
-                }
+                // One engine call against the table's snapshot executor:
+                // the predicate is pushed down to dictionary value-id space
+                // on the merged main partition, and the scan itself runs
+                // without the table lock.
+                let hits = Query::scan(0)
+                    .between(V::from_seed(lo), V::from_seed(hi))
+                    .count()
+                    .run(table)
+                    .count();
+                stats.checksum = stats.checksum.wrapping_add(hits as u64);
+                stats.ranges += 1;
             }
             Operation::Insert { seed } => {
                 table.insert_row(&row_for_seed::<V>(seed, cols));
@@ -222,13 +217,14 @@ pub fn drive_sharded<V: Value>(
                                 stats.scans += 1;
                             }
                             Operation::RangeSelect { lo, hi } => {
-                                // Cross-shard fan-out on the key column.
-                                let hits = hyrise_query::sharded_scan_range(
-                                    table,
-                                    table.key_col(),
-                                    V::from_seed(lo)..=V::from_seed(hi),
-                                );
-                                stats.checksum = stats.checksum.wrapping_add(hits.len() as u64);
+                                // Cross-shard fan-out on the key column —
+                                // one query, executed per-shard and merged.
+                                let hits = Query::scan(table.key_col())
+                                    .between(V::from_seed(lo), V::from_seed(hi))
+                                    .count()
+                                    .run(table)
+                                    .count();
+                                stats.checksum = stats.checksum.wrapping_add(hits as u64);
                                 stats.ranges += 1;
                             }
                             Operation::Insert { seed } => {

@@ -15,8 +15,10 @@
 //! * [`shard`] — the scale-out layer: [`shard::ShardedTable`] partitions
 //!   rows across N online tables and [`shard::ShardedScheduler`] grants
 //!   merge threads across shards.
-//! * [`query`] — scan / lookup / range-select operators over main+delta,
-//!   plus the shard-aware fan-out operators (`sharded_scan_eq`, …).
+//! * [`query`] — the unified query layer: the [`query::Query`] builder and
+//!   the one [`query::Executor`] trait behind every backend (attribute,
+//!   snapshot, online table, sharded table, heterogeneous table), with
+//!   equality/range predicates pushed down to dictionary value-id space.
 //! * [`workload`] — the Section 2 enterprise-data model and generators.
 //!
 //! See `examples/quickstart.rs` for a guided tour and `DESIGN.md` for the

@@ -3,7 +3,7 @@
 //! after every wave.
 
 use hyrise::merge::parallel::merge_table_parallel;
-use hyrise::query::{table_scan_eq_u64, table_select};
+use hyrise::query::{table_select, Query};
 use hyrise::storage::Value as _;
 use hyrise::storage::{AnyValue, ColumnType, Schema, Table, V16};
 use rand::rngs::StdRng;
@@ -130,7 +130,10 @@ fn queries_agree_before_and_after_merge() {
     }
 
     let probe = 17u64;
-    let before_eq = table_scan_eq_u64(&table, 0, probe);
+    let before_eq = Query::scan(0)
+        .eq(AnyValue::U64(probe))
+        .run(&table)
+        .into_rows();
     let before_pred = table_select(
         &table,
         |row| matches!((row[0], row[1]), (AnyValue::U64(k), AnyValue::U32(v)) if k < 5 && v > 3),
@@ -138,7 +141,13 @@ fn queries_agree_before_and_after_merge() {
 
     merge_table_parallel(&mut table, 4);
 
-    assert_eq!(table_scan_eq_u64(&table, 0, probe), before_eq);
+    assert_eq!(
+        Query::scan(0)
+            .eq(AnyValue::U64(probe))
+            .run(&table)
+            .into_rows(),
+        before_eq
+    );
     let after_pred = table_select(
         &table,
         |row| matches!((row[0], row[1]), (AnyValue::U64(k), AnyValue::U32(v)) if k < 5 && v > 3),

@@ -5,7 +5,7 @@
 
 use hyrise::driver::{drive_sharded, preload_sharded};
 use hyrise::merge::MergePolicy;
-use hyrise::query::{sharded_count_valid, sharded_scan_eq, sharded_sum};
+use hyrise::query::Query;
 use hyrise::shard::{ShardedScheduler, ShardedTable};
 use hyrise::workload::ShardedWorkload;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -69,7 +69,7 @@ fn concurrent_inserts_and_scans_survive_per_shard_merges() {
                 let mut probe = r * 31;
                 while !stop.load(Ordering::Relaxed) {
                     let key = probe % KEY_DOMAIN;
-                    let hits = sharded_scan_eq(&table, 0, &key);
+                    let hits = Query::scan(0).eq(key).run(&*table).into_rows();
                     assert!(
                         hits.len() >= (20_000 / KEY_DOMAIN) as usize,
                         "preloaded occurrences of key {key} must stay visible"
@@ -78,7 +78,7 @@ fn concurrent_inserts_and_scans_survive_per_shard_merges() {
                         assert_eq!(table.get(id, 0), key, "scan hit holds probed key");
                         assert_eq!(table.get(id, 1), key * 7 + 1, "row invariant");
                     }
-                    assert!(sharded_count_valid(&table) >= 20_000);
+                    assert!(Query::scan(0).count().run(&*table).count() >= 20_000);
                     scans_run.fetch_add(1, Ordering::Relaxed);
                     probe += 1;
                 }
@@ -118,11 +118,11 @@ fn concurrent_inserts_and_scans_survive_per_shard_merges() {
     );
     // Aggregate cross-check after quiescing: sum(col1) = 7*sum(col0) + N.
     table.merge_all(2);
-    let keys_sum = sharded_sum(&table, 0);
-    let linked_sum = sharded_sum(&table, 1);
+    let keys_sum = Query::scan(0).sum(0).run(&*table).sum();
+    let linked_sum = Query::scan(0).sum(1).run(&*table).sum();
     assert_eq!(
         linked_sum,
-        keys_sum * 7 + sharded_count_valid(&table) as u128,
+        keys_sum * 7 + Query::scan(0).count().run(&*table).count() as u128,
         "column invariant holds in aggregate across all shards"
     );
 }
@@ -158,7 +158,7 @@ fn sharded_mix_with_scheduler_stays_consistent() {
     let valid = table.valid_row_count() as u64;
     assert!(valid <= table.row_count() as u64);
     assert!(valid >= table.row_count() as u64 - invalidated);
-    assert_eq!(valid as usize, sharded_count_valid(&table));
+    assert_eq!(valid as usize, Query::scan(0).count().run(&*table).count());
     assert!(
         sched.stats().merges >= 1,
         "the mix's writes must have triggered background merges"
