@@ -30,7 +30,9 @@ fn row(i: u64) -> [u64; 2] {
 }
 
 /// One sweep point: returns (preload ms, write upd/s, scans/s, merges,
-/// max delta fraction at end, total rows at end).
+/// max delta fraction at end, total rows at end, per-stage merge micros
+/// summed over shards: step1a/step1b/step2).
+#[allow(clippy::type_complexity)]
 fn sweep(
     shards: usize,
     rows: usize,
@@ -38,7 +40,7 @@ fn sweep(
     merge_slots: usize,
     trigger: f64,
     threads: usize,
-) -> (u128, f64, f64, u64, f64, usize) {
+) -> (u128, f64, f64, u64, f64, usize, [u64; 3]) {
     let table = Arc::new(ShardedTable::<u64>::hash(shards, 2));
     let t0 = Instant::now();
     let preload: Vec<[u64; 2]> = (0..rows as u64).map(row).collect();
@@ -49,6 +51,7 @@ fn sweep(
     let policy = MergePolicy {
         delta_fraction: trigger,
         threads: 1,
+        ..MergePolicy::default()
     };
     let sched = ShardedScheduler::spawn(
         Arc::clone(&table),
@@ -106,6 +109,13 @@ fn sweep(
     }
     sched.shutdown();
     let stats = sched.stats();
+    let stages = stats.per_shard.iter().fold([0u64; 3], |acc, s| {
+        [
+            acc[0] + s.step1a_micros,
+            acc[1] + s.step1b_micros,
+            acc[2] + s.step2_micros,
+        ]
+    });
     (
         preload_ms,
         (shards * writes) as f64 / write_secs,
@@ -113,6 +123,7 @@ fn sweep(
         stats.merges,
         table.max_delta_fraction(),
         table.row_count(),
+        stages,
     )
 }
 
@@ -142,13 +153,16 @@ fn main() {
         "write upd/s",
         "scan/s",
         "merges",
+        "s1a ms",
+        "s1b ms",
+        "s2 ms",
         "end frac",
         "end rows",
     ]);
 
     let mut shards = 1usize;
     while shards <= max_shards {
-        let (pre_ms, upd_s, scan_s, merges, frac, end_rows) =
+        let (pre_ms, upd_s, scan_s, merges, frac, end_rows, stages) =
             sweep(shards, rows, writes, merge_slots, trigger, threads);
         t.row(&[
             &shards.to_string(),
@@ -156,6 +170,9 @@ fn main() {
             &format!("{upd_s:.0}"),
             &format!("{scan_s:.1}"),
             &merges.to_string(),
+            &format!("{:.1}", stages[0] as f64 / 1e3),
+            &format!("{:.1}", stages[1] as f64 / 1e3),
+            &format!("{:.1}", stages[2] as f64 / 1e3),
             &format!("{frac:.4}"),
             &fmt_count(end_rows),
         ]);
@@ -164,4 +181,6 @@ fn main() {
     println!();
     println!("expected shape: merges grow with shard count (each merge covers 1/N of the");
     println!("data); write throughput grows with cores available, flat on one core.");
+    println!("s1a/s1b/s2 stack like the paper's Figure 7/8 stage bars (per-shard");
+    println!("ShardMergeStats summed): Step 2 dominates, Step 1b grows with |U|.");
 }

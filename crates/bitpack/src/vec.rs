@@ -67,15 +67,32 @@ impl BitPackedVec {
     /// A vector of `len` zero values. Used as the pre-sized output buffer of
     /// the parallel Step 2 (each thread fills its own region).
     pub fn zeroed(bits: u8, len: usize) -> Self {
+        Self::zeroed_in(bits, len, Vec::new())
+    }
+
+    /// As [`Self::zeroed`], but reusing `buf` as the word storage: the buffer
+    /// is cleared and zero-resized, so when its capacity already covers
+    /// `len` values no heap allocation happens. This is the buffer-reuse
+    /// hook the merge pipeline's scratch arena builds on (pair it with
+    /// [`Self::into_words`] to recycle a retired vector's storage).
+    pub fn zeroed_in(bits: u8, len: usize, mut buf: Vec<u64>) -> Self {
         assert!(
             (1..=64).contains(&bits),
             "bits must be in 1..=64, got {bits}"
         );
+        buf.clear();
+        buf.resize(words_for(len, bits), 0);
         Self {
-            words: vec![0u64; words_for(len, bits)],
+            words: buf,
             len,
             bits,
         }
+    }
+
+    /// Consume the vector, returning its word buffer for reuse (see
+    /// [`Self::zeroed_in`]).
+    pub fn into_words(self) -> Vec<u64> {
+        self.words
     }
 
     /// Build from a slice of already-valid codes.

@@ -15,6 +15,13 @@
 //!   so each thread writes its own words of the bit-packed output.
 //! * [`model`] — Section 6.1/7.4: the analytical compute & memory-traffic
 //!   model (Equations 8–15) with machine calibration micro-benchmarks.
+//! * [`pipeline`] — the unified merge pipeline every path above runs
+//!   through: explicit Stages 1a/1b/2 behind a [`pipeline::MergeStrategy`],
+//!   one shared Step 2 re-encode kernel, a reusable
+//!   [`pipeline::MergeScratch`] arena (steady-state merges allocate
+//!   nothing), and a [`pipeline::MergeBudget`] that bounds peak extra
+//!   memory by merging/committing K columns at a time (Section 4's
+//!   partial-column strategy).
 //! * [`manager`] — Section 3/4: the online merge — second delta during the
 //!   merge, brief table locks only at the beginning and end, atomic commit,
 //!   cancellation that leaves the table untouched, and the merge trigger
@@ -35,6 +42,7 @@ pub mod naive;
 pub mod optimized;
 pub mod parallel;
 pub mod partition;
+pub mod pipeline;
 pub mod rate;
 pub mod scheduler;
 pub mod shard;
@@ -48,8 +56,13 @@ pub use model::{calibrate, MachineProfile, MergeScenario, ModelPrediction};
 pub use naive::merge_column_naive;
 pub use optimized::merge_column_optimized;
 pub use parallel::{merge_column_parallel, merge_table_parallel};
+pub use pipeline::{
+    merge_column_with, MergeBudget, MergeGrant, MergePipeline, MergeScratch, MergeStrategy,
+};
 pub use rate::{update_rate, updates_per_second};
 pub use scheduler::{MergeOutcome, MergeScheduler, MergeSource, SchedulerStats, SourceScheduler};
-pub use shard::{ShardBy, ShardRowId, ShardedScheduler, ShardedSchedulerStats, ShardedTable};
-pub use stats::{ColumnMergeStats, MergeAlgo, MergeOutput, TableMergeStats};
-pub use step1::{merge_dictionaries, DictMerge};
+pub use shard::{
+    ShardBy, ShardMergeStats, ShardRowId, ShardedScheduler, ShardedSchedulerStats, ShardedTable,
+};
+pub use stats::{ColumnMergeStats, MergeAlgo, MergeOutput, StageTimings, TableMergeStats};
+pub use step1::{merge_dictionaries, merge_dictionaries_into, DictMerge};

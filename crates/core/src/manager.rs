@@ -22,7 +22,7 @@
 //! resume the merge process") re-attaches the frozen delta in front of the
 //! second delta and leaves the table observably unchanged.
 
-use crate::parallel::merge_column_parallel;
+use crate::pipeline::{MergeBudget, MergeGrant, MergePipeline, MergeScratch, MergeStrategy};
 use crate::stats::TableMergeStats;
 use hyrise_storage::{DeltaPartition, MainPartition, ValidityBitmap, Value};
 use parking_lot::{Mutex, RwLock};
@@ -31,7 +31,8 @@ use std::sync::Arc;
 
 /// When to merge (Section 4: trigger "when the number of tuples N_D in the
 /// delta partition is greater than a certain pre-defined fraction of tuples
-/// in the main partition N_M") and with how many threads.
+/// in the main partition N_M") and with what resources ([`MergeGrant`]:
+/// threads, strategy, memory budget).
 #[derive(Clone, Copy, Debug)]
 pub struct MergePolicy {
     /// Merge once `N_D / N_M` exceeds this (e.g. 0.01 for Figure 9's 1%).
@@ -40,6 +41,11 @@ pub struct MergePolicy {
     /// merge uses all available resources" — but a background scheduler may
     /// grant fewer, Section 9).
     pub threads: usize,
+    /// Merge algorithm (default [`MergeStrategy::Parallel`]).
+    pub strategy: MergeStrategy,
+    /// Peak-extra-memory cap (default [`MergeBudget::UNBOUNDED`]); see
+    /// [`OnlineTable::merge_with`].
+    pub budget: MergeBudget,
 }
 
 impl Default for MergePolicy {
@@ -47,6 +53,19 @@ impl Default for MergePolicy {
         Self {
             delta_fraction: 0.05,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            strategy: MergeStrategy::default(),
+            budget: MergeBudget::default(),
+        }
+    }
+}
+
+impl MergePolicy {
+    /// The resource grant this policy hands to a merge.
+    pub fn grant(&self) -> MergeGrant {
+        MergeGrant {
+            strategy: self.strategy,
+            threads: self.threads,
+            budget: self.budget,
         }
     }
 }
@@ -104,6 +123,16 @@ pub struct OnlineTable<V: Value> {
     state: RwLock<State<V>>,
     /// Serializes merges (one in flight at a time).
     merge_gate: Mutex<()>,
+    /// Warm [`MergeScratch`] arenas kept across merges: workers check one
+    /// out per column task, and the commit path recycles retired main
+    /// partitions back into them, so steady-state merges allocate ~nothing
+    /// for dictionary/aux/output buffers. Single-worker merges get the
+    /// strict zero-allocation guarantee (asserted in
+    /// `tests/merge_scratch_alloc.rs`); with several workers the racing
+    /// column→worker assignment can place a retired buffer in a different
+    /// worker's arena, so best-fit selection inside each arena makes reuse
+    /// likely but not certain.
+    scratch_pool: Mutex<Vec<MergeScratch<V>>>,
 }
 
 impl<V: Value> OnlineTable<V> {
@@ -123,6 +152,7 @@ impl<V: Value> OnlineTable<V> {
                 validity: ValidityBitmap::new(),
             }),
             merge_gate: Mutex::new(()),
+            scratch_pool: Mutex::new(Vec::new()),
         }
     }
 
@@ -148,6 +178,32 @@ impl<V: Value> OnlineTable<V> {
                 validity: ValidityBitmap::all_valid(len),
             }),
             merge_gate: Mutex::new(()),
+            scratch_pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Check a warm scratch arena out of the pool (or start a cold one).
+    fn checkout_scratch(&self) -> MergeScratch<V> {
+        self.scratch_pool.lock().pop().unwrap_or_default()
+    }
+
+    /// Return a scratch arena to the pool for the next merge.
+    fn checkin_scratch(&self, scratch: MergeScratch<V>) {
+        self.scratch_pool.lock().push(scratch);
+    }
+
+    /// Feed a retired main partition's buffers back into the pool's
+    /// scratches (round-robin so every worker's arena warms up). A no-op
+    /// when a concurrent snapshot still shares the partition — the memory
+    /// is then freed when the last snapshot drops.
+    fn recycle_retired(&self, retired: Arc<MainPartition<V>>, slot: usize) {
+        if let Ok(main) = Arc::try_unwrap(retired) {
+            let mut pool = self.scratch_pool.lock();
+            if pool.is_empty() {
+                pool.push(MergeScratch::new());
+            }
+            let idx = slot % pool.len();
+            pool[idx].recycle_main(main);
         }
     }
 
@@ -277,7 +333,8 @@ impl<V: Value> OnlineTable<V> {
         self.delta_fraction() > policy.delta_fraction
     }
 
-    /// Run one online merge. Blocks the calling thread for the duration but
+    /// Run one online merge with the default grant ([`MergeStrategy::Parallel`],
+    /// unbounded budget). Blocks the calling thread for the duration but
     /// only locks the table briefly at the beginning (freeze) and end
     /// (commit). `cancel`, when set during the merge, aborts it and restores
     /// the pre-merge delta — the table is then exactly as if the merge had
@@ -287,12 +344,47 @@ impl<V: Value> OnlineTable<V> {
         threads: usize,
         cancel: Option<&AtomicBool>,
     ) -> Result<TableMergeStats, MergeCancelled> {
+        self.merge_with(MergeGrant::with_threads(threads), cancel)
+    }
+
+    /// Run one online merge under an explicit [`MergeGrant`]: strategy,
+    /// threads, and a [`MergeBudget`] bounding peak extra memory.
+    ///
+    /// Unbudgeted, all `N_C` columns are merged before one atomic commit —
+    /// at peak the table transiently costs ~2x its memory (every column
+    /// exists in its old and new generation at once), the known price of
+    /// online reorganization in memory-resident stores. With a budget of
+    /// `K` columns, the merge runs the paper's Section 4 partial-column
+    /// strategy: freeze all deltas once, then merge **and commit** `K`
+    /// columns at a time, so at most the largest `K`-column working set
+    /// exists on top of the live table. Results are byte-identical to the
+    /// unbudgeted merge (every strategy produces the same partitions).
+    ///
+    /// Cancellation semantics follow the commit granularity: columns in
+    /// chunks already committed stay merged (each column individually holds
+    /// all its rows, so the table stays consistent — same contract as
+    /// [`MergeSession::abort`]); uncommitted columns roll their frozen
+    /// delta back. Unbudgeted there is a single chunk, so a cancelled merge
+    /// leaves the table exactly untouched (the original contract of
+    /// [`Self::merge`]).
+    ///
+    /// Merge-phase intermediates come from the table's warm scratch pool,
+    /// and each chunk's commit recycles the retired main partitions into
+    /// that pool, so steady-state merges allocate ~nothing.
+    pub fn merge_with(
+        &self,
+        grant: MergeGrant,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<TableMergeStats, MergeCancelled> {
+        assert!(grant.threads >= 1, "need at least one thread");
         let _gate = self.merge_gate.lock();
         let t_wall = std::time::Instant::now();
 
-        // Begin: freeze active deltas (brief write lock).
+        // Begin: freeze active deltas (brief write lock). Entries are
+        // dropped per column at commit so retired mains become uniquely
+        // owned and recyclable.
         type Snapshot<V> = (Arc<MainPartition<V>>, Arc<DeltaPartition<V>>);
-        let snapshots: Vec<Snapshot<V>> = {
+        let mut snapshots: Vec<Option<Snapshot<V>>> = {
             let mut st = self.state.write();
             st.cols
                 .iter_mut()
@@ -300,63 +392,98 @@ impl<V: Value> OnlineTable<V> {
                     debug_assert!(c.frozen.is_none(), "merge_gate serializes merges");
                     let frozen = Arc::new(std::mem::take(&mut c.active));
                     c.frozen = Some(Arc::clone(&frozen));
-                    (Arc::clone(&c.main), frozen)
+                    Some((Arc::clone(&c.main), frozen))
                 })
                 .collect()
         };
 
-        // Merge phase: no table lock held. Columns are processed task-queue
-        // style; each column merges with within-column parallelism when the
-        // table is narrow, serial otherwise (scheme (i) vs (ii), Section 6.2.1).
         let n_cols = snapshots.len();
-        let workers = threads.clamp(1, n_cols.max(1));
-        let per_column_threads = (threads / workers).max(1);
-        let next = AtomicUsize::new(0);
-        let cancelled = AtomicBool::new(false);
-        type Slot<V> = Mutex<Option<crate::stats::MergeOutput<MainPartition<V>>>>;
-        let slots: Vec<Slot<V>> = (0..n_cols).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    if cancelled.load(Ordering::Relaxed)
-                        || cancel.is_some_and(|c| c.load(Ordering::Relaxed))
-                    {
-                        cancelled.store(true, Ordering::Relaxed);
-                        break;
-                    }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n_cols {
-                        break;
-                    }
-                    let (main, frozen) = &snapshots[i];
-                    let out = merge_column_parallel(main, frozen, per_column_threads);
-                    *slots[i].lock() = Some(out);
-                });
-            }
-        });
-
-        if cancelled.load(Ordering::Relaxed) || cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
-            // Roll back: re-attach the frozen delta in front of the second
-            // delta, preserving tuple ids (frozen rows are older).
-            let mut st = self.state.write();
-            for c in st.cols.iter_mut() {
-                Self::restore_frozen_column(c);
-            }
-            return Err(MergeCancelled);
-        }
-
-        // Commit: swap in merged mains, drop frozen deltas (brief write lock).
+        let chunk_cap = grant.budget.max_columns().min(n_cols).max(1);
         let mut stats = TableMergeStats::default();
-        {
-            let mut st = self.state.write();
-            for (c, slot) in st.cols.iter_mut().zip(slots) {
-                let out = slot
-                    .into_inner()
-                    .expect("uncancelled merge fills every slot");
-                c.main = Arc::new(out.main);
-                c.frozen = None;
-                stats.columns.push(out.stats);
+        let mut chunk_start = 0usize;
+        while chunk_start < n_cols {
+            let chunk_end = (chunk_start + chunk_cap).min(n_cols);
+            let chunk_len = chunk_end - chunk_start;
+
+            // Merge phase: no table lock held. Columns of this chunk are
+            // processed task-queue style; each column merges with
+            // within-column parallelism when the chunk is narrow, serial
+            // otherwise (scheme (i) vs (ii), Section 6.2.1).
+            let workers = grant.threads.clamp(1, chunk_len);
+            let per_column_threads = (grant.threads / workers).max(1);
+            let pipeline = MergePipeline::new(grant.strategy, per_column_threads);
+            let next = AtomicUsize::new(chunk_start);
+            let cancelled = AtomicBool::new(false);
+            type Slot<V> = Mutex<Option<crate::stats::MergeOutput<MainPartition<V>>>>;
+            let slots: Vec<Slot<V>> = (0..chunk_len).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| {
+                        let mut scratch = self.checkout_scratch();
+                        loop {
+                            if cancelled.load(Ordering::Relaxed)
+                                || cancel.is_some_and(|c| c.load(Ordering::Relaxed))
+                            {
+                                cancelled.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= chunk_end {
+                                break;
+                            }
+                            let (main, frozen) =
+                                snapshots[i].as_ref().expect("chunk column not committed");
+                            let out = pipeline.merge_column(main, frozen, &mut scratch);
+                            *slots[i - chunk_start].lock() = Some(out);
+                        }
+                        self.checkin_scratch(scratch);
+                    });
+                }
+            });
+
+            if cancelled.load(Ordering::Relaxed)
+                || cancel.is_some_and(|c| c.load(Ordering::Relaxed))
+            {
+                // Roll back every *uncommitted* column: re-attach its
+                // frozen delta in front of the second delta, preserving
+                // tuple ids (frozen rows are older). Committed chunks stay.
+                let mut st = self.state.write();
+                for c in st.cols.iter_mut() {
+                    if c.frozen.is_some() {
+                        Self::restore_frozen_column(c);
+                    }
+                }
+                return Err(MergeCancelled);
             }
+
+            // Account the chunk's transient footprint, then commit it: swap
+            // in merged mains, drop frozen deltas (brief write lock), and
+            // recycle the retired generation into the scratch pool.
+            let chunk_bytes: usize = slots
+                .iter()
+                .map(|s| s.lock().as_ref().map_or(0, |o| o.main.memory_bytes()))
+                .sum();
+            stats.peak_extra_bytes = stats.peak_extra_bytes.max(chunk_bytes);
+            stats.peak_columns_in_flight = stats.peak_columns_in_flight.max(chunk_len);
+            let mut retired: Vec<Arc<MainPartition<V>>> = Vec::with_capacity(chunk_len);
+            {
+                let mut st = self.state.write();
+                for (k, slot) in slots.into_iter().enumerate() {
+                    let i = chunk_start + k;
+                    let out = slot
+                        .into_inner()
+                        .expect("uncancelled merge fills every slot");
+                    let c = &mut st.cols[i];
+                    retired.push(std::mem::replace(&mut c.main, Arc::new(out.main)));
+                    c.frozen = None;
+                    snapshots[i] = None;
+                    stats.columns.push(out.stats);
+                }
+            }
+            for (k, old) in retired.into_iter().enumerate() {
+                self.recycle_retired(old, k);
+            }
+            chunk_start = chunk_end;
         }
         stats.t_wall = t_wall.elapsed();
         Ok(stats)
@@ -365,7 +492,7 @@ impl<V: Value> OnlineTable<V> {
     /// Merge if the policy says so; returns stats when a merge ran.
     pub fn maybe_merge(&self, policy: &MergePolicy) -> Option<TableMergeStats> {
         if self.should_merge(policy) {
-            self.merge(policy.threads, None).ok()
+            self.merge_with(policy.grant(), None).ok()
         } else {
             None
         }
@@ -385,6 +512,13 @@ impl<V: Value> OnlineTable<V> {
     /// stay merged — every column individually contains all rows, so the
     /// table remains consistent).
     pub fn begin_incremental_merge(&self, threads: usize) -> MergeSession<'_, V> {
+        self.begin_incremental_merge_with(MergeGrant::with_threads(threads))
+    }
+
+    /// As [`Self::begin_incremental_merge`], with an explicit strategy and
+    /// thread grant (the session is inherently a one-column budget, so the
+    /// grant's [`MergeBudget`] is moot).
+    pub fn begin_incremental_merge_with(&self, grant: MergeGrant) -> MergeSession<'_, V> {
         let gate = self.merge_gate.lock();
         let n_cols = {
             let mut st = self.state.write();
@@ -400,7 +534,7 @@ impl<V: Value> OnlineTable<V> {
             _gate: gate,
             next_col: 0,
             n_cols,
-            threads,
+            grant,
             stats: TableMergeStats::default(),
             t_start: std::time::Instant::now(),
             finished: false,
@@ -563,7 +697,7 @@ pub struct MergeSession<'t, V: Value> {
     _gate: parking_lot::MutexGuard<'t, ()>,
     next_col: usize,
     n_cols: usize,
-    threads: usize,
+    grant: MergeGrant,
     stats: TableMergeStats,
     t_start: std::time::Instant,
     finished: bool,
@@ -591,13 +725,21 @@ impl<V: Value> MergeSession<'_, V> {
                 Arc::clone(col.frozen.as_ref().expect("session froze all columns")),
             )
         };
-        let out = merge_column_parallel(&main, &frozen, self.threads);
-        {
+        let mut scratch = self.table.checkout_scratch();
+        let pipeline = MergePipeline::new(self.grant.strategy, self.grant.threads);
+        let out = pipeline.merge_column(&main, &frozen, &mut scratch);
+        self.table.checkin_scratch(scratch);
+        self.stats.peak_extra_bytes = self.stats.peak_extra_bytes.max(out.main.memory_bytes());
+        self.stats.peak_columns_in_flight = 1;
+        let retired = {
             let mut st = self.table.state.write();
             let col = &mut st.cols[c];
-            col.main = Arc::new(out.main);
+            let old = std::mem::replace(&mut col.main, Arc::new(out.main));
             col.frozen = None;
-        }
+            old
+        };
+        drop(main); // release our snapshot handle so the retiree can recycle
+        self.table.recycle_retired(retired, c);
         self.stats.columns.push(out.stats);
         self.next_col += 1;
         true
@@ -775,6 +917,7 @@ mod tests {
         let policy = MergePolicy {
             delta_fraction: 0.05,
             threads: 2,
+            ..MergePolicy::default()
         };
         assert!(!t.should_merge(&policy));
         for i in 0..5 {
@@ -789,6 +932,104 @@ mod tests {
         assert!(t.maybe_merge(&policy).is_some());
         assert_eq!(t.delta_len(), 0);
         assert!(t.maybe_merge(&policy).is_none());
+    }
+
+    /// Byte-level equality of two tables' merged states: dictionaries and
+    /// packed code words of every column, plus validity.
+    fn assert_bytes_identical(a: &OnlineTable<u64>, b: &OnlineTable<u64>) {
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert_eq!(sa.num_columns(), sb.num_columns());
+        for c in 0..sa.num_columns() {
+            assert_eq!(
+                sa.col(c).main().dictionary().values(),
+                sb.col(c).main().dictionary().values(),
+                "column {c}: dictionaries differ"
+            );
+            assert_eq!(
+                sa.col(c).main().packed_codes().words(),
+                sb.col(c).main().packed_codes().words(),
+                "column {c}: packed words differ"
+            );
+        }
+        assert_eq!(sa.validity().valid_count(), sb.validity().valid_count());
+    }
+
+    #[test]
+    fn budgeted_merge_is_byte_identical_and_bounds_in_flight() {
+        let a = table_with_rows(6, 1_500);
+        let b = table_with_rows(6, 1_500);
+        let full = a.merge(2, None).unwrap();
+        assert_eq!(
+            full.peak_columns_in_flight, 6,
+            "unbudgeted merge holds every column's output at once"
+        );
+        let budgeted = b
+            .merge_with(
+                MergeGrant::with_threads(2).budget(MergeBudget::columns(2)),
+                None,
+            )
+            .unwrap();
+        assert_eq!(
+            budgeted.peak_columns_in_flight, 2,
+            "budget K caps the uncommitted outputs at K columns"
+        );
+        assert!(budgeted.peak_extra_bytes > 0);
+        assert!(
+            budgeted.peak_extra_bytes < full.peak_extra_bytes,
+            "2-column chunks of a 6-column table must peak below the full set \
+             ({} vs {})",
+            budgeted.peak_extra_bytes,
+            full.peak_extra_bytes
+        );
+        assert_eq!(budgeted.columns.len(), 6, "every column still merged");
+        assert_bytes_identical(&a, &b);
+    }
+
+    #[test]
+    fn merge_with_strategies_agree_online() {
+        for strategy in [
+            MergeStrategy::Naive,
+            MergeStrategy::Optimized,
+            MergeStrategy::Parallel,
+        ] {
+            let a = table_with_rows(3, 900);
+            let b = table_with_rows(3, 900);
+            a.merge(2, None).unwrap();
+            b.merge_with(
+                MergeGrant::with_threads(2)
+                    .strategy(strategy)
+                    .budget(MergeBudget::columns(1)),
+                None,
+            )
+            .unwrap();
+            assert_bytes_identical(&a, &b);
+        }
+    }
+
+    #[test]
+    fn scratch_pool_recycles_retired_mains() {
+        // After a merge, the pool holds warmed scratches; a second merge of
+        // the same shape must neither grow nor shrink the banked capacity.
+        let t = table_with_rows(2, 2_000);
+        t.merge(1, None).unwrap();
+        t.merge(1, None).unwrap(); // empty delta: same-size regeneration
+        let warmed: usize = t
+            .scratch_pool
+            .lock()
+            .iter()
+            .map(|s| s.spare_capacities().1)
+            .sum();
+        assert!(warmed > 0, "retired word buffers must have been recycled");
+        for _ in 0..3 {
+            t.merge(1, None).unwrap();
+            let now: usize = t
+                .scratch_pool
+                .lock()
+                .iter()
+                .map(|s| s.spare_capacities().1)
+                .sum();
+            assert_eq!(now, warmed, "steady-state merges reuse, not reallocate");
+        }
     }
 
     #[test]
@@ -898,6 +1139,7 @@ mod tests {
         let policy = MergePolicy {
             delta_fraction: 0.05,
             threads: 1,
+            ..MergePolicy::default()
         };
         assert!(!t.should_merge(&policy), "empty table never triggers");
         t.insert_row(&[1]);

@@ -11,107 +11,29 @@
 //! here partitions the tuples over threads just like the optimized code —
 //! only the per-tuple search is the naive part.
 
-use crate::stats::{ColumnMergeStats, MergeAlgo, MergeOutput};
-use hyrise_bitpack::{bits_for, BitPackedVec};
-use hyrise_storage::{DeltaPartition, Dictionary, MainPartition, Value};
-use std::time::Instant;
+use crate::pipeline::{merge_column_with, MergeScratch, MergeStrategy};
+use crate::stats::MergeOutput;
+use hyrise_storage::{DeltaPartition, MainPartition, Value};
 
 /// Merge one column's delta into its main partition using the unoptimized
 /// algorithm, with Step 2 parallelized over `threads`.
+///
+/// A stage configuration of the unified [`crate::pipeline::MergePipeline`]:
+/// Stage 1a extracts `U_D` without re-coding the delta, Stage 1b unions the
+/// dictionaries without auxiliary tables, and the shared Stage 2 kernel
+/// runs with a binary-search code map (Equation 5's log factor).
 pub fn merge_column_naive<V: Value>(
     main: &MainPartition<V>,
     delta: &DeltaPartition<V>,
     threads: usize,
 ) -> MergeOutput<MainPartition<V>> {
-    assert!(threads >= 1, "need at least one thread");
-    let n_m = main.len();
-    let n_d = delta.len();
-
-    // Step 1(a): sorted delta dictionary via leaf traversal. The naive
-    // variant does NOT rewrite the delta as codes.
-    let t0 = Instant::now();
-    let u_d = delta.sorted_unique();
-    let t_step1a = t0.elapsed();
-
-    // Step 1(b): two-pointer merge, no auxiliary tables.
-    let t0 = Instant::now();
-    let u_m = main.dictionary().values();
-    let mut merged = Vec::with_capacity(u_m.len() + u_d.len());
-    {
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < u_m.len() && j < u_d.len() {
-            match u_m[i].cmp(&u_d[j]) {
-                std::cmp::Ordering::Less => {
-                    merged.push(u_m[i]);
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => {
-                    merged.push(u_d[j]);
-                    j += 1;
-                }
-                std::cmp::Ordering::Equal => {
-                    merged.push(u_m[i]);
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        merged.extend_from_slice(&u_m[i..]);
-        merged.extend_from_slice(&u_d[j..]);
-    }
-    let t_step1b = t0.elapsed();
-
-    // Step 2(a): E'_C = ceil(log2 |U'_M|) (Equation 4), O(1).
-    let bits_after = bits_for(merged.len());
-
-    // Step 2(b): append delta to main, re-encoding every tuple with a binary
-    // search in U'_M (Equation 5's log factor).
-    let t0 = Instant::now();
-    let mut codes = BitPackedVec::zeroed(bits_after, n_m + n_d);
-    let old_dict = main.dictionary();
-    let delta_values = delta.values();
-    let regions = codes.split_mut(threads).into_regions();
-    std::thread::scope(|s| {
-        for mut region in regions {
-            let merged = &merged;
-            s.spawn(move || {
-                let mut old = main.packed_codes().cursor_at(region.start_index().min(n_m));
-                region.fill_sequential(|idx| {
-                    let value = if idx < n_m {
-                        // Materialize: code -> uncompressed value (dictionary
-                        // array access), then search U'_M.
-                        old_dict.value_at(old.next_value() as u32)
-                    } else {
-                        delta_values[idx - n_m]
-                    };
-                    merged
-                        .binary_search(&value)
-                        .expect("merged dictionary must contain value") as u64
-                });
-            });
-        }
-    });
-    let t_step2 = t0.elapsed();
-
-    let stats = ColumnMergeStats {
-        algo: MergeAlgo::Naive,
+    merge_column_with(
+        main,
+        delta,
+        MergeStrategy::Naive,
         threads,
-        n_m,
-        n_d,
-        u_m: u_m.len(),
-        u_d: u_d.len(),
-        u_merged: merged.len(),
-        bits_before: main.code_bits(),
-        bits_after,
-        t_step1a,
-        t_step1b,
-        t_step2,
-    };
-    let dict = Dictionary::from_sorted_unique(merged);
-    MergeOutput {
-        main: MainPartition::from_parts(dict, codes),
-        stats,
-    }
+        &mut MergeScratch::new(),
+    )
 }
 
 #[cfg(test)]

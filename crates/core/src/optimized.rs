@@ -13,74 +13,28 @@
 //!   original algorithm description is replaced by a lookup", giving overall
 //!   `O(N_M + N_D + |U_M| + |U_D|)` (Equation 6).
 
-use crate::stats::{ColumnMergeStats, MergeAlgo, MergeOutput};
-use crate::step1::merge_dictionaries;
-use hyrise_bitpack::{bits_for, BitPackedVec};
-use hyrise_storage::{DeltaPartition, Dictionary, MainPartition, Value};
-use std::time::Instant;
+use crate::pipeline::{merge_column_with, MergeScratch, MergeStrategy};
+use crate::stats::MergeOutput;
+use hyrise_storage::{DeltaPartition, MainPartition, Value};
 
 /// Merge one column's delta into its main partition with the optimized
 /// single-threaded algorithm.
+///
+/// A stage configuration of the unified [`crate::pipeline::MergePipeline`]:
+/// Stage 1a compresses the delta against `U_D`, Stage 1b builds the
+/// auxiliary tables, and the shared Stage 2 kernel runs serially with the
+/// `X_M`/`X_D` lookup maps (Equation 11).
 pub fn merge_column_optimized<V: Value>(
     main: &MainPartition<V>,
     delta: &DeltaPartition<V>,
 ) -> MergeOutput<MainPartition<V>> {
-    let n_m = main.len();
-    let n_d = delta.len();
-
-    // Modified Step 1(a): U_D plus the delta re-coded against it. O(N_D).
-    let t0 = Instant::now();
-    let compressed = delta.compress();
-    let t_step1a = t0.elapsed();
-
-    // Modified Step 1(b): merge dictionaries, build X_M / X_D.
-    let t0 = Instant::now();
-    let u_m = main.dictionary().values();
-    let dm = merge_dictionaries(u_m, &compressed.dict);
-    let t_step1b = t0.elapsed();
-
-    // Step 2(a): Equation 4.
-    let bits_after = bits_for(dm.merged.len());
-
-    // Modified Step 2(b): pure table lookups, Equation 11. A sequential
-    // cursor streams the old codes; an OR-only sequential writer emits the
-    // new ones.
-    let t0 = Instant::now();
-    let mut codes = BitPackedVec::zeroed(bits_after, n_m + n_d);
-    {
-        let mut regions = codes.split_mut(1).into_regions();
-        if let Some(region) = regions.first_mut() {
-            let mut old = main.packed_codes().cursor_at(0);
-            region.fill_sequential(|idx| {
-                if idx < n_m {
-                    dm.x_m[old.next_value() as usize] as u64
-                } else {
-                    dm.x_d[compressed.codes[idx - n_m] as usize] as u64
-                }
-            });
-        }
-    }
-    let t_step2 = t0.elapsed();
-
-    let stats = ColumnMergeStats {
-        algo: MergeAlgo::Optimized,
-        threads: 1,
-        n_m,
-        n_d,
-        u_m: u_m.len(),
-        u_d: compressed.dict.len(),
-        u_merged: dm.merged.len(),
-        bits_before: main.code_bits(),
-        bits_after,
-        t_step1a,
-        t_step1b,
-        t_step2,
-    };
-    let dict = Dictionary::from_sorted_unique(dm.merged);
-    MergeOutput {
-        main: MainPartition::from_parts(dict, codes),
-        stats,
-    }
+    merge_column_with(
+        main,
+        delta,
+        MergeStrategy::Optimized,
+        1,
+        &mut MergeScratch::new(),
+    )
 }
 
 #[cfg(test)]

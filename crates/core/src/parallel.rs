@@ -18,27 +18,14 @@
 //!   of tables").
 
 use crate::partition::quantile_boundaries;
-use crate::stats::{ColumnMergeStats, MergeAlgo, MergeOutput, TableMergeStats};
-use crate::step1::{merge_dictionaries, DictMerge};
-use hyrise_bitpack::{bits_for, BitPackedVec};
-use hyrise_storage::{
-    Column, CompressedDelta, DeltaPartition, Dictionary, MainPartition, Table, Value, V16,
+use crate::pipeline::{
+    effective_threads, MergeScratch, MergeStrategy, MIN_DICT_PER_THREAD, MIN_TUPLES_PER_THREAD,
 };
+use crate::stats::{ColumnMergeStats, MergeOutput, TableMergeStats};
+use crate::step1::{merge_dictionaries_into, DictMerge};
+use hyrise_storage::{Column, CompressedDelta, DeltaPartition, MainPartition, Table, Value, V16};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::time::Instant;
-
-/// Minimum work items per spawned thread. Scoped threads cost tens of
-/// microseconds to spawn; granting a thread fewer elements than this loses
-/// more to spawn overhead than parallelism gains. (The paper's pthread pool
-/// amortizes this; we size the team instead.)
-const MIN_DICT_PER_THREAD: usize = 128 * 1024;
-const MIN_TUPLES_PER_THREAD: usize = 64 * 1024;
-
-/// Threads actually worth using for `work` items.
-#[inline]
-fn effective_threads(requested: usize, work: usize, min_per_thread: usize) -> usize {
-    requested.clamp(1, (work / min_per_thread).max(1))
-}
 
 // ---------------------------------------------------------------------------
 // Step 1(a), scheme (ii): serial dictionary build + parallel code scatter.
@@ -66,12 +53,42 @@ pub fn compress_delta_parallel_exact<V: Value>(
     delta: &DeltaPartition<V>,
     threads: usize,
 ) -> CompressedDelta<V> {
+    let mut scratch = MergeScratch::new();
+    compress_delta_exact_into(delta, threads, &mut scratch);
+    CompressedDelta {
+        dict: std::mem::take(&mut scratch.u_d),
+        codes: std::mem::take(&mut scratch.delta_codes),
+    }
+}
+
+/// Pipeline Stage 1a, parallel strategy: fill `scratch.u_d` and
+/// `scratch.delta_codes`, using the team-sizing heuristic.
+pub(crate) fn compress_delta_parallel_into<V: Value>(
+    delta: &DeltaPartition<V>,
+    threads: usize,
+    scratch: &mut MergeScratch<V>,
+) {
+    compress_delta_exact_into(
+        delta,
+        effective_threads(threads, delta.len(), MIN_TUPLES_PER_THREAD),
+        scratch,
+    )
+}
+
+pub(crate) fn compress_delta_exact_into<V: Value>(
+    delta: &DeltaPartition<V>,
+    threads: usize,
+    scratch: &mut MergeScratch<V>,
+) {
     if threads <= 1 || delta.is_empty() {
-        return delta.compress();
+        delta.compress_into(&mut scratch.u_d, &mut scratch.delta_codes);
+        return;
     }
     // Single-threaded phase: sorted dictionary + cumulative tuple counts.
     let tree = delta.index();
-    let mut dict = Vec::with_capacity(delta.unique_len());
+    let dict = &mut scratch.u_d;
+    dict.clear();
+    dict.reserve(delta.unique_len());
     let mut cum = Vec::with_capacity(delta.unique_len() + 1);
     cum.push(0usize);
     for (value, _) in tree.iter() {
@@ -82,8 +99,10 @@ pub fn compress_delta_parallel_exact<V: Value>(
     // Parallel phase: value ranges balanced by tuple count; each thread
     // re-seeks its range in the tree and scatters codes. Stores are disjoint
     // by construction (each tuple id belongs to exactly one value), expressed
-    // through relaxed atomic stores.
-    let codes: Vec<AtomicU32> = (0..delta.len()).map(|_| AtomicU32::new(0)).collect();
+    // through relaxed atomic stores into the scratch's reusable buffer.
+    let codes = &mut scratch.atomic_codes;
+    codes.clear();
+    codes.resize_with(delta.len(), || AtomicU32::new(0));
     let per_thread = delta.len().div_ceil(threads);
     std::thread::scope(|s| {
         let mut v0 = 0usize;
@@ -97,7 +116,7 @@ pub fn compress_delta_parallel_exact<V: Value>(
             if v0 == v1 {
                 continue;
             }
-            let (dict, codes) = (&dict, &codes);
+            let (dict, codes) = (&*dict, &*codes);
             s.spawn(move || {
                 let mut code = v0 as u32;
                 for (value, postings) in tree.iter_from(&dict[v0]) {
@@ -115,8 +134,13 @@ pub fn compress_delta_parallel_exact<V: Value>(
             v0 = v1;
         }
     });
-    let codes = codes.into_iter().map(|a| a.into_inner()).collect();
-    CompressedDelta { dict, codes }
+    scratch.delta_codes.clear();
+    scratch.delta_codes.extend(
+        scratch
+            .atomic_codes
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed)),
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -221,8 +245,11 @@ fn merge_range_write<V: Value>(
 
 /// Parallel modified Step 1(b): merge two sorted duplicate-free dictionaries
 /// into `U'_M` with the auxiliary tables, using the three-phase scheme of
-/// Section 6.2.1. Falls back to the serial merge for small inputs or one
-/// thread. Produces output identical to [`merge_dictionaries`].
+/// Section 6.2.1. Falls back to the serial merge for small inputs, one
+/// thread, or when the host has fewer cores than requested (see
+/// [`crate::pipeline`]'s team-sizing heuristic — oversubscribing a
+/// compute-bound merge measured slower than serial). Produces output
+/// identical to [`crate::step1::merge_dictionaries`].
 pub fn merge_dictionaries_parallel<V: Value>(u_m: &[V], u_d: &[V], threads: usize) -> DictMerge<V> {
     let total = u_m.len() + u_d.len();
     merge_dictionaries_parallel_exact(
@@ -240,8 +267,23 @@ pub fn merge_dictionaries_parallel_exact<V: Value>(
     u_d: &[V],
     threads: usize,
 ) -> DictMerge<V> {
+    let mut merged = Vec::new();
+    let mut x_m = Vec::new();
+    let mut x_d = Vec::new();
+    merge_dictionaries_parallel_exact_into(u_m, u_d, threads, &mut merged, &mut x_m, &mut x_d);
+    DictMerge { merged, x_m, x_d }
+}
+
+pub(crate) fn merge_dictionaries_parallel_exact_into<V: Value>(
+    u_m: &[V],
+    u_d: &[V],
+    threads: usize,
+    merged: &mut Vec<V>,
+    x_m: &mut Vec<u32>,
+    x_d: &mut Vec<u32>,
+) {
     if threads <= 1 {
-        return merge_dictionaries(u_m, u_d);
+        return merge_dictionaries_into(u_m, u_d, merged, x_m, x_d);
     }
     let bounds = quantile_boundaries(u_m, u_d, threads);
 
@@ -267,13 +309,16 @@ pub fn merge_dictionaries_parallel_exact<V: Value>(
     let total_unique = counter[threads];
 
     // Phase 3: carve disjoint output slices and re-merge at final offsets.
-    let mut merged = vec![V::default(); total_unique];
-    let mut x_m = vec![0u32; u_m.len()];
-    let mut x_d = vec![0u32; u_d.len()];
+    merged.clear();
+    merged.resize(total_unique, V::default());
+    x_m.clear();
+    x_m.resize(u_m.len(), 0);
+    x_d.clear();
+    x_d.resize(u_d.len(), 0);
     {
-        let mut m_rest: &mut [V] = &mut merged;
-        let mut xm_rest: &mut [u32] = &mut x_m;
-        let mut xd_rest: &mut [u32] = &mut x_d;
+        let mut m_rest: &mut [V] = merged;
+        let mut xm_rest: &mut [u32] = x_m;
+        let mut xd_rest: &mut [u32] = x_d;
         let mut tasks = Vec::with_capacity(threads);
         for t in 0..threads {
             let (i0, j0) = bounds[t];
@@ -295,93 +340,30 @@ pub fn merge_dictionaries_parallel_exact<V: Value>(
             }
         });
     }
-    DictMerge { merged, x_m, x_d }
 }
 
 // ---------------------------------------------------------------------------
-// Step 2: parallel re-encoding.
+// Step 2 + whole column: delegated to the unified pipeline.
 // ---------------------------------------------------------------------------
-
-/// Parallel modified Step 2: `M'[i] <- X_M[M[i]]` for main tuples and
-/// `M'[N_M + k] <- X_D[D_codes[k]]` for delta tuples, with the tuple space
-/// partitioned over threads on word-aligned boundaries.
-fn parallel_step2<V: Value>(
-    main: &MainPartition<V>,
-    delta_codes: &[u32],
-    dm: &DictMerge<V>,
-    bits_after: u8,
-    threads: usize,
-) -> BitPackedVec {
-    let n_m = main.len();
-    let n_total = n_m + delta_codes.len();
-    let threads = effective_threads(threads, n_total, MIN_TUPLES_PER_THREAD);
-    let mut codes = BitPackedVec::zeroed(bits_after, n_total);
-    let regions = codes.split_mut(threads).into_regions();
-    std::thread::scope(|s| {
-        for mut region in regions {
-            let (x_m, x_d) = (&dm.x_m, &dm.x_d);
-            s.spawn(move || {
-                // Sequential cursor over the old main codes for this range;
-                // OR-only sequential writes into the zeroed output.
-                let mut old = main.packed_codes().cursor_at(region.start_index().min(n_m));
-                region.fill_sequential(|idx| {
-                    if idx < n_m {
-                        x_m[old.next_value() as usize] as u64
-                    } else {
-                        x_d[delta_codes[idx - n_m] as usize] as u64
-                    }
-                });
-            });
-        }
-    });
-    codes
-}
 
 /// Merge one column with all steps parallelized *within* the column
 /// (Step 1(a) scheme (ii), three-phase Step 1(b), partitioned Step 2).
+///
+/// Equivalent to running the [`crate::pipeline::MergePipeline`] with
+/// [`MergeStrategy::Parallel`] and a cold scratch; long-lived callers
+/// should hold a [`MergeScratch`] and use the pipeline directly.
 pub fn merge_column_parallel<V: Value>(
     main: &MainPartition<V>,
     delta: &DeltaPartition<V>,
     threads: usize,
 ) -> MergeOutput<MainPartition<V>> {
-    assert!(threads >= 1, "need at least one thread");
-    let n_m = main.len();
-    let n_d = delta.len();
-
-    let t0 = Instant::now();
-    let compressed = compress_delta_parallel(delta, threads);
-    let t_step1a = t0.elapsed();
-
-    let t0 = Instant::now();
-    let u_m = main.dictionary().values();
-    let dm = merge_dictionaries_parallel(u_m, &compressed.dict, threads);
-    let t_step1b = t0.elapsed();
-
-    let bits_after = bits_for(dm.merged.len());
-
-    let t0 = Instant::now();
-    let codes = parallel_step2(main, &compressed.codes, &dm, bits_after, threads);
-    let t_step2 = t0.elapsed();
-
-    let stats = ColumnMergeStats {
-        algo: MergeAlgo::Parallel,
+    crate::pipeline::merge_column_with(
+        main,
+        delta,
+        MergeStrategy::Parallel,
         threads,
-        n_m,
-        n_d,
-        u_m: u_m.len(),
-        u_d: compressed.dict.len(),
-        u_merged: dm.merged.len(),
-        bits_before: main.code_bits(),
-        bits_after,
-        t_step1a,
-        t_step1b,
-        t_step2,
-    };
-    let dict = Dictionary::from_sorted_unique(dm.merged);
-    MergeOutput {
-        main: MainPartition::from_parts(dict, codes),
-        stats,
-    }
+        &mut MergeScratch::new(),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -468,6 +450,7 @@ pub fn merge_table_parallel(table: &mut Table, threads: usize) -> TableMergeStat
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::step1::merge_dictionaries;
     use hyrise_storage::{AnyValue, ColumnType, Schema};
 
     fn delta_from(values: &[u64]) -> DeltaPartition<u64> {

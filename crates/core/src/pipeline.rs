@@ -1,0 +1,823 @@
+//! The unified merge pipeline: every merge path in the system — naive,
+//! optimized, multi-core, online, incremental, sharded — runs through the
+//! three explicit stages of this module.
+//!
+//! * **Stage 1a** — delta-dictionary extraction: the sorted `U_D` (all
+//!   strategies), plus the compressed-delta rewrite (fixed-width codes into
+//!   `U_D`) for the optimized/parallel strategies (Section 5.3's "Modified
+//!   Step 1(a)").
+//! * **Stage 1b** — dictionary union: the merged `U'_M`, plus the auxiliary
+//!   translation tables `X_M`/`X_D` for the optimized/parallel strategies.
+//! * **Stage 2** — bit-packed re-encode: **one** kernel
+//!   ([`MergePipeline::merge_column`]'s `reencode`) writes the new code
+//!   column for every strategy; the strategies differ only in the per-tuple
+//!   code map (binary search in `U'_M` for [`MergeStrategy::Naive`], an
+//!   `X_M`/`X_D` table lookup for the others) and in how many threads fill
+//!   word-aligned output regions.
+//!
+//! The pipeline is allocation-aware: a [`MergeScratch`] arena owns every
+//! intermediate buffer (`U_D`, delta codes, `X_M`, `X_D`) and a stack of
+//! spare buffers for the two outputs that outlive the merge (the merged
+//! dictionary's value vector and the packed code words). Callers that
+//! recycle retired main partitions back into the scratch
+//! ([`MergeScratch::recycle_main`]) reach a steady state where a merge
+//! performs **no heap allocation** for dictionary/aux/output buffers —
+//! directly attacking the ~2x peak-memory cost of online reorganization
+//! that Section 4 (and the Cambridge Report) charge the merge with.
+//!
+//! [`MergeBudget`] bounds the other half of that cost at the table level:
+//! instead of materializing all `N_C` merged columns before one atomic
+//! commit, a budget of `K` columns merges and commits `K` columns at a time
+//! (the paper's Section 4 partial-column strategy), capping peak extra
+//! memory at the largest `K`-column working set. See
+//! [`crate::manager::OnlineTable::merge_with`].
+
+use crate::stats::{ColumnMergeStats, MergeAlgo, MergeOutput};
+use hyrise_bitpack::{bits_for, BitPackedVec, BitRegion};
+use hyrise_storage::{DeltaPartition, Dictionary, MainPartition, Value};
+use std::sync::atomic::AtomicU32;
+use std::time::Instant;
+
+/// Minimum work items per spawned thread. Scoped threads cost tens of
+/// microseconds to spawn; granting a thread fewer elements than this loses
+/// more to spawn overhead than parallelism gains. (The paper's pthread pool
+/// amortizes this; we size the team instead.)
+pub(crate) const MIN_DICT_PER_THREAD: usize = 128 * 1024;
+pub(crate) const MIN_TUPLES_PER_THREAD: usize = 64 * 1024;
+
+/// Threads actually worth using for `work` items.
+///
+/// Two clamps compose here:
+/// * **Crossover** — below `min_per_thread` items per thread, spawn
+///   overhead exceeds the parallel gain, so the team shrinks (possibly to
+///   1 = serial).
+/// * **Host cores** — the requested count is capped at
+///   `available_parallelism()`. Requesting 8 threads on a 2-core host
+///   time-slices the three-phase dictionary merge and the partitioned
+///   Step 2 without any extra hardware parallelism, which measured *slower
+///   than serial* (`dict_merge/parallel/N` vs `dict_merge/serial`);
+///   oversubscription never helps a compute-bound merge.
+///
+/// The `_exact` entry points in [`crate::parallel`] bypass both clamps for
+/// tests and ablations.
+#[inline]
+pub(crate) fn effective_threads(requested: usize, work: usize, min_per_thread: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    requested
+        .min(cores)
+        .clamp(1, (work / min_per_thread).max(1))
+}
+
+/// Which merge algorithm the pipeline runs the stages with.
+///
+/// All strategies produce **byte-identical** merged main partitions (the
+/// cross-strategy proptests assert this); they differ only in cost:
+/// [`Naive`](Self::Naive) is the Equation 5 baseline with a per-tuple
+/// binary search, [`Optimized`](Self::Optimized) the linear single-threaded
+/// Equation 6 algorithm, [`Parallel`](Self::Parallel) the Section 6.2
+/// multi-core version of the same.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MergeStrategy {
+    /// Sections 5.1–5.2: no delta re-coding, no aux tables, binary-search
+    /// re-encode. The baseline the paper beats by ~30x.
+    Naive,
+    /// Section 5.3: compressed delta + `X_M`/`X_D` lookups, single-threaded.
+    Optimized,
+    /// Section 6.2: all stages parallelized (three-phase dictionary merge,
+    /// word-aligned partitioned re-encode). The default.
+    #[default]
+    Parallel,
+}
+
+impl MergeStrategy {
+    /// The [`MergeAlgo`] tag recorded in [`ColumnMergeStats`].
+    pub fn algo(&self) -> MergeAlgo {
+        match self {
+            MergeStrategy::Naive => MergeAlgo::Naive,
+            MergeStrategy::Optimized => MergeAlgo::Optimized,
+            MergeStrategy::Parallel => MergeAlgo::Parallel,
+        }
+    }
+}
+
+/// Cap on how many merged-but-uncommitted columns a table merge may hold at
+/// once — the knob that bounds the merge's peak extra memory (Section 4's
+/// partial-column strategy).
+///
+/// Unbudgeted, a table merge materializes all `N_C` new main partitions
+/// before one atomic commit: ~2x the table's memory at peak. With a budget
+/// of `K`, columns are merged and committed `K` at a time, so at most the
+/// largest `K`-column working set exists in addition to the live table.
+/// Results are byte-identical either way; the trade is commit granularity
+/// on cancellation (columns committed before a cancel stay merged — every
+/// column individually contains all rows, so the table stays consistent,
+/// exactly as with [`crate::manager::MergeSession`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MergeBudget {
+    columns: usize,
+}
+
+impl MergeBudget {
+    /// No cap: merge all columns, then commit once (all-or-nothing under
+    /// cancellation). The default.
+    pub const UNBOUNDED: MergeBudget = MergeBudget {
+        columns: usize::MAX,
+    };
+
+    /// At most `k >= 1` columns merged-but-uncommitted at a time.
+    pub fn columns(k: usize) -> Self {
+        assert!(k >= 1, "a merge budget needs at least one column");
+        Self { columns: k }
+    }
+
+    /// The cap (`usize::MAX` when unbounded).
+    pub fn max_columns(&self) -> usize {
+        self.columns
+    }
+
+    /// True for [`Self::UNBOUNDED`].
+    pub fn is_unbounded(&self) -> bool {
+        self.columns == usize::MAX
+    }
+}
+
+impl Default for MergeBudget {
+    fn default() -> Self {
+        Self::UNBOUNDED
+    }
+}
+
+/// Everything a merge run is granted: which algorithm, how many threads,
+/// and how much extra memory (as a column budget). This is what schedulers
+/// hand to [`crate::scheduler::MergeSource::run_merge`] and what
+/// [`crate::manager::OnlineTable::merge_with`] consumes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MergeGrant {
+    /// Merge algorithm (default [`MergeStrategy::Parallel`]).
+    pub strategy: MergeStrategy,
+    /// Threads granted to the merge.
+    pub threads: usize,
+    /// Peak-memory cap (default [`MergeBudget::UNBOUNDED`]).
+    pub budget: MergeBudget,
+}
+
+impl Default for MergeGrant {
+    fn default() -> Self {
+        Self {
+            strategy: MergeStrategy::default(),
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            budget: MergeBudget::default(),
+        }
+    }
+}
+
+impl MergeGrant {
+    /// The default strategy and budget with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style strategy override.
+    pub fn strategy(mut self, strategy: MergeStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Builder-style budget override.
+    pub fn budget(mut self, budget: MergeBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// The reusable merge arena: owns every intermediate buffer of the three
+/// stages plus stacks of spare buffers for the two outputs that leave the
+/// pipeline inside the new [`MainPartition`].
+///
+/// Lifetimes of the buffers across one merge:
+///
+/// * `u_d`, `delta_codes`, `atomic_codes`, `x_m`, `x_d` — filled by Stages
+///   1a/1b, read by Stage 2, **retained** (cleared, capacity kept) for the
+///   next merge.
+/// * one spare `Vec<V>` and one spare `Vec<u64>` are **donated** to the
+///   output (they become the merged dictionary's storage and the packed
+///   code words). [`Self::recycle_main`] returns a retired partition's
+///   buffers to the spare stacks, closing the loop: a warmed scratch whose
+///   caller recycles retires allocates nothing per merge.
+///
+/// A scratch is cheap when empty (`MergeScratch::new()` allocates nothing),
+/// so cold paths can create one ad hoc; the win is keeping it.
+pub struct MergeScratch<V> {
+    /// `U_D` (Stage 1a output).
+    pub(crate) u_d: Vec<V>,
+    /// Compressed delta codes into `U_D` (Stage 1a, optimized/parallel).
+    pub(crate) delta_codes: Vec<u32>,
+    /// Scatter target for the parallel Stage 1a (disjoint relaxed stores).
+    pub(crate) atomic_codes: Vec<AtomicU32>,
+    /// `X_M` (Stage 1b, optimized/parallel).
+    pub(crate) x_m: Vec<u32>,
+    /// `X_D` (Stage 1b, optimized/parallel).
+    pub(crate) x_d: Vec<u32>,
+    /// Spare merged-dictionary buffers (donated to outputs, refilled by
+    /// [`Self::recycle_main`]). Takes are best-fit by requested capacity
+    /// (first spare that already fits, else the largest), falling back to
+    /// FIFO order on ties — so a table whose columns are merged and
+    /// retired in schema order hands each column its own
+    /// previous-generation buffer, and mixed-width columns sharing one
+    /// arena still find the right-sized spare.
+    dict_spares: std::collections::VecDeque<Vec<V>>,
+    /// Spare packed-word buffers (same lifecycle).
+    word_spares: std::collections::VecDeque<Vec<u64>>,
+}
+
+/// Pick a spare from `q`: the first whose capacity covers `want`, else the
+/// largest available (minimizing the regrow), else a fresh empty `Vec`.
+fn take_spare<T>(q: &mut std::collections::VecDeque<Vec<T>>, want: usize) -> Vec<T> {
+    let pos = q.iter().position(|b| b.capacity() >= want).or_else(|| {
+        q.iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i)
+    });
+    match pos {
+        Some(i) => q.remove(i).expect("position came from the queue"),
+        None => Vec::new(),
+    }
+}
+
+/// Bound on the spare stacks so a scratch that receives more retired
+/// partitions than it donates (e.g. a shrinking pool) cannot hoard memory.
+const MAX_SPARES: usize = 32;
+
+impl<V: Value> Default for MergeScratch<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Value> MergeScratch<V> {
+    /// An empty arena (no allocations until first use).
+    pub fn new() -> Self {
+        Self {
+            u_d: Vec::new(),
+            delta_codes: Vec::new(),
+            atomic_codes: Vec::new(),
+            x_m: Vec::new(),
+            x_d: Vec::new(),
+            dict_spares: std::collections::VecDeque::new(),
+            word_spares: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Take a spare dictionary buffer, best-fit for `want` values (empty
+    /// `Vec` if none is banked).
+    pub(crate) fn take_dict(&mut self, want: usize) -> Vec<V> {
+        take_spare(&mut self.dict_spares, want)
+    }
+
+    /// Take a spare word buffer, best-fit for `want` words (empty `Vec`
+    /// if none is banked).
+    pub(crate) fn take_words(&mut self, want: usize) -> Vec<u64> {
+        take_spare(&mut self.word_spares, want)
+    }
+
+    /// Recycle a retired main partition: its sorted value vector and packed
+    /// word buffer join the spare queues for the next merge's output.
+    /// This is how steady-state merges reach zero allocation — the old
+    /// generation's memory becomes the new generation's buffers.
+    pub fn recycle_main(&mut self, main: MainPartition<V>) {
+        let (dict, codes) = main.into_parts();
+        if self.dict_spares.len() < MAX_SPARES {
+            let mut d = dict.into_values();
+            d.clear();
+            self.dict_spares.push_back(d);
+        }
+        if self.word_spares.len() < MAX_SPARES {
+            let mut w = codes.into_words();
+            w.clear();
+            self.word_spares.push_back(w);
+        }
+    }
+
+    /// Capacities currently banked, `(dictionary values, code words)` —
+    /// exposed so tests can assert capacity stability across merges.
+    pub fn spare_capacities(&self) -> (usize, usize) {
+        (
+            self.dict_spares.iter().map(|d| d.capacity()).sum(),
+            self.word_spares.iter().map(|w| w.capacity()).sum(),
+        )
+    }
+}
+
+/// A configured merge pipeline: strategy + thread grant, applied column by
+/// column through a [`MergeScratch`]. Stateless apart from configuration —
+/// the scratch carries all reuse.
+#[derive(Clone, Copy, Debug)]
+pub struct MergePipeline {
+    strategy: MergeStrategy,
+    threads: usize,
+    exact: bool,
+}
+
+impl MergePipeline {
+    /// A pipeline running `strategy` with up to `threads` threads (clamped
+    /// per stage to the host core count and the work size; see the
+    /// team-sizing notes in the module docs).
+    pub fn new(strategy: MergeStrategy, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        Self {
+            strategy,
+            threads,
+            exact: false,
+        }
+    }
+
+    /// As [`Self::new`] but with **exactly** `threads` workers per parallel
+    /// stage — no host-core or work-size clamping. This is the whole-column
+    /// counterpart of the `_exact` stage entry points: use it to measure
+    /// what oversubscription actually costs (ablations) or to reproduce a
+    /// configuration on different hardware. Production paths should prefer
+    /// [`Self::new`].
+    pub fn exact(strategy: MergeStrategy, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        Self {
+            strategy,
+            threads,
+            exact: true,
+        }
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> MergeStrategy {
+        self.strategy
+    }
+
+    /// The configured thread grant.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Merge one column's delta into its main partition: Stage 1a, Stage
+    /// 1b, Stage 2, with all intermediates in `scratch`.
+    pub fn merge_column<V: Value>(
+        &self,
+        main: &MainPartition<V>,
+        delta: &DeltaPartition<V>,
+        scratch: &mut MergeScratch<V>,
+    ) -> MergeOutput<MainPartition<V>> {
+        let n_m = main.len();
+        let n_d = delta.len();
+
+        // Stage 1a: delta dictionary extraction (+ compressed-delta rewrite
+        // for the table-lookup strategies).
+        let t0 = Instant::now();
+        match self.strategy {
+            MergeStrategy::Naive => delta.sorted_unique_into(&mut scratch.u_d),
+            MergeStrategy::Optimized => {
+                delta.compress_into(&mut scratch.u_d, &mut scratch.delta_codes)
+            }
+            MergeStrategy::Parallel if self.exact => {
+                crate::parallel::compress_delta_exact_into(delta, self.threads, scratch)
+            }
+            MergeStrategy::Parallel => {
+                crate::parallel::compress_delta_parallel_into(delta, self.threads, scratch)
+            }
+        }
+        let t_step1a = t0.elapsed();
+
+        // Stage 1b: dictionary union (+ aux tables for the table-lookup
+        // strategies). The merged dictionary is built in a donated buffer —
+        // it leaves the pipeline inside the output partition.
+        let t0 = Instant::now();
+        let u_m = main.dictionary().values();
+        let u_d_len = scratch.u_d.len();
+        // |U'_M| <= |U_M| + |U_D| is exactly what the union reserves.
+        let mut merged = scratch.take_dict(u_m.len() + u_d_len);
+        match self.strategy {
+            MergeStrategy::Naive => {
+                union_into(u_m, &scratch.u_d, &mut merged);
+            }
+            MergeStrategy::Optimized => {
+                crate::step1::merge_dictionaries_into(
+                    u_m,
+                    &scratch.u_d,
+                    &mut merged,
+                    &mut scratch.x_m,
+                    &mut scratch.x_d,
+                );
+            }
+            MergeStrategy::Parallel => {
+                let threads = if self.exact {
+                    self.threads
+                } else {
+                    effective_threads(self.threads, u_m.len() + u_d_len, MIN_DICT_PER_THREAD)
+                };
+                crate::parallel::merge_dictionaries_parallel_exact_into(
+                    u_m,
+                    &scratch.u_d,
+                    threads,
+                    &mut merged,
+                    &mut scratch.x_m,
+                    &mut scratch.x_d,
+                );
+            }
+        }
+        let t_step1b = t0.elapsed();
+
+        // Stage 2(a): E'_C = ceil(log2 |U'_M|) (Equation 4), O(1).
+        let bits_after = bits_for(merged.len());
+
+        // Stage 2(b): the one re-encode kernel, parameterized by the
+        // strategy's per-tuple code maps.
+        let t0 = Instant::now();
+        let words = scratch.take_words(((n_m + n_d) * bits_after as usize).div_ceil(64));
+        let step2_threads = |requested: usize| {
+            if self.exact {
+                requested
+            } else {
+                effective_threads(requested, n_m + n_d, MIN_TUPLES_PER_THREAD)
+            }
+        };
+        let codes = match self.strategy {
+            MergeStrategy::Naive => {
+                // Materialize each tuple's value, then binary-search U'_M
+                // (Equation 5's log factor). Figure 7 parallelizes the
+                // unoptimized merge too, so the naive map still fans out.
+                let old_dict = main.dictionary();
+                let delta_values = delta.values();
+                let merged_ref: &[V] = &merged;
+                let search = |value: V| -> u64 {
+                    merged_ref
+                        .binary_search(&value)
+                        .expect("merged dictionary must contain value") as u64
+                };
+                reencode(
+                    main,
+                    n_d,
+                    bits_after,
+                    step2_threads(self.threads),
+                    words,
+                    |old_code| search(old_dict.value_at(old_code as u32)),
+                    |k| search(delta_values[k]),
+                )
+            }
+            MergeStrategy::Optimized | MergeStrategy::Parallel => {
+                // Pure table lookups, Equation 11: "a lookup and binary
+                // search in the original algorithm description is replaced
+                // by a lookup".
+                let threads = match self.strategy {
+                    MergeStrategy::Optimized => 1,
+                    _ => step2_threads(self.threads),
+                };
+                let (x_m, x_d) = (&scratch.x_m, &scratch.x_d);
+                let delta_codes = &scratch.delta_codes;
+                reencode(
+                    main,
+                    n_d,
+                    bits_after,
+                    threads,
+                    words,
+                    |old_code| x_m[old_code as usize] as u64,
+                    |k| x_d[delta_codes[k] as usize] as u64,
+                )
+            }
+        };
+        let t_step2 = t0.elapsed();
+
+        let stats = ColumnMergeStats {
+            algo: self.strategy.algo(),
+            threads: self.threads,
+            n_m,
+            n_d,
+            u_m: u_m.len(),
+            u_d: u_d_len,
+            u_merged: merged.len(),
+            bits_before: main.code_bits(),
+            bits_after,
+            t_step1a,
+            t_step1b,
+            t_step2,
+        };
+        let dict = Dictionary::from_sorted_unique(merged);
+        MergeOutput {
+            main: MainPartition::from_parts(dict, codes),
+            stats,
+        }
+    }
+}
+
+/// Merge one column with `strategy` and `threads` through `scratch` — the
+/// free-function spelling of [`MergePipeline::merge_column`].
+pub fn merge_column_with<V: Value>(
+    main: &MainPartition<V>,
+    delta: &DeltaPartition<V>,
+    strategy: MergeStrategy,
+    threads: usize,
+    scratch: &mut MergeScratch<V>,
+) -> MergeOutput<MainPartition<V>> {
+    MergePipeline::new(strategy, threads).merge_column(main, delta, scratch)
+}
+
+/// Stage 1b without aux tables (the naive strategy): two-pointer union of
+/// two sorted duplicate-free dictionaries into a reused buffer.
+fn union_into<V: Value>(u_m: &[V], u_d: &[V], merged: &mut Vec<V>) {
+    merged.clear();
+    merged.reserve(u_m.len() + u_d.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < u_m.len() && j < u_d.len() {
+        match u_m[i].cmp(&u_d[j]) {
+            std::cmp::Ordering::Less => {
+                merged.push(u_m[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                merged.push(u_d[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                merged.push(u_m[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    merged.extend_from_slice(&u_m[i..]);
+    merged.extend_from_slice(&u_d[j..]);
+}
+
+/// **The** Step 2 kernel: append `n_d` delta tuples to the `n_m` main
+/// tuples, re-encoding every tuple at `bits_after` bits via the two code
+/// maps. The old main codes stream through a sequential cursor; output
+/// regions are cut on 64-tuple boundaries so every thread owns whole words
+/// of the bit-packed output and writes are OR-only into zeroed storage
+/// ("each thread reads/writes from/to independent chunks of tables",
+/// Section 6.2.2). `words` is the (possibly recycled) output buffer;
+/// `threads` is the final team size (the caller applies any clamping).
+fn reencode<V: Value>(
+    main: &MainPartition<V>,
+    n_d: usize,
+    bits_after: u8,
+    threads: usize,
+    words: Vec<u64>,
+    map_main: impl Fn(u64) -> u64 + Sync,
+    map_delta: impl Fn(usize) -> u64 + Sync,
+) -> BitPackedVec {
+    let n_m = main.len();
+    let n_total = n_m + n_d;
+    let mut codes = BitPackedVec::zeroed_in(bits_after, n_total, words);
+    let fill = |mut region: BitRegion<'_>| {
+        let mut old = main.packed_codes().cursor_at(region.start_index().min(n_m));
+        region.fill_sequential(|idx| {
+            if idx < n_m {
+                map_main(old.next_value())
+            } else {
+                map_delta(idx - n_m)
+            }
+        });
+    };
+    if threads <= 1 {
+        // Serial: fill in place, no thread spawn (this is the path the
+        // zero-allocation steady state runs on).
+        for region in codes.split_mut(1).into_regions() {
+            fill(region);
+        }
+    } else {
+        let regions = codes.split_mut(threads).into_regions();
+        std::thread::scope(|s| {
+            for region in regions {
+                let fill = &fill;
+                s.spawn(move || fill(region));
+            }
+        });
+    }
+    codes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta_from(values: &[u64]) -> DeltaPartition<u64> {
+        let mut d = DeltaPartition::new();
+        for &v in values {
+            d.insert(v);
+        }
+        d
+    }
+
+    fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+        let mut x = seed | 1;
+        move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree_bytewise() {
+        let mut next = xorshift(77);
+        let main_vals: Vec<u64> = (0..30_000).map(|_| next() % 4_000).collect();
+        let delta_vals: Vec<u64> = (0..6_000).map(|_| next() % 6_000).collect();
+        let main = MainPartition::from_values(&main_vals);
+        let delta = delta_from(&delta_vals);
+        let mut scratch = MergeScratch::new();
+        let reference = merge_column_with(&main, &delta, MergeStrategy::Optimized, 1, &mut scratch);
+        for strategy in [
+            MergeStrategy::Naive,
+            MergeStrategy::Optimized,
+            MergeStrategy::Parallel,
+        ] {
+            for threads in [1usize, 2, 4] {
+                let out = merge_column_with(&main, &delta, strategy, threads, &mut scratch);
+                assert_eq!(
+                    out.main.dictionary().values(),
+                    reference.main.dictionary().values(),
+                    "{strategy:?}/{threads}: dictionaries differ"
+                );
+                assert_eq!(
+                    out.main.packed_codes().words(),
+                    reference.main.packed_codes().words(),
+                    "{strategy:?}/{threads}: packed words differ"
+                );
+                assert_eq!(out.stats.algo, strategy.algo());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_capacity_stable() {
+        // After a warm-up merge with recycling, repeated same-shape merges
+        // must neither grow the scratch's retained buffers nor bank new
+        // spare capacity — i.e. the arena has reached its fixed point.
+        let mut next = xorshift(3);
+        let main_vals: Vec<u64> = (0..50_000).map(|_| next() % 9_000).collect();
+        let delta_vals: Vec<u64> = (0..8_000).map(|_| next() % 12_000).collect();
+        let main = MainPartition::from_values(&main_vals);
+        let delta = delta_from(&delta_vals);
+        let mut scratch = MergeScratch::new();
+        for _ in 0..2 {
+            let out = merge_column_with(&main, &delta, MergeStrategy::Optimized, 1, &mut scratch);
+            scratch.recycle_main(out.main);
+        }
+        let warmed = (
+            scratch.u_d.capacity(),
+            scratch.delta_codes.capacity(),
+            scratch.x_m.capacity(),
+            scratch.x_d.capacity(),
+            scratch.spare_capacities(),
+        );
+        for round in 0..5 {
+            let out = merge_column_with(&main, &delta, MergeStrategy::Optimized, 1, &mut scratch);
+            scratch.recycle_main(out.main);
+            let now = (
+                scratch.u_d.capacity(),
+                scratch.delta_codes.capacity(),
+                scratch.x_m.capacity(),
+                scratch.x_d.capacity(),
+                scratch.spare_capacities(),
+            );
+            assert_eq!(now, warmed, "round {round}: scratch capacities moved");
+        }
+    }
+
+    #[test]
+    fn exact_pipeline_bypasses_the_clamp_and_agrees() {
+        let mut next = xorshift(11);
+        let main_vals: Vec<u64> = (0..20_000).map(|_| next() % 3_000).collect();
+        let delta_vals: Vec<u64> = (0..4_000).map(|_| next() % 5_000).collect();
+        let main = MainPartition::from_values(&main_vals);
+        let delta = delta_from(&delta_vals);
+        let mut scratch = MergeScratch::new();
+        let clamped = MergePipeline::new(MergeStrategy::Parallel, 4).merge_column(
+            &main,
+            &delta,
+            &mut scratch,
+        );
+        // Exact mode spawns 4 workers per stage even on a 1-core host (the
+        // work is far below the crossover too) — output is still identical.
+        let exact = MergePipeline::exact(MergeStrategy::Parallel, 4).merge_column(
+            &main,
+            &delta,
+            &mut scratch,
+        );
+        assert_eq!(
+            clamped.main.dictionary().values(),
+            exact.main.dictionary().values()
+        );
+        assert_eq!(
+            clamped.main.packed_codes().words(),
+            exact.main.packed_codes().words()
+        );
+        assert_eq!(exact.stats.threads, 4);
+    }
+
+    #[test]
+    fn spare_take_is_best_fit() {
+        // Bank two spares of very different capacities, then request the
+        // large one second: best-fit must not hand the small buffer to the
+        // large request just because it was recycled first.
+        let mut scratch: MergeScratch<u64> = MergeScratch::new();
+        let small = MainPartition::from_values(&(0..100u64).collect::<Vec<_>>());
+        let large = MainPartition::from_values(&(0..50_000u64).collect::<Vec<_>>());
+        let (small_cap, large_cap) = (
+            small.dictionary().values().len(),
+            large.dictionary().values().len(),
+        );
+        scratch.recycle_main(small);
+        scratch.recycle_main(large);
+        let got_small = scratch.take_dict(small_cap);
+        assert!(
+            got_small.capacity() >= small_cap && got_small.capacity() < large_cap,
+            "small request gets the small spare (cap {})",
+            got_small.capacity()
+        );
+        let got_large = scratch.take_dict(large_cap);
+        assert!(
+            got_large.capacity() >= large_cap,
+            "large request gets the large spare (cap {})",
+            got_large.capacity()
+        );
+        // Oversized request with only small spares: take the largest rather
+        // than allocating from zero.
+        scratch.recycle_main(MainPartition::from_values(&(0..64u64).collect::<Vec<_>>()));
+        let fallback = scratch.take_dict(1 << 20);
+        assert!(fallback.capacity() >= 64);
+        // Empty bank yields a fresh Vec.
+        assert_eq!(scratch.take_dict(10).capacity(), 0);
+    }
+
+    #[test]
+    fn budget_constructors() {
+        assert!(MergeBudget::UNBOUNDED.is_unbounded());
+        assert!(MergeBudget::default().is_unbounded());
+        let b = MergeBudget::columns(2);
+        assert!(!b.is_unbounded());
+        assert_eq!(b.max_columns(), 2);
+        let g = MergeGrant::with_threads(3)
+            .strategy(MergeStrategy::Naive)
+            .budget(b);
+        assert_eq!(g.threads, 3);
+        assert_eq!(g.strategy, MergeStrategy::Naive);
+        assert_eq!(g.budget, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn zero_column_budget_rejected() {
+        let _ = MergeBudget::columns(0);
+    }
+
+    #[test]
+    fn empty_shapes() {
+        let mut scratch = MergeScratch::new();
+        for strategy in [
+            MergeStrategy::Naive,
+            MergeStrategy::Optimized,
+            MergeStrategy::Parallel,
+        ] {
+            let out = merge_column_with(
+                &MainPartition::<u64>::empty(),
+                &delta_from(&[]),
+                strategy,
+                2,
+                &mut scratch,
+            );
+            assert_eq!(out.main.len(), 0, "{strategy:?}");
+
+            let out = merge_column_with(
+                &MainPartition::from_values(&[7u64, 7, 1]),
+                &delta_from(&[]),
+                strategy,
+                2,
+                &mut scratch,
+            );
+            assert_eq!(out.main.len(), 3, "{strategy:?}");
+            assert_eq!(out.main.get(0), 7, "{strategy:?}");
+
+            let out = merge_column_with(
+                &MainPartition::<u64>::empty(),
+                &delta_from(&[4, 4, 2]),
+                strategy,
+                2,
+                &mut scratch,
+            );
+            assert_eq!(out.main.len(), 3, "{strategy:?}");
+            assert_eq!(out.main.get(2), 2, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn effective_threads_clamps_to_host_and_work() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // Never more than the host offers.
+        assert!(effective_threads(1024, usize::MAX / 2, 1) <= cores);
+        // Never below one; tiny work collapses to serial.
+        assert_eq!(effective_threads(8, 10, MIN_DICT_PER_THREAD), 1);
+        assert_eq!(effective_threads(1, 0, 1), 1);
+    }
+}

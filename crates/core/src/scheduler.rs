@@ -18,6 +18,8 @@
 //! [`crate::shard::ShardedScheduler`] and drives the same trait.
 
 use crate::manager::{MergePolicy, OnlineTable};
+use crate::pipeline::MergeGrant;
+use crate::stats::StageTimings;
 use hyrise_storage::Value;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -32,6 +34,9 @@ pub struct MergeOutcome {
     pub tuples_moved: u64,
     /// Wall time of the merge.
     pub wall: Duration,
+    /// Per-stage breakdown (summed over columns) — what the paper's
+    /// Figure 7/8 stage-level plots are built from.
+    pub stages: StageTimings,
 }
 
 /// Something a background scheduler can merge: reports its merge-trigger
@@ -48,10 +53,10 @@ pub trait MergeSource: Send + Sync + 'static {
         self.delta_fraction() > policy.delta_fraction
     }
 
-    /// Run one merge with `threads` granted threads. Returns `None` when
-    /// the merge did not commit (cancelled); schedulers simply retry on the
-    /// next poll.
-    fn run_merge(&self, threads: usize) -> Option<MergeOutcome>;
+    /// Run one merge under `grant` (threads, strategy, memory budget).
+    /// Returns `None` when the merge did not commit (cancelled); schedulers
+    /// simply retry on the next poll.
+    fn run_merge(&self, grant: MergeGrant) -> Option<MergeOutcome>;
 }
 
 impl<V: Value> MergeSource for OnlineTable<V> {
@@ -63,11 +68,12 @@ impl<V: Value> MergeSource for OnlineTable<V> {
         OnlineTable::should_merge(self, policy)
     }
 
-    fn run_merge(&self, threads: usize) -> Option<MergeOutcome> {
-        let stats = self.merge(threads, None).ok()?;
+    fn run_merge(&self, grant: MergeGrant) -> Option<MergeOutcome> {
+        let stats = self.merge_with(grant, None).ok()?;
         Some(MergeOutcome {
             tuples_moved: stats.columns.iter().map(|c| c.n_d as u64).sum(),
             wall: stats.t_wall,
+            stages: stats.stage_timings(),
         })
     }
 }
@@ -120,7 +126,7 @@ impl<S: MergeSource> SourceScheduler<S> {
             std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     if !paused.load(Ordering::Relaxed) && source.should_merge(&policy) {
-                        if let Some(out) = source.run_merge(policy.threads) {
+                        if let Some(out) = source.run_merge(policy.grant()) {
                             merges.fetch_add(1, Ordering::Relaxed);
                             tuples.fetch_add(out.tuples_moved, Ordering::Relaxed);
                             millis.fetch_add(out.wall.as_millis() as u64, Ordering::Relaxed);
@@ -207,6 +213,7 @@ mod tests {
         let policy = MergePolicy {
             delta_fraction: 0.01,
             threads: 2,
+            ..MergePolicy::default()
         };
         let sched = MergeScheduler::spawn(Arc::clone(&table), policy, Duration::from_millis(5));
         // Push past the trigger and wait for the daemon.
@@ -233,6 +240,7 @@ mod tests {
         let policy = MergePolicy {
             delta_fraction: 0.01,
             threads: 1,
+            ..MergePolicy::default()
         };
         let sched = MergeScheduler::spawn(Arc::clone(&table), policy, Duration::from_millis(2));
         sched.pause();
@@ -291,6 +299,7 @@ mod tests {
         let policy = MergePolicy {
             delta_fraction: 0.02,
             threads: 2,
+            ..MergePolicy::default()
         };
         let sched = MergeScheduler::spawn(Arc::clone(&table), policy, Duration::from_millis(1));
         let writer = {
@@ -330,7 +339,9 @@ mod tests {
         insert_rows(&table, 64, 0);
         let src: &dyn MergeSource = &table;
         assert_eq!(src.delta_fraction(), 64.0);
-        let out = src.run_merge(2).expect("uncancelled merge commits");
+        let out = src
+            .run_merge(MergeGrant::with_threads(2))
+            .expect("uncancelled merge commits");
         assert_eq!(out.tuples_moved, 64 * 2, "both columns counted");
         assert_eq!(src.delta_fraction(), 0.0);
     }

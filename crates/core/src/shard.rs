@@ -23,6 +23,7 @@
 //!   sharded table one merge at a time when concurrency is not wanted.
 
 use crate::manager::{MergePolicy, OnlineTable, TableSnapshot};
+use crate::pipeline::MergeGrant;
 use crate::scheduler::{MergeOutcome, MergeSource};
 use crate::stats::TableMergeStats;
 use hyrise_storage::Value;
@@ -252,10 +253,17 @@ impl<V: Value> ShardedTable<V> {
     /// quiesce path; the scheduler is the concurrent path). Returns the
     /// per-shard stats of the merges that ran.
     pub fn merge_all(&self, threads: usize) -> Vec<TableMergeStats> {
+        self.merge_all_with(MergeGrant::with_threads(threads))
+    }
+
+    /// As [`Self::merge_all`] with an explicit [`MergeGrant`] — strategy
+    /// and [`crate::pipeline::MergeBudget`] apply per shard, so a budget of
+    /// `K` columns caps every shard merge's peak extra memory.
+    pub fn merge_all_with(&self, grant: MergeGrant) -> Vec<TableMergeStats> {
         self.shards
             .iter()
             .filter(|s| s.delta_len() > 0)
-            .filter_map(|s| s.merge(threads, None).ok())
+            .filter_map(|s| s.merge_with(grant, None).ok())
             .collect()
     }
 }
@@ -269,14 +277,37 @@ impl<V: Value> MergeSource for ShardedTable<V> {
         self.max_delta_fraction()
     }
 
-    fn run_merge(&self, threads: usize) -> Option<MergeOutcome> {
+    fn run_merge(&self, grant: MergeGrant) -> Option<MergeOutcome> {
         let fractions = self.delta_fractions();
         let worst = fractions
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))?
             .0;
-        self.shards[worst].run_merge(threads)
+        self.shards[worst].run_merge(grant)
+    }
+}
+
+/// One shard's cumulative merge accounting, with the per-stage breakdown
+/// ([`crate::stats::ColumnMergeStats`] summed over columns and merges) that
+/// the figure binaries need to reproduce the paper's stage-level plots
+/// (Figures 7/8 stack Step 1 and Step 2 per configuration).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardMergeStats {
+    /// Merges completed on this shard.
+    pub merges: u64,
+    /// Microseconds in Stage 1a (delta dictionary + re-coding).
+    pub step1a_micros: u64,
+    /// Microseconds in Stage 1b (dictionary union + aux tables).
+    pub step1b_micros: u64,
+    /// Microseconds in Stage 2 (re-encode).
+    pub step2_micros: u64,
+}
+
+impl ShardMergeStats {
+    /// Total microseconds across all stages.
+    pub fn total_micros(&self) -> u64 {
+        self.step1a_micros + self.step1b_micros + self.step2_micros
     }
 }
 
@@ -290,8 +321,8 @@ pub struct ShardedSchedulerStats {
     /// Total milliseconds spent inside merges (sums across concurrent
     /// merges, so it can exceed wall time).
     pub merge_millis: u64,
-    /// Merges completed per shard.
-    pub per_shard: Vec<u64>,
+    /// Per-shard merge counts with per-stage timing breakdown.
+    pub per_shard: Vec<ShardMergeStats>,
 }
 
 /// Background merge scheduler over a [`ShardedTable`]: each poll round it
@@ -308,8 +339,38 @@ pub struct ShardedScheduler<V: Value> {
     merges: Arc<AtomicU64>,
     tuples: Arc<AtomicU64>,
     millis: Arc<AtomicU64>,
-    per_shard: Arc<Vec<AtomicU64>>,
+    per_shard: Arc<Vec<ShardCells>>,
     handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// Lock-free accumulation cells behind one [`ShardMergeStats`] entry.
+#[derive(Default)]
+struct ShardCells {
+    merges: AtomicU64,
+    step1a_micros: AtomicU64,
+    step1b_micros: AtomicU64,
+    step2_micros: AtomicU64,
+}
+
+impl ShardCells {
+    fn record(&self, out: &MergeOutcome) {
+        self.merges.fetch_add(1, Ordering::Relaxed);
+        self.step1a_micros
+            .fetch_add(out.stages.step1a.as_micros() as u64, Ordering::Relaxed);
+        self.step1b_micros
+            .fetch_add(out.stages.step1b.as_micros() as u64, Ordering::Relaxed);
+        self.step2_micros
+            .fetch_add(out.stages.step2.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ShardMergeStats {
+        ShardMergeStats {
+            merges: self.merges.load(Ordering::Relaxed),
+            step1a_micros: self.step1a_micros.load(Ordering::Relaxed),
+            step1b_micros: self.step1b_micros.load(Ordering::Relaxed),
+            step2_micros: self.step2_micros.load(Ordering::Relaxed),
+        }
+    }
 }
 
 impl<V: Value> ShardedScheduler<V> {
@@ -328,8 +389,11 @@ impl<V: Value> ShardedScheduler<V> {
         let merges = Arc::new(AtomicU64::new(0));
         let tuples = Arc::new(AtomicU64::new(0));
         let millis = Arc::new(AtomicU64::new(0));
-        let per_shard: Arc<Vec<AtomicU64>> =
-            Arc::new((0..table.num_shards()).map(|_| AtomicU64::new(0)).collect());
+        let per_shard: Arc<Vec<ShardCells>> = Arc::new(
+            (0..table.num_shards())
+                .map(|_| ShardCells::default())
+                .collect(),
+        );
 
         let handle = {
             let table = Arc::clone(&table);
@@ -361,14 +425,14 @@ impl<V: Value> ShardedScheduler<V> {
                                     let (merges, tuples, millis, per_shard) =
                                         (&merges, &tuples, &millis, &per_shard);
                                     s.spawn(move || {
-                                        if let Some(out) = shard.run_merge(policy.threads) {
+                                        if let Some(out) = shard.run_merge(policy.grant()) {
                                             merges.fetch_add(1, Ordering::Relaxed);
                                             tuples.fetch_add(out.tuples_moved, Ordering::Relaxed);
                                             millis.fetch_add(
                                                 out.wall.as_millis() as u64,
                                                 Ordering::Relaxed,
                                             );
-                                            per_shard[i].fetch_add(1, Ordering::Relaxed);
+                                            per_shard[i].record(&out);
                                         }
                                     });
                                 }
@@ -418,11 +482,7 @@ impl<V: Value> ShardedScheduler<V> {
             merges: self.merges.load(Ordering::Relaxed),
             tuples_merged: self.tuples.load(Ordering::Relaxed),
             merge_millis: self.millis.load(Ordering::Relaxed),
-            per_shard: self
-                .per_shard
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
+            per_shard: self.per_shard.iter().map(|c| c.snapshot()).collect(),
         }
     }
 
@@ -548,7 +608,7 @@ mod tests {
         assert!(f[1] > f[0]);
         assert_eq!(t.max_delta_fraction(), f[1]);
         // One MergeSource merge hits the worst shard (1) only.
-        let out = t.run_merge(1).unwrap();
+        let out = t.run_merge(MergeGrant::with_threads(1)).unwrap();
         assert_eq!(out.tuples_moved, 500);
         assert_eq!(t.shard(1).delta_len(), 0);
         assert_eq!(t.shard(0).delta_len(), 10, "shard 0 untouched");
@@ -556,6 +616,7 @@ mod tests {
         let policy = MergePolicy {
             delta_fraction: 0.001,
             threads: 1,
+            ..MergePolicy::default()
         };
         let sched = SourceScheduler::spawn(Arc::new(t), policy, Duration::from_millis(1));
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
@@ -578,6 +639,7 @@ mod tests {
         let policy = MergePolicy {
             delta_fraction: 0.02,
             threads: 1,
+            ..MergePolicy::default()
         };
         let sched = ShardedScheduler::spawn(Arc::clone(&t), policy, 2, Duration::from_millis(1));
         // Write through the facade from two threads.
@@ -601,9 +663,12 @@ mod tests {
         assert_eq!(t.row_count(), 28_000, "no rows lost");
         assert!(stats.merges >= 4, "sustained writes force many merges");
         assert_eq!(stats.per_shard.len(), 4);
-        assert_eq!(stats.per_shard.iter().sum::<u64>(), stats.merges);
+        assert_eq!(
+            stats.per_shard.iter().map(|s| s.merges).sum::<u64>(),
+            stats.merges
+        );
         assert!(
-            stats.per_shard.iter().all(|&m| m > 0),
+            stats.per_shard.iter().all(|s| s.merges > 0),
             "hash routing loads every shard, so every shard must merge: {:?}",
             stats.per_shard
         );
@@ -620,6 +685,7 @@ mod tests {
         let policy = MergePolicy {
             delta_fraction: 0.01,
             threads: 1,
+            ..MergePolicy::default()
         };
         let sched = ShardedScheduler::spawn(Arc::clone(&t), policy, 3, Duration::from_millis(2));
         sched.pause();

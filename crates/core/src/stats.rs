@@ -33,7 +33,13 @@ impl std::fmt::Display for MergeAlgo {
 pub struct ColumnMergeStats {
     /// Which algorithm ran.
     pub algo: MergeAlgo,
-    /// Threads used (1 for serial algorithms).
+    /// Threads **granted** to the merge (1 for serial algorithms). The
+    /// parallel stages may run narrower teams than this: each stage clamps
+    /// to the host's `available_parallelism()` and falls back toward
+    /// serial below its per-thread work crossover
+    /// (`hyrise_core::pipeline`'s team-sizing heuristic). Use
+    /// `MergePipeline::exact` when a figure or ablation must run the
+    /// granted count literally.
     pub threads: usize,
     /// Tuples in the old main partition (`N_M`).
     pub n_m: usize,
@@ -99,6 +105,42 @@ pub fn cycles_per_tuple(t: Duration, tuples: usize, hz: f64) -> f64 {
     }
 }
 
+/// Per-stage wall time aggregated over a merge — the breakdown the paper's
+/// Figure 7/8 stacked bars plot ("Update Delta" aside): Stage 1a (delta
+/// dictionary), Stage 1b (dictionary union + aux tables), Stage 2
+/// (re-encode).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Stage 1a: delta dictionary extraction (+ delta re-coding).
+    pub step1a: Duration,
+    /// Stage 1b: dictionary union (+ auxiliary tables).
+    pub step1b: Duration,
+    /// Stage 2: appending and re-encoding all tuples.
+    pub step2: Duration,
+}
+
+impl StageTimings {
+    /// Sum of all stages.
+    pub fn total(&self) -> Duration {
+        self.step1a + self.step1b + self.step2
+    }
+
+    /// Accumulate one column's stage times.
+    pub fn add_column(&mut self, c: &ColumnMergeStats) {
+        self.step1a += c.t_step1a;
+        self.step1b += c.t_step1b;
+        self.step2 += c.t_step2;
+    }
+}
+
+impl std::ops::AddAssign for StageTimings {
+    fn add_assign(&mut self, rhs: Self) {
+        self.step1a += rhs.step1a;
+        self.step1b += rhs.step1b;
+        self.step2 += rhs.step2;
+    }
+}
+
 /// A merged main partition plus its stats.
 pub struct MergeOutput<M> {
     /// The new main partition (`M'` with dictionary `U'_M`).
@@ -114,9 +156,24 @@ pub struct TableMergeStats {
     pub columns: Vec<ColumnMergeStats>,
     /// Wall-clock time for the whole table merge (`T_M` of Equation 1).
     pub t_wall: Duration,
+    /// Most merged-but-uncommitted columns held at any point — `N_C` for an
+    /// unbudgeted merge, at most the budget's `K` otherwise.
+    pub peak_columns_in_flight: usize,
+    /// Peak extra heap bytes held in uncommitted merged outputs (the
+    /// merge's transient memory cost on top of the live table).
+    pub peak_extra_bytes: usize,
 }
 
 impl TableMergeStats {
+    /// Per-stage times summed over all merged columns.
+    pub fn stage_timings(&self) -> StageTimings {
+        let mut t = StageTimings::default();
+        for c in &self.columns {
+            t.add_column(c);
+        }
+        t
+    }
+
     /// Sum of per-column step-1 times.
     pub fn t_step1_sum(&self) -> Duration {
         self.columns.iter().map(|c| c.t_step1()).sum()
@@ -186,10 +243,16 @@ mod tests {
         let t = TableMergeStats {
             columns: vec![stats(1, 1, 3), stats(2, 2, 6)],
             t_wall: Duration::from_millis(15),
+            ..Default::default()
         };
         assert_eq!(t.total_tuples(), 2000);
         assert_eq!(t.t_step1_sum(), Duration::from_millis(6));
         assert_eq!(t.t_step2_sum(), Duration::from_millis(9));
+        let st = t.stage_timings();
+        assert_eq!(st.step1a, Duration::from_millis(3));
+        assert_eq!(st.step1b, Duration::from_millis(3));
+        assert_eq!(st.step2, Duration::from_millis(9));
+        assert_eq!(st.total(), Duration::from_millis(15));
         // 15ms at 1GHz over 2000 tuples = 7500 cpt
         assert!((t.update_cost_cpt(1e9) - 7500.0).abs() < 1.0);
     }

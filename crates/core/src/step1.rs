@@ -27,6 +27,23 @@ pub struct DictMerge<V> {
 /// When both pointers see the same value, it is "appended to the dictionary
 /// once and ... the same index will be added to the two mapping tables".
 pub fn merge_dictionaries<V: Value>(u_m: &[V], u_d: &[V]) -> DictMerge<V> {
+    let mut merged = Vec::new();
+    let mut x_m = Vec::new();
+    let mut x_d = Vec::new();
+    merge_dictionaries_into(u_m, u_d, &mut merged, &mut x_m, &mut x_d);
+    DictMerge { merged, x_m, x_d }
+}
+
+/// As [`merge_dictionaries`], writing into caller-provided buffers (cleared
+/// first). With warm capacities this performs no heap allocation — the
+/// merge pipeline's serial Stage 1b.
+pub fn merge_dictionaries_into<V: Value>(
+    u_m: &[V],
+    u_d: &[V],
+    merged: &mut Vec<V>,
+    x_m: &mut Vec<u32>,
+    x_d: &mut Vec<u32>,
+) {
     debug_assert!(
         u_m.windows(2).all(|w| w[0] < w[1]),
         "U_M must be sorted unique"
@@ -36,9 +53,12 @@ pub fn merge_dictionaries<V: Value>(u_m: &[V], u_d: &[V]) -> DictMerge<V> {
         "U_D must be sorted unique"
     );
 
-    let mut merged = Vec::with_capacity(u_m.len() + u_d.len());
-    let mut x_m = vec![0u32; u_m.len()];
-    let mut x_d = vec![0u32; u_d.len()];
+    merged.clear();
+    merged.reserve(u_m.len() + u_d.len());
+    x_m.clear();
+    x_m.resize(u_m.len(), 0);
+    x_d.clear();
+    x_d.resize(u_d.len(), 0);
     let (mut i, mut j) = (0usize, 0usize);
     while i < u_m.len() && j < u_d.len() {
         let out = merged.len() as u32;
@@ -72,7 +92,6 @@ pub fn merge_dictionaries<V: Value>(u_m: &[V], u_d: &[V]) -> DictMerge<V> {
         merged.push(u_d[j]);
         j += 1;
     }
-    DictMerge { merged, x_m, x_d }
 }
 
 #[cfg(test)]

@@ -1,0 +1,229 @@
+//! Cross-strategy merge-pipeline property test: for **arbitrary**
+//! insert/update/delete/merge interleavings, every merge configuration —
+//! naive, optimized, parallel; 1–4 threads; with and without a
+//! [`MergeBudget`] — must leave **byte-identical** state: the same merged
+//! main partitions (dictionary values and packed code words), the same
+//! validity, the same visible rows. On a single [`OnlineTable`] and on
+//! 1–4-shard hash- and range-partitioned [`ShardedTable`]s.
+
+use hyrise_core::shard::{ShardRowId, ShardedTable};
+use hyrise_core::{MergeBudget, MergeGrant, MergeStrategy, OnlineTable};
+use proptest::prelude::*;
+
+const COLS: usize = 3;
+
+/// Deterministic row payload for a value seed.
+fn row(seed: u64) -> Vec<u64> {
+    (0..COLS as u64)
+        .map(|c| seed.wrapping_mul(0x9E37).wrapping_add(c * 1_000_003) % 100_000)
+        .collect()
+}
+
+/// The merge configurations under test; index 0 is the reference. Threads
+/// beyond the host's cores are legal (the pipeline clamps them).
+fn configs(t1: usize, t2: usize, t3: usize) -> Vec<MergeGrant> {
+    vec![
+        MergeGrant::with_threads(1).strategy(MergeStrategy::Optimized),
+        MergeGrant::with_threads(t1).strategy(MergeStrategy::Naive),
+        MergeGrant::with_threads(t2)
+            .strategy(MergeStrategy::Naive)
+            .budget(MergeBudget::columns(1)),
+        MergeGrant::with_threads(1)
+            .strategy(MergeStrategy::Optimized)
+            .budget(MergeBudget::columns(2)),
+        MergeGrant::with_threads(t3).strategy(MergeStrategy::Parallel),
+        MergeGrant::with_threads(t1)
+            .strategy(MergeStrategy::Parallel)
+            .budget(MergeBudget::columns(1)),
+    ]
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert { seed: u64 },
+    Update { target: u64, seed: u64 },
+    Delete { target: u64 },
+    Merge,
+}
+
+fn decode(code: u8, a: u64, b: u64) -> Op {
+    match code % 8 {
+        0..=3 => Op::Insert { seed: a },
+        4 => Op::Update { target: a, seed: b },
+        5 => Op::Delete { target: a },
+        _ => Op::Merge,
+    }
+}
+
+/// Byte-level equality of two online tables' main partitions + validity.
+fn assert_tables_identical(a: &OnlineTable<u64>, b: &OnlineTable<u64>, what: &str) {
+    let (sa, sb) = (a.snapshot(), b.snapshot());
+    assert_eq!(sa.row_count(), sb.row_count(), "{what}: row counts");
+    for c in 0..COLS {
+        assert_eq!(
+            sa.col(c).main().dictionary().values(),
+            sb.col(c).main().dictionary().values(),
+            "{what}: column {c} dictionary"
+        );
+        assert_eq!(
+            sa.col(c).main().packed_codes().words(),
+            sb.col(c).main().packed_codes().words(),
+            "{what}: column {c} packed words"
+        );
+        assert_eq!(
+            sa.col(c).main().code_bits(),
+            sb.col(c).main().code_bits(),
+            "{what}: column {c} code width"
+        );
+    }
+    for r in 0..sa.row_count() {
+        assert_eq!(sa.is_valid(r), sb.is_valid(r), "{what}: validity row {r}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn all_strategies_and_budgets_agree_on_online_table(
+        t1 in 1usize..5,
+        t2 in 1usize..5,
+        t3 in 1usize..5,
+        ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..180),
+    ) {
+        let grants = configs(t1, t2, t3);
+        let tables: Vec<OnlineTable<u64>> =
+            (0..grants.len()).map(|_| OnlineTable::new(COLS)).collect();
+        let mut ids: Vec<usize> = Vec::new();
+        for &(code, a, b) in &ops {
+            match decode(code, a, b) {
+                Op::Insert { seed } => {
+                    let r = row(seed);
+                    let mut last = 0;
+                    for t in &tables {
+                        last = t.insert_row(&r);
+                    }
+                    ids.push(last);
+                }
+                Op::Update { target, seed } => {
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let i = ids[(target as usize) % ids.len()];
+                    let r = row(seed);
+                    let mut last = 0;
+                    for t in &tables {
+                        last = t.update_row(i, &r);
+                    }
+                    ids.push(last);
+                }
+                Op::Delete { target } => {
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let i = ids[(target as usize) % ids.len()];
+                    for t in &tables {
+                        t.delete_row(i);
+                    }
+                }
+                Op::Merge => {
+                    for (t, g) in tables.iter().zip(&grants) {
+                        t.merge_with(*g, None).unwrap();
+                    }
+                }
+            }
+        }
+        // Quiesce every config, then compare byte-for-byte.
+        for (t, g) in tables.iter().zip(&grants) {
+            t.merge_with(*g, None).unwrap();
+            prop_assert_eq!(t.delta_len(), 0);
+        }
+        for (k, t) in tables.iter().enumerate().skip(1) {
+            assert_tables_identical(&tables[0], t, &format!("grant {:?}", grants[k]));
+        }
+    }
+
+    #[test]
+    fn all_strategies_and_budgets_agree_on_sharded_table(
+        shards in 1usize..5,
+        range_partitioned in any::<bool>(),
+        t1 in 1usize..5,
+        t2 in 1usize..5,
+        t3 in 1usize..5,
+        ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..140),
+    ) {
+        let grants = configs(t1, t2, t3);
+        let make = || {
+            if range_partitioned {
+                let bounds: Vec<u64> =
+                    (1..shards as u64).map(|i| i * 100_000 / shards as u64).collect();
+                ShardedTable::<u64>::range(bounds, COLS)
+            } else {
+                ShardedTable::<u64>::hash(shards, COLS)
+            }
+        };
+        let tables: Vec<ShardedTable<u64>> = (0..grants.len()).map(|_| make()).collect();
+        let mut ids: Vec<ShardRowId> = Vec::new();
+        for &(code, a, b) in &ops {
+            match decode(code, a, b) {
+                Op::Insert { seed } => {
+                    let r = row(seed);
+                    let mut last = ShardRowId { shard: 0, row: 0 };
+                    for t in &tables {
+                        last = t.insert_row(&r);
+                    }
+                    ids.push(last);
+                }
+                Op::Update { target, seed } => {
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let i = ids[(target as usize) % ids.len()];
+                    let r = row(seed);
+                    let mut last = ShardRowId { shard: 0, row: 0 };
+                    for t in &tables {
+                        last = t.update_row(i, &r);
+                    }
+                    ids.push(last);
+                }
+                Op::Delete { target } => {
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let i = ids[(target as usize) % ids.len()];
+                    for t in &tables {
+                        t.delete_row(i);
+                    }
+                }
+                Op::Merge => {
+                    // Merge the same shard in every config.
+                    let s = (a as usize) % shards;
+                    for (t, g) in tables.iter().zip(&grants) {
+                        let _ = t.shard(s).merge_with(*g, None);
+                    }
+                }
+            }
+        }
+        for (t, g) in tables.iter().zip(&grants) {
+            t.merge_all_with(*g);
+            prop_assert_eq!(t.delta_len(), 0);
+        }
+        // Byte-compare shard by shard against the reference config.
+        for (k, t) in tables.iter().enumerate().skip(1) {
+            for s in 0..shards {
+                assert_tables_identical(
+                    tables[0].shard(s),
+                    t.shard(s),
+                    &format!("shard {s}, grant {:?}", grants[k]),
+                );
+            }
+        }
+        // And the logical rows agree through the global id list.
+        for id in ids.iter().step_by(7) {
+            for t in tables.iter().skip(1) {
+                prop_assert_eq!(tables[0].row(*id), t.row(*id));
+                prop_assert_eq!(tables[0].is_valid(*id), t.is_valid(*id));
+            }
+        }
+    }
+}

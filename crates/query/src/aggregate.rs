@@ -2,26 +2,13 @@
 //! read operations on large sets of data with a projectivity on a few
 //! columns" of Section 2, reduced to their access pattern.
 //!
-//! The free functions are thin compatibility wrappers over the unified
-//! [`Query`] engine (via [`AttributeExecutor`]); the engine's
-//! unfiltered sum keeps the multi-threaded bandwidth-bound scan behind
-//! [`Query::with_threads`].
+//! The aggregates themselves run in the unified [`crate::Query`] engine
+//! (via [`crate::AttributeExecutor`]); the engine's unfiltered sum keeps
+//! the multi-threaded bandwidth-bound scan behind
+//! [`crate::Query::with_threads`]. This module keeps only the [`MinMax`]
+//! result type and the trivial [`count_valid`].
 
-use crate::exec::AttributeExecutor;
-use crate::Query;
-use hyrise_storage::{Attribute, ValidityBitmap, Value};
-
-/// Sum of the 64-bit projections of all *valid* rows of `attr`.
-///
-/// Demonstrates the materialization asymmetry: main tuples decode through
-/// the dictionary, delta tuples are read raw.
-#[deprecated(note = "use `Query::scan(0).sum(0)` against an `AttributeExecutor::with_validity`")]
-pub fn sum_lossy<V: Value>(attr: &Attribute<V>, validity: &ValidityBitmap) -> u128 {
-    Query::scan(0)
-        .sum(0)
-        .run(&AttributeExecutor::with_validity(attr, validity))
-        .sum()
-}
+use hyrise_storage::{ValidityBitmap, Value};
 
 /// Number of valid rows (delegates to the bitmap; kept for operator
 /// symmetry).
@@ -29,19 +16,10 @@ pub fn count_valid(validity: &ValidityBitmap) -> usize {
     validity.valid_count()
 }
 
-/// Multi-threaded full-column sum over *all* rows (no validity filter): the
-/// bandwidth-bound analytical scan. With enough threads the scan saturates
-/// memory bandwidth, and the main-vs-delta byte asymmetry (`E_C/8` packed
-/// bytes per main tuple vs `E_j` raw bytes per delta tuple) becomes visible
-/// — the read-performance cost of a large delta that Section 4 argues about.
-#[deprecated(
-    note = "use `Query::scan(0).sum(0).with_threads(n)` — the engine keeps the parallel scan"
-)]
-pub fn sum_lossy_parallel<V: Value>(attr: &Attribute<V>, threads: usize) -> u128 {
-    Query::scan(0).sum(0).with_threads(threads).run(attr).sum()
-}
-
-/// Minimum and maximum value over valid rows.
+/// Minimum and maximum value over valid rows, as returned by
+/// `Query::scan(0).min_max(col)`. On the main partition only the *set of
+/// used value ids* matters, so the engine folds over codes and decodes only
+/// the two extremes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MinMax<V> {
     /// Smallest valid value.
@@ -51,27 +29,21 @@ pub struct MinMax<V> {
 }
 
 impl<V: Value> MinMax<V> {
-    /// Compute min/max over the valid rows of `attr`; `None` if no row is
-    /// valid. On the main partition only the *set of used value ids*
-    /// matters, so the engine folds over codes and decodes only the two
-    /// extremes.
-    #[deprecated(
-        note = "use `Query::scan(0).min_max(0)` against an `AttributeExecutor::with_validity`"
-    )]
-    pub fn compute(attr: &Attribute<V>, validity: &ValidityBitmap) -> Option<Self> {
-        Query::scan(0)
-            .min_max(0)
-            .run(&AttributeExecutor::with_validity(attr, validity))
-            .min_max()
-            .map(|(min, max)| MinMax { min, max })
+    /// Wrap an engine `min_max()` output pair.
+    pub fn from_pair(pair: (V, V)) -> Self {
+        MinMax {
+            min: pair.0,
+            max: pair.1,
+        }
     }
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use hyrise_storage::MainPartition;
+    use crate::exec::AttributeExecutor;
+    use crate::Query;
+    use hyrise_storage::{Attribute, MainPartition};
 
     fn setup() -> (Attribute<u64>, ValidityBitmap) {
         let mut a = Attribute::from_main(MainPartition::from_values(&[5u64, 1, 9]));
@@ -80,10 +52,25 @@ mod tests {
         (a, ValidityBitmap::all_valid(5))
     }
 
+    fn sum(a: &Attribute<u64>, v: &ValidityBitmap) -> u128 {
+        Query::scan(0)
+            .sum(0)
+            .run(&AttributeExecutor::with_validity(a, v))
+            .sum()
+    }
+
+    fn min_max(a: &Attribute<u64>, v: &ValidityBitmap) -> Option<MinMax<u64>> {
+        Query::scan(0)
+            .min_max(0)
+            .run(&AttributeExecutor::with_validity(a, v))
+            .min_max()
+            .map(MinMax::from_pair)
+    }
+
     #[test]
     fn sum_over_all_valid() {
         let (a, v) = setup();
-        assert_eq!(sum_lossy(&a, &v), 5 + 1 + 9 + 100 + 3);
+        assert_eq!(sum(&a, &v), 5 + 1 + 9 + 100 + 3);
     }
 
     #[test]
@@ -91,14 +78,14 @@ mod tests {
         let (a, mut v) = setup();
         v.invalidate(3); // the 100 in the delta
         v.invalidate(0); // the 5 in main
-        assert_eq!(sum_lossy(&a, &v), 1 + 9 + 3);
+        assert_eq!(sum(&a, &v), 1 + 9 + 3);
         assert_eq!(count_valid(&v), 3);
     }
 
     #[test]
     fn min_max_spans_partitions() {
         let (a, v) = setup();
-        let mm = MinMax::compute(&a, &v).unwrap();
+        let mm = min_max(&a, &v).unwrap();
         assert_eq!(mm, MinMax { min: 1, max: 100 });
     }
 
@@ -107,7 +94,7 @@ mod tests {
         let (a, mut v) = setup();
         v.invalidate(3); // remove max (delta)
         v.invalidate(1); // remove min (main)
-        let mm = MinMax::compute(&a, &v).unwrap();
+        let mm = min_max(&a, &v).unwrap();
         assert_eq!(mm, MinMax { min: 3, max: 9 });
     }
 
@@ -117,8 +104,8 @@ mod tests {
         for i in 0..5 {
             v.invalidate(i);
         }
-        assert_eq!(MinMax::compute(&a, &v), None);
-        assert_eq!(sum_lossy(&a, &v), 0);
+        assert_eq!(min_max(&a, &v), None);
+        assert_eq!(sum(&a, &v), 0);
     }
 
     #[test]
@@ -130,9 +117,13 @@ mod tests {
             a.append((i * 7) % 501);
         }
         let v = ValidityBitmap::all_valid(a.len());
-        let serial = sum_lossy(&a, &v);
+        let serial = sum(&a, &v);
         for threads in [1usize, 2, 7, 16] {
-            assert_eq!(sum_lossy_parallel(&a, threads), serial, "threads={threads}");
+            assert_eq!(
+                Query::scan(0).sum(0).with_threads(threads).run(&a).sum(),
+                serial,
+                "threads={threads}"
+            );
         }
     }
 
@@ -140,16 +131,19 @@ mod tests {
     fn parallel_sum_edge_shapes() {
         // Empty attribute.
         let a: Attribute<u64> = Attribute::empty();
-        assert_eq!(sum_lossy_parallel(&a, 4), 0);
+        assert_eq!(Query::scan(0).sum(0).with_threads(4).run(&a).sum(), 0);
         // Delta-only.
         let mut a: Attribute<u64> = Attribute::empty();
         for i in 0..100 {
             a.append(i);
         }
-        assert_eq!(sum_lossy_parallel(&a, 8), (0..100u128).sum());
+        assert_eq!(
+            Query::scan(0).sum(0).with_threads(8).run(&a).sum(),
+            (0..100u128).sum()
+        );
         // Main-only, more threads than rows.
         let a = Attribute::from_main(MainPartition::from_values(&[1u64, 2, 3]));
-        assert_eq!(sum_lossy_parallel(&a, 64), 6);
+        assert_eq!(Query::scan(0).sum(0).with_threads(64).run(&a).sum(), 6);
     }
 
     #[test]
@@ -170,6 +164,6 @@ mod tests {
             a.append(u64::MAX);
         }
         let v = ValidityBitmap::all_valid(4);
-        assert_eq!(sum_lossy(&a, &v), (u64::MAX as u128) * 4);
+        assert_eq!(sum(&a, &v), (u64::MAX as u128) * 4);
     }
 }

@@ -476,8 +476,7 @@ impl<V: Value> Executor<V> for Attribute<V> {
 }
 
 /// An [`Attribute`] paired with an optional table-level [`ValidityBitmap`]
-/// — the executor behind the legacy validity-aware free functions
-/// (`sum_lossy` and friends).
+/// — the executor for validity-aware single-column queries.
 pub struct AttributeExecutor<'a, V: Value> {
     attr: &'a Attribute<V>,
     validity: Option<&'a ValidityBitmap>,

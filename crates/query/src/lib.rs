@@ -28,33 +28,22 @@
 //! must be bounded by merging (Section 4), and it is exactly what the
 //! `query_engine` bench measures.
 //!
-//! Row ids are global: main rows first, delta rows appended. The legacy
-//! free functions (`scan_eq`, `snapshot_scan_*`, `sharded_*`, …) are
-//! deprecated one-line wrappers over the engine, kept so no caller breaks.
+//! Row ids are global: main rows first, delta rows appended. There is
+//! exactly one read path: the legacy free functions (`scan_eq`,
+//! `snapshot_scan_*`, `sharded_*`, `sum_lossy*`, …) that once wrapped the
+//! engine are gone — every caller drives the [`Query`] builder directly.
 
 mod aggregate;
 mod exec;
 mod groupby;
 mod plan;
 mod scan;
-pub mod shard_ops;
 mod table_ops;
 
 pub use exec::{AttributeExecutor, Executor, Output, SelectionVector};
 pub use plan::{CompiledPredicate, Query};
 
 pub use aggregate::{count_valid, MinMax};
-#[allow(deprecated)]
-pub use aggregate::{sum_lossy, sum_lossy_parallel};
 pub use groupby::{group_by_sum, GroupAgg};
 pub use scan::{key_lookup, materialize};
-#[allow(deprecated)]
-pub use scan::{scan_eq, scan_range};
-#[allow(deprecated)]
-pub use shard_ops::{
-    sharded_count_valid, sharded_min_max, sharded_scan_eq, sharded_scan_range, sharded_sum,
-    snapshot_scan_eq, snapshot_scan_range, snapshot_sum,
-};
-#[allow(deprecated)]
-pub use table_ops::table_scan_eq_u64;
 pub use table_ops::table_select;

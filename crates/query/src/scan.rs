@@ -1,14 +1,11 @@
-//! Point, equality and range access paths over an [`Attribute`] — thin
-//! compatibility wrappers over the unified [`Query`] engine.
+//! Point access paths over an [`Attribute`].
 //!
-//! The free functions predate the builder API; each is now a one-line
-//! delegation, so there is exactly one scan implementation in the crate
+//! Equality and range scans live in the unified [`crate::Query`] engine
 //! (dictionary value-id pushdown on main, value comparison on the delta
-//! tail — see [`crate::exec`]).
+//! tail — see [`crate::exec`]); this module keeps only the positional
+//! reads that never were scans.
 
-use crate::Query;
 use hyrise_storage::{Attribute, Value};
-use std::ops::RangeInclusive;
 
 /// Positional read ("key lookup" against the implicit tuple id): the value of
 /// global row `row`. Reads the bit-packed code plus one dictionary access on
@@ -23,37 +20,10 @@ pub fn materialize<V: Value>(attr: &Attribute<V>, rows: &[usize]) -> Vec<V> {
     rows.iter().map(|&r| attr.get(r)).collect()
 }
 
-/// All global row ids whose value equals `v`, ascending.
-///
-/// Main partition: one dictionary binary search, then a sequential scan of
-/// the compressed codes for the single matching value id ("most queries can
-/// be executed with a binary search in the dictionary while scanning the
-/// column for the encoded value only", Section 3). Delta partition: value
-/// comparisons over the uncompressed tail.
-#[deprecated(note = "use `Query::scan(0).eq(v)` — one engine behind every scan")]
-pub fn scan_eq<V: Value>(attr: &Attribute<V>, v: &V) -> Vec<usize> {
-    Query::scan(0).eq(*v).run(attr).into_rows()
-}
-
-/// All global row ids whose value lies in the inclusive range, ascending
-/// (main rows first, then delta rows in insertion order).
-///
-/// Main partition: the dictionary maps the value range to a value-id range
-/// (order-preserving encoding), then one sequential code scan with two
-/// comparisons per tuple. Delta partition: value comparisons over the
-/// uncompressed tail.
-#[deprecated(note = "use `Query::scan(0).between(lo, hi)` — one engine behind every scan")]
-pub fn scan_range<V: Value>(attr: &Attribute<V>, range: RangeInclusive<V>) -> Vec<usize> {
-    Query::scan(0)
-        .between(*range.start(), *range.end())
-        .run(attr)
-        .into_rows()
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::Query;
     use hyrise_storage::MainPartition;
 
     /// Attribute with main [10 20 30 20 10] and delta [20 40 10].
@@ -74,65 +44,34 @@ mod tests {
     }
 
     #[test]
-    fn scan_eq_finds_all_occurrences() {
+    fn engine_scan_eq_finds_all_occurrences() {
         let a = attr();
-        assert_eq!(scan_eq(&a, &20), vec![1, 3, 5]);
-        assert_eq!(scan_eq(&a, &10), vec![0, 4, 7]);
-        assert_eq!(scan_eq(&a, &40), vec![6]);
-        assert_eq!(scan_eq(&a, &99), Vec::<usize>::new());
+        let eq = |v: u64| Query::scan(0).eq(v).run(&a).into_rows();
+        assert_eq!(eq(20), vec![1, 3, 5]);
+        assert_eq!(eq(10), vec![0, 4, 7]);
+        assert_eq!(eq(40), vec![6]);
+        assert_eq!(eq(99), Vec::<usize>::new());
     }
 
     #[test]
-    fn scan_eq_value_only_in_delta() {
+    fn engine_scan_value_only_in_delta() {
         let a = attr();
         // 40 is not in the main dictionary at all.
         assert!(a.main().dictionary().code_of(&40).is_none());
-        assert_eq!(scan_eq(&a, &40), vec![6]);
+        assert_eq!(Query::scan(0).eq(40u64).run(&a).into_rows(), vec![6]);
     }
 
     #[test]
-    fn scan_range_inclusive_bounds() {
+    fn engine_scan_range_inclusive_bounds() {
         let a = attr();
+        let range = |lo: u64, hi: u64| Query::scan(0).between(lo, hi).run(&a).into_rows();
         // Ascending global row order, main rows first then delta rows.
-        assert_eq!(scan_range(&a, 10..=20), vec![0, 1, 3, 4, 5, 7]);
-        assert_eq!(scan_range(&a, 20..=30), vec![1, 2, 3, 5]);
-        assert_eq!(scan_range(&a, 35..=50), vec![6]);
-        assert_eq!(scan_range(&a, 41..=100), Vec::<usize>::new());
+        assert_eq!(range(10, 20), vec![0, 1, 3, 4, 5, 7]);
+        assert_eq!(range(20, 30), vec![1, 2, 3, 5]);
+        assert_eq!(range(35, 50), vec![6]);
+        assert_eq!(range(41, 100), Vec::<usize>::new());
         // Full range returns everything.
-        assert_eq!(scan_range(&a, 0..=u64::MAX).len(), 8);
-    }
-
-    #[test]
-    fn scan_results_match_brute_force() {
-        let mut a = Attribute::from_main(MainPartition::from_values(
-            &(0..500u64).map(|i| (i * 7) % 40).collect::<Vec<_>>(),
-        ));
-        for i in 0..200u64 {
-            a.append((i * 13) % 60);
-        }
-        let all: Vec<u64> = (0..a.len()).map(|i| a.get(i)).collect();
-        for probe in [0u64, 7, 39, 40, 59] {
-            let want: Vec<usize> = all
-                .iter()
-                .enumerate()
-                .filter(|(_, v)| **v == probe)
-                .map(|(i, _)| i)
-                .collect();
-            let mut got = scan_eq(&a, &probe);
-            got.sort_unstable();
-            assert_eq!(got, want, "eq probe {probe}");
-        }
-        for range in [(5u64, 10u64), (0, 59), (38, 42), (60, 99)] {
-            let want: Vec<usize> = all
-                .iter()
-                .enumerate()
-                .filter(|(_, v)| **v >= range.0 && **v <= range.1)
-                .map(|(i, _)| i)
-                .collect();
-            let mut got = scan_range(&a, range.0..=range.1);
-            got.sort_unstable();
-            assert_eq!(got, want, "range {range:?}");
-        }
+        assert_eq!(range(0, u64::MAX).len(), 8);
     }
 
     #[test]
@@ -145,7 +84,11 @@ mod tests {
     #[test]
     fn empty_attribute_scans() {
         let a: Attribute<u64> = Attribute::empty();
-        assert!(scan_eq(&a, &1).is_empty());
-        assert!(scan_range(&a, 0..=100).is_empty());
+        assert!(Query::scan(0).eq(1u64).run(&a).into_rows().is_empty());
+        assert!(Query::scan(0)
+            .between(0u64, 100)
+            .run(&a)
+            .into_rows()
+            .is_empty());
     }
 }

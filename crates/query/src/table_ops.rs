@@ -7,19 +7,7 @@
 //! works on any column type; each predicate dispatches to its column's
 //! concrete type and runs the same value-id kernels as the typed backends.
 
-use crate::Query;
 use hyrise_storage::{AnyValue, Table};
-
-/// Row ids of *valid* rows whose column `col` (a `u64` column) equals `v`.
-///
-/// # Panics
-/// If `col` is not a `u64` column.
-#[deprecated(
-    note = "use `Query::scan(col).eq(v.into())` — the Table executor takes any `AnyValue` predicate, not just u64"
-)]
-pub fn table_scan_eq_u64(table: &Table, col: usize, v: u64) -> Vec<usize> {
-    Query::scan(col).eq(AnyValue::U64(v)).run(table).into_rows()
-}
 
 /// Generic predicate select: valid rows where `pred(row values)` holds.
 /// Materializes each row — the slow generic path; typed scans beat it by
@@ -43,10 +31,14 @@ pub fn table_select<F: Fn(&[AnyValue]) -> bool>(table: &Table, pred: F) -> Vec<u
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::Query;
     use hyrise_storage::{ColumnType, Schema, Value, V16};
+
+    fn table_scan_eq_u64(table: &Table, col: usize, v: u64) -> Vec<usize> {
+        Query::scan(col).eq(AnyValue::U64(v)).run(table).into_rows()
+    }
 
     fn table() -> Table {
         let mut t = Table::new(

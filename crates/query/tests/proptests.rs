@@ -1,13 +1,12 @@
-//! Property tests: every query operator must agree with a brute-force
-//! evaluation over the materialized column, for arbitrary main/delta splits
-//! and validity patterns.
+//! Property tests: the query operators over a single [`Attribute`] must
+//! agree with a brute-force evaluation over the materialized column, for
+//! arbitrary main/delta splits and validity patterns.
 //!
-//! These drive the *legacy wrapper* functions on purpose — they pin the
-//! compatibility surface to the same oracle as the engine underneath (the
-//! engine itself is exercised by `query_engine_proptests.rs`).
-#![allow(deprecated)]
+//! These drive the [`Query`] builder directly — the only read path since
+//! the deprecated wrapper functions were removed (cross-backend coverage
+//! over tables and shards lives in `query_engine_proptests.rs`).
 
-use hyrise_query::{group_by_sum, scan_eq, scan_range, sum_lossy, sum_lossy_parallel, MinMax};
+use hyrise_query::{group_by_sum, AttributeExecutor, Query};
 use hyrise_storage::{Attribute, MainPartition, ValidityBitmap};
 use proptest::prelude::*;
 
@@ -36,7 +35,7 @@ proptest! {
         let all: Vec<u64> = main_vals.iter().chain(&delta_vals).copied().collect();
         let want: Vec<usize> =
             all.iter().enumerate().filter(|(_, v)| **v == probe).map(|(i, _)| i).collect();
-        let mut got = scan_eq(&a, &probe);
+        let mut got = Query::scan(0).eq(probe).run(&a).into_rows();
         got.sort_unstable();
         prop_assert_eq!(got, want);
     }
@@ -57,7 +56,7 @@ proptest! {
             .filter(|(_, v)| **v >= lo && **v <= hi)
             .map(|(i, _)| i)
             .collect();
-        let mut got = scan_range(&a, lo..=hi);
+        let mut got = Query::scan(0).between(lo, hi).run(&a).into_rows();
         got.sort_unstable();
         prop_assert_eq!(got, want);
     }
@@ -84,10 +83,11 @@ proptest! {
             .filter(|(i, _)| validity.is_valid(*i))
             .map(|(_, v)| *v as u128)
             .sum();
-        prop_assert_eq!(sum_lossy(&a, &validity), want_sum);
-        // The parallel variant sums all rows (no validity filter).
+        let exec = AttributeExecutor::with_validity(&a, &validity);
+        prop_assert_eq!(Query::scan(0).sum(0).run(&exec).sum(), want_sum);
+        // The validity-free parallel sum covers all rows.
         let all_sum: u128 = all.iter().map(|v| *v as u128).sum();
-        prop_assert_eq!(sum_lossy_parallel(&a, threads), all_sum);
+        prop_assert_eq!(Query::scan(0).sum(0).with_threads(threads).run(&a).sum(), all_sum);
 
         let want_minmax = {
             let vals: Vec<u64> = all
@@ -96,9 +96,9 @@ proptest! {
                 .filter(|(i, _)| validity.is_valid(*i))
                 .map(|(_, v)| *v)
                 .collect();
-            vals.iter().min().map(|min| MinMax { min: *min, max: *vals.iter().max().unwrap() })
+            vals.iter().min().map(|min| (*min, *vals.iter().max().unwrap()))
         };
-        prop_assert_eq!(MinMax::compute(&a, &validity), want_minmax);
+        prop_assert_eq!(Query::scan(0).min_max(0).run(&exec).min_max(), want_minmax);
     }
 
     #[test]

@@ -111,6 +111,14 @@ impl<V: Value> DeltaPartition<V> {
         self.index.sorted_keys()
     }
 
+    /// As [`Self::sorted_unique`], writing into a caller-provided buffer
+    /// (cleared first) so repeated merges can reuse one allocation.
+    pub fn sorted_unique_into(&self, dict: &mut Vec<V>) {
+        dict.clear();
+        dict.reserve(self.unique_len());
+        dict.extend(self.index.iter().map(|(k, _)| k));
+    }
+
     /// Modified Step 1(a) (Section 5.3): build `U_D` *and* rewrite the delta
     /// as fixed-width codes by walking each leaf value's tuple-id list and
     /// scattering the value's dictionary index to those positions.
@@ -118,15 +126,26 @@ impl<V: Value> DeltaPartition<V> {
     /// "Although this involves non-contiguous access of the delta partition,
     /// each tuple is only accessed once, hence the run-time is O(N_D)."
     pub fn compress(&self) -> CompressedDelta<V> {
-        let mut dict = Vec::with_capacity(self.unique_len());
-        let mut codes = vec![0u32; self.values.len()];
+        let mut dict = Vec::new();
+        let mut codes = Vec::new();
+        self.compress_into(&mut dict, &mut codes);
+        CompressedDelta { dict, codes }
+    }
+
+    /// As [`Self::compress`], writing into caller-provided buffers (cleared
+    /// first). With warm capacities this performs no heap allocation — the
+    /// scratch-reuse hook of the merge pipeline's Stage 1a.
+    pub fn compress_into(&self, dict: &mut Vec<V>, codes: &mut Vec<u32>) {
+        dict.clear();
+        dict.reserve(self.unique_len());
+        codes.clear();
+        codes.resize(self.values.len(), 0);
         for (next_code, (value, postings)) in self.index.iter().enumerate() {
             dict.push(value);
             for tid in postings {
                 codes[tid as usize] = next_code as u32;
             }
         }
-        CompressedDelta { dict, codes }
     }
 
     /// Heap bytes: raw values plus the CSB+ tree (the paper charges the tree

@@ -60,6 +60,14 @@ impl<V: Value> MainPartition<V> {
         Self { dict, codes }
     }
 
+    /// Dissolve into dictionary and packed codes — the buffer-recycling
+    /// hook: a retired main partition's two big allocations (sorted value
+    /// vector and packed word buffer) can be fed back into the next merge's
+    /// scratch arena instead of being freed.
+    pub fn into_parts(self) -> (Dictionary<V>, BitPackedVec) {
+        (self.dict, self.codes)
+    }
+
     /// Number of tuples — the paper's `N_M`.
     #[inline]
     pub fn len(&self) -> usize {

@@ -54,6 +54,7 @@ fn main() {
                 let policy = MergePolicy {
                     delta_fraction: 0.05,
                     threads: 4,
+                    ..MergePolicy::default()
                 };
                 while !stop.load(Ordering::Relaxed) {
                     if table.maybe_merge(&policy).is_some() {

@@ -137,17 +137,31 @@ pub fn drive<V: Value, R: Rng>(
 
 /// Preload a [`ShardedTable`] with the scenario's initial rows (batched
 /// routing, then a quiescing merge of every shard) and return their global
-/// ids in seed order.
+/// ids in seed order. Merges run under the default
+/// [`crate::merge::MergeGrant`]; use [`preload_sharded_with`] to pick a
+/// strategy or cap the merge's peak memory.
 pub fn preload_sharded<V: Value>(
     table: &ShardedTable<V>,
     workload: &ShardedWorkload,
+) -> Vec<ShardRowId> {
+    preload_sharded_with(table, workload, crate::merge::MergeGrant::default())
+}
+
+/// As [`preload_sharded`], with an explicit merge grant: the strategy,
+/// thread count and [`crate::merge::MergeBudget`] apply to every shard's
+/// quiescing merge, so a budget of K columns bounds the preload's peak
+/// extra memory to the largest K-column working set per shard.
+pub fn preload_sharded_with<V: Value>(
+    table: &ShardedTable<V>,
+    workload: &ShardedWorkload,
+    grant: crate::merge::MergeGrant,
 ) -> Vec<ShardRowId> {
     let cols = table.num_columns();
     let rows: Vec<Vec<V>> = (0..workload.initial_rows())
         .map(|i| row_for_seed(i, cols))
         .collect();
     let ids = table.insert_rows(&rows);
-    table.merge_all(crate::merge::MergePolicy::default().threads);
+    table.merge_all_with(grant);
     ids
 }
 
@@ -321,6 +335,27 @@ mod tests {
         assert!(valid >= table.row_count() as u64 - invalidated);
         assert!(stats.iter().any(|s| s.ranges > 0), "fan-out ranges ran");
         assert!(stats.iter().any(|s| s.scanned_tuples > 0));
+    }
+
+    #[test]
+    fn preload_with_budget_and_strategy_matches_default() {
+        use crate::merge::{MergeBudget, MergeGrant, MergeStrategy};
+        let a = ShardedTable::<u64>::hash(2, 3);
+        let b = ShardedTable::<u64>::hash(2, 3);
+        let w = ShardedWorkload::oltp(2).with_volumes(500, 0);
+        let ids_a = preload_sharded(&a, &w);
+        let ids_b = preload_sharded_with(
+            &b,
+            &w,
+            MergeGrant::with_threads(2)
+                .strategy(MergeStrategy::Optimized)
+                .budget(MergeBudget::columns(1)),
+        );
+        assert_eq!(ids_a, ids_b, "grant must not change routing or ids");
+        assert_eq!(a.main_len(), b.main_len(), "both preloads fully quiesced");
+        for id in ids_a.iter().step_by(37) {
+            assert_eq!(a.row(*id), b.row(*id));
+        }
     }
 
     #[test]

@@ -146,6 +146,7 @@ fn trigger_policy_keeps_delta_bounded() {
     let policy = MergePolicy {
         delta_fraction: 0.02,
         threads: 4,
+        ..MergePolicy::default()
     };
     let mut merges = 0;
     for i in 0..20_000u64 {

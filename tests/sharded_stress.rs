@@ -31,6 +31,7 @@ fn concurrent_inserts_and_scans_survive_per_shard_merges() {
     let policy = MergePolicy {
         delta_fraction: 0.02,
         threads: 1,
+        ..MergePolicy::default()
     };
     let sched = ShardedScheduler::spawn(Arc::clone(&table), policy, 2, Duration::from_millis(1));
 
@@ -108,7 +109,7 @@ fn concurrent_inserts_and_scans_survive_per_shard_merges() {
     );
     assert!(stats.merges >= 2, "merges ran during the stress window");
     assert!(
-        stats.per_shard.iter().filter(|&&m| m > 0).count() >= 2,
+        stats.per_shard.iter().filter(|s| s.merges > 0).count() >= 2,
         "merges spread across shards: {:?}",
         stats.per_shard
     );
@@ -138,6 +139,7 @@ fn sharded_mix_with_scheduler_stays_consistent() {
     let policy = MergePolicy {
         delta_fraction: 0.05,
         threads: 1,
+        ..MergePolicy::default()
     };
     let sched = ShardedScheduler::spawn(Arc::clone(&table), policy, 2, Duration::from_millis(2));
     let stats = drive_sharded(&table, &workload, &ids);

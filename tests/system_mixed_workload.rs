@@ -28,6 +28,7 @@ fn oltp_mix_with_background_merging_stays_consistent() {
     let policy = MergePolicy {
         delta_fraction: 0.05,
         threads: 2,
+        ..MergePolicy::default()
     };
     let sched = MergeScheduler::spawn(Arc::clone(&table), policy, Duration::from_millis(2));
 
@@ -111,6 +112,7 @@ fn sustained_update_rate_meets_the_low_target() {
     let policy = MergePolicy {
         delta_fraction: 0.05,
         threads: 4,
+        ..MergePolicy::default()
     };
     let sched = MergeScheduler::spawn(Arc::clone(&table), policy, Duration::from_millis(1));
 
