@@ -31,7 +31,7 @@ fn row(i: u64) -> [u64; 2] {
 
 /// One sweep point: returns (preload ms, write upd/s, scans/s, merges,
 /// max delta fraction at end, total rows at end, per-stage merge micros
-/// summed over shards: step1a/step1b/step2).
+/// summed over shards: step1a/step1b/step2, governor grant trace).
 #[allow(clippy::type_complexity)]
 fn sweep(
     shards: usize,
@@ -40,7 +40,16 @@ fn sweep(
     merge_slots: usize,
     trigger: f64,
     threads: usize,
-) -> (u128, f64, f64, u64, f64, usize, [u64; 3]) {
+) -> (
+    u128,
+    f64,
+    f64,
+    u64,
+    f64,
+    usize,
+    [u64; 3],
+    Vec<hyrise_core::governor::GrantRecord>,
+) {
     let table = Arc::new(ShardedTable::<u64>::hash(shards, 2));
     let t0 = Instant::now();
     let preload: Vec<[u64; 2]> = (0..rows as u64).map(row).collect();
@@ -124,6 +133,30 @@ fn sweep(
         table.max_delta_fraction(),
         table.row_count(),
         stages,
+        stats.grants,
+    )
+}
+
+/// Compress a grant trace into a per-round summary column: the dominant
+/// signal with its share of rounds, plus the most recent grant shape.
+fn governor_column(grants: &[hyrise_core::governor::GrantRecord]) -> String {
+    use std::collections::HashMap;
+    let Some(last) = grants.last() else {
+        return "-".into();
+    };
+    let mut by_signal: HashMap<String, usize> = HashMap::new();
+    for g in grants {
+        *by_signal.entry(g.signal.to_string()).or_default() += 1;
+    }
+    let (dominant, n) = by_signal
+        .into_iter()
+        .max_by_key(|&(_, n)| n)
+        .expect("non-empty trace");
+    format!(
+        "{dominant} {n}/{} · {}/t{}",
+        grants.len(),
+        last.strategy.algo(),
+        last.threads
     )
 }
 
@@ -158,11 +191,13 @@ fn main() {
         "s2 ms",
         "end frac",
         "end rows",
+        "governor",
     ]);
 
+    let mut last_trace = Vec::new();
     let mut shards = 1usize;
     while shards <= max_shards {
-        let (pre_ms, upd_s, scan_s, merges, frac, end_rows, stages) =
+        let (pre_ms, upd_s, scan_s, merges, frac, end_rows, stages, grants) =
             sweep(shards, rows, writes, merge_slots, trigger, threads);
         t.row(&[
             &shards.to_string(),
@@ -175,12 +210,27 @@ fn main() {
             &format!("{:.1}", stages[2] as f64 / 1e3),
             &format!("{frac:.4}"),
             &fmt_count(end_rows),
+            &governor_column(&grants),
         ]);
+        last_trace = grants;
         shards *= 2;
+    }
+    println!();
+    println!("governor trace of the last sweep point (strategy/threads/budget K,");
+    println!("triggering signal, worst selected delta fraction; newest last):");
+    let tail = last_trace.len().saturating_sub(8);
+    for (i, g) in last_trace.iter().enumerate().skip(tail) {
+        println!("  round {:>3}: {g}", i + 1);
+    }
+    if last_trace.is_empty() {
+        println!("  (no merge rounds ran)");
     }
     println!();
     println!("expected shape: merges grow with shard count (each merge covers 1/N of the");
     println!("data); write throughput grows with cores available, flat on one core.");
     println!("s1a/s1b/s2 stack like the paper's Figure 7/8 stage bars (per-shard");
     println!("ShardMergeStats summed): Step 2 dominates, Step 1b grows with |U|.");
+    println!("the governor column is dominant-signal share · last grant; the scan");
+    println!("thread keeps the read counters busy, so expect contended/baseline");
+    println!("rounds while writers run and read-idle ones during the drain.");
 }

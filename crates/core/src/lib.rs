@@ -31,11 +31,19 @@
 //!   across N online tables, and [`shard::ShardedScheduler`] grants merge
 //!   threads across shards (at most K concurrent merges, worst delta
 //!   fraction first).
-//! * [`rate`] — Equations 1 and 16: update-rate accounting.
+//! * [`governor`] — Section 9's scheduling hook as a feedback loop: the
+//!   [`governor::ResourceGovernor`] samples read pressure (process-wide
+//!   query counters), write pressure (delta growth vs the Section 4
+//!   targets) and memory pressure ([`hyrise_storage::MemoryReport`]) and
+//!   emits the adaptive [`pipeline::MergeGrant`] both schedulers run
+//!   merges under.
+//! * [`rate`] — Equations 1 and 16: update-rate accounting, plus the
+//!   write-load classification the governor feeds from.
 //!
 //! All three algorithms produce bit-identical merged main partitions; the
 //! property tests assert this equivalence.
 
+pub mod governor;
 pub mod manager;
 pub mod model;
 pub mod naive;
@@ -49,6 +57,10 @@ pub mod shard;
 pub mod stats;
 mod step1;
 
+pub use governor::{
+    begin_read, read_load, GovernorConfig, GrantRecord, GrantSignal, LoadSignals, LoadView,
+    ResourceGovernor, RoundPlan,
+};
 pub use manager::{
     ColumnSnapshot, MergeCancelled, MergePolicy, MergeSession, OnlineTable, TableSnapshot,
 };
@@ -58,8 +70,9 @@ pub use optimized::merge_column_optimized;
 pub use parallel::{merge_column_parallel, merge_table_parallel};
 pub use pipeline::{
     merge_column_with, MergeBudget, MergeGrant, MergePipeline, MergeScratch, MergeStrategy,
+    SpareBank,
 };
-pub use rate::{update_rate, updates_per_second};
+pub use rate::{classify_update_rate, update_rate, updates_per_second, WriteLoad};
 pub use scheduler::{MergeOutcome, MergeScheduler, MergeSource, SchedulerStats, SourceScheduler};
 pub use shard::{
     ShardBy, ShardMergeStats, ShardRowId, ShardedScheduler, ShardedSchedulerStats, ShardedTable,

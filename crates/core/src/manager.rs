@@ -22,9 +22,11 @@
 //! resume the merge process") re-attaches the frozen delta in front of the
 //! second delta and leaves the table observably unchanged.
 
-use crate::pipeline::{MergeBudget, MergeGrant, MergePipeline, MergeScratch, MergeStrategy};
+use crate::pipeline::{
+    MergeBudget, MergeGrant, MergePipeline, MergeScratch, MergeStrategy, SpareBank,
+};
 use crate::stats::TableMergeStats;
-use hyrise_storage::{DeltaPartition, MainPartition, ValidityBitmap, Value};
+use hyrise_storage::{DeltaPartition, MainPartition, MemoryReport, ValidityBitmap, Value};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -124,15 +126,20 @@ pub struct OnlineTable<V: Value> {
     /// Serializes merges (one in flight at a time).
     merge_gate: Mutex<()>,
     /// Warm [`MergeScratch`] arenas kept across merges: workers check one
-    /// out per column task, and the commit path recycles retired main
-    /// partitions back into them, so steady-state merges allocate ~nothing
-    /// for dictionary/aux/output buffers. Single-worker merges get the
-    /// strict zero-allocation guarantee (asserted in
-    /// `tests/merge_scratch_alloc.rs`); with several workers the racing
-    /// column→worker assignment can place a retired buffer in a different
-    /// worker's arena, so best-fit selection inside each arena makes reuse
-    /// likely but not certain.
+    /// out per column task (the stage intermediates — `U_D`, delta codes,
+    /// `X_M`/`X_D` — stay per-arena), so steady-state merges allocate
+    /// ~nothing for dictionary/aux/output buffers.
     scratch_pool: Mutex<Vec<MergeScratch<V>>>,
+    /// The table-level [`SpareBank`]: every checked-out scratch takes and
+    /// recycles its *output* buffers (merged dictionary values, packed
+    /// code words) here, and the commit path banks retired main
+    /// partitions here. One shared bank — instead of per-arena spares —
+    /// is what extends the strict zero-allocation guarantee to
+    /// multi-worker merges, where the racing column→worker assignment
+    /// used to strand a recycled buffer in the wrong worker's arena
+    /// (asserted in `tests/merge_scratch_alloc.rs`). Shards of a
+    /// [`crate::shard::ShardedTable`] share a single bank.
+    bank: Arc<SpareBank<V>>,
 }
 
 impl<V: Value> OnlineTable<V> {
@@ -153,7 +160,22 @@ impl<V: Value> OnlineTable<V> {
             }),
             merge_gate: Mutex::new(()),
             scratch_pool: Mutex::new(Vec::new()),
+            bank: Arc::new(SpareBank::new()),
         }
+    }
+
+    /// Share `bank` as this table's spare-buffer bank (builder-style; call
+    /// before first use). A [`crate::shard::ShardedTable`] hands every
+    /// shard the same bank so retired buffers are reusable across shards
+    /// and workers.
+    pub fn with_spare_bank(mut self, bank: Arc<SpareBank<V>>) -> Self {
+        self.bank = bank;
+        self
+    }
+
+    /// The table's spare-buffer bank.
+    pub fn spare_bank(&self) -> &Arc<SpareBank<V>> {
+        &self.bank
     }
 
     /// Build from bulk-loaded main partitions (all equal length).
@@ -179,12 +201,16 @@ impl<V: Value> OnlineTable<V> {
             }),
             merge_gate: Mutex::new(()),
             scratch_pool: Mutex::new(Vec::new()),
+            bank: Arc::new(SpareBank::new()),
         }
     }
 
-    /// Check a warm scratch arena out of the pool (or start a cold one).
+    /// Check a warm scratch arena out of the pool (or start a cold one),
+    /// attached to the table's [`SpareBank`].
     fn checkout_scratch(&self) -> MergeScratch<V> {
-        self.scratch_pool.lock().pop().unwrap_or_default()
+        let mut scratch = self.scratch_pool.lock().pop().unwrap_or_default();
+        scratch.attach_bank(Arc::clone(&self.bank));
+        scratch
     }
 
     /// Return a scratch arena to the pool for the next merge.
@@ -192,18 +218,13 @@ impl<V: Value> OnlineTable<V> {
         self.scratch_pool.lock().push(scratch);
     }
 
-    /// Feed a retired main partition's buffers back into the pool's
-    /// scratches (round-robin so every worker's arena warms up). A no-op
+    /// Feed a retired main partition's buffers back into the table's
+    /// [`SpareBank`], where any worker's next merge can take them. A no-op
     /// when a concurrent snapshot still shares the partition — the memory
     /// is then freed when the last snapshot drops.
-    fn recycle_retired(&self, retired: Arc<MainPartition<V>>, slot: usize) {
+    fn recycle_retired(&self, retired: Arc<MainPartition<V>>) {
         if let Ok(main) = Arc::try_unwrap(retired) {
-            let mut pool = self.scratch_pool.lock();
-            if pool.is_empty() {
-                pool.push(MergeScratch::new());
-            }
-            let idx = slot % pool.len();
-            pool[idx].recycle_main(main);
+            self.bank.recycle_main(main);
         }
     }
 
@@ -331,6 +352,25 @@ impl<V: Value> OnlineTable<V> {
     /// Does `policy` call for a merge now?
     pub fn should_merge(&self, policy: &MergePolicy) -> bool {
         self.delta_fraction() > policy.delta_fraction
+    }
+
+    /// Byte-level memory accounting over every column's partitions (main
+    /// codes + dictionary, plus active and any frozen delta), under one
+    /// read lock. This is the governor's memory-pressure sample: a large
+    /// `delta_total` is reclaimable by merging, a large total argues for a
+    /// tight [`MergeBudget`].
+    pub fn memory_report(&self) -> MemoryReport {
+        let st = self.state.read();
+        st.cols
+            .iter()
+            .map(|c| {
+                let mut deltas: Vec<&DeltaPartition<V>> = vec![&c.active];
+                if let Some(f) = c.frozen.as_deref() {
+                    deltas.push(f);
+                }
+                MemoryReport::of_partitions(&c.main, &deltas)
+            })
+            .fold(MemoryReport::default(), |a, b| a + b)
     }
 
     /// Run one online merge with the default grant ([`MergeStrategy::Parallel`],
@@ -480,8 +520,8 @@ impl<V: Value> OnlineTable<V> {
                     stats.columns.push(out.stats);
                 }
             }
-            for (k, old) in retired.into_iter().enumerate() {
-                self.recycle_retired(old, k);
+            for old in retired {
+                self.recycle_retired(old);
             }
             chunk_start = chunk_end;
         }
@@ -739,7 +779,7 @@ impl<V: Value> MergeSession<'_, V> {
             old
         };
         drop(main); // release our snapshot handle so the retiree can recycle
-        self.table.recycle_retired(retired, c);
+        self.table.recycle_retired(retired);
         self.stats.columns.push(out.stats);
         self.next_col += 1;
         true
@@ -1007,29 +1047,55 @@ mod tests {
     }
 
     #[test]
-    fn scratch_pool_recycles_retired_mains() {
-        // After a merge, the pool holds warmed scratches; a second merge of
-        // the same shape must neither grow nor shrink the banked capacity.
+    fn spare_bank_recycles_retired_mains() {
+        // After a merge, the table's bank holds the retired generation's
+        // buffers; a second merge of the same shape must neither grow nor
+        // shrink the banked capacity.
         let t = table_with_rows(2, 2_000);
         t.merge(1, None).unwrap();
         t.merge(1, None).unwrap(); // empty delta: same-size regeneration
-        let warmed: usize = t
-            .scratch_pool
-            .lock()
-            .iter()
-            .map(|s| s.spare_capacities().1)
-            .sum();
-        assert!(warmed > 0, "retired word buffers must have been recycled");
+        let warmed = t.spare_bank().spare_capacities();
+        assert!(warmed.1 > 0, "retired word buffers must have been recycled");
         for _ in 0..3 {
             t.merge(1, None).unwrap();
-            let now: usize = t
-                .scratch_pool
-                .lock()
-                .iter()
-                .map(|s| s.spare_capacities().1)
-                .sum();
-            assert_eq!(now, warmed, "steady-state merges reuse, not reallocate");
+            assert_eq!(
+                t.spare_bank().spare_capacities(),
+                warmed,
+                "steady-state merges reuse, not reallocate"
+            );
         }
+    }
+
+    #[test]
+    fn memory_report_tracks_the_merge() {
+        let t = table_with_rows(2, 1_000);
+        let before = t.memory_report();
+        assert_eq!(before.main_total(), 0, "everything still in the deltas");
+        assert!(before.delta_total() > 0);
+        t.merge(1, None).unwrap();
+        let after = t.memory_report();
+        assert_eq!(after.delta_total(), 0, "merge reclaims the delta bytes");
+        assert!(after.main_total() > 0);
+        assert!(
+            after.total() < before.total(),
+            "dictionary compression shrinks the footprint ({} vs {})",
+            after.total(),
+            before.total()
+        );
+        // A shared bank is visible through the builder.
+        let bank = Arc::new(crate::pipeline::SpareBank::new());
+        let t2 = OnlineTable::<u64>::new(1).with_spare_bank(Arc::clone(&bank));
+        t2.insert_row(&[1]);
+        t2.merge(1, None).unwrap();
+        t2.merge(1, None).unwrap();
+        assert!(
+            Arc::ptr_eq(t2.spare_bank(), &bank),
+            "builder shares the given bank"
+        );
+        assert!(
+            bank.spare_counts().1 > 0,
+            "recycles land in the shared bank"
+        );
     }
 
     #[test]

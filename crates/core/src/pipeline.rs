@@ -221,36 +221,147 @@ pub struct MergeScratch<V> {
     pub(crate) x_m: Vec<u32>,
     /// `X_D` (Stage 1b, optimized/parallel).
     pub(crate) x_d: Vec<u32>,
-    /// Spare merged-dictionary buffers (donated to outputs, refilled by
-    /// [`Self::recycle_main`]). Takes are best-fit by requested capacity
-    /// (first spare that already fits, else the largest), falling back to
-    /// FIFO order on ties — so a table whose columns are merged and
-    /// retired in schema order hands each column its own
-    /// previous-generation buffer, and mixed-width columns sharing one
-    /// arena still find the right-sized spare.
+    /// Local spare merged-dictionary buffers (donated to outputs, refilled
+    /// by [`Self::recycle_main`]) — used only when no [`SpareBank`] is
+    /// attached. Standalone scratches (ad-hoc column merges, benches)
+    /// bank spares here; table-owned scratches route every take/recycle to
+    /// the shared bank instead, so multi-worker merges never strand a
+    /// buffer in the wrong worker's arena.
     dict_spares: std::collections::VecDeque<Vec<V>>,
-    /// Spare packed-word buffers (same lifecycle).
+    /// Local spare packed-word buffers (same lifecycle).
     word_spares: std::collections::VecDeque<Vec<u64>>,
+    /// The shared table-level bank, when this scratch belongs to a table
+    /// ([`crate::manager::OnlineTable`] attaches it at checkout).
+    bank: Option<std::sync::Arc<SpareBank<V>>>,
 }
 
-/// Pick a spare from `q`: the first whose capacity covers `want`, else the
-/// largest available (minimizing the regrow), else a fresh empty `Vec`.
+/// A spare handed out may exceed the request by at most this factor; any
+/// larger and it is trimmed to `SPARE_TRIM_FACTOR * want` before reuse.
+/// Without the trim, the "else the largest" fallback below could hand a
+/// hugely over-sized buffer to a small merge, whose retired output would
+/// then re-bank the same giant capacity — an over-retention loop that pins
+/// the worst-case buffer forever.
+pub const SPARE_TRIM_FACTOR: usize = 2;
+
+/// Pick a spare from `q`: the **smallest** whose capacity covers `want`
+/// (best fit — under concurrent takes the first-fit rule could give a
+/// small request the only buffer a big request needs), else the largest
+/// available (minimizing the regrow), else a fresh empty `Vec`. Callers
+/// pass the result through [`trim_spare`] — *after* releasing any lock
+/// guarding `q`, since the trim may reallocate.
 fn take_spare<T>(q: &mut std::collections::VecDeque<Vec<T>>, want: usize) -> Vec<T> {
-    let pos = q.iter().position(|b| b.capacity() >= want).or_else(|| {
-        q.iter()
-            .enumerate()
-            .max_by_key(|(_, b)| b.capacity())
-            .map(|(i, _)| i)
-    });
+    let pos = q
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.capacity() >= want)
+        .min_by_key(|(_, b)| b.capacity())
+        .or_else(|| q.iter().enumerate().max_by_key(|(_, b)| b.capacity()))
+        .map(|(i, _)| i);
     match pos {
         Some(i) => q.remove(i).expect("position came from the queue"),
         None => Vec::new(),
     }
 }
 
+/// Enforce the [`SPARE_TRIM_FACTOR`] bound on a spare handed out for a
+/// `want`-sized request (the over-retention fix). Runs outside any spare
+/// queue lock: shrinking is an allocator round-trip.
+fn trim_spare<T>(mut buf: Vec<T>, want: usize) -> Vec<T> {
+    let cap = SPARE_TRIM_FACTOR * want.max(1);
+    if buf.capacity() > cap {
+        buf.shrink_to(cap);
+    }
+    buf
+}
+
 /// Bound on the spare stacks so a scratch that receives more retired
 /// partitions than it donates (e.g. a shrinking pool) cannot hoard memory.
 const MAX_SPARES: usize = 32;
+
+/// The table-level spare-buffer bank: one shared home for the two output
+/// buffers that outlive a merge (merged-dictionary values and packed code
+/// words), taken with size hints under a short lock.
+///
+/// Per-arena spares break down with several merge workers: the racing
+/// column→worker assignment can retire a column's buffer into one worker's
+/// arena while the next generation of that column is merged by another
+/// worker, stranding the recycled capacity and forcing a fresh allocation.
+/// A single bank shared by every worker (and, for a
+/// [`crate::shard::ShardedTable`], every shard) makes the spare pool one
+/// multiset: as long as each request has an exact-size match banked —
+/// which steady-state regeneration guarantees — best-fit takes keep
+/// multi-worker merges allocation-free. The lock is held only for the
+/// queue scan (capacities, no data), never across an allocation or copy.
+pub struct SpareBank<V> {
+    dicts: parking_lot::Mutex<std::collections::VecDeque<Vec<V>>>,
+    words: parking_lot::Mutex<std::collections::VecDeque<Vec<u64>>>,
+}
+
+impl<V: Value> Default for SpareBank<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Value> SpareBank<V> {
+    /// An empty bank (no allocations until the first recycle).
+    pub fn new() -> Self {
+        Self {
+            dicts: parking_lot::Mutex::new(std::collections::VecDeque::new()),
+            words: parking_lot::Mutex::new(std::collections::VecDeque::new()),
+        }
+    }
+
+    /// Take a spare dictionary buffer, best-fit for `want` values (empty
+    /// `Vec` if none is banked; over-sized spares are trimmed to
+    /// [`SPARE_TRIM_FACTOR`]× the request, after the lock is released).
+    pub fn take_dict(&self, want: usize) -> Vec<V> {
+        let buf = take_spare(&mut self.dicts.lock(), want);
+        trim_spare(buf, want)
+    }
+
+    /// Take a spare packed-word buffer (same contract as
+    /// [`Self::take_dict`]).
+    pub fn take_words(&self, want: usize) -> Vec<u64> {
+        let buf = take_spare(&mut self.words.lock(), want);
+        trim_spare(buf, want)
+    }
+
+    /// Recycle a retired main partition: its sorted value vector and
+    /// packed word buffer join the bank for the next merge's output, from
+    /// any worker on any column.
+    pub fn recycle_main(&self, main: MainPartition<V>) {
+        let (dict, codes) = main.into_parts();
+        {
+            let mut q = self.dicts.lock();
+            if q.len() < MAX_SPARES {
+                let mut d = dict.into_values();
+                d.clear();
+                q.push_back(d);
+            }
+        }
+        let mut q = self.words.lock();
+        if q.len() < MAX_SPARES {
+            let mut w = codes.into_words();
+            w.clear();
+            q.push_back(w);
+        }
+    }
+
+    /// Capacities currently banked, `(dictionary values, code words)` —
+    /// exposed so tests can assert capacity stability across merges.
+    pub fn spare_capacities(&self) -> (usize, usize) {
+        (
+            self.dicts.lock().iter().map(|d| d.capacity()).sum(),
+            self.words.lock().iter().map(|w| w.capacity()).sum(),
+        )
+    }
+
+    /// Number of banked buffers, `(dictionaries, word buffers)`.
+    pub fn spare_counts(&self) -> (usize, usize) {
+        (self.dicts.lock().len(), self.words.lock().len())
+    }
+}
 
 impl<V: Value> Default for MergeScratch<V> {
     fn default() -> Self {
@@ -269,26 +380,65 @@ impl<V: Value> MergeScratch<V> {
             x_d: Vec::new(),
             dict_spares: std::collections::VecDeque::new(),
             word_spares: std::collections::VecDeque::new(),
+            bank: None,
         }
+    }
+
+    /// Route this scratch's output-buffer takes and recycles through a
+    /// shared table-level [`SpareBank`] instead of the local queues. Any
+    /// locally banked spares move to the bank, so attaching never strands
+    /// capacity.
+    pub fn attach_bank(&mut self, bank: std::sync::Arc<SpareBank<V>>) {
+        if self
+            .bank
+            .as_ref()
+            .is_some_and(|b| std::sync::Arc::ptr_eq(b, &bank))
+        {
+            return;
+        }
+        for d in self.dict_spares.drain(..) {
+            let mut q = bank.dicts.lock();
+            if q.len() < MAX_SPARES {
+                q.push_back(d);
+            }
+        }
+        for w in self.word_spares.drain(..) {
+            let mut q = bank.words.lock();
+            if q.len() < MAX_SPARES {
+                q.push_back(w);
+            }
+        }
+        self.bank = Some(bank);
     }
 
     /// Take a spare dictionary buffer, best-fit for `want` values (empty
     /// `Vec` if none is banked).
     pub(crate) fn take_dict(&mut self, want: usize) -> Vec<V> {
-        take_spare(&mut self.dict_spares, want)
+        match &self.bank {
+            Some(b) => b.take_dict(want),
+            None => trim_spare(take_spare(&mut self.dict_spares, want), want),
+        }
     }
 
     /// Take a spare word buffer, best-fit for `want` words (empty `Vec`
     /// if none is banked).
     pub(crate) fn take_words(&mut self, want: usize) -> Vec<u64> {
-        take_spare(&mut self.word_spares, want)
+        match &self.bank {
+            Some(b) => b.take_words(want),
+            None => trim_spare(take_spare(&mut self.word_spares, want), want),
+        }
     }
 
     /// Recycle a retired main partition: its sorted value vector and packed
-    /// word buffer join the spare queues for the next merge's output.
-    /// This is how steady-state merges reach zero allocation — the old
-    /// generation's memory becomes the new generation's buffers.
+    /// word buffer join the spare queues (the attached [`SpareBank`]'s, if
+    /// any, else this arena's own) for the next merge's output. This is how
+    /// steady-state merges reach zero allocation — the old generation's
+    /// memory becomes the new generation's buffers.
     pub fn recycle_main(&mut self, main: MainPartition<V>) {
+        if let Some(b) = &self.bank {
+            b.recycle_main(main);
+            return;
+        }
         let (dict, codes) = main.into_parts();
         if self.dict_spares.len() < MAX_SPARES {
             let mut d = dict.into_values();
@@ -302,8 +452,10 @@ impl<V: Value> MergeScratch<V> {
         }
     }
 
-    /// Capacities currently banked, `(dictionary values, code words)` —
-    /// exposed so tests can assert capacity stability across merges.
+    /// Capacities currently banked in this arena's **local** queues,
+    /// `(dictionary values, code words)` — zero for bank-attached
+    /// scratches (ask the [`SpareBank`] instead); exposed so tests can
+    /// assert capacity stability across merges.
     pub fn spare_capacities(&self) -> (usize, usize) {
         (
             self.dict_spares.iter().map(|d| d.capacity()).sum(),
@@ -749,6 +901,79 @@ mod tests {
         assert!(fallback.capacity() >= 64);
         // Empty bank yields a fresh Vec.
         assert_eq!(scratch.take_dict(10).capacity(), 0);
+    }
+
+    #[test]
+    fn oversized_spares_are_trimmed_on_take() {
+        // The over-retention loop this guards against: a giant buffer banked
+        // once used to be handed to every smaller request via the
+        // "else the largest" fallback, and the retired output re-banked the
+        // giant capacity forever.
+        let mut scratch: MergeScratch<u64> = MergeScratch::new();
+        scratch.recycle_main(MainPartition::from_values(
+            &(0..100_000u64).collect::<Vec<_>>(),
+        ));
+        let want = 500usize;
+        let buf = scratch.take_dict(want);
+        assert!(
+            buf.capacity() >= want && buf.capacity() <= SPARE_TRIM_FACTOR * want,
+            "oversized spare must be trimmed to at most {}x the request, got {}",
+            SPARE_TRIM_FACTOR,
+            buf.capacity()
+        );
+        // Same bound through a shared bank, for the word queue.
+        let bank: SpareBank<u64> = SpareBank::new();
+        bank.recycle_main(MainPartition::from_values(
+            &(0..100_000u64).collect::<Vec<_>>(),
+        ));
+        let words = bank.take_words(64);
+        assert!(
+            words.capacity() <= SPARE_TRIM_FACTOR * 64,
+            "bank takes trim too, got {}",
+            words.capacity()
+        );
+        // Steady state is untouched: an exact-fit request is not trimmed
+        // (no realloc on the zero-allocation path).
+        let mut scratch: MergeScratch<u64> = MergeScratch::new();
+        scratch.recycle_main(MainPartition::from_values(
+            &(0..1_000u64).collect::<Vec<_>>(),
+        ));
+        let before = scratch.spare_capacities().0;
+        let buf = scratch.take_dict(before);
+        assert_eq!(buf.capacity(), before, "exact fit passes through as-is");
+        // A zero-size request cannot keep a giant alive either.
+        let mut scratch: MergeScratch<u64> = MergeScratch::new();
+        scratch.recycle_main(MainPartition::from_values(
+            &(0..100_000u64).collect::<Vec<_>>(),
+        ));
+        assert!(scratch.take_dict(0).capacity() <= SPARE_TRIM_FACTOR);
+    }
+
+    #[test]
+    fn bank_attached_scratches_share_spares() {
+        use std::sync::Arc;
+        let bank = Arc::new(SpareBank::<u64>::new());
+        // Two workers' arenas attached to one bank: what worker A retires,
+        // worker B can take — the multi-worker stranding fix.
+        let mut a = MergeScratch::new();
+        let mut b = MergeScratch::new();
+        a.attach_bank(Arc::clone(&bank));
+        b.attach_bank(Arc::clone(&bank));
+        let main = MainPartition::from_values(&(0..10_000u64).collect::<Vec<_>>());
+        let want = main.dictionary().values().len();
+        a.recycle_main(main);
+        assert_eq!(a.spare_capacities(), (0, 0), "locals bypassed");
+        assert_eq!(bank.spare_counts(), (1, 1));
+        let got = b.take_dict(want);
+        assert!(got.capacity() >= want, "B reuses what A retired");
+        assert_eq!(bank.spare_counts(), (0, 1));
+        // Attaching moves locally banked spares into the bank.
+        let mut c = MergeScratch::new();
+        c.recycle_main(MainPartition::from_values(&(0..50u64).collect::<Vec<_>>()));
+        assert!(c.spare_capacities().0 > 0);
+        c.attach_bank(Arc::clone(&bank));
+        assert_eq!(c.spare_capacities(), (0, 0));
+        assert_eq!(bank.spare_counts(), (1, 2));
     }
 
     #[test]

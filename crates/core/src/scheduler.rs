@@ -6,21 +6,27 @@
 //! available bandwidth and thus adjust the degree of parallelization for the
 //! merge process." (Sections 3, 9)
 //!
-//! [`SourceScheduler`] owns a daemon thread that polls a [`MergeSource`]'s
-//! delta fraction and runs merges per a [`MergePolicy`] — the piece that
-//! turns the merge primitive into the hands-off system the paper describes.
-//! It supports pausing (the scheduler finishes nothing new while paused) and
-//! reports cumulative statistics.
+//! [`SourceScheduler`] owns a daemon thread that polls a [`MergeSource`]
+//! through a [`ResourceGovernor`] — the piece that turns the merge
+//! primitive into the hands-off system the paper describes. Every poll
+//! round the governor samples read/write/memory pressure and emits the
+//! round's [`MergeGrant`] (see [`crate::governor`] for the decision
+//! table); [`SourceScheduler::spawn`] with a plain [`MergePolicy`] wraps
+//! the policy in a default governor, so the static behavior is the
+//! baseline row of that table. The scheduler supports pausing (it starts
+//! nothing new while paused) and reports cumulative statistics including
+//! the bounded trace of recent grant decisions.
 //!
 //! The scheduler is generic over *what* it merges: [`MergeScheduler`] is the
 //! single-[`OnlineTable`] instance; the sharded generalization (N tables,
-//! at most K concurrent merges, highest delta fraction first) lives in
-//! [`crate::shard::ShardedScheduler`] and drives the same trait.
+//! at most K concurrent merges, highest priority first) lives in
+//! [`crate::shard::ShardedScheduler`] and polls the same governor core.
 
+use crate::governor::{GovernorConfig, GrantRecord, LoadView, ResourceGovernor};
 use crate::manager::{MergePolicy, OnlineTable};
 use crate::pipeline::MergeGrant;
 use crate::stats::StageTimings;
-use hyrise_storage::Value;
+use hyrise_storage::{MemoryReport, Value};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -32,6 +38,12 @@ pub struct MergeOutcome {
     /// Tuples moved from delta partitions into main partitions (per-column
     /// sum).
     pub tuples_moved: u64,
+    /// Delta **rows** drained by the merge (`tuples_moved / N_C` — every
+    /// column drains the same rows). This is the unit the governor's
+    /// write-pressure window corrects with: delta lengths are row counts,
+    /// so crediting the per-column sum back would overstate the insert
+    /// rate by the column count.
+    pub rows_moved: u64,
     /// Wall time of the merge.
     pub wall: Duration,
     /// Per-stage breakdown (summed over columns) — what the paper's
@@ -40,17 +52,29 @@ pub struct MergeOutcome {
 }
 
 /// Something a background scheduler can merge: reports its merge-trigger
-/// ratio and runs one merge on demand. Implemented by [`OnlineTable`]; a
-/// resource-granting scheduler ([`SourceScheduler`],
-/// [`crate::shard::ShardedScheduler`]) needs nothing more from its tables.
+/// ratio (plus the governor's write/memory samples) and runs one merge on
+/// demand. Implemented by [`OnlineTable`]; a resource-granting scheduler
+/// ([`SourceScheduler`], [`crate::shard::ShardedScheduler`]) needs nothing
+/// more from its tables. *When* to merge is not the source's call — the
+/// [`ResourceGovernor`] decides eligibility each round from
+/// `delta_fraction × pressure` against the policy trigger.
 pub trait MergeSource: Send + Sync + 'static {
     /// The merge-trigger ratio `N_D / max(N_M, 1)` (always finite; see
     /// [`OnlineTable::delta_fraction`]).
     fn delta_fraction(&self) -> f64;
 
-    /// Does `policy` call for a merge now?
-    fn should_merge(&self, policy: &MergePolicy) -> bool {
-        self.delta_fraction() > policy.delta_fraction
+    /// Tuples currently awaiting a merge — the governor's write-pressure
+    /// sample (delta growth between polls). The default suits sources
+    /// that cannot count; real tables should override.
+    fn delta_tuples(&self) -> usize {
+        0
+    }
+
+    /// Byte-level accounting for the governor's memory-pressure signal.
+    /// The default (all zeros) never triggers memory pressure; real
+    /// tables should override.
+    fn memory_report(&self) -> MemoryReport {
+        MemoryReport::default()
     }
 
     /// Run one merge under `grant` (threads, strategy, memory budget).
@@ -64,14 +88,19 @@ impl<V: Value> MergeSource for OnlineTable<V> {
         OnlineTable::delta_fraction(self)
     }
 
-    fn should_merge(&self, policy: &MergePolicy) -> bool {
-        OnlineTable::should_merge(self, policy)
+    fn delta_tuples(&self) -> usize {
+        self.delta_len()
+    }
+
+    fn memory_report(&self) -> MemoryReport {
+        OnlineTable::memory_report(self)
     }
 
     fn run_merge(&self, grant: MergeGrant) -> Option<MergeOutcome> {
         let stats = self.merge_with(grant, None).ok()?;
         Some(MergeOutcome {
             tuples_moved: stats.columns.iter().map(|c| c.n_d as u64).sum(),
+            rows_moved: stats.columns.first().map_or(0, |c| c.n_d as u64),
             wall: stats.t_wall,
             stages: stats.stage_timings(),
         })
@@ -79,7 +108,7 @@ impl<V: Value> MergeSource for OnlineTable<V> {
 }
 
 /// Cumulative scheduler statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SchedulerStats {
     /// Merges completed.
     pub merges: u64,
@@ -88,12 +117,16 @@ pub struct SchedulerStats {
     pub tuples_merged: u64,
     /// Total milliseconds spent inside merges.
     pub merge_millis: u64,
+    /// Bounded trace of the governor's recent grant decisions (strategy,
+    /// threads, budget K, triggering signal), oldest first.
+    pub grants: Vec<GrantRecord>,
 }
 
 /// Handle to a running background merge scheduler over one [`MergeSource`].
 /// Dropping the handle stops the daemon (joining its thread).
 pub struct SourceScheduler<S: MergeSource> {
     source: Arc<S>,
+    governor: Arc<ResourceGovernor>,
     stop: Arc<AtomicBool>,
     paused: Arc<AtomicBool>,
     merges: Arc<AtomicU64>,
@@ -108,8 +141,22 @@ pub type MergeScheduler<V> = SourceScheduler<OnlineTable<V>>;
 
 impl<S: MergeSource> SourceScheduler<S> {
     /// Spawn a scheduler over `source` with `policy`, checking the trigger
-    /// every `poll`.
+    /// every `poll`. The policy is wrapped in a default
+    /// [`ResourceGovernor`] ([`GovernorConfig::from_policy`]): same
+    /// trigger, same grant at baseline, plus opportunistic thread raises
+    /// when the process is read-idle. Use [`Self::spawn_governed`] to tune
+    /// the adaptive behavior.
     pub fn spawn(source: Arc<S>, policy: MergePolicy, poll: Duration) -> Self {
+        Self::spawn_governed(
+            source,
+            ResourceGovernor::new(GovernorConfig::from_policy(policy)),
+            poll,
+        )
+    }
+
+    /// Spawn a scheduler whose per-round grants come from `governor`.
+    pub fn spawn_governed(source: Arc<S>, governor: ResourceGovernor, poll: Duration) -> Self {
+        let governor = Arc::new(governor);
         let stop = Arc::new(AtomicBool::new(false));
         let paused = Arc::new(AtomicBool::new(false));
         let merges = Arc::new(AtomicU64::new(0));
@@ -118,6 +165,7 @@ impl<S: MergeSource> SourceScheduler<S> {
 
         let handle = {
             let source = Arc::clone(&source);
+            let governor = Arc::clone(&governor);
             let stop = Arc::clone(&stop);
             let paused = Arc::clone(&paused);
             let merges = Arc::clone(&merges);
@@ -125,11 +173,15 @@ impl<S: MergeSource> SourceScheduler<S> {
             let millis = Arc::clone(&millis);
             std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
-                    if !paused.load(Ordering::Relaxed) && source.should_merge(&policy) {
-                        if let Some(out) = source.run_merge(policy.grant()) {
-                            merges.fetch_add(1, Ordering::Relaxed);
-                            tuples.fetch_add(out.tuples_moved, Ordering::Relaxed);
-                            millis.fetch_add(out.wall.as_millis() as u64, Ordering::Relaxed);
+                    if !paused.load(Ordering::Relaxed) {
+                        let plan = governor.plan(&LoadView::of_source(source.as_ref()));
+                        if !plan.selected.is_empty() {
+                            if let Some(out) = source.run_merge(plan.grant) {
+                                merges.fetch_add(1, Ordering::Relaxed);
+                                tuples.fetch_add(out.tuples_moved, Ordering::Relaxed);
+                                millis.fetch_add(out.wall.as_millis() as u64, Ordering::Relaxed);
+                                governor.record_outcome(&out);
+                            }
                         }
                     }
                     std::thread::sleep(poll);
@@ -138,6 +190,7 @@ impl<S: MergeSource> SourceScheduler<S> {
         };
         Self {
             source,
+            governor,
             stop,
             paused,
             merges,
@@ -150,6 +203,11 @@ impl<S: MergeSource> SourceScheduler<S> {
     /// The merge source being managed (the table, for [`MergeScheduler`]).
     pub fn table(&self) -> &Arc<S> {
         &self.source
+    }
+
+    /// The governor granting this scheduler's merges.
+    pub fn governor(&self) -> &Arc<ResourceGovernor> {
+        &self.governor
     }
 
     /// Pause scheduling: no new merges start until [`Self::resume`]. An
@@ -169,12 +227,14 @@ impl<S: MergeSource> SourceScheduler<S> {
         self.paused.load(Ordering::Relaxed)
     }
 
-    /// Snapshot of cumulative statistics.
+    /// Snapshot of cumulative statistics (including the governor's recent
+    /// grant trace).
     pub fn stats(&self) -> SchedulerStats {
         SchedulerStats {
             merges: self.merges.load(Ordering::Relaxed),
             tuples_merged: self.tuples.load(Ordering::Relaxed),
             merge_millis: self.millis.load(Ordering::Relaxed),
+            grants: self.governor.recent_grants(),
         }
     }
 
@@ -339,10 +399,50 @@ mod tests {
         insert_rows(&table, 64, 0);
         let src: &dyn MergeSource = &table;
         assert_eq!(src.delta_fraction(), 64.0);
+        assert_eq!(src.delta_tuples(), 64);
+        assert!(src.memory_report().delta_total() > 0);
         let out = src
             .run_merge(MergeGrant::with_threads(2))
             .expect("uncancelled merge commits");
         assert_eq!(out.tuples_moved, 64 * 2, "both columns counted");
         assert_eq!(src.delta_fraction(), 0.0);
+        assert_eq!(src.delta_tuples(), 0);
+        assert_eq!(src.memory_report().delta_total(), 0);
+    }
+
+    #[test]
+    fn governed_scheduler_records_grants_and_shrinks_budget_under_pressure() {
+        use crate::governor::{GovernorConfig, GrantSignal, ResourceGovernor};
+        let table = Arc::new(OnlineTable::<u64>::new(2));
+        insert_rows(&table, 4_000, 0);
+        // A soft limit of one byte: every round is memory-pressured, so
+        // every grant must carry the shrunk pressure budget.
+        let config = GovernorConfig::from_policy(MergePolicy {
+            delta_fraction: 0.01,
+            threads: 2,
+            ..MergePolicy::default()
+        })
+        .with_memory_soft_limit(1);
+        let sched = MergeScheduler::spawn_governed(
+            Arc::clone(&table),
+            ResourceGovernor::new(config),
+            Duration::from_millis(2),
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while sched.stats().merges == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sched.shutdown();
+        let stats = sched.stats();
+        assert!(stats.merges >= 1, "governed daemon must merge");
+        assert!(!stats.grants.is_empty(), "grant decisions are traced");
+        let g = stats.grants.last().unwrap();
+        assert_eq!(g.signal, GrantSignal::MemoryPressure);
+        assert_eq!(
+            g.budget_columns,
+            sched.governor().config().pressure_budget.max_columns(),
+            "memory pressure shrinks the merge budget"
+        );
+        assert_eq!(table.delta_len(), 0, "pressure never blocks draining");
     }
 }

@@ -22,11 +22,12 @@
 //!   shard), so the plain [`crate::scheduler::SourceScheduler`] can drive a
 //!   sharded table one merge at a time when concurrency is not wanted.
 
+use crate::governor::{GovernorConfig, GrantRecord, LoadView, ResourceGovernor};
 use crate::manager::{MergePolicy, OnlineTable, TableSnapshot};
-use crate::pipeline::MergeGrant;
+use crate::pipeline::{MergeGrant, SpareBank};
 use crate::scheduler::{MergeOutcome, MergeSource};
 use crate::stats::TableMergeStats;
-use hyrise_storage::Value;
+use hyrise_storage::{MemoryReport, Value};
 use parking_lot::Mutex;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -68,12 +69,14 @@ pub struct ShardedTable<V: Value> {
 impl<V: Value> ShardedTable<V> {
     /// Hash-partitioned table of `num_shards` shards, each with
     /// `num_columns` columns, keyed on column 0 (see
-    /// [`Self::with_key_col`]).
+    /// [`Self::with_key_col`]). All shards share one [`SpareBank`], so a
+    /// merge on any shard can reuse buffers retired by any other.
     pub fn hash(num_shards: usize, num_columns: usize) -> Self {
         assert!(num_shards > 0, "a sharded table needs at least one shard");
+        let bank = Arc::new(SpareBank::new());
         Self {
             shards: (0..num_shards)
-                .map(|_| Arc::new(OnlineTable::new(num_columns)))
+                .map(|_| Arc::new(OnlineTable::new(num_columns).with_spare_bank(Arc::clone(&bank))))
                 .collect(),
             by: ShardBy::Hash,
             key_col: 0,
@@ -81,19 +84,26 @@ impl<V: Value> ShardedTable<V> {
     }
 
     /// Range-partitioned table over ascending `bounds` (producing
-    /// `bounds.len() + 1` shards), keyed on column 0.
+    /// `bounds.len() + 1` shards), keyed on column 0. All shards share one
+    /// [`SpareBank`].
     pub fn range(bounds: Vec<V>, num_columns: usize) -> Self {
         assert!(
             bounds.windows(2).all(|w| w[0] < w[1]),
             "range bounds must be strictly ascending"
         );
+        let bank = Arc::new(SpareBank::new());
         Self {
             shards: (0..bounds.len() + 1)
-                .map(|_| Arc::new(OnlineTable::new(num_columns)))
+                .map(|_| Arc::new(OnlineTable::new(num_columns).with_spare_bank(Arc::clone(&bank))))
                 .collect(),
             by: ShardBy::Range(bounds),
             key_col: 0,
         }
+    }
+
+    /// The spare-buffer bank shared by every shard.
+    pub fn spare_bank(&self) -> &Arc<SpareBank<V>> {
+        self.shards[0].spare_bank()
     }
 
     /// Route on `col` instead of column 0.
@@ -241,6 +251,15 @@ impl<V: Value> ShardedTable<V> {
         self.delta_fractions().into_iter().fold(0.0, f64::max)
     }
 
+    /// Byte-level memory accounting summed over every shard — the
+    /// governor's memory-pressure sample for the whole sharded table.
+    pub fn memory_report(&self) -> MemoryReport {
+        self.shards
+            .iter()
+            .map(|s| s.memory_report())
+            .fold(MemoryReport::default(), |a, b| a + b)
+    }
+
     /// A consistent per-shard snapshot set for lock-free fan-out scans.
     /// Each snapshot is internally consistent; across shards the snapshots
     /// are taken in sequence (per-shard snapshot isolation — the same
@@ -275,6 +294,14 @@ impl<V: Value> ShardedTable<V> {
 impl<V: Value> MergeSource for ShardedTable<V> {
     fn delta_fraction(&self) -> f64 {
         self.max_delta_fraction()
+    }
+
+    fn delta_tuples(&self) -> usize {
+        self.delta_len()
+    }
+
+    fn memory_report(&self) -> MemoryReport {
+        ShardedTable::memory_report(self)
     }
 
     fn run_merge(&self, grant: MergeGrant) -> Option<MergeOutcome> {
@@ -312,7 +339,7 @@ impl ShardMergeStats {
 }
 
 /// Cumulative [`ShardedScheduler`] statistics.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ShardedSchedulerStats {
     /// Merges completed across all shards.
     pub merges: u64,
@@ -323,17 +350,26 @@ pub struct ShardedSchedulerStats {
     pub merge_millis: u64,
     /// Per-shard merge counts with per-stage timing breakdown.
     pub per_shard: Vec<ShardMergeStats>,
+    /// Bounded trace of the governor's recent grant decisions (strategy,
+    /// threads, budget K, triggering signal), oldest first — one entry per
+    /// poll round that selected at least one shard.
+    pub grants: Vec<GrantRecord>,
 }
 
-/// Background merge scheduler over a [`ShardedTable`]: each poll round it
-/// ranks the shards whose [`MergePolicy`] trigger fires by delta fraction
-/// (worst first), grants merge threads to at most `max_concurrent` of them,
-/// and runs those merges concurrently — the multi-table version of the
+/// Background merge scheduler over a [`ShardedTable`]: each poll round its
+/// [`ResourceGovernor`] samples read/write/memory pressure, ranks the
+/// eligible shards by `delta fraction × pressure` (worst first), grants at
+/// most `max_concurrent` of them the round's adaptive [`MergeGrant`], and
+/// runs those merges concurrently — the multi-table realization of the
 /// paper's "scheduling algorithm \[that\] could constantly analyze the
 /// available bandwidth and thus adjust the degree of parallelization"
-/// (Section 9). Pause/resume apply globally across all shards.
+/// (Section 9). The decision core is the same [`ResourceGovernor::plan`]
+/// the single-table [`crate::scheduler::SourceScheduler`] polls.
+/// Pause/resume apply globally across all shards.
 pub struct ShardedScheduler<V: Value> {
     table: Arc<ShardedTable<V>>,
+    governor: Arc<ResourceGovernor>,
+    max_concurrent: usize,
     stop: Arc<AtomicBool>,
     paused: Arc<AtomicBool>,
     merges: Arc<AtomicU64>,
@@ -375,14 +411,33 @@ impl ShardCells {
 
 impl<V: Value> ShardedScheduler<V> {
     /// Spawn the scheduler daemon: check triggers every `poll`, run at most
-    /// `max_concurrent` shard merges at a time, `policy.threads` threads
-    /// granted to each.
+    /// `max_concurrent` shard merges at a time. The policy is wrapped in a
+    /// default [`ResourceGovernor`] ([`GovernorConfig::from_policy`]), so
+    /// at baseline each chosen shard gets `policy.threads` threads exactly
+    /// as before; use [`Self::spawn_governed`] to tune the adaptive
+    /// behavior.
     pub fn spawn(
         table: Arc<ShardedTable<V>>,
         policy: MergePolicy,
         max_concurrent: usize,
         poll: Duration,
     ) -> Self {
+        Self::spawn_governed(
+            table,
+            ResourceGovernor::new(GovernorConfig::from_policy(policy)),
+            max_concurrent,
+            poll,
+        )
+    }
+
+    /// Spawn the scheduler daemon with per-round grants from `governor`.
+    pub fn spawn_governed(
+        table: Arc<ShardedTable<V>>,
+        governor: ResourceGovernor,
+        max_concurrent: usize,
+        poll: Duration,
+    ) -> Self {
+        let governor = Arc::new(governor);
         let max_concurrent = max_concurrent.max(1);
         let stop = Arc::new(AtomicBool::new(false));
         let paused = Arc::new(AtomicBool::new(false));
@@ -397,6 +452,7 @@ impl<V: Value> ShardedScheduler<V> {
 
         let handle = {
             let table = Arc::clone(&table);
+            let governor = Arc::clone(&governor);
             let stop = Arc::clone(&stop);
             let paused = Arc::clone(&paused);
             let merges = Arc::clone(&merges);
@@ -406,26 +462,27 @@ impl<V: Value> ShardedScheduler<V> {
             std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     if !paused.load(Ordering::Relaxed) {
-                        // Rank the shards whose trigger fires, worst first.
-                        let mut eligible: Vec<(usize, f64)> = table
-                            .shards()
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, s)| s.should_merge(&policy))
-                            .map(|(i, s)| (i, s.delta_fraction()))
-                            .collect();
-                        eligible.sort_by(|a, b| b.1.total_cmp(&a.1));
-                        eligible.truncate(max_concurrent);
-                        if !eligible.is_empty() {
+                        // One governor round: sample pressure, rank shards
+                        // by delta fraction × pressure, emit the adaptive
+                        // grant for the chosen few.
+                        let view = LoadView {
+                            fractions: table.delta_fractions(),
+                            delta_tuples: table.delta_len(),
+                            memory: table.memory_report(),
+                            max_concurrent,
+                        };
+                        let plan = governor.plan(&view);
+                        if !plan.selected.is_empty() {
                             // Grant merge threads to the chosen shards; the
                             // scope is the at-most-K concurrency bound.
                             std::thread::scope(|s| {
-                                for &(i, _) in &eligible {
+                                for &i in &plan.selected {
                                     let shard = Arc::clone(table.shard(i));
-                                    let (merges, tuples, millis, per_shard) =
-                                        (&merges, &tuples, &millis, &per_shard);
+                                    let grant = plan.grant;
+                                    let (merges, tuples, millis, per_shard, governor) =
+                                        (&merges, &tuples, &millis, &per_shard, &governor);
                                     s.spawn(move || {
-                                        if let Some(out) = shard.run_merge(policy.grant()) {
+                                        if let Some(out) = shard.run_merge(grant) {
                                             merges.fetch_add(1, Ordering::Relaxed);
                                             tuples.fetch_add(out.tuples_moved, Ordering::Relaxed);
                                             millis.fetch_add(
@@ -433,6 +490,7 @@ impl<V: Value> ShardedScheduler<V> {
                                                 Ordering::Relaxed,
                                             );
                                             per_shard[i].record(&out);
+                                            governor.record_outcome(&out);
                                         }
                                     });
                                 }
@@ -445,6 +503,8 @@ impl<V: Value> ShardedScheduler<V> {
         };
         Self {
             table,
+            governor,
+            max_concurrent,
             stop,
             paused,
             merges,
@@ -458,6 +518,16 @@ impl<V: Value> ShardedScheduler<V> {
     /// The sharded table being managed.
     pub fn table(&self) -> &Arc<ShardedTable<V>> {
         &self.table
+    }
+
+    /// The governor granting this scheduler's merges.
+    pub fn governor(&self) -> &Arc<ResourceGovernor> {
+        &self.governor
+    }
+
+    /// The concurrency bound (merge slots per poll round).
+    pub fn max_concurrent(&self) -> usize {
+        self.max_concurrent
     }
 
     /// Pause scheduling globally: no shard starts a new merge until
@@ -476,13 +546,15 @@ impl<V: Value> ShardedScheduler<V> {
         self.paused.load(Ordering::Relaxed)
     }
 
-    /// Snapshot of cumulative statistics.
+    /// Snapshot of cumulative statistics (including the governor's recent
+    /// grant trace).
     pub fn stats(&self) -> ShardedSchedulerStats {
         ShardedSchedulerStats {
             merges: self.merges.load(Ordering::Relaxed),
             tuples_merged: self.tuples.load(Ordering::Relaxed),
             merge_millis: self.millis.load(Ordering::Relaxed),
             per_shard: self.per_shard.iter().map(|c| c.snapshot()).collect(),
+            grants: self.governor.recent_grants(),
         }
     }
 

@@ -12,6 +12,7 @@
 //! legitimately makes (the CSB+ iterator's descent stack, the region-split
 //! plan, thread bookkeeping on the table path).
 
+use hyrise_core::shard::ShardedTable;
 use hyrise_core::{merge_column_with, MergeGrant, MergeScratch, MergeStrategy, OnlineTable};
 use hyrise_storage::{DeltaPartition, MainPartition};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -156,5 +157,56 @@ fn warmed_scratch_merges_without_buffer_allocations() {
         "steady-state table merges must draw every buffer from the pool \
          (saw {} large allocations, {} bytes total)",
         counts.large_allocs, counts.total_bytes
+    );
+
+    // --- Scenario C: concurrent multi-worker ShardedTable merges through
+    // the shared SpareBank. ---
+    // Two shards, two columns, two merge workers per shard merge: the
+    // column→worker assignment is racy, so per-arena spares used to strand
+    // retired buffers in the wrong worker's arena; the table-level bank
+    // makes the spare pool one multiset, and best-fit takes give every
+    // request its exact-size match. The data is constructed so every
+    // column on every shard has the same dictionary size (500 distinct
+    // values) and the same row count — the working sets of all concurrent
+    // requests are interchangeable, so zero large allocations must hold
+    // regardless of which worker takes which buffer first.
+    let sharded = ShardedTable::<u64>::range(vec![500], 2);
+    let rows: Vec<[u64; 2]> = (0..60_000u64)
+        .map(|i| [i % 1_000, 1_000 + i % 1_000])
+        .collect();
+    sharded.insert_rows(&rows);
+    let grant = MergeGrant::with_threads(2);
+    let concurrent_merge = || {
+        std::thread::scope(|s| {
+            for shard in sharded.shards() {
+                s.spawn(|| {
+                    shard.merge_with(grant, None).unwrap();
+                });
+            }
+        });
+    };
+    // Warm-up: the first merge builds the mains, the second banks
+    // exact-size spares for every column of every shard and warms each
+    // worker's intermediate arena.
+    concurrent_merge();
+    concurrent_merge();
+    let warmed = sharded.spare_bank().spare_capacities();
+    assert!(warmed.0 > 0 && warmed.1 > 0, "bank warmed: {warmed:?}");
+    let (_, counts) = counted(|| {
+        for _ in 0..3 {
+            concurrent_merge();
+        }
+    });
+    assert_eq!(
+        counts.large_allocs, 0,
+        "warmed multi-worker sharded merges must draw every \
+         dictionary/output buffer from the shared SpareBank \
+         (saw {} large allocations, {} bytes total)",
+        counts.large_allocs, counts.total_bytes
+    );
+    assert_eq!(
+        sharded.spare_bank().spare_capacities(),
+        warmed,
+        "the bank is at its fixed point"
     );
 }

@@ -6,8 +6,9 @@
 //! validity, the same visible rows. On a single [`OnlineTable`] and on
 //! 1–4-shard hash- and range-partitioned [`ShardedTable`]s.
 
+use hyrise_core::governor::{GovernorConfig, LoadView, ResourceGovernor};
 use hyrise_core::shard::{ShardRowId, ShardedTable};
-use hyrise_core::{MergeBudget, MergeGrant, MergeStrategy, OnlineTable};
+use hyrise_core::{MergeBudget, MergeGrant, MergePolicy, MergeStrategy, OnlineTable};
 use proptest::prelude::*;
 
 const COLS: usize = 3;
@@ -225,5 +226,84 @@ proptest! {
                 prop_assert_eq!(tables[0].is_valid(*id), t.is_valid(*id));
             }
         }
+    }
+
+    /// Whatever the governor decides — any soft limit, any thread
+    /// ceiling, any read thresholds, hence any row of its decision table
+    /// — the grants it emits must leave the table byte-identical to the
+    /// reference configuration. Adaptivity tunes cost, never results.
+    #[test]
+    fn governor_driven_grants_preserve_byte_identity(
+        // 64 is the "no limit" sentinel (the vendored proptest stub has no
+        // Option strategy).
+        soft_limit_kb in 0usize..65,
+        max_threads in 1usize..8,
+        busy in 0usize..3,
+        ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..160),
+    ) {
+        let reference = OnlineTable::<u64>::new(COLS);
+        let governed = OnlineTable::<u64>::new(COLS);
+        // Governor knobs drawn by proptest: a kilobyte-scale soft limit
+        // (or none) flips MemoryPressure on and off mid-run as the table
+        // grows and merges; the busy threshold of 0 reads/s forces the
+        // Contended row whenever any concurrently running test queries.
+        let config = GovernorConfig::from_policy(MergePolicy {
+            delta_fraction: 0.05,
+            threads: 2,
+            ..MergePolicy::default()
+        })
+        .with_memory_soft_limit(if soft_limit_kb == 64 {
+            usize::MAX
+        } else {
+            soft_limit_kb * 1024
+        })
+        .with_max_threads(max_threads)
+        .with_read_thresholds(busy as f64, busy as f64);
+        let gov = ResourceGovernor::new(config);
+        let reference_grant = MergeGrant::with_threads(1).strategy(MergeStrategy::Optimized);
+        let mut ids: Vec<usize> = Vec::new();
+        for &(code, a, b) in &ops {
+            match decode(code, a, b) {
+                Op::Insert { seed } => {
+                    let r = row(seed);
+                    reference.insert_row(&r);
+                    ids.push(governed.insert_row(&r));
+                }
+                Op::Update { target, seed } => {
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let i = ids[(target as usize) % ids.len()];
+                    let r = row(seed);
+                    reference.update_row(i, &r);
+                    ids.push(governed.update_row(i, &r));
+                }
+                Op::Delete { target } => {
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let i = ids[(target as usize) % ids.len()];
+                    reference.delete_row(i);
+                    governed.delete_row(i);
+                }
+                Op::Merge => {
+                    reference.merge_with(reference_grant, None).unwrap();
+                    // Merge unconditionally (selection gates *when*, the
+                    // property is about *what* the grant produces) with
+                    // whatever grant the governor's live signals yield.
+                    let plan = gov.plan(&LoadView::of_source(&governed));
+                    governed.merge_with(plan.grant, None).unwrap();
+                }
+            }
+        }
+        reference.merge_with(reference_grant, None).unwrap();
+        let final_plan = gov.plan(&LoadView::of_source(&governed));
+        governed.merge_with(final_plan.grant, None).unwrap();
+        prop_assert_eq!(governed.delta_len(), 0);
+        assert_tables_identical(
+            &reference,
+            &governed,
+            &format!("governor grants, last = {:?}", final_plan.grant),
+        );
     }
 }

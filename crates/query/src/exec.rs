@@ -441,6 +441,12 @@ impl<V: Value> Executor<V> for TableSnapshot<V> {
     /// value-id space, its frozen/active tails by value, entirely without
     /// the table lock.
     fn execute(&self, q: &Query<V>) -> Output<V, usize> {
+        // Register this run with the resource governor's lock-free read
+        // counters (two relaxed increments): the merge schedulers read
+        // them as the read-pressure signal. Every executor entry point
+        // registers, so a sharded fan-out counts once per shard engine
+        // run — by design, it *is* proportionally more read work.
+        let _read = hyrise_core::governor::begin_read();
         let views: Vec<ColView<'_, V>> = self
             .cols()
             .iter()
@@ -504,6 +510,7 @@ impl<V: Value> Executor<V> for AttributeExecutor<'_, V> {
     type RowId = usize;
 
     fn execute(&self, q: &Query<V>) -> Output<V, usize> {
+        let _read = hyrise_core::governor::begin_read();
         let views = [ColView {
             main: self.attr.main(),
             tails: [self.attr.delta().values(), &[]],
@@ -538,6 +545,7 @@ impl<V: Value> Executor<V> for ShardedTable<V> {
     /// shard concurrently, and the partial results are stitched — rows map
     /// to global [`ShardRowId`]s, counts and sums add, min/max reduce.
     fn execute(&self, q: &Query<V>) -> Output<V, ShardRowId> {
+        let _read = hyrise_core::governor::begin_read();
         let snaps = self.snapshots();
         // The per-shard workers are the parallelism: reset the thread hint
         // so an N-shard table doesn't oversubscribe to N × threads.
@@ -624,6 +632,7 @@ impl Executor<AnyValue> for Table {
     /// If a predicate's value type does not match its column's type, or a
     /// column index is out of range.
     fn execute(&self, q: &Query<AnyValue>) -> Output<AnyValue, usize> {
+        let _read = hyrise_core::governor::begin_read();
         let preds = q.predicates();
         // Predicate-free aggregates need no selection vector: dispatch to
         // the typed bulk kernels on the aggregated column.

@@ -1,0 +1,52 @@
+//! Every executor entry point registers with the resource governor's
+//! process-wide read counters — the read-pressure signal the merge
+//! schedulers adapt their grants to. Counters are monotonic and global,
+//! so assertions are lower bounds (other tests may run concurrently).
+
+use hyrise_core::governor::read_load;
+use hyrise_core::shard::ShardedTable;
+use hyrise_core::OnlineTable;
+use hyrise_query::{AttributeExecutor, Query};
+use hyrise_storage::{AnyValue, Attribute, ColumnType, MainPartition, Schema, Table};
+
+#[test]
+fn executor_runs_bump_the_read_counters() {
+    let t = OnlineTable::<u64>::new(1);
+    for v in 0..100u64 {
+        t.insert_row(&[v]);
+    }
+    let before = read_load();
+    let _ = Query::scan(0).eq(5).run(&t).into_rows();
+    let after = read_load();
+    assert!(
+        after.finished > before.finished,
+        "snapshot engine run must register"
+    );
+    assert!(
+        after.started >= after.finished,
+        "started never lags finished"
+    );
+
+    // Sharded fan-out registers the entry plus one engine run per shard.
+    let s = ShardedTable::<u64>::hash(3, 1);
+    s.insert_rows(&(0..50u64).map(|i| [i]).collect::<Vec<_>>());
+    let before = read_load();
+    let _ = Query::scan(0).count().run(&s).count();
+    let after = read_load();
+    assert!(
+        after.finished >= before.finished + 4,
+        "entry + one per shard: {} -> {}",
+        before.finished,
+        after.finished
+    );
+
+    // Attribute and heterogeneous-table executors register too.
+    let attr = Attribute::from_main(MainPartition::from_values(&[1u64, 2, 3]));
+    let before = read_load();
+    let _ = Query::scan(0).eq(2).run(&AttributeExecutor::new(&attr));
+    let mut table = Table::new("t", Schema::new(vec![("a", ColumnType::U64)]));
+    table.insert_row(&[AnyValue::U64(7)]).unwrap();
+    let _ = Query::scan(0).eq(AnyValue::U64(7)).count().run(&table);
+    let after = read_load();
+    assert!(after.finished >= before.finished + 2);
+}

@@ -7,6 +7,8 @@
 
 use crate::attribute::Attribute;
 use crate::column::Column;
+use crate::delta_partition::DeltaPartition;
+use crate::main_partition::MainPartition;
 use crate::table::Table;
 use crate::value::Value;
 
@@ -33,6 +35,22 @@ impl MemoryReport {
             main_dict: main.dictionary().memory_bytes(),
             delta_values: delta.len() * V::BYTES,
             delta_index: delta.index().memory_bytes(),
+        }
+    }
+
+    /// Measure one column given as bare partitions — the shape the online
+    /// merge protocol holds (a main partition plus any number of delta
+    /// partitions: the active one, and the frozen one while a merge is in
+    /// flight). This is what table-level memory *pressure* samples are
+    /// built from: a resource governor that shrinks merge budgets wants the
+    /// same per-component accounting as [`Self::of_attribute`], without
+    /// requiring the column to live inside an [`Attribute`].
+    pub fn of_partitions<V: Value>(main: &MainPartition<V>, deltas: &[&DeltaPartition<V>]) -> Self {
+        Self {
+            main_codes: main.packed_codes().packed_bytes(),
+            main_dict: main.dictionary().memory_bytes(),
+            delta_values: deltas.iter().map(|d| d.len() * V::BYTES).sum(),
+            delta_index: deltas.iter().map(|d| d.index().memory_bytes()).sum(),
         }
     }
 
@@ -141,6 +159,28 @@ mod tests {
         let factor = r.main_compression_factor(50_000, V16::BYTES);
         // 16 B -> 3 bits: ~42x. Allow word-rounding slack.
         assert!(factor > 30.0, "compression factor {factor}");
+    }
+
+    #[test]
+    fn of_partitions_matches_attribute_accounting() {
+        let mut a = Attribute::from_main(MainPartition::from_values(
+            &(0..5_000u64).map(|i| i % 37).collect::<Vec<_>>(),
+        ));
+        for i in 0..300u64 {
+            a.append(i % 64);
+        }
+        let via_attr = MemoryReport::of_attribute(&a);
+        let via_parts = MemoryReport::of_partitions(a.main(), &[a.delta()]);
+        assert_eq!(via_attr, via_parts);
+        // Two deltas (the mid-merge frozen + active shape) sum component-wise.
+        let two = MemoryReport::of_partitions(a.main(), &[a.delta(), a.delta()]);
+        assert_eq!(two.delta_values, 2 * via_parts.delta_values);
+        assert_eq!(two.delta_index, 2 * via_parts.delta_index);
+        assert_eq!(two.main_total(), via_parts.main_total());
+        // No deltas: the read-optimized side only.
+        let none = MemoryReport::of_partitions::<u64>(a.main(), &[]);
+        assert_eq!(none.delta_total(), 0);
+        assert_eq!(none.main_total(), via_parts.main_total());
     }
 
     #[test]
