@@ -1,0 +1,106 @@
+//! Criterion: write/read throughput under client contention — the
+//! epoch-published path's headline claim. `insert` splits a fixed batch
+//! workload across 1/4/16/64 writer threads (reserve-and-publish appends
+//! must scale until cores saturate instead of serializing on a table
+//! lock); `snapshot` measures lock-free snapshot acquisition on one
+//! thread **while** that many writers hammer the same table — with no
+//! reader/writer lock the snapshot cost must stay independent of the
+//! writer count. Both are gated against `BENCH_baseline.json` in CI, so
+//! reintroducing a lock on either steady-state path fails the build.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyrise_core::OnlineTable;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Rows inserted per `insert` iteration, split evenly across the writers.
+const INSERT_TOTAL: usize = 192_000;
+/// Rows per `insert_rows` batch (a realistic client batch).
+const BATCH: usize = 64;
+/// Rows preloaded before the `snapshot` measurement (bounds the validity
+/// prefix copy, so snapshot cost is comparable across writer counts).
+const PRELOAD: usize = 100_000;
+/// Rows the background writers insert per measured sample, in total.
+const CONTEND_TOTAL: usize = 64_000;
+
+fn batch_rows(n: usize) -> Vec<[u64; 2]> {
+    (0..n as u64)
+        .map(|i| [i % 1_000, i.wrapping_mul(2654435761) % 100_000])
+        .collect()
+}
+
+fn bench_contended_writers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("contended_writers");
+    g.sample_size(10);
+
+    // Fixed total work: INSERT_TOTAL rows land no matter how many
+    // clients carry them, so the time axis isolates contention cost.
+    let batch = batch_rows(BATCH);
+    for writers in [1usize, 4, 16, 64] {
+        g.throughput(Throughput::Elements(INSERT_TOTAL as u64));
+        g.bench_with_input(
+            BenchmarkId::new("insert", writers),
+            &writers,
+            |b, &writers| {
+                b.iter(|| {
+                    let t = OnlineTable::<u64>::new(2);
+                    let per_writer = INSERT_TOTAL / writers / BATCH;
+                    std::thread::scope(|s| {
+                        for _ in 0..writers {
+                            s.spawn(|| {
+                                for _ in 0..per_writer {
+                                    black_box(t.insert_rows(&batch));
+                                }
+                            });
+                        }
+                    });
+                    black_box(t.row_count())
+                })
+            },
+        );
+    }
+
+    // Snapshot acquisition while `writers` threads append concurrently.
+    // Only the snapshot loop is timed; the writers' fixed workload bounds
+    // the table between PRELOAD and PRELOAD + CONTEND_TOTAL rows for
+    // every thread count, so medians are comparable across the axis.
+    for writers in [1usize, 4, 16, 64] {
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(
+            BenchmarkId::new("snapshot", writers),
+            &writers,
+            |b, &writers| {
+                b.iter_custom(|iters| {
+                    let t = OnlineTable::<u64>::new(2);
+                    t.insert_rows(&batch_rows(PRELOAD));
+                    let stop = AtomicBool::new(false);
+                    let mut elapsed = Duration::ZERO;
+                    std::thread::scope(|s| {
+                        for _ in 0..writers {
+                            let (t, stop, batch) = (&t, &stop, &batch);
+                            s.spawn(move || {
+                                for _ in 0..CONTEND_TOTAL / writers / BATCH {
+                                    if stop.load(Ordering::Relaxed) {
+                                        break;
+                                    }
+                                    black_box(t.insert_rows(batch));
+                                }
+                            });
+                        }
+                        let start = Instant::now();
+                        for _ in 0..iters {
+                            black_box(t.snapshot());
+                        }
+                        elapsed = start.elapsed();
+                        stop.store(true, Ordering::Relaxed);
+                    });
+                    elapsed
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_contended_writers);
+criterion_main!(benches);

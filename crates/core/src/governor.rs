@@ -301,6 +301,13 @@ pub struct LoadView {
     /// Per-source merge-trigger ratios (one entry for a single table, one
     /// per shard for a sharded table).
     pub fractions: Vec<f64>,
+    /// Cumulative rows ever inserted per source (monotonic counters,
+    /// aligned with [`Self::fractions`]). The governor differences
+    /// successive polls into per-source sustained write rates and boosts
+    /// hot sources' merge priority. Leave empty when the sources don't
+    /// track insert counters — ranking then falls back to pure delta
+    /// fractions.
+    pub inserted: Vec<u64>,
     /// Total tuples awaiting a merge across the sources.
     pub delta_tuples: usize,
     /// Total byte accounting across the sources.
@@ -315,6 +322,7 @@ impl LoadView {
     pub fn of_source<S: crate::scheduler::MergeSource + ?Sized>(source: &S) -> Self {
         Self {
             fractions: vec![source.delta_fraction()],
+            inserted: vec![source.inserted_rows()],
             delta_tuples: source.delta_tuples(),
             memory: source.memory_report(),
             max_concurrent: 1,
@@ -342,6 +350,9 @@ struct GovState {
     last_poll: Option<Instant>,
     last_reads_finished: u64,
     last_delta_tuples: usize,
+    /// Per-source cumulative insert counters at the last poll (for the
+    /// per-shard write-rate ranking boost).
+    last_inserted: Vec<u64>,
     /// Delta **rows** drained by merges since the last poll (accumulated
     /// by [`ResourceGovernor::record_outcome`] from
     /// [`MergeOutcome::rows_moved`] — same unit as
@@ -372,6 +383,7 @@ impl ResourceGovernor {
                 last_poll: None,
                 last_reads_finished: read_load().finished,
                 last_delta_tuples: 0,
+                last_inserted: Vec::new(),
                 window_merged_rows: 0,
                 window_merge_wall: Duration::ZERO,
                 last_signals: LoadSignals::default(),
@@ -444,7 +456,7 @@ impl ResourceGovernor {
     pub fn plan(&self, view: &LoadView) -> RoundPlan {
         let now = Instant::now();
         let reads = read_load();
-        let signals = {
+        let (signals, source_rates) = {
             let mut st = self.state.lock();
             let elapsed = st
                 .last_poll
@@ -481,27 +493,51 @@ impl ResourceGovernor {
                 delta_bytes: view.memory.delta_total(),
                 memory_pressure: view.memory.total() > self.config.memory_soft_limit,
             };
+            // Per-source sustained write rates over the window, from the
+            // cumulative insert counters (when the sources provide them
+            // and the slot count is stable across polls).
+            let source_rates: Vec<f64> =
+                if st.last_poll.is_some() && view.inserted.len() == st.last_inserted.len() {
+                    view.inserted
+                        .iter()
+                        .zip(&st.last_inserted)
+                        .map(|(&cur, &prev)| cur.saturating_sub(prev) as f64 / secs)
+                        .collect()
+                } else {
+                    vec![0.0; view.inserted.len()]
+                };
             st.last_poll = Some(now);
             st.last_reads_finished = reads.finished;
             st.last_delta_tuples = view.delta_tuples;
+            st.last_inserted = view.inserted.clone();
             st.window_merged_rows = 0;
             st.window_merge_wall = Duration::ZERO;
             st.last_signals = signals;
-            signals
+            (signals, source_rates)
         };
 
         let (mut grant, signal) = Self::decide(&self.config, &signals);
         let pressure = Self::pressure_factor(&signals);
-        let mut ranked: Vec<(usize, f64)> = view
+        // Eligibility is still the (pressure-scaled) fraction trigger;
+        // *priority* among the eligible is the fraction boosted by each
+        // source's own sustained write rate — a shard absorbing a write
+        // hot-spot merges before a colder shard with the same backlog,
+        // because its backlog will be worse by the time a round comes
+        // back to it. Zero or absent rates leave the pure-fraction order.
+        let rate_boost = |i: usize| {
+            let r = source_rates.get(i).copied().unwrap_or(0.0);
+            1.0 + (r / rate::HIGH_TARGET_UPDATES_PER_SEC).min(4.0)
+        };
+        let mut ranked: Vec<(usize, f64, f64)> = view
             .fractions
             .iter()
             .enumerate()
             .filter(|(_, &f)| f * pressure > self.config.policy.delta_fraction)
-            .map(|(i, &f)| (i, f))
+            .map(|(i, &f)| (i, f, f * rate_boost(i)))
             .collect();
-        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        ranked.sort_by(|a, b| b.2.total_cmp(&a.2));
         ranked.truncate(view.max_concurrent.max(1));
-        let selected: Vec<usize> = ranked.iter().map(|&(i, _)| i).collect();
+        let selected: Vec<usize> = ranked.iter().map(|&(i, _, _)| i).collect();
 
         // The decision table sizes threads for ONE merge; a sharded round
         // runs the same grant on every selected shard concurrently, so a
@@ -514,7 +550,7 @@ impl ResourceGovernor {
             grant.threads = grant.threads.min(per_shard.max(self.config.policy.threads));
         }
 
-        if let Some(&(_, worst)) = ranked.first() {
+        if let Some(&(_, worst, _)) = ranked.first() {
             let mut trace = self.trace.lock();
             if trace.len() == TRACE_CAP {
                 trace.pop_front();
@@ -627,6 +663,7 @@ mod tests {
         let gov = ResourceGovernor::new(config().with_memory_soft_limit(1_000));
         let view = LoadView {
             fractions: vec![0.5],
+            inserted: vec![],
             delta_tuples: 100,
             memory: MemoryReport {
                 delta_values: 4_000,
@@ -654,6 +691,7 @@ mod tests {
         let gov = ResourceGovernor::new(config());
         let view = LoadView {
             fractions: vec![0.02, 0.30, 0.10, 0.0],
+            inserted: vec![],
             delta_tuples: 0,
             memory: MemoryReport::default(),
             max_concurrent: 2,
@@ -697,6 +735,7 @@ mod tests {
         );
         let plan = gov.plan(&LoadView {
             fractions: vec![0.5, 0.4, 0.3, 0.2],
+            inserted: vec![],
             delta_tuples: 0,
             memory: MemoryReport::default(),
             max_concurrent: 4,
@@ -710,11 +749,52 @@ mod tests {
         // A single-shard round keeps the full raise.
         let plan = gov.plan(&LoadView {
             fractions: vec![0.5],
+            inserted: vec![],
             delta_tuples: 0,
             memory: MemoryReport::default(),
             max_concurrent: 4,
         });
         assert_eq!(plan.grant.threads, 8, "one merge may take the machine");
+    }
+
+    #[test]
+    fn per_shard_write_rates_boost_merge_priority() {
+        // Two eligible shards; the one with the *lower* fraction absorbs a
+        // write hot-spot. Pure-fraction ranking would merge shard 1 first;
+        // the rate boost must put the hot shard 0 first.
+        let gov = ResourceGovernor::new(config());
+        let mem = MemoryReport::default();
+        // Window 1: establish per-shard counters.
+        let _ = gov.plan(&LoadView {
+            fractions: vec![0.10, 0.12],
+            inserted: vec![0, 0],
+            delta_tuples: 0,
+            memory: mem,
+            max_concurrent: 1,
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        // Window 2: shard 0 inserted a flood, shard 1 nothing.
+        let plan = gov.plan(&LoadView {
+            fractions: vec![0.10, 0.12],
+            inserted: vec![10_000_000, 0],
+            delta_tuples: 0,
+            memory: mem,
+            max_concurrent: 1,
+        });
+        assert_eq!(
+            plan.selected,
+            vec![0],
+            "the write-hot shard outranks the slightly larger backlog"
+        );
+        // With no counters at all, ranking stays pure-fraction.
+        let plan = gov.plan(&LoadView {
+            fractions: vec![0.10, 0.12],
+            inserted: vec![],
+            delta_tuples: 0,
+            memory: mem,
+            max_concurrent: 1,
+        });
+        assert_eq!(plan.selected, vec![1]);
     }
 
     #[test]
@@ -734,6 +814,7 @@ mod tests {
         // Window 1: establish a baseline with an empty delta.
         let _ = gov.plan(&LoadView {
             fractions: vec![0.04],
+            inserted: vec![],
             delta_tuples: 0,
             memory: mem,
             max_concurrent: 1,
@@ -742,6 +823,7 @@ mod tests {
         // Window 2: the delta grew by far more than HIGH_TARGET × window.
         let plan = gov.plan(&LoadView {
             fractions: vec![0.04],
+            inserted: vec![],
             delta_tuples: 1_000_000,
             memory: mem,
             max_concurrent: 1,
@@ -765,6 +847,7 @@ mod tests {
         let mem = MemoryReport::default();
         let _ = gov.plan(&LoadView {
             fractions: vec![0.0],
+            inserted: vec![],
             delta_tuples: 1_000,
             memory: mem,
             max_concurrent: 1,
@@ -783,6 +866,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         let plan = gov.plan(&LoadView {
             fractions: vec![0.0],
+            inserted: vec![],
             delta_tuples: 500,
             memory: mem,
             max_concurrent: 1,
@@ -802,6 +886,7 @@ mod tests {
         let gov = ResourceGovernor::new(config());
         let view = LoadView {
             fractions: vec![1.0],
+            inserted: vec![],
             delta_tuples: 0,
             memory: MemoryReport::default(),
             max_concurrent: 1,

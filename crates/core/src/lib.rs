@@ -43,6 +43,7 @@
 //! All three algorithms produce bit-identical merged main partitions; the
 //! property tests assert this equivalence.
 
+pub mod epoch;
 pub mod governor;
 pub mod manager;
 pub mod model;
@@ -57,6 +58,7 @@ pub mod shard;
 pub mod stats;
 mod step1;
 
+pub use epoch::{EpochCell, EpochGuard};
 pub use governor::{
     begin_read, read_load, GovernorConfig, GrantRecord, GrantSignal, LoadSignals, LoadView,
     ResourceGovernor, RoundPlan,

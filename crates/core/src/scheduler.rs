@@ -77,6 +77,14 @@ pub trait MergeSource: Send + Sync + 'static {
         MemoryReport::default()
     }
 
+    /// Cumulative rows ever inserted (monotonic). The governor differences
+    /// successive polls into a sustained per-source write rate and ranks
+    /// hot sources' merges first. The default (always zero) opts out of
+    /// the boost; real tables should override.
+    fn inserted_rows(&self) -> u64 {
+        0
+    }
+
     /// Run one merge under `grant` (threads, strategy, memory budget).
     /// Returns `None` when the merge did not commit (cancelled); schedulers
     /// simply retry on the next poll.
@@ -94,6 +102,10 @@ impl<V: Value> MergeSource for OnlineTable<V> {
 
     fn memory_report(&self) -> MemoryReport {
         OnlineTable::memory_report(self)
+    }
+
+    fn inserted_rows(&self) -> u64 {
+        OnlineTable::inserted_rows(self)
     }
 
     fn run_merge(&self, grant: MergeGrant) -> Option<MergeOutcome> {

@@ -34,6 +34,71 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// The process-wide consistent-cut clock: a pair of monotonic write
+/// counters (`started`, `finished`) that bracket every sharded write
+/// operation, plus a `paused` flag for the fallback path.
+///
+/// A multi-shard write batch is *torn* when a fan-out read observes some
+/// of its per-shard groups but not others. Each shard's own batch publish
+/// is atomic (the tail watermark), so tearing can only happen *across*
+/// shards — and the clock makes it detectable: a cut taken while
+/// `started == finished` and over which `started` does not move cannot
+/// overlap any write operation, hence sees every batch fully or not at
+/// all. See [`ShardedTable::consistent_snapshots`].
+///
+/// Writers never block readers on the happy path: `begin_write` is one
+/// `fetch_add` plus one load. Only the (rare) paused fallback makes a
+/// writer wait, and a writer that raced the pause *retracts* its start —
+/// it has not touched any shard yet — so the drain always terminates.
+struct CutClock {
+    started: AtomicU64,
+    finished: AtomicU64,
+    paused: AtomicBool,
+}
+
+static CUT_CLOCK: CutClock = CutClock {
+    started: AtomicU64::new(0),
+    finished: AtomicU64::new(0),
+    paused: AtomicBool::new(false),
+};
+
+/// Serializes the paused fallback in [`ShardedTable::consistent_snapshots`]
+/// so concurrent cutters cannot clear each other's pause.
+static CUT_PAUSE: Mutex<()> = Mutex::new(());
+
+impl CutClock {
+    /// Enter a write operation; the returned guard marks it finished on
+    /// drop. Increment-first, check-paused, retract-on-conflict: the
+    /// increment is visible before the paused check in the `SeqCst` order,
+    /// so a cutter that drained `started == finished` afterwards cannot
+    /// have missed us.
+    fn begin_write(&'static self) -> WriteTicket {
+        loop {
+            self.started.fetch_add(1, Ordering::SeqCst);
+            if !self.paused.load(Ordering::SeqCst) {
+                return WriteTicket { clock: self };
+            }
+            // A cut is draining writers: retract (we have not written
+            // anything yet) and wait it out.
+            self.finished.fetch_add(1, Ordering::SeqCst);
+            while self.paused.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// RAII marker of an in-flight sharded write operation.
+struct WriteTicket {
+    clock: &'static CutClock,
+}
+
+impl Drop for WriteTicket {
+    fn drop(&mut self) {
+        self.clock.finished.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
 /// Global address of a row in a [`ShardedTable`]: which shard, and the
 /// tuple id within that shard. Tuple ids are shard-local (each shard's
 /// merge keeps its own ids stable), so the pair is the stable global key.
@@ -159,6 +224,7 @@ impl<V: Value> ShardedTable<V> {
 
     /// Insert one row, routed by its key; returns its global address.
     pub fn insert_row(&self, values: &[V]) -> ShardRowId {
+        let _write = CUT_CLOCK.begin_write();
         let shard = self.shard_of(values);
         ShardRowId {
             shard,
@@ -167,11 +233,15 @@ impl<V: Value> ShardedTable<V> {
     }
 
     /// Batched insert: rows are grouped by target shard and each group is
-    /// appended under a single shard-lock acquisition
-    /// ([`OnlineTable::insert_rows`]), so a large batch takes `O(shards)`
-    /// lock round-trips instead of `O(rows)`. Returns each row's global
-    /// address, in input order.
+    /// appended as one lock-free reservation + publish
+    /// ([`OnlineTable::insert_rows`]), so a large batch costs `O(shards)`
+    /// watermark publishes instead of `O(rows)`. The whole operation runs
+    /// under one `CutClock` ticket, so a
+    /// [`Self::consistent_snapshots`] cut sees all of the batch's shard
+    /// groups or none of them. Returns each row's global address, in
+    /// input order.
     pub fn insert_rows<R: AsRef<[V]>>(&self, rows: &[R]) -> Vec<ShardRowId> {
+        let _write = CUT_CLOCK.begin_write();
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (i, r) in rows.iter().enumerate() {
             groups[self.shard_of(r.as_ref())].push(i);
@@ -209,13 +279,21 @@ impl<V: Value> ShardedTable<V> {
     /// may land on a different shard than `old`), then the old row is
     /// invalidated. Returns the new version's address.
     pub fn update_row(&self, old: ShardRowId, values: &[V]) -> ShardRowId {
-        let new_id = self.insert_row(values);
+        // One ticket across both shards: a cut never sees the new version
+        // without the old one's invalidation (or vice versa).
+        let _write = CUT_CLOCK.begin_write();
+        let shard = self.shard_of(values);
+        let new_id = ShardRowId {
+            shard,
+            row: self.shards[shard].insert_row(values),
+        };
         self.shards[old.shard].delete_row(old.row);
         new_id
     }
 
     /// Invalidate a row.
     pub fn delete_row(&self, id: ShardRowId) {
+        let _write = CUT_CLOCK.begin_write();
         self.shards[id.shard].delete_row(id.row);
     }
 
@@ -260,12 +338,63 @@ impl<V: Value> ShardedTable<V> {
             .fold(MemoryReport::default(), |a, b| a + b)
     }
 
-    /// A consistent per-shard snapshot set for lock-free fan-out scans.
-    /// Each snapshot is internally consistent; across shards the snapshots
-    /// are taken in sequence (per-shard snapshot isolation — the same
-    /// guarantee concurrent per-shard readers get).
+    /// A per-shard snapshot set for lock-free fan-out scans. Each snapshot
+    /// is internally consistent (per-shard snapshot isolation), but the
+    /// snapshots are taken in sequence, so a write operation spanning
+    /// shards may be half-visible across them. Use
+    /// [`Self::consistent_snapshots`] when the fan-out result must not
+    /// observe torn multi-shard batches.
     pub fn snapshots(&self) -> Vec<TableSnapshot<V>> {
         self.shards.iter().map(|s| s.snapshot()).collect()
+    }
+
+    /// A **globally consistent cut**: a per-shard snapshot set that no
+    /// multi-shard write operation straddles — every batched insert (and
+    /// cross-shard update) is fully visible or fully invisible. This is
+    /// what the sharded query executor fans out over, so cross-shard
+    /// `count()` / `sum()` aggregates never observe a torn batch.
+    ///
+    /// Optimistic first: read the `CutClock`, require no write in
+    /// flight, snapshot every shard (each snapshot is one epoch pin — no
+    /// lock), and verify no write *started* meanwhile; retry on conflict.
+    /// Under sustained write pressure the fallback briefly pauses writers
+    /// (they retract and wait before touching any shard), drains the
+    /// in-flight ones, and cuts — bounded work, no reader/writer lock
+    /// anywhere.
+    pub fn consistent_snapshots(&self) -> Vec<TableSnapshot<V>> {
+        const OPTIMISTIC_TRIES: usize = 8;
+        for _ in 0..OPTIMISTIC_TRIES {
+            let finished = CUT_CLOCK.finished.load(Ordering::SeqCst);
+            let started = CUT_CLOCK.started.load(Ordering::SeqCst);
+            if started != finished {
+                // A write is mid-flight; snapshotting now could tear it.
+                std::thread::yield_now();
+                continue;
+            }
+            let snaps = self.snapshots();
+            if CUT_CLOCK.started.load(Ordering::SeqCst) == started {
+                return snaps;
+            }
+        }
+        // Contended: pause writers for the duration of one snapshot pass.
+        // The lock only serializes concurrent *cutters* (so one cannot
+        // clear another's pause); writers never take it.
+        let _cut = CUT_PAUSE.lock();
+        CUT_CLOCK.paused.store(true, Ordering::SeqCst);
+        while CUT_CLOCK.started.load(Ordering::SeqCst) != CUT_CLOCK.finished.load(Ordering::SeqCst)
+        {
+            std::thread::yield_now();
+        }
+        let snaps = self.snapshots();
+        CUT_CLOCK.paused.store(false, Ordering::SeqCst);
+        snaps
+    }
+
+    /// Cumulative rows inserted per shard (monotonic counters). The
+    /// sharded scheduler's governor differences these over its poll
+    /// window to rank shards by sustained write rate.
+    pub fn inserted_per_shard(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.inserted_rows()).collect()
     }
 
     /// Merge every shard that has delta tuples, one after the other (the
@@ -302,6 +431,10 @@ impl<V: Value> MergeSource for ShardedTable<V> {
 
     fn memory_report(&self) -> MemoryReport {
         ShardedTable::memory_report(self)
+    }
+
+    fn inserted_rows(&self) -> u64 {
+        self.shards.iter().map(|s| s.inserted_rows()).sum()
     }
 
     fn run_merge(&self, grant: MergeGrant) -> Option<MergeOutcome> {
@@ -467,6 +600,7 @@ impl<V: Value> ShardedScheduler<V> {
                         // grant for the chosen few.
                         let view = LoadView {
                             fractions: table.delta_fractions(),
+                            inserted: table.inserted_per_shard(),
                             delta_tuples: table.delta_len(),
                             memory: table.memory_report(),
                             max_concurrent,
@@ -797,5 +931,38 @@ mod tests {
         for (i, id) in ids.iter().enumerate().step_by(83) {
             assert_eq!(snaps[id.shard].row(id.row), row(i as u64, 2));
         }
+    }
+
+    #[test]
+    fn consistent_cut_never_tears_a_batch() {
+        // One writer inserts multi-shard batches of a fixed size; cutters
+        // must always observe a multiple of the batch size.
+        const BATCH: usize = 32;
+        let t = Arc::new(ShardedTable::<u64>::hash(4, 1));
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let (tw, stop_w) = (Arc::clone(&t), Arc::clone(&stop));
+            s.spawn(move || {
+                let mut next = 0u64;
+                while !stop_w.load(Ordering::Relaxed) {
+                    let rows: Vec<Vec<u64>> = (0..BATCH as u64).map(|k| vec![next + k]).collect();
+                    tw.insert_rows(&rows);
+                    next += BATCH as u64;
+                }
+            });
+            for _ in 0..3 {
+                let (tr, stop_r) = (Arc::clone(&t), Arc::clone(&stop));
+                s.spawn(move || {
+                    while !stop_r.load(Ordering::Relaxed) {
+                        let snaps = tr.consistent_snapshots();
+                        let total: usize = snaps.iter().map(|s| s.row_count()).sum();
+                        assert_eq!(total % BATCH, 0, "cut observed a torn batch: {total} rows");
+                    }
+                });
+            }
+            std::thread::sleep(Duration::from_millis(200));
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert!(t.row_count() > 0, "writer made progress");
     }
 }

@@ -33,6 +33,14 @@ fn record(size: usize) {
         TOTAL_BYTES.fetch_add(size as u64, Ordering::Relaxed);
         if size >= LARGE {
             LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+            if std::env::var_os("ALLOC_TRACE").is_some() {
+                ENABLED.store(false, Ordering::Relaxed);
+                eprintln!(
+                    "large alloc of {size} bytes at:\n{}",
+                    std::backtrace::Backtrace::force_capture()
+                );
+                ENABLED.store(true, Ordering::Relaxed);
+            }
         }
     }
 }

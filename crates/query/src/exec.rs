@@ -2,8 +2,9 @@
 //! with a [`SelectionVector`] intermediate and dictionary value-id pushdown.
 //!
 //! Every backend reduces its columns to the same physical shape — a
-//! dictionary-compressed main partition plus up to two uncompressed tails
-//! (frozen delta and active delta) — and runs one engine over it:
+//! dictionary-compressed main partition plus a short row-ordered list of
+//! uncompressed tail slices (frozen delta, pending delta, append-only tail
+//! chunks) — and runs one engine over it:
 //!
 //! 1. **First predicate**: the value interval is rewritten against the
 //!    main dictionary ([`Dictionary::value_id_range`]) and the bit-packed
@@ -175,26 +176,29 @@ pub trait Executor<V> {
 }
 
 /// One column reduced to the engine's physical shape: a compressed main
-/// partition plus up to two uncompressed tails in row order (frozen delta,
-/// then active delta; unused tails are empty).
+/// partition plus uncompressed tail slices in row order (frozen delta,
+/// pending delta, then the append-only tail's chunks; absent regions
+/// contribute no slice).
 pub(crate) struct ColView<'a, V> {
     pub(crate) main: &'a MainPartition<V>,
-    pub(crate) tails: [&'a [V]; 2],
+    pub(crate) tails: Vec<&'a [V]>,
 }
 
 impl<V: Value> ColView<'_, V> {
     fn len(&self) -> usize {
-        self.main.len() + self.tails[0].len() + self.tails[1].len()
+        self.main.len() + self.tails.iter().map(|t| t.len()).sum::<usize>()
     }
 
     /// Value of a tail row (row id relative to the end of main).
     fn tail_value(&self, i: usize) -> V {
-        let t0 = self.tails[0].len();
-        if i < t0 {
-            self.tails[0][i]
-        } else {
-            self.tails[1][i - t0]
+        let mut off = i;
+        for tail in &self.tails {
+            if off < tail.len() {
+                return tail[off];
+            }
+            off -= tail.len();
         }
+        panic!("tail row {i} out of range")
     }
 
     /// Materialize one row (main rows decode through the dictionary).
@@ -221,7 +225,7 @@ pub(crate) fn scan_col_into<V: Value>(col: &ColView<'_, V>, lo: &V, hi: &V, out:
         );
     }
     let mut base = col.main.len();
-    for tail in col.tails {
+    for tail in &col.tails {
         for (k, v) in tail.iter().enumerate() {
             if v >= lo && v <= hi {
                 out.push(base + k);
@@ -302,8 +306,8 @@ fn sum_full<V: Value>(
             }
         });
         let mut row = nm;
-        for tail in col.tails {
-            for v in tail {
+        for tail in &col.tails {
+            for v in tail.iter() {
                 if validity.is_none_or(|val| val.is_valid(row)) {
                     acc += v.to_u64_lossy() as u128;
                 }
@@ -331,7 +335,7 @@ fn sum_full<V: Value>(
                         }
                     }
                     let mut base = nm;
-                    for tail in col.tails {
+                    for tail in &col.tails {
                         let tail_end = base + tail.len();
                         if start < tail_end && end > base {
                             let lo = start.max(base);
@@ -371,8 +375,8 @@ fn min_max_full<V: Value>(
     let dict = col.main.dictionary();
     let mut mm = code_mm.map(|(lo, hi)| (dict.value_at(lo as u32), dict.value_at(hi as u32)));
     let mut row = col.main.len();
-    for tail in col.tails {
-        for v in tail {
+    for tail in &col.tails {
+        for v in tail.iter() {
             if validity.is_none_or(|val| val.is_valid(row)) {
                 mm = fold_mm(mm, *v);
             }
@@ -452,7 +456,7 @@ impl<V: Value> Executor<V> for TableSnapshot<V> {
             .iter()
             .map(|c| ColView {
                 main: c.main(),
-                tails: [c.frozen_values(), c.active()],
+                tails: c.tails(),
             })
             .collect();
         execute_cols(&views, self.row_count(), Some(self.validity()), q)
@@ -513,7 +517,7 @@ impl<V: Value> Executor<V> for AttributeExecutor<'_, V> {
         let _read = hyrise_core::governor::begin_read();
         let views = [ColView {
             main: self.attr.main(),
-            tails: [self.attr.delta().values(), &[]],
+            tails: vec![self.attr.delta().values()],
         }];
         execute_cols(&views, self.attr.len(), self.validity, q)
     }
@@ -540,13 +544,15 @@ fn fan_out<V: Value, T: Send>(
 impl<V: Value> Executor<V> for ShardedTable<V> {
     type RowId = ShardRowId;
 
-    /// Fan-out + merge: each shard contributes a consistent snapshot (no
-    /// table lock held during the scan), the canonical engine runs once per
-    /// shard concurrently, and the partial results are stitched — rows map
-    /// to global [`ShardRowId`]s, counts and sums add, min/max reduce.
+    /// Fan-out + merge: the shard snapshots come from one **consistent
+    /// cut** (no cross-shard write batch is half-visible — see
+    /// [`ShardedTable::consistent_snapshots`]), the canonical engine runs
+    /// once per shard concurrently, and the partial results are stitched —
+    /// rows map to global [`ShardRowId`]s, counts and sums add, min/max
+    /// reduce.
     fn execute(&self, q: &Query<V>) -> Output<V, ShardRowId> {
         let _read = hyrise_core::governor::begin_read();
-        let snaps = self.snapshots();
+        let snaps = self.consistent_snapshots();
         // The per-shard workers are the parallelism: reset the thread hint
         // so an N-shard table doesn't oversubscribe to N × threads.
         let per_shard = q.serial();
@@ -584,7 +590,7 @@ impl<V: Value> Executor<V> for ShardedTable<V> {
 fn attr_view<V: Value>(a: &Attribute<V>) -> ColView<'_, V> {
     ColView {
         main: a.main(),
-        tails: [a.delta().values(), &[]],
+        tails: vec![a.delta().values()],
     }
 }
 

@@ -1,0 +1,111 @@
+//! Property test for the global consistent cut: fan-out aggregates over a
+//! [`ShardedTable`] must never observe a torn cross-shard write batch.
+//!
+//! A single writer applies batches in a known global order; each batch's
+//! rows scatter across shards, so a naive per-shard snapshot loop could
+//! catch batch `k` applied on one shard but not yet on another. The
+//! epoch-tagged cut (`consistent_snapshots`) retries/clamps until the
+//! shard snapshots straddle no in-flight batch, so every observed
+//! `(count, sum)` pair must equal the table state after some whole number
+//! of batches — a prefix of the global insert order. With row values
+//! `0, 1, 2, ...` any torn subset of size `N_k` that is not exactly the
+//! first `N_k` rows has a strictly larger sum than the prefix, so the
+//! pair check catches every tear.
+
+use hyrise_core::shard::ShardedTable;
+use hyrise_query::Query;
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One consistent fan-out read: `(visible rows, sum of column 1)` from a
+/// single cut (both aggregates computed from the same snapshot set).
+fn cut_read(table: &ShardedTable<u64>) -> (u128, u128) {
+    let snaps = table.consistent_snapshots();
+    let count: u128 = snaps
+        .iter()
+        .map(|s| Query::scan(0).count().run(s).count() as u128)
+        .sum();
+    let sum: u128 = snaps
+        .iter()
+        .map(|s| Query::scan(0).sum(1).run(s).sum())
+        .sum();
+    (count, sum)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Concurrent fan-out `count()`/`sum()` during cross-shard batched
+    /// inserts: every observation is a prefix of the global insert order.
+    #[test]
+    fn fanout_aggregates_observe_only_whole_batch_prefixes(
+        shards in 2usize..5,
+        batch in 1usize..9,
+        batches in 8usize..40,
+        range_partitioned in any::<bool>(),
+    ) {
+        let total = batch * batches;
+        let table = if range_partitioned {
+            // Bounds split the 0..total global-id domain evenly.
+            let bounds: Vec<u64> = (1..shards as u64)
+                .map(|i| i * total as u64 / shards as u64)
+                .collect();
+            ShardedTable::<u64>::range(bounds, 2)
+        } else {
+            ShardedTable::<u64>::hash(shards, 2)
+        };
+
+        // Prefix oracle: after k whole batches, count = k * batch and
+        // sum(col 1) = 0 + 1 + ... + (k * batch - 1) = n(n-1)/2.
+        let prefix: HashSet<u128> = (0..=batches).map(|k| (k * batch) as u128).collect();
+        let expected_sum = |n: u128| n * n.saturating_sub(1) / 2;
+
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let table = &table;
+            let done = &done;
+            s.spawn(move || {
+                for k in 0..batches {
+                    let rows: Vec<Vec<u64>> = (k * batch..(k + 1) * batch)
+                        .map(|gid| vec![gid as u64, gid as u64])
+                        .collect();
+                    table.insert_rows(&rows);
+                }
+                done.store(true, Ordering::Relaxed);
+            });
+            // Readers race the writer; each observation must sit exactly
+            // on a batch boundary of the global order.
+            let mut last = 0u128;
+            while !done.load(Ordering::Relaxed) {
+                let (count, sum) = cut_read(table);
+                assert!(
+                    prefix.contains(&count),
+                    "count {count} is not a whole number of batches (batch {batch})"
+                );
+                assert_eq!(
+                    sum,
+                    expected_sum(count),
+                    "cut of {count} rows is not the global-order prefix"
+                );
+                assert!(count >= last, "cuts are monotone ({last} -> {count})");
+                last = count;
+            }
+        });
+
+        // Quiesced: the final cut is the full prefix.
+        let (count, sum) = cut_read(&table);
+        prop_assert_eq!(count, total as u128);
+        prop_assert_eq!(sum, expected_sum(total as u128));
+
+        // And through the one-call fan-out path too.
+        prop_assert_eq!(
+            Query::scan(0).count().run(&table).count(),
+            total
+        );
+        prop_assert_eq!(
+            Query::scan(0).sum(1).run(&table).sum(),
+            expected_sum(total as u128)
+        );
+    }
+}

@@ -28,6 +28,7 @@ mod dictionary;
 mod main_partition;
 mod memory;
 mod table;
+mod tail;
 mod validity;
 mod value;
 
@@ -38,5 +39,6 @@ pub use dictionary::Dictionary;
 pub use main_partition::MainPartition;
 pub use memory::MemoryReport;
 pub use table::{Schema, Table, TableError};
-pub use validity::ValidityBitmap;
+pub use tail::{TailLog, TailReservation, TailSealed};
+pub use validity::{AtomicValidity, ValidityBitmap};
 pub use value::{Value, V16};

@@ -5,6 +5,15 @@
 //! version is valid." (Section 3) Invalid rows stay in storage — the history
 //! is queryable — and survive merges unchanged, since the merge concatenates
 //! partitions without reordering.
+//!
+//! Two representations share the bit layout: the plain [`ValidityBitmap`]
+//! (single-owner, used by the offline table and by snapshots) and the
+//! [`AtomicValidity`] (shared, lock-free, used by the online table where
+//! inserts set bits concurrently with deletes clearing them and snapshots
+//! copying prefixes).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// A growable bitmap: bit `i` set means row `i` is valid (visible).
 #[derive(Clone, Debug, Default)]
@@ -90,6 +99,126 @@ impl ValidityBitmap {
     }
 }
 
+/// Words (of 64 rows each) in chunk 0 of an [`AtomicValidity`]; chunk `k`
+/// holds `WORDS_0 << k` words. Mirrors the tail log's row-chunk geometry
+/// (1024 rows = 16 words) so both spines grow in lock step.
+const WORDS_0: usize = 16;
+const NUM_CHUNKS: usize = 32;
+
+#[inline]
+const fn chunk_start(k: usize) -> usize {
+    WORDS_0 * ((1usize << k) - 1)
+}
+
+/// `(chunk, offset)` of word `w`.
+#[inline]
+fn locate(w: usize) -> (usize, usize) {
+    let b = w / WORDS_0 + 1;
+    let k = (usize::BITS - 1 - b.leading_zeros()) as usize;
+    (k, w - chunk_start(k))
+}
+
+/// A concurrently updatable validity bitmap over the online table's global
+/// tuple ids. Bits live in a chunked spine of atomic words that never
+/// moves, so readers and writers share it with no lock:
+///
+/// * inserts set a row's bit **before** publishing the row's watermark —
+///   any row a reader can see already has its bit set (unless deleted);
+/// * deletes clear bits (idempotently) and maintain a valid-row counter;
+/// * snapshots copy a word prefix and mask it to the published row count,
+///   hiding set bits of rows above the watermark.
+///
+/// Merges never touch it: global tuple ids are stable across the merge
+/// (Section 3's "the implicit offset of a tuple is always valid"), which
+/// is what lets validity live outside the swapped generation entirely.
+#[derive(Default)]
+pub struct AtomicValidity {
+    chunks: [OnceLock<Box<[AtomicU64]>>; NUM_CHUNKS],
+    valid_count: AtomicUsize,
+}
+
+impl AtomicValidity {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A bitmap with rows `0..n` valid (bulk-load path).
+    pub fn all_valid(n: usize) -> Self {
+        let v = Self::new();
+        for i in 0..n {
+            v.set_valid(i);
+        }
+        v
+    }
+
+    /// The word holding row bit `i`, allocating its chunk on first touch.
+    fn word(&self, i: usize) -> &AtomicU64 {
+        let (k, off) = locate(i / 64);
+        let chunk = self.chunks[k].get_or_init(|| {
+            let words = WORDS_0 << k;
+            let mut v = Vec::with_capacity(words);
+            v.resize_with(words, || AtomicU64::new(0));
+            v.into_boxed_slice()
+        });
+        &chunk[off]
+    }
+
+    /// Mark row `i` valid (the insert path; called before the row's
+    /// watermark publish, so ordering piggybacks on that `Release`).
+    pub fn set_valid(&self, i: usize) {
+        let prev = self.word(i).fetch_or(1u64 << (i % 64), Ordering::Relaxed);
+        if prev & (1u64 << (i % 64)) == 0 {
+            self.valid_count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Invalidate row `i` (idempotent) — the delete / old-version path.
+    pub fn invalidate(&self, i: usize) {
+        let prev = self
+            .word(i)
+            .fetch_and(!(1u64 << (i % 64)), Ordering::Relaxed);
+        if prev & (1u64 << (i % 64)) != 0 {
+            self.valid_count.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Is row `i` valid? The caller is responsible for only asking about
+    /// rows below a published watermark.
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.word(i).load(Ordering::Relaxed) & (1u64 << (i % 64)) != 0
+    }
+
+    /// Rows currently valid. Exact when quiescent; during concurrent
+    /// inserts it may transiently include rows whose watermark publish is
+    /// still in flight (their bits are set first).
+    pub fn valid_count(&self) -> usize {
+        self.valid_count.load(Ordering::Relaxed)
+    }
+
+    /// A plain-bitmap copy of rows `0..n`, with the last word masked to
+    /// `n` — bits of not-yet-published rows above the watermark are set
+    /// before publication and must not leak into the snapshot.
+    pub fn snapshot_prefix(&self, n: usize) -> ValidityBitmap {
+        let n_words = n.div_ceil(64);
+        let mut words = Vec::with_capacity(n_words);
+        let mut valid_count = 0usize;
+        for w in 0..n_words {
+            let mut word = self.word(w * 64).load(Ordering::Relaxed);
+            if (w + 1) * 64 > n {
+                word &= (1u64 << (n % 64)) - 1;
+            }
+            valid_count += word.count_ones() as usize;
+            words.push(word);
+        }
+        ValidityBitmap {
+            words,
+            len: n,
+            valid_count,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +274,69 @@ mod tests {
         let v = ValidityBitmap::new();
         assert!(v.is_empty());
         assert_eq!(v.valid_rows().count(), 0);
+    }
+
+    #[test]
+    fn atomic_word_geometry() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(15), (0, 15));
+        assert_eq!(locate(16), (1, 0));
+        assert_eq!(locate(47), (1, 31));
+        assert_eq!(locate(48), (2, 0));
+    }
+
+    #[test]
+    fn atomic_set_invalidate_count() {
+        let v = AtomicValidity::new();
+        for i in 0..200 {
+            v.set_valid(i);
+        }
+        assert_eq!(v.valid_count(), 200);
+        v.set_valid(7); // idempotent
+        assert_eq!(v.valid_count(), 200);
+        v.invalidate(7);
+        v.invalidate(7);
+        assert_eq!(v.valid_count(), 199);
+        assert!(!v.is_valid(7));
+        assert!(v.is_valid(8));
+    }
+
+    #[test]
+    fn atomic_all_valid_matches_plain() {
+        let v = AtomicValidity::all_valid(70);
+        assert_eq!(v.valid_count(), 70);
+        let snap = v.snapshot_prefix(70);
+        assert_eq!(snap.valid_count(), 70);
+        assert!(snap.is_valid(69));
+    }
+
+    #[test]
+    fn snapshot_prefix_masks_rows_above_the_watermark() {
+        let v = AtomicValidity::new();
+        // Rows 0..100 published; rows 100..130 written-but-unpublished
+        // (their bits are set, the snapshot must not see them).
+        for i in 0..130 {
+            v.set_valid(i);
+        }
+        v.invalidate(3);
+        let snap = v.snapshot_prefix(100);
+        assert_eq!(snap.len(), 100);
+        assert_eq!(snap.valid_count(), 99);
+        assert!(!snap.is_valid(3));
+        assert!(snap.is_valid(99));
+        // Asking about row 100 panics — it's outside the snapshot.
+        assert!(std::panic::catch_unwind(|| snap.is_valid(100)).is_err());
+    }
+
+    #[test]
+    fn atomic_bits_cross_chunk_boundaries() {
+        let v = AtomicValidity::new();
+        for i in [0usize, 1023, 1024, 3071, 3072, 10_000] {
+            v.set_valid(i);
+            assert!(v.is_valid(i));
+        }
+        assert_eq!(v.valid_count(), 6);
+        let snap = v.snapshot_prefix(10_001);
+        assert_eq!(snap.valid_count(), 6);
     }
 }

@@ -6,7 +6,7 @@
 #   scripts/refresh_bench_baseline.sh
 #
 # The gated benches are scan, query_engine, dict_merge, merge_pipeline,
-# shard_scale and governor; the gate fails CI
+# shard_scale, governor and contended_writers; the gate fails CI
 # when any median regresses more than 25% (see crates/bench/src/gate.rs).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,7 +14,7 @@ cd "$(dirname "$0")/.."
 out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
 
-for bench in scan query_engine dict_merge merge_pipeline shard_scale governor; do
+for bench in scan query_engine dict_merge merge_pipeline shard_scale governor contended_writers; do
     cargo bench -p hyrise-bench --bench "$bench" | tee -a "$out"
 done
 

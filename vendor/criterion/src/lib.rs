@@ -254,6 +254,37 @@ impl Bencher {
                 .push(elapsed.as_nanos() as f64 / iters as f64);
         }
     }
+
+    /// Like [`Self::iter`], but the closure runs `iters` iterations itself
+    /// and returns only the time that should count — for benchmarks that
+    /// need per-sample setup (threads, tables) excluded from the timing.
+    pub fn iter_custom<F>(&mut self, mut f: F)
+    where
+        F: FnMut(u64) -> Duration,
+    {
+        // Calibrate: find an iteration count whose batch takes ~TARGET_BATCH.
+        let mut iters: u64 = 1;
+        loop {
+            let elapsed = f(iters);
+            if elapsed >= TARGET_BATCH || iters >= 1 << 30 {
+                break;
+            }
+            let scale = if elapsed.is_zero() {
+                16.0
+            } else {
+                (TARGET_BATCH.as_secs_f64() / elapsed.as_secs_f64()).min(16.0)
+            };
+            iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
+        }
+
+        let samples = self.requested_samples.max(2);
+        self.samples_ns_per_iter.clear();
+        for _ in 0..samples {
+            let elapsed = f(iters);
+            self.samples_ns_per_iter
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
 }
 
 fn human_time(ns: f64) -> String {
