@@ -49,7 +49,7 @@ fn bench_contended_writers(c: &mut Criterion) {
                         for _ in 0..writers {
                             s.spawn(|| {
                                 for _ in 0..per_writer {
-                                    black_box(t.insert_rows(&batch));
+                                    black_box(t.insert_rows(&batch).unwrap());
                                 }
                             });
                         }
@@ -72,7 +72,7 @@ fn bench_contended_writers(c: &mut Criterion) {
             |b, &writers| {
                 b.iter_custom(|iters| {
                     let t = OnlineTable::<u64>::new(2);
-                    t.insert_rows(&batch_rows(PRELOAD));
+                    t.insert_rows(&batch_rows(PRELOAD)).unwrap();
                     let stop = AtomicBool::new(false);
                     let mut elapsed = Duration::ZERO;
                     std::thread::scope(|s| {
@@ -83,7 +83,7 @@ fn bench_contended_writers(c: &mut Criterion) {
                                     if stop.load(Ordering::Relaxed) {
                                         break;
                                     }
-                                    black_box(t.insert_rows(batch));
+                                    black_box(t.insert_rows(batch).unwrap());
                                 }
                             });
                         }

@@ -42,7 +42,7 @@ fn build_table(rows: usize) -> OnlineTable<u64> {
                 .collect()
         })
         .collect();
-    t.insert_rows(&batch);
+    t.insert_rows(&batch).unwrap();
     t.merge(1, None).unwrap();
     t
 }
@@ -58,7 +58,7 @@ fn fill_delta(t: &OnlineTable<u64>, pct: usize) {
                 .collect()
         })
         .collect();
-    t.insert_rows(&batch);
+    t.insert_rows(&batch).unwrap();
 }
 
 /// Ask a governor observing `table` for this round's grant, after a

@@ -13,12 +13,16 @@ const TOTAL_ROWS: usize = 200_000;
 const KEY_DOMAIN: u64 = 1_000;
 
 fn loaded(shards: usize) -> ShardedTable<u64> {
-    let t = ShardedTable::hash(shards, 2);
+    let t = ShardedTable::builder()
+        .shards(shards)
+        .columns(2)
+        .build()
+        .unwrap();
     let rows: Vec<[u64; 2]> = (0..TOTAL_ROWS as u64)
         .map(|i| [i % KEY_DOMAIN, i.wrapping_mul(2654435761) % 100_000])
         .collect();
-    t.insert_rows(&rows);
-    t.merge_all(1);
+    t.insert_rows(&rows).unwrap();
+    t.merge_all(1).unwrap();
     t
 }
 
@@ -50,8 +54,12 @@ fn bench_shard_scale(c: &mut Criterion) {
             &shards,
             |b, &shards| {
                 b.iter(|| {
-                    let t = ShardedTable::<u64>::hash(shards, 2);
-                    let ids = t.insert_rows(&batch);
+                    let t = ShardedTable::<u64>::builder()
+                        .shards(shards)
+                        .columns(2)
+                        .build()
+                        .unwrap();
+                    let ids = t.insert_rows(&batch).unwrap();
                     black_box(ids.len())
                 })
             },

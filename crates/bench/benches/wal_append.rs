@@ -1,0 +1,114 @@
+//! Criterion: the insert-path cost of durability. The same batched
+//! insert workload runs against [`Durability::None`] (the pre-WAL
+//! in-memory path — the zero-I/O baseline), a buffered WAL (records
+//! reach the OS page cache before rows publish), and an fsync WAL (one
+//! `fdatasync` per batch — the power-loss-proof mode, expected to be
+//! dominated by device sync latency). Table construction and directory
+//! teardown run outside the timed region (`iter_custom`), so the
+//! numbers isolate the per-append cost. `none` and `buffered` are gated
+//! against `BENCH_baseline.json`; `fsync` is reported but not gated
+//! (its median is a property of the runner's disk, not of this code).
+//!
+//! What to expect from `buffered`: the append path is one `write(2)` of
+//! a framed record per insert batch — that ordering (record in the
+//! kernel before the rows publish) is the whole durability contract, so
+//! the syscall cannot be deferred or amortized across batches. After
+//! the append-path work (hardware CRC32C, single reusable frame buffer,
+//! no userspace write buffering), the remaining cost is dominated by
+//! page-cache population inside `write(2)` (~0.4 ns/byte), which is the
+//! same order as the raw in-memory columnar append itself (~10 ns per
+//! 8-byte value). Buffered durability therefore costs a sizable
+//! fraction of pure insert throughput on this microbench by
+//! construction; the gate holds the achieved number, it does not claim
+//! the write-off is free.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyrise_core::{Durability, OnlineTable};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const BATCH: usize = 1024;
+/// Batches per iteration for the unsynced modes.
+const BATCHES: usize = 50;
+/// Batches per iteration under fsync (each batch pays a device sync).
+const FSYNC_BATCHES: usize = 10;
+
+fn batch_rows() -> Vec<[u64; 2]> {
+    (0..BATCH as u64)
+        .map(|i| [i % 1_000, i.wrapping_mul(2654435761) % 100_000])
+        .collect()
+}
+
+fn scratch_dir(tag: u64) -> PathBuf {
+    std::env::temp_dir().join(format!("hyrise-wal-bench-{}-{tag}", std::process::id()))
+}
+
+/// Time `iters` rounds of `batches` batched inserts against a fresh
+/// table per round, with construction and teardown outside the clock.
+fn timed_rounds(
+    iters: u64,
+    batches: usize,
+    batch: &[[u64; 2]],
+    durability: impl Fn(u64) -> Durability,
+) -> Duration {
+    let mut total = Duration::ZERO;
+    for round in 0..iters {
+        let d = durability(round);
+        let dir = match &d {
+            Durability::Wal { dir, .. } => Some(dir.clone()),
+            _ => None,
+        };
+        let t: OnlineTable<u64> = OnlineTable::builder()
+            .columns(2)
+            .durability(d)
+            .build()
+            .unwrap();
+        let start = Instant::now();
+        for _ in 0..batches {
+            black_box(t.insert_rows(batch).unwrap());
+        }
+        total += start.elapsed();
+        drop(t);
+        if let Some(dir) = dir {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    total
+}
+
+fn bench_wal_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal_append");
+    g.sample_size(10);
+    let batch = batch_rows();
+
+    g.throughput(Throughput::Elements((BATCHES * BATCH) as u64));
+    g.bench_function(BenchmarkId::new("none", BATCHES * BATCH), |b| {
+        b.iter_custom(|iters| timed_rounds(iters, BATCHES, &batch, |_| Durability::None))
+    });
+
+    // Fresh directory per round: building over an existing table is
+    // refused by design, and a growing log would skew later samples.
+    g.bench_function(BenchmarkId::new("buffered", BATCHES * BATCH), |b| {
+        b.iter_custom(|iters| {
+            timed_rounds(iters, BATCHES, &batch, |round| Durability::Wal {
+                dir: scratch_dir(round),
+                fsync: false,
+            })
+        })
+    });
+
+    g.throughput(Throughput::Elements((FSYNC_BATCHES * BATCH) as u64));
+    g.bench_function(BenchmarkId::new("fsync", FSYNC_BATCHES * BATCH), |b| {
+        b.iter_custom(|iters| {
+            timed_rounds(iters, FSYNC_BATCHES, &batch, |round| Durability::Wal {
+                dir: scratch_dir(round),
+                fsync: true,
+            })
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_wal_append);
+criterion_main!(benches);

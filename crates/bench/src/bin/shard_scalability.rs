@@ -50,11 +50,17 @@ fn sweep(
     [u64; 3],
     Vec<hyrise_core::governor::GrantRecord>,
 ) {
-    let table = Arc::new(ShardedTable::<u64>::hash(shards, 2));
+    let table = Arc::new(
+        ShardedTable::<u64>::builder()
+            .shards(shards)
+            .columns(2)
+            .build()
+            .unwrap(),
+    );
     let t0 = Instant::now();
     let preload: Vec<[u64; 2]> = (0..rows as u64).map(row).collect();
-    table.insert_rows(&preload);
-    table.merge_all(threads);
+    table.insert_rows(&preload).unwrap();
+    table.merge_all(threads).unwrap();
     let preload_ms = t0.elapsed().as_millis();
 
     let policy = MergePolicy {
@@ -82,7 +88,7 @@ fn sweep(
                     let base = (rows + w * writes) as u64;
                     for chunk in (0..writes as u64).collect::<Vec<_>>().chunks(256) {
                         let batch: Vec<[u64; 2]> = chunk.iter().map(|i| row(base + i)).collect();
-                        table.insert_rows(&batch);
+                        table.insert_rows(&batch).unwrap();
                     }
                 })
             })

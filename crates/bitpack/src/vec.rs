@@ -95,6 +95,27 @@ impl BitPackedVec {
         self.words
     }
 
+    /// Reassemble a vector from a persisted word buffer (the checkpoint
+    /// deserialization path). `words` must hold at least
+    /// `ceil(len * bits / 64)` words; extra words are dropped.
+    ///
+    /// # Panics
+    /// If `bits` is not in `1..=64` or `words` is too short for `len`.
+    pub fn from_words(bits: u8, len: usize, mut words: Vec<u64>) -> Self {
+        assert!(
+            (1..=64).contains(&bits),
+            "bits must be in 1..=64, got {bits}"
+        );
+        let needed = words_for(len, bits);
+        assert!(
+            words.len() >= needed,
+            "word buffer too short: {} < {needed}",
+            words.len()
+        );
+        words.truncate(needed);
+        Self { words, len, bits }
+    }
+
     /// Build from a slice of already-valid codes.
     ///
     /// # Panics
@@ -406,6 +427,21 @@ mod tests {
         let v = BitPackedVec::zeroed(13, 1000);
         assert_eq!(v.len(), 1000);
         assert!(v.iter().all(|x| x == 0));
+    }
+
+    #[test]
+    fn from_words_round_trips() {
+        let data: Vec<u64> = (0..130).map(|i| i % 31).collect();
+        let v = BitPackedVec::from_slice(5, &data);
+        let back = BitPackedVec::from_words(v.bits(), v.len(), v.words().to_vec());
+        assert_eq!(back, v);
+        assert_eq!(back.to_vec(), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "word buffer too short")]
+    fn from_words_rejects_short_buffer() {
+        BitPackedVec::from_words(64, 3, vec![0, 0]);
     }
 
     #[test]

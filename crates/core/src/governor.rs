@@ -252,6 +252,10 @@ pub enum GrantSignal {
     /// Read rate below the idle threshold with nothing in flight: all
     /// threads.
     ReadIdle,
+    /// Crash recovery resumed a half-finished merge from its checkpoint:
+    /// the policy's baseline grant, recorded so recovery-driven merges are
+    /// visible among the regular rounds.
+    Resume,
 }
 
 impl std::fmt::Display for GrantSignal {
@@ -262,6 +266,7 @@ impl std::fmt::Display for GrantSignal {
             GrantSignal::Contended => write!(f, "contended"),
             GrantSignal::WriteBurst => write!(f, "write-burst"),
             GrantSignal::ReadIdle => write!(f, "read-idle"),
+            GrantSignal::Resume => write!(f, "resume"),
         }
     }
 }
@@ -570,6 +575,28 @@ impl ResourceGovernor {
             signal,
             signals,
         }
+    }
+
+    /// The grant a crash-recovery merge resume runs under — the policy's
+    /// own baseline grant, recorded in the trace with
+    /// [`GrantSignal::Resume`] so operators can see recovery-driven merges
+    /// among the regular rounds. The choice is safe by construction: every
+    /// strategy and thread count produces byte-identical merged partitions,
+    /// so the resumed merge's result does not depend on the grant.
+    pub fn resume_grant(&self, delta_fraction: f64) -> MergeGrant {
+        let grant = self.config.policy.grant();
+        let mut trace = self.trace.lock();
+        if trace.len() == TRACE_CAP {
+            trace.pop_front();
+        }
+        trace.push_back(GrantRecord {
+            strategy: grant.strategy,
+            threads: grant.threads,
+            budget_columns: grant.budget.max_columns(),
+            signal: GrantSignal::Resume,
+            delta_fraction,
+        });
+        grant
     }
 
     /// Report a completed merge back into the current window, so the next

@@ -39,11 +39,20 @@
 //!   merges under.
 //! * [`rate`] — Equations 1 and 16: update-rate accounting, plus the
 //!   write-load classification the governor feeds from.
+//! * `wal` (private)/[`recovery`]/[`config`]/[`error`] — crash durability beyond
+//!   the paper's in-memory evaluation (its Section 3 design assumes a
+//!   recoverable differential buffer): an append-only, CRC-checked
+//!   per-shard delta WAL, SAGA-style resumable merge checkpoints, and
+//!   [`recovery::recover`], behind the [`config::TableBuilder`] /
+//!   [`config::Durability`] construction surface and the typed
+//!   [`error::Error`] that makes the mutation paths honestly fallible.
 //!
 //! All three algorithms produce bit-identical merged main partitions; the
 //! property tests assert this equivalence.
 
+pub mod config;
 pub mod epoch;
+pub mod error;
 pub mod governor;
 pub mod manager;
 pub mod model;
@@ -53,12 +62,16 @@ pub mod parallel;
 pub mod partition;
 pub mod pipeline;
 pub mod rate;
+pub mod recovery;
 pub mod scheduler;
 pub mod shard;
 pub mod stats;
 mod step1;
+mod wal;
 
+pub use config::{Durability, ShardedTableBuilder, TableBuilder, TableConfig};
 pub use epoch::{EpochCell, EpochGuard};
+pub use error::{Error, Result};
 pub use governor::{
     begin_read, read_load, GovernorConfig, GrantRecord, GrantSignal, LoadSignals, LoadView,
     ResourceGovernor, RoundPlan,
@@ -71,10 +84,11 @@ pub use naive::merge_column_naive;
 pub use optimized::merge_column_optimized;
 pub use parallel::{merge_column_parallel, merge_table_parallel};
 pub use pipeline::{
-    merge_column_with, MergeBudget, MergeGrant, MergePipeline, MergeScratch, MergeStrategy,
-    SpareBank,
+    merge_column_with, MergeBudget, MergeGrant, MergePipeline, MergeScratch, MergeStep,
+    MergeStrategy, SpareBank, StepSink,
 };
 pub use rate::{classify_update_rate, update_rate, updates_per_second, WriteLoad};
+pub use recovery::{recover, recover_sharded, recover_with};
 pub use scheduler::{MergeOutcome, MergeScheduler, MergeSource, SchedulerStats, SourceScheduler};
 pub use shard::{
     ShardBy, ShardMergeStats, ShardRowId, ShardedScheduler, ShardedSchedulerStats, ShardedTable,

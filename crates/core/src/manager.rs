@@ -40,14 +40,17 @@
 //! `pending` (zero copy) and leaves the table observably unchanged.
 
 use crate::epoch::EpochCell;
+use crate::error::{Error, Result};
+use crate::governor::GovernorConfig;
 use crate::pipeline::{
-    MergeBudget, MergeGrant, MergePipeline, MergeScratch, MergeStrategy, SpareBank,
+    MergeBudget, MergeGrant, MergePipeline, MergeScratch, MergeStrategy, SpareBank, StepSink,
 };
 use crate::stats::TableMergeStats;
+use crate::wal::{self, Wal};
 use hyrise_storage::{
     AtomicValidity, DeltaPartition, MainPartition, MemoryReport, TailLog, ValidityBitmap, Value,
 };
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -199,6 +202,20 @@ pub struct OnlineTable<V: Value> {
     /// (asserted in `tests/merge_scratch_alloc.rs`). Shards of a
     /// [`crate::shard::ShardedTable`] share a single bank.
     bank: Arc<SpareBank<V>>,
+    /// The delta write-ahead log, when the table was built with
+    /// [`crate::config::Durability::Wal`]. `None` keeps the zero-I/O
+    /// in-memory path byte-for-byte unchanged.
+    wal: Option<Wal<V>>,
+    /// The governor configuration the table was built with (consumed by
+    /// recovery for its resume grant and by callers spawning schedulers).
+    governor_cfg: Option<GovernorConfig>,
+    /// Closes the flip-vs-checkpoint race on durable tables: a delete's
+    /// WAL append + in-memory invalidate run under the read side, and the
+    /// merge's checkpoint takes the write side before snapshotting
+    /// validity — so every flip already durable in a segment the
+    /// checkpoint is about to truncate has its in-memory bit applied and
+    /// is captured by the snapshot. Uncontended except at that instant.
+    flip_gate: RwLock<()>,
 }
 
 impl<V: Value> OnlineTable<V> {
@@ -223,7 +240,17 @@ impl<V: Value> OnlineTable<V> {
             merge_gate: Mutex::new(()),
             scratch_pool: Mutex::new(Vec::new()),
             bank: Arc::new(SpareBank::new()),
+            wal: None,
+            governor_cfg: None,
+            flip_gate: RwLock::new(()),
         }
+    }
+
+    /// The unified construction surface: columns, durability, governor —
+    /// see [`crate::config::TableBuilder`]. [`Self::new`] remains the
+    /// infallible in-memory shorthand.
+    pub fn builder() -> crate::config::TableBuilder<V> {
+        crate::config::TableBuilder::new()
     }
 
     /// Share `bank` as this table's spare-buffer bank (builder-style; call
@@ -268,7 +295,90 @@ impl<V: Value> OnlineTable<V> {
             merge_gate: Mutex::new(()),
             scratch_pool: Mutex::new(Vec::new()),
             bank: Arc::new(SpareBank::new()),
+            wal: None,
+            governor_cfg: None,
+            flip_gate: RwLock::new(()),
         }
+    }
+
+    /// Rebuild a table from recovered parts: checkpointed mains plus one
+    /// replayed delta per column (from the sealed WAL segments), placed
+    /// `frozen` when an in-flight merge is about to be resumed, `pending`
+    /// otherwise (absorbed by the next freeze, exactly like a cancelled
+    /// merge's rollback). The validity bitmap starts empty — recovery
+    /// replays checkpoint bits, insert records, and flips on top. Live-tail
+    /// rows are replayed afterwards through the normal
+    /// [`Self::insert_rows`] path (before the WAL is attached, so replay
+    /// never re-logs).
+    pub(crate) fn from_recovered_parts(
+        mains: Vec<MainPartition<V>>,
+        deltas: Vec<DeltaPartition<V>>,
+        frozen: bool,
+    ) -> Self {
+        assert!(!mains.is_empty(), "a table needs at least one column");
+        let n_cols = mains.len();
+        assert_eq!(deltas.len(), n_cols, "one replayed delta per column");
+        let rows = mains[0].len();
+        let delta_rows = deltas[0].len();
+        debug_assert!(mains.iter().all(|m| m.len() == rows));
+        debug_assert!(deltas.iter().all(|d| d.len() == delta_rows));
+        let cols = mains
+            .into_iter()
+            .zip(deltas)
+            .map(|(m, d)| {
+                let d = (!d.is_empty()).then(|| Arc::new(d));
+                GenColumn {
+                    main: Arc::new(m),
+                    frozen: if frozen { d.clone() } else { None },
+                    pending: if frozen { None } else { d },
+                }
+            })
+            .collect();
+        Self {
+            gen: EpochCell::new(Box::new(Generation {
+                cols,
+                tail: Arc::new(TailLog::new(n_cols, rows + delta_rows)),
+            })),
+            validity: AtomicValidity::new(),
+            inserts: AtomicU64::new(0),
+            n_cols,
+            merge_gate: Mutex::new(()),
+            scratch_pool: Mutex::new(Vec::new()),
+            bank: Arc::new(SpareBank::new()),
+            wal: None,
+            governor_cfg: None,
+            flip_gate: RwLock::new(()),
+        }
+    }
+
+    /// Attach (or detach) the write-ahead log. Crate-internal: the builder
+    /// attaches it at construction, recovery after replay.
+    pub(crate) fn set_wal(&mut self, wal: Option<Wal<V>>) {
+        self.wal = wal;
+    }
+
+    /// Is the table durable (WAL-attached)?
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Record the governor configuration the table was built with.
+    pub(crate) fn set_governor_config(&mut self, cfg: Option<GovernorConfig>) {
+        self.governor_cfg = cfg;
+    }
+
+    /// The governor configuration the table was built with (via
+    /// [`crate::config::TableBuilder::governor`]), if any — callers
+    /// spawning schedulers read it back from here, and recovery derives
+    /// its resume grant from it.
+    pub fn governor_config(&self) -> Option<&GovernorConfig> {
+        self.governor_cfg.as_ref()
+    }
+
+    /// Direct handle to the shared validity bitmap (recovery replays
+    /// checkpoint bits and flips through it).
+    pub(crate) fn validity_handle(&self) -> &AtomicValidity {
+        &self.validity
     }
 
     /// Check a warm scratch arena out of the pool (or start a cold one),
@@ -328,9 +438,17 @@ impl<V: Value> OnlineTable<V> {
     }
 
     /// Insert a row; returns its tuple id. Lock-free — see
-    /// [`Self::insert_rows`].
+    /// [`Self::insert_rows`]. Infallible convenience for in-memory
+    /// tables; a durable table whose WAL append fails panics here — use
+    /// [`Self::try_insert_row`] to handle the error.
     pub fn insert_row(&self, values: &[V]) -> usize {
-        self.insert_rows(std::slice::from_ref(&values)).start
+        self.try_insert_row(values)
+            .expect("insert failed (durable table: use try_insert_row)")
+    }
+
+    /// Fallible single-row insert; see [`Self::insert_rows`].
+    pub fn try_insert_row(&self, values: &[V]) -> Result<usize> {
+        Ok(self.insert_rows(std::slice::from_ref(&values))?.start)
     }
 
     /// Batched insert, lock-free: one slot reservation (`fetch_add`) for
@@ -341,7 +459,15 @@ impl<V: Value> OnlineTable<V> {
     /// against the fresh tail of the next generation (the freeze installs
     /// it promptly; the retry loop never holds a generation pin while
     /// waiting).
-    pub fn insert_rows<R: AsRef<[V]>>(&self, rows: &[R]) -> std::ops::Range<usize> {
+    ///
+    /// On a durable table the batch's WAL record is appended (and, under
+    /// the `fsync` policy, synced) **before** the watermark publish, so
+    /// every visible row is also logged — durable-before-visible. If the
+    /// append itself fails the batch is still published (readers and the
+    /// sealed-tail protocol stay consistent) and the error is returned:
+    /// the log now has a hole at its tip, so treat the WAL as poisoned —
+    /// stop writing and re-open via recovery.
+    pub fn insert_rows<R: AsRef<[V]>>(&self, rows: &[R]) -> Result<std::ops::Range<usize>> {
         for values in rows {
             assert_eq!(
                 values.as_ref().len(),
@@ -351,7 +477,7 @@ impl<V: Value> OnlineTable<V> {
         }
         if rows.is_empty() {
             let n = self.row_count();
-            return n..n;
+            return Ok(n..n);
         }
         loop {
             // A short pin just to grab the current tail; the Arc keeps it
@@ -375,9 +501,18 @@ impl<V: Value> OnlineTable<V> {
                     for k in 0..rows.len() {
                         self.validity.set_valid(start + k);
                     }
+                    // Log-before-publish: the record lands in the live
+                    // segment before the rows become visible, hence
+                    // strictly before any freeze can seal this tail and
+                    // rotate the segment (seal waits for our publish).
+                    let logged = match &self.wal {
+                        Some(w) => w.append_insert(start, rows),
+                        None => Ok(()),
+                    };
                     res.publish();
                     self.inserts.fetch_add(rows.len() as u64, Ordering::Relaxed);
-                    return start..start + rows.len();
+                    logged?;
+                    return Ok(start..start + rows.len());
                 }
                 Err(_) => {
                     // Sealed mid-freeze: retry against the next
@@ -389,15 +524,37 @@ impl<V: Value> OnlineTable<V> {
     }
 
     /// Insert-only update: insert the new version, invalidate the old row.
+    /// Infallible convenience — see [`Self::try_update_row`].
     pub fn update_row(&self, old_row: usize, values: &[V]) -> usize {
-        let new_row = self.insert_row(values);
-        self.validity.invalidate(old_row);
-        new_row
+        self.try_update_row(old_row, values)
+            .expect("update failed (durable table: use try_update_row)")
     }
 
-    /// Invalidate a row.
+    /// Fallible insert-only update: insert the new version, then
+    /// invalidate the old row (logged as a validity flip).
+    pub fn try_update_row(&self, old_row: usize, values: &[V]) -> Result<usize> {
+        let new_row = self.try_insert_row(values)?;
+        self.try_delete_row(old_row)?;
+        Ok(new_row)
+    }
+
+    /// Invalidate a row. Infallible convenience — see
+    /// [`Self::try_delete_row`].
     pub fn delete_row(&self, row: usize) {
+        self.try_delete_row(row)
+            .expect("delete failed (durable table: use try_delete_row)")
+    }
+
+    /// Fallible delete: the validity flip is appended to the WAL (and
+    /// synced under `fsync`) **before** the in-memory bit drops —
+    /// durable-before-visible, mirroring the insert path.
+    pub fn try_delete_row(&self, row: usize) -> Result<()> {
+        let _flip = self.flip_gate.read();
+        if let Some(w) = &self.wal {
+            w.append_flip(row, false)?;
+        }
         self.validity.invalidate(row);
+        Ok(())
     }
 
     /// Read one cell (any region: main, frozen, pending, or the tail).
@@ -497,12 +654,25 @@ impl<V: Value> OnlineTable<V> {
     /// [`DeltaPartition`] per column (global insert order), and publish a
     /// generation with those deltas frozen and a fresh tail. Writers that
     /// hit the sealed tail retry against the fresh one.
-    fn freeze(&self) {
+    ///
+    /// On a durable table the WAL's live segment is sealed and rotated
+    /// between the tail seal and the generation swap: every record for the
+    /// sealed tail is already in the segment (log-before-publish, and
+    /// `seal` waited for all publishes), and no new-tail record can be
+    /// appended until the swap installs the new tail. If the rotation
+    /// fails, the swap still happens — writers must not spin forever on a
+    /// sealed tail — and the error is returned for the caller to unwind
+    /// (roll the frozen deltas back and surface the error).
+    fn freeze(&self) -> Result<()> {
         let (cols, tail) = {
             let gen = self.gen.pin();
             (gen.share_cols(), Arc::clone(&gen.tail))
         };
         let n = tail.seal();
+        let rotated = match &self.wal {
+            Some(w) => w.seal_and_rotate(tail.base() + n),
+            None => Ok(()),
+        };
         let new_cols = cols
             .into_iter()
             .enumerate()
@@ -532,6 +702,7 @@ impl<V: Value> OnlineTable<V> {
             cols: new_cols,
             tail: new_tail,
         }));
+        rotated
     }
 
     /// **Commit** some columns (under the gate): publish a generation
@@ -581,11 +752,7 @@ impl<V: Value> OnlineTable<V> {
     /// unbounded budget). Blocks the calling thread for the duration; the
     /// table stays readable and writable throughout (the freeze and commit
     /// swaps are the only moments writers may briefly retry).
-    pub fn merge(
-        &self,
-        threads: usize,
-        cancel: Option<&AtomicBool>,
-    ) -> Result<TableMergeStats, MergeCancelled> {
+    pub fn merge(&self, threads: usize, cancel: Option<&AtomicBool>) -> Result<TableMergeStats> {
         self.merge_with(MergeGrant::with_threads(threads), cancel)
     }
 
@@ -613,32 +780,70 @@ impl<V: Value> OnlineTable<V> {
     /// Merge-phase intermediates come from the table's warm scratch pool,
     /// and each chunk's commit recycles the retired main partitions into
     /// that pool, so steady-state merges allocate ~nothing.
+    ///
+    /// On a durable table the merge is a resumable SAGA: a `merge.ckpt`
+    /// record log marks the merge begun (synced before any merge work),
+    /// each budgeted chunk's merged columns are staged to disk and logged
+    /// before the in-memory commit, and the final commit writes a new
+    /// table checkpoint, truncates the absorbed WAL segments, and clears
+    /// the merge log. A process killed at any point either left no durable
+    /// begin record (recovery replays the frozen rows as a pending delta)
+    /// or resumes from the last logged chunk — byte-identical either way.
+    /// An I/O error mid-merge rolls the uncommitted columns back, clears
+    /// the merge log best-effort, and surfaces the error; already
+    /// committed chunks stay merged (each column individually holds all
+    /// its rows, so the table stays consistent).
     pub fn merge_with(
         &self,
         grant: MergeGrant,
         cancel: Option<&AtomicBool>,
-    ) -> Result<TableMergeStats, MergeCancelled> {
+    ) -> Result<TableMergeStats> {
         assert!(grant.threads >= 1, "need at least one thread");
         let _gate = self.merge_gate.lock();
         let t_wall = std::time::Instant::now();
 
-        // Begin: freeze the tail into per-column frozen deltas. Snapshot
+        // Begin: freeze the tail into per-column frozen deltas (and, when
+        // durable, rotate the WAL segment). A failed rotation leaves the
+        // table consistent in memory but the merge must not proceed: roll
+        // the frozen deltas straight back and surface the error. Snapshot
         // handles are dropped per column at commit so retired mains become
         // uniquely owned and recyclable.
-        self.freeze();
+        if let Err(e) = self.freeze() {
+            self.rollback_frozen();
+            return Err(e);
+        }
         type Snapshot<V> = (Arc<MainPartition<V>>, Arc<DeltaPartition<V>>);
-        let mut snapshots: Vec<Option<Snapshot<V>>> = {
+        let (mut snapshots, frozen_end): (Vec<Option<Snapshot<V>>>, usize) = {
             let gen = self.gen.pin();
-            gen.cols
-                .iter()
-                .map(|c| {
-                    Some((
-                        Arc::clone(&c.main),
-                        Arc::clone(c.frozen.as_ref().expect("freeze froze every column")),
-                    ))
-                })
-                .collect()
+            (
+                gen.cols
+                    .iter()
+                    .map(|c| {
+                        Some((
+                            Arc::clone(&c.main),
+                            Arc::clone(c.frozen.as_ref().expect("freeze froze every column")),
+                        ))
+                    })
+                    .collect(),
+                gen.tail.base(),
+            )
         };
+
+        // SAGA begin record, synced before any merge work: recovery only
+        // ever resumes a merge whose begin made it to disk; a crash before
+        // this point replays the frozen rows as a plain pending delta.
+        let merge_log = match &self.wal {
+            Some(w) => match wal::MergeLog::begin(w.dir(), frozen_end, self.n_cols) {
+                Ok(log) => Some(log),
+                Err(e) => {
+                    drop(snapshots);
+                    self.rollback_frozen();
+                    return Err(e);
+                }
+            },
+            None => None,
+        };
+        let sink: Option<&dyn StepSink> = merge_log.as_ref().map(|l| l as &dyn StepSink);
 
         let n_cols = snapshots.len();
         let chunk_cap = grant.budget.max_columns().min(n_cols).max(1);
@@ -676,7 +881,8 @@ impl<V: Value> OnlineTable<V> {
                             }
                             let (main, frozen) =
                                 snapshots[i].as_ref().expect("chunk column not committed");
-                            let out = pipeline.merge_column(main, frozen, &mut scratch);
+                            let out =
+                                pipeline.merge_column_observed(main, frozen, &mut scratch, sink, i);
                             *slots[i - chunk_start].lock() = Some(out);
                         }
                         self.checkin_scratch(scratch);
@@ -689,10 +895,14 @@ impl<V: Value> OnlineTable<V> {
             {
                 // Roll back every *uncommitted* column's frozen delta to
                 // `pending`, preserving tuple ids (pending rows are older
-                // than the tail's). Committed chunks stay.
+                // than the tail's). Committed chunks stay. The merge log
+                // is cleared so recovery replays the rows as pending too.
                 drop(snapshots);
                 self.rollback_frozen();
-                return Err(MergeCancelled);
+                if let Some(w) = &self.wal {
+                    let _ = wal::clear_merge_log(w.dir());
+                }
+                return Err(Error::Cancelled);
             }
 
             // Account the chunk's transient footprint, then commit it:
@@ -715,10 +925,173 @@ impl<V: Value> OnlineTable<V> {
                 stats.columns.push(out.stats);
                 outs.push((i, out.main));
             }
+            // Chunked durable merges stage each chunk's merged columns and
+            // log the chunk boundary *before* the in-memory commit, so a
+            // crash after this point resumes with these columns loaded
+            // from disk instead of re-merged. Single-chunk merges skip the
+            // staging I/O — there is no intermediate commit to protect.
+            if let (Some(log), true) = (&merge_log, chunk_cap < n_cols) {
+                let w = self.wal.as_ref().expect("merge log implies wal");
+                let staged: Result<()> = outs
+                    .iter()
+                    .try_for_each(|(i, main)| wal::write_staged_column(w.dir(), *i, main));
+                let staged = staged.and_then(|()| {
+                    log.chunk_done(&outs.iter().map(|(i, _)| *i).collect::<Vec<_>>())
+                });
+                if let Err(e) = staged {
+                    drop(snapshots);
+                    self.rollback_frozen();
+                    let _ = wal::clear_merge_log(w.dir());
+                    return Err(e);
+                }
+            }
             for old in self.commit_columns(outs) {
                 self.recycle_retired(old);
             }
             chunk_start = chunk_end;
+        }
+
+        // Durable epilogue: persist the merged mains as the new table
+        // checkpoint (atomic rename), then drop the absorbed segments and
+        // the merge log. Failure here loses the merge's *durability*, not
+        // its in-memory result: the log is cleared so recovery falls back
+        // to the previous checkpoint plus the still-sealed segments.
+        if let Some(w) = &self.wal {
+            let finish = (|| {
+                {
+                    let gen = self.gen.pin();
+                    let mains: Vec<&MainPartition<V>> = gen.cols.iter().map(|c| &*c.main).collect();
+                    let validity = {
+                        let _flips = self.flip_gate.write();
+                        self.validity.snapshot_prefix(frozen_end)
+                    };
+                    wal::write_checkpoint(w.dir(), &mains, &validity)?;
+                }
+                w.truncate_absorbed(frozen_end)?;
+                wal::clear_merge_log(w.dir())
+            })();
+            if let Err(e) = finish {
+                let _ = wal::clear_merge_log(w.dir());
+                return Err(e);
+            }
+        }
+        stats.t_wall = t_wall.elapsed();
+        Ok(stats)
+    }
+
+    /// Resume a half-finished durable merge (recovery only). The table was
+    /// rebuilt with every column's delta *frozen* and the WAL re-attached;
+    /// `staged` holds the columns whose merged outputs were already
+    /// durable (loaded from `staged/`), which are committed as-is — the
+    /// SAGA's completed steps are not redone. The remaining columns merge
+    /// in one chunk, then the normal durable epilogue runs (checkpoint,
+    /// segment truncation, merge-log cleanup). Output is byte-identical to
+    /// the merge the crash interrupted: merge output depends only on each
+    /// column's row value sequence.
+    pub(crate) fn resume_merge_with(
+        &self,
+        grant: MergeGrant,
+        staged: Vec<(usize, MainPartition<V>)>,
+    ) -> Result<TableMergeStats> {
+        assert!(grant.threads >= 1, "need at least one thread");
+        let _gate = self.merge_gate.lock();
+        let t_wall = std::time::Instant::now();
+        let w = self.wal.as_ref().expect("resume requires an attached wal");
+
+        type Snapshot<V> = (Arc<MainPartition<V>>, Arc<DeltaPartition<V>>);
+        let (mut snapshots, frozen_end): (Vec<Option<Snapshot<V>>>, usize) = {
+            let gen = self.gen.pin();
+            (
+                gen.cols
+                    .iter()
+                    .map(|c| {
+                        Some((
+                            Arc::clone(&c.main),
+                            Arc::clone(c.frozen.as_ref().expect("recovery froze every column")),
+                        ))
+                    })
+                    .collect(),
+                gen.tail.base(),
+            )
+        };
+        let mut stats = TableMergeStats::default();
+
+        // Commit the already-staged columns first, exactly as the crashed
+        // process would have: no re-merge, no new step records.
+        if !staged.is_empty() {
+            let mut outs = Vec::with_capacity(staged.len());
+            for (i, main) in staged {
+                debug_assert_eq!(main.len(), frozen_end, "staged column covers all rows");
+                snapshots[i] = None;
+                outs.push((i, main));
+            }
+            for old in self.commit_columns(outs) {
+                self.recycle_retired(old);
+            }
+        }
+
+        // Merge the rest in one chunk (a resumed merge is rare enough
+        // that budget chunking buys nothing).
+        let remaining: Vec<usize> = (0..self.n_cols)
+            .filter(|&i| snapshots[i].is_some())
+            .collect();
+        if !remaining.is_empty() {
+            let workers = grant.threads.clamp(1, remaining.len());
+            let per_column_threads = (grant.threads / workers).max(1);
+            let pipeline = MergePipeline::new(grant.strategy, per_column_threads);
+            let next = AtomicUsize::new(0);
+            type Slot<V> = Mutex<Option<crate::stats::MergeOutput<MainPartition<V>>>>;
+            let slots: Vec<Slot<V>> = remaining.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| {
+                        let mut scratch = self.checkout_scratch();
+                        loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= remaining.len() {
+                                break;
+                            }
+                            let i = remaining[k];
+                            let (main, frozen) =
+                                snapshots[i].as_ref().expect("remaining column is frozen");
+                            let out = pipeline.merge_column(main, frozen, &mut scratch);
+                            *slots[k].lock() = Some(out);
+                        }
+                        self.checkin_scratch(scratch);
+                    });
+                }
+            });
+            let mut outs = Vec::with_capacity(remaining.len());
+            for (k, slot) in slots.into_iter().enumerate() {
+                let i = remaining[k];
+                let out = slot.into_inner().expect("resume fills every slot");
+                snapshots[i] = None;
+                stats.columns.push(out.stats);
+                outs.push((i, out.main));
+            }
+            for old in self.commit_columns(outs) {
+                self.recycle_retired(old);
+            }
+        }
+        drop(snapshots);
+
+        // Same durable epilogue as merge_with.
+        let finish = (|| {
+            {
+                let gen = self.gen.pin();
+                let mains: Vec<&MainPartition<V>> = gen.cols.iter().map(|c| &*c.main).collect();
+                let validity = {
+                    let _flips = self.flip_gate.write();
+                    self.validity.snapshot_prefix(frozen_end)
+                };
+                wal::write_checkpoint(w.dir(), &mains, &validity)?;
+            }
+            w.truncate_absorbed(frozen_end)?;
+            wal::clear_merge_log(w.dir())
+        })();
+        if let Err(e) = finish {
+            let _ = wal::clear_merge_log(w.dir());
+            return Err(e);
         }
         stats.t_wall = t_wall.elapsed();
         Ok(stats)
@@ -752,11 +1125,35 @@ impl<V: Value> OnlineTable<V> {
 
     /// As [`Self::begin_incremental_merge`], with an explicit strategy and
     /// thread grant (the session is inherently a one-column budget, so the
-    /// grant's [`MergeBudget`] is moot).
+    /// grant's [`MergeBudget`] is moot). Infallible convenience — see
+    /// [`Self::try_begin_incremental_merge_with`].
     pub fn begin_incremental_merge_with(&self, grant: MergeGrant) -> MergeSession<'_, V> {
+        self.try_begin_incremental_merge_with(grant)
+            .expect("freeze failed (durable table: use try_begin_incremental_merge_with)")
+    }
+
+    /// Fallible session begin (the freeze rotates the WAL segment on a
+    /// durable table, which can fail).
+    ///
+    /// Sessions deliberately write **no** merge log and no checkpoint:
+    /// their value is bounded intermediate state, and staging every
+    /// stepped column would reintroduce exactly the I/O the session
+    /// avoids holding in memory. Durability simply lags — a crash during
+    /// or after a session recovers the pre-session state from the sealed
+    /// WAL segments (as a pending delta; merge output depends only on the
+    /// row value sequence, so the next merge reproduces it byte for
+    /// byte), and the next full [`Self::merge_with`] re-anchors the
+    /// checkpoint.
+    pub fn try_begin_incremental_merge_with(
+        &self,
+        grant: MergeGrant,
+    ) -> Result<MergeSession<'_, V>> {
         let gate = self.merge_gate.lock();
-        self.freeze();
-        MergeSession {
+        if let Err(e) = self.freeze() {
+            self.rollback_frozen();
+            return Err(e);
+        }
+        Ok(MergeSession {
             table: self,
             _gate: gate,
             next_col: 0,
@@ -765,7 +1162,7 @@ impl<V: Value> OnlineTable<V> {
             stats: TableMergeStats::default(),
             t_start: std::time::Instant::now(),
             finished: false,
-        }
+        })
     }
 
     /// A consistent point-in-time snapshot of the whole table — **no
@@ -1129,7 +1526,7 @@ mod tests {
         let before: Vec<Vec<u64>> = (0..500).map(|r| t.row(r)).collect();
         let cancel = AtomicBool::new(true); // cancelled before it starts
         let err = t.merge(2, Some(&cancel)).unwrap_err();
-        assert_eq!(err, MergeCancelled);
+        assert!(matches!(err, Error::Cancelled));
         assert_eq!(t.main_len(), 0, "cancelled merge must not commit");
         assert_eq!(t.delta_len(), 500);
         let after: Vec<Vec<u64>> = (0..500).map(|r| t.row(r)).collect();
@@ -1450,7 +1847,7 @@ mod tests {
         let a = OnlineTable::<u64>::new(2);
         let b = OnlineTable::<u64>::new(2);
         let rows: Vec<Vec<u64>> = (0..100u64).map(|i| vec![i, i * 3]).collect();
-        let range = a.insert_rows(&rows);
+        let range = a.insert_rows(&rows).unwrap();
         assert_eq!(range, 0..100);
         for r in &rows {
             b.insert_row(r);
@@ -1461,7 +1858,7 @@ mod tests {
         }
         // Batches interleave with merges and single inserts coherently.
         a.merge(2, None).unwrap();
-        let range = a.insert_rows(&rows[..7]);
+        let range = a.insert_rows(&rows[..7]).unwrap();
         assert_eq!(range, 100..107);
         assert_eq!(a.row(100), rows[0]);
         assert_eq!(a.valid_row_count(), 107);

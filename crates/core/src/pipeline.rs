@@ -464,6 +464,62 @@ impl<V: Value> MergeScratch<V> {
     }
 }
 
+/// One enumerated step of a column merge, in pipeline order — the unit the
+/// merge recovery log serializes so a restarted process knows how far a
+/// crashed merge got. Stage boundaries follow the paper's three-phase
+/// decomposition; within Stage 2 a progress record fires at every completed
+/// word-aligned output region, giving sub-column granularity without any
+/// synchronization inside the kernel's hot loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeStep {
+    /// Stage 1a finished for `col`: delta dictionary extracted.
+    Stage1a {
+        /// Column index.
+        col: usize,
+    },
+    /// Stage 1b finished for `col`: dictionaries unioned.
+    Stage1b {
+        /// Column index.
+        col: usize,
+    },
+    /// Stage 2 re-encode progress for `col`: `done` of `total`
+    /// word-aligned output regions are filled.
+    Stage2Progress {
+        /// Column index.
+        col: usize,
+        /// Completed regions.
+        done: u64,
+        /// Total regions in this re-encode.
+        total: u64,
+    },
+    /// The column's merged output is fully materialized in memory.
+    ColumnDone {
+        /// Column index.
+        col: usize,
+    },
+}
+
+impl MergeStep {
+    /// Flatten to `(kind, col, progress, total)` for serialization.
+    pub fn encode(self) -> (u8, usize, u64, u64) {
+        match self {
+            MergeStep::Stage1a { col } => (1, col, 0, 0),
+            MergeStep::Stage1b { col } => (2, col, 0, 0),
+            MergeStep::Stage2Progress { col, done, total } => (3, col, done, total),
+            MergeStep::ColumnDone { col } => (4, col, 0, 0),
+        }
+    }
+}
+
+/// An observer the pipeline streams [`MergeStep`]s into (the WAL's merge
+/// recovery log in production; any collector in tests). Called from worker
+/// threads, hence `Sync`; implementations must be cheap and non-blocking —
+/// a step record is advisory narration, never a commit point.
+pub trait StepSink: Sync {
+    /// Observe one step. Must not panic.
+    fn record(&self, step: MergeStep);
+}
+
 /// A configured merge pipeline: strategy + thread grant, applied column by
 /// column through a [`MergeScratch`]. Stateless apart from configuration —
 /// the scratch carries all reuse.
@@ -520,6 +576,22 @@ impl MergePipeline {
         delta: &DeltaPartition<V>,
         scratch: &mut MergeScratch<V>,
     ) -> MergeOutput<MainPartition<V>> {
+        self.merge_column_observed(main, delta, scratch, None, 0)
+    }
+
+    /// As [`Self::merge_column`], but narrating every enumerated
+    /// [`MergeStep`] of column `col` into `sink` (stage boundaries plus a
+    /// progress record per completed word-aligned Stage-2 region). The
+    /// un-observed path pays nothing: `sink = None` compiles down to the
+    /// plain merge.
+    pub fn merge_column_observed<V: Value>(
+        &self,
+        main: &MainPartition<V>,
+        delta: &DeltaPartition<V>,
+        scratch: &mut MergeScratch<V>,
+        sink: Option<&dyn StepSink>,
+        col: usize,
+    ) -> MergeOutput<MainPartition<V>> {
         let n_m = main.len();
         let n_d = delta.len();
 
@@ -539,6 +611,9 @@ impl MergePipeline {
             }
         }
         let t_step1a = t0.elapsed();
+        if let Some(sink) = sink {
+            sink.record(MergeStep::Stage1a { col });
+        }
 
         // Stage 1b: dictionary union (+ aux tables for the table-lookup
         // strategies). The merged dictionary is built in a donated buffer —
@@ -578,6 +653,9 @@ impl MergePipeline {
             }
         }
         let t_step1b = t0.elapsed();
+        if let Some(sink) = sink {
+            sink.record(MergeStep::Stage1b { col });
+        }
 
         // Stage 2(a): E'_C = ceil(log2 |U'_M|) (Equation 4), O(1).
         let bits_after = bits_for(merged.len());
@@ -612,6 +690,7 @@ impl MergePipeline {
                     bits_after,
                     step2_threads(self.threads),
                     words,
+                    sink.map(|s| (s, col)),
                     |old_code| search(old_dict.value_at(old_code as u32)),
                     |k| search(delta_values[k]),
                 )
@@ -632,12 +711,16 @@ impl MergePipeline {
                     bits_after,
                     threads,
                     words,
+                    sink.map(|s| (s, col)),
                     |old_code| x_m[old_code as usize] as u64,
                     |k| x_d[delta_codes[k] as usize] as u64,
                 )
             }
         };
         let t_step2 = t0.elapsed();
+        if let Some(sink) = sink {
+            sink.record(MergeStep::ColumnDone { col });
+        }
 
         let stats = ColumnMergeStats {
             algo: self.strategy.algo(),
@@ -708,19 +791,24 @@ fn union_into<V: Value>(u_m: &[V], u_d: &[V], merged: &mut Vec<V>) {
 /// ("each thread reads/writes from/to independent chunks of tables",
 /// Section 6.2.2). `words` is the (possibly recycled) output buffer;
 /// `threads` is the final team size (the caller applies any clamping).
+#[allow(clippy::too_many_arguments)]
 fn reencode<V: Value>(
     main: &MainPartition<V>,
     n_d: usize,
     bits_after: u8,
     threads: usize,
     words: Vec<u64>,
+    observer: Option<(&dyn StepSink, usize)>,
     map_main: impl Fn(u64) -> u64 + Sync,
     map_delta: impl Fn(usize) -> u64 + Sync,
 ) -> BitPackedVec {
     let n_m = main.len();
     let n_total = n_m + n_d;
     let mut codes = BitPackedVec::zeroed_in(bits_after, n_total, words);
-    let fill = |mut region: BitRegion<'_>| {
+    // Region-completion narration: one relaxed counter bump per region (not
+    // per tuple), so the observed path stays off the kernel's hot loop.
+    let regions_done = std::sync::atomic::AtomicU64::new(0);
+    let fill = |mut region: BitRegion<'_>, total_regions: u64| {
         let mut old = main.packed_codes().cursor_at(region.start_index().min(n_m));
         region.fill_sequential(|idx| {
             if idx < n_m {
@@ -729,19 +817,30 @@ fn reencode<V: Value>(
                 map_delta(idx - n_m)
             }
         });
+        if let Some((sink, col)) = observer {
+            let done = regions_done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            sink.record(MergeStep::Stage2Progress {
+                col,
+                done,
+                total: total_regions,
+            });
+        }
     };
     if threads <= 1 {
         // Serial: fill in place, no thread spawn (this is the path the
         // zero-allocation steady state runs on).
-        for region in codes.split_mut(1).into_regions() {
-            fill(region);
+        let regions = codes.split_mut(1).into_regions();
+        let total = regions.len() as u64;
+        for region in regions {
+            fill(region, total);
         }
     } else {
         let regions = codes.split_mut(threads).into_regions();
+        let total = regions.len() as u64;
         std::thread::scope(|s| {
             for region in regions {
                 let fill = &fill;
-                s.spawn(move || fill(region));
+                s.spawn(move || fill(region, total));
             }
         });
     }

@@ -22,6 +22,7 @@
 //!   shard), so the plain [`crate::scheduler::SourceScheduler`] can drive a
 //!   sharded table one merge at a time when concurrency is not wanted.
 
+use crate::error::Result;
 use crate::governor::{GovernorConfig, GrantRecord, LoadView, ResourceGovernor};
 use crate::manager::{MergePolicy, OnlineTable, TableSnapshot};
 use crate::pipeline::{MergeGrant, SpareBank};
@@ -132,38 +133,49 @@ pub struct ShardedTable<V: Value> {
 }
 
 impl<V: Value> ShardedTable<V> {
-    /// Hash-partitioned table of `num_shards` shards, each with
-    /// `num_columns` columns, keyed on column 0 (see
-    /// [`Self::with_key_col`]). All shards share one [`SpareBank`], so a
-    /// merge on any shard can reuse buffers retired by any other.
-    pub fn hash(num_shards: usize, num_columns: usize) -> Self {
-        assert!(num_shards > 0, "a sharded table needs at least one shard");
-        let bank = Arc::new(SpareBank::new());
+    /// The unified construction surface: shard count or range bounds, key
+    /// column, columns, durability, governor — see
+    /// [`crate::config::ShardedTableBuilder`].
+    pub fn builder() -> crate::config::ShardedTableBuilder<V> {
+        crate::config::ShardedTableBuilder::new()
+    }
+
+    /// Assemble a validated sharded table (builder/recovery back door).
+    /// All shards already share one [`SpareBank`] when built by the
+    /// builder, so a merge on any shard can reuse buffers retired by any
+    /// other.
+    pub(crate) fn from_parts(shards: Vec<OnlineTable<V>>, by: ShardBy<V>, key_col: usize) -> Self {
         Self {
-            shards: (0..num_shards)
-                .map(|_| Arc::new(OnlineTable::new(num_columns).with_spare_bank(Arc::clone(&bank))))
-                .collect(),
-            by: ShardBy::Hash,
-            key_col: 0,
+            shards: shards.into_iter().map(Arc::new).collect(),
+            by,
+            key_col,
         }
     }
 
+    /// Hash-partitioned table of `num_shards` shards, each with
+    /// `num_columns` columns, keyed on column 0.
+    #[deprecated(since = "0.7.0", note = "use ShardedTable::builder()")]
+    pub fn hash(num_shards: usize, num_columns: usize) -> Self {
+        Self::builder()
+            .shards(num_shards)
+            .columns(num_columns)
+            .build()
+            .expect("in-memory construction cannot fail with valid arguments")
+    }
+
     /// Range-partitioned table over ascending `bounds` (producing
-    /// `bounds.len() + 1` shards), keyed on column 0. All shards share one
-    /// [`SpareBank`].
+    /// `bounds.len() + 1` shards), keyed on column 0.
+    #[deprecated(since = "0.7.0", note = "use ShardedTable::builder()")]
     pub fn range(bounds: Vec<V>, num_columns: usize) -> Self {
         assert!(
             bounds.windows(2).all(|w| w[0] < w[1]),
             "range bounds must be strictly ascending"
         );
-        let bank = Arc::new(SpareBank::new());
-        Self {
-            shards: (0..bounds.len() + 1)
-                .map(|_| Arc::new(OnlineTable::new(num_columns).with_spare_bank(Arc::clone(&bank))))
-                .collect(),
-            by: ShardBy::Range(bounds),
-            key_col: 0,
-        }
+        Self::builder()
+            .partitioning(ShardBy::Range(bounds))
+            .columns(num_columns)
+            .build()
+            .expect("in-memory construction cannot fail with valid arguments")
     }
 
     /// The spare-buffer bank shared by every shard.
@@ -172,6 +184,7 @@ impl<V: Value> ShardedTable<V> {
     }
 
     /// Route on `col` instead of column 0.
+    #[deprecated(since = "0.7.0", note = "use ShardedTable::builder().key_col(col)")]
     pub fn with_key_col(mut self, col: usize) -> Self {
         assert!(col < self.num_columns(), "key column out of range");
         self.key_col = col;
@@ -223,13 +236,20 @@ impl<V: Value> ShardedTable<V> {
     }
 
     /// Insert one row, routed by its key; returns its global address.
+    /// Infallible convenience — see [`Self::try_insert_row`].
     pub fn insert_row(&self, values: &[V]) -> ShardRowId {
+        self.try_insert_row(values)
+            .expect("insert failed (durable table: use try_insert_row)")
+    }
+
+    /// Fallible single-row insert (the shard's WAL append can fail).
+    pub fn try_insert_row(&self, values: &[V]) -> Result<ShardRowId> {
         let _write = CUT_CLOCK.begin_write();
         let shard = self.shard_of(values);
-        ShardRowId {
+        Ok(ShardRowId {
             shard,
-            row: self.shards[shard].insert_row(values),
-        }
+            row: self.shards[shard].try_insert_row(values)?,
+        })
     }
 
     /// Batched insert: rows are grouped by target shard and each group is
@@ -240,7 +260,16 @@ impl<V: Value> ShardedTable<V> {
     /// [`Self::consistent_snapshots`] cut sees all of the batch's shard
     /// groups or none of them. Returns each row's global address, in
     /// input order.
-    pub fn insert_rows<R: AsRef<[V]>>(&self, rows: &[R]) -> Vec<ShardRowId> {
+    ///
+    /// Durability is per shard: each shard group's WAL record is durable
+    /// before that group becomes visible, and an error aborts the
+    /// remaining groups. A crash (or error) part-way can therefore leave
+    /// a multi-shard batch *torn across shards* on disk — already-logged
+    /// groups replay, the rest don't. Cross-shard batch atomicity would
+    /// need a two-phase commit across the per-shard logs, which this
+    /// engine deliberately does not do; the `CutClock` consistency
+    /// guarantee applies to in-memory reads, not to crash recovery.
+    pub fn insert_rows<R: AsRef<[V]>>(&self, rows: &[R]) -> Result<Vec<ShardRowId>> {
         let _write = CUT_CLOCK.begin_write();
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (i, r) in rows.iter().enumerate() {
@@ -252,12 +281,12 @@ impl<V: Value> ShardedTable<V> {
                 continue;
             }
             let batch: Vec<&[V]> = group.iter().map(|&i| rows[i].as_ref()).collect();
-            let range = self.shards[shard].insert_rows(&batch);
+            let range = self.shards[shard].insert_rows(&batch)?;
             for (&i, row) in group.iter().zip(range) {
                 ids[i] = ShardRowId { shard, row };
             }
         }
-        ids
+        Ok(ids)
     }
 
     /// Read one cell.
@@ -277,24 +306,39 @@ impl<V: Value> ShardedTable<V> {
 
     /// Insert-only update: the new version is routed by its *new* key (it
     /// may land on a different shard than `old`), then the old row is
-    /// invalidated. Returns the new version's address.
+    /// invalidated. Returns the new version's address. Infallible
+    /// convenience — see [`Self::try_update_row`].
     pub fn update_row(&self, old: ShardRowId, values: &[V]) -> ShardRowId {
+        self.try_update_row(old, values)
+            .expect("update failed (durable table: use try_update_row)")
+    }
+
+    /// Fallible insert-only update.
+    pub fn try_update_row(&self, old: ShardRowId, values: &[V]) -> Result<ShardRowId> {
         // One ticket across both shards: a cut never sees the new version
         // without the old one's invalidation (or vice versa).
         let _write = CUT_CLOCK.begin_write();
         let shard = self.shard_of(values);
         let new_id = ShardRowId {
             shard,
-            row: self.shards[shard].insert_row(values),
+            row: self.shards[shard].try_insert_row(values)?,
         };
-        self.shards[old.shard].delete_row(old.row);
-        new_id
+        self.shards[old.shard].try_delete_row(old.row)?;
+        Ok(new_id)
     }
 
-    /// Invalidate a row.
+    /// Invalidate a row. Infallible convenience — see
+    /// [`Self::try_delete_row`].
     pub fn delete_row(&self, id: ShardRowId) {
+        self.try_delete_row(id)
+            .expect("delete failed (durable table: use try_delete_row)")
+    }
+
+    /// Fallible delete: the validity flip is logged on the owning shard
+    /// before the in-memory bit drops.
+    pub fn try_delete_row(&self, id: ShardRowId) -> Result<()> {
         let _write = CUT_CLOCK.begin_write();
-        self.shards[id.shard].delete_row(id.row);
+        self.shards[id.shard].try_delete_row(id.row)
     }
 
     /// Total rows across shards (valid + history).
@@ -400,18 +444,21 @@ impl<V: Value> ShardedTable<V> {
     /// Merge every shard that has delta tuples, one after the other (the
     /// quiesce path; the scheduler is the concurrent path). Returns the
     /// per-shard stats of the merges that ran.
-    pub fn merge_all(&self, threads: usize) -> Vec<TableMergeStats> {
+    pub fn merge_all(&self, threads: usize) -> Result<Vec<TableMergeStats>> {
         self.merge_all_with(MergeGrant::with_threads(threads))
     }
 
     /// As [`Self::merge_all`] with an explicit [`MergeGrant`] — strategy
     /// and [`crate::pipeline::MergeBudget`] apply per shard, so a budget of
-    /// `K` columns caps every shard merge's peak extra memory.
-    pub fn merge_all_with(&self, grant: MergeGrant) -> Vec<TableMergeStats> {
+    /// `K` columns caps every shard merge's peak extra memory. The first
+    /// shard merge to fail aborts the sweep (each shard merge is
+    /// individually atomic, so earlier shards stay merged and the failing
+    /// shard rolled back).
+    pub fn merge_all_with(&self, grant: MergeGrant) -> Result<Vec<TableMergeStats>> {
         self.shards
             .iter()
             .filter(|s| s.delta_len() > 0)
-            .filter_map(|s| s.merge_with(grant, None).ok())
+            .map(|s| s.merge_with(grant, None))
             .collect()
     }
 }
@@ -719,7 +766,11 @@ mod tests {
 
     #[test]
     fn hash_routing_is_deterministic_and_covers_shards() {
-        let t = ShardedTable::<u64>::hash(4, 2);
+        let t = ShardedTable::<u64>::builder()
+            .shards(4)
+            .columns(2)
+            .build()
+            .unwrap();
         let mut seen = [false; 4];
         for i in 0..1_000u64 {
             let a = t.shard_of(&row(i, 2));
@@ -732,7 +783,11 @@ mod tests {
 
     #[test]
     fn range_routing_respects_bounds() {
-        let t = ShardedTable::<u64>::range(vec![100, 200], 1);
+        let t = ShardedTable::<u64>::builder()
+            .partitioning(ShardBy::Range(vec![100, 200]))
+            .columns(1)
+            .build()
+            .unwrap();
         assert_eq!(t.num_shards(), 3);
         assert_eq!(t.shard_of_key(&0), 0);
         assert_eq!(t.shard_of_key(&99), 0);
@@ -744,13 +799,27 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "ascending")]
-    fn unsorted_range_bounds_rejected() {
+    #[allow(deprecated)]
+    fn unsorted_range_bounds_rejected_by_deprecated_wrapper() {
         let _ = ShardedTable::<u64>::range(vec![200, 100], 1);
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_work() {
+        let h = ShardedTable::<u64>::hash(2, 2);
+        assert_eq!(h.num_shards(), 2);
+        let r = ShardedTable::<u64>::range(vec![100], 1).with_key_col(0);
+        assert_eq!(r.num_shards(), 2);
+    }
+
+    #[test]
     fn insert_read_roundtrip_across_shards() {
-        let t = ShardedTable::<u64>::hash(3, 2);
+        let t = ShardedTable::<u64>::builder()
+            .shards(3)
+            .columns(2)
+            .build()
+            .unwrap();
         let ids: Vec<ShardRowId> = (0..300u64).map(|i| t.insert_row(&row(i, 2))).collect();
         assert_eq!(t.row_count(), 300);
         for (i, id) in ids.iter().enumerate() {
@@ -761,10 +830,18 @@ mod tests {
 
     #[test]
     fn batched_insert_matches_single_inserts() {
-        let a = ShardedTable::<u64>::hash(4, 3);
-        let b = ShardedTable::<u64>::hash(4, 3);
+        let a = ShardedTable::<u64>::builder()
+            .shards(4)
+            .columns(3)
+            .build()
+            .unwrap();
+        let b = ShardedTable::<u64>::builder()
+            .shards(4)
+            .columns(3)
+            .build()
+            .unwrap();
         let rows: Vec<Vec<u64>> = (0..500u64).map(|i| row(i, 3)).collect();
-        let batch_ids = a.insert_rows(&rows);
+        let batch_ids = a.insert_rows(&rows).unwrap();
         let single_ids: Vec<ShardRowId> = rows.iter().map(|r| b.insert_row(r)).collect();
         assert_eq!(batch_ids, single_ids, "same routing, same local ids");
         for (r, id) in rows.iter().zip(&batch_ids) {
@@ -776,7 +853,12 @@ mod tests {
 
     #[test]
     fn update_may_move_rows_across_shards() {
-        let t = ShardedTable::<u64>::range(vec![1_000], 2).with_key_col(0);
+        let t = ShardedTable::<u64>::builder()
+            .partitioning(ShardBy::Range(vec![1_000]))
+            .columns(2)
+            .key_col(0)
+            .build()
+            .unwrap();
         let old = t.insert_row(&[5, 50]);
         assert_eq!(old.shard, 0);
         let new = t.update_row(old, &[2_000, 50]);
@@ -789,11 +871,15 @@ mod tests {
 
     #[test]
     fn merges_are_per_shard_and_preserve_reads() {
-        let t = ShardedTable::<u64>::hash(4, 2);
+        let t = ShardedTable::<u64>::builder()
+            .shards(4)
+            .columns(2)
+            .build()
+            .unwrap();
         let rows: Vec<Vec<u64>> = (0..2_000u64).map(|i| row(i, 2)).collect();
-        let ids = t.insert_rows(&rows);
+        let ids = t.insert_rows(&rows).unwrap();
         assert_eq!(t.main_len(), 0);
-        let stats = t.merge_all(2);
+        let stats = t.merge_all(2).unwrap();
         assert_eq!(stats.len(), 4, "every shard had delta tuples");
         assert_eq!(t.main_len(), 2_000);
         assert_eq!(t.delta_len(), 0);
@@ -804,12 +890,19 @@ mod tests {
 
     #[test]
     fn worst_shard_first_via_merge_source() {
-        let t = ShardedTable::<u64>::range(vec![10_000], 1);
+        let t = ShardedTable::<u64>::builder()
+            .partitioning(ShardBy::Range(vec![10_000]))
+            .columns(1)
+            .build()
+            .unwrap();
         // Shard 0: big main, small delta. Shard 1: small main, big delta.
-        t.insert_rows(&(0..1_000u64).map(|i| vec![i]).collect::<Vec<_>>());
-        t.merge_all(1);
-        t.insert_rows(&(0..10u64).map(|i| vec![i]).collect::<Vec<_>>());
-        t.insert_rows(&(0..500u64).map(|i| vec![20_000 + i]).collect::<Vec<_>>());
+        t.insert_rows(&(0..1_000u64).map(|i| vec![i]).collect::<Vec<_>>())
+            .unwrap();
+        t.merge_all(1).unwrap();
+        t.insert_rows(&(0..10u64).map(|i| vec![i]).collect::<Vec<_>>())
+            .unwrap();
+        t.insert_rows(&(0..500u64).map(|i| vec![20_000 + i]).collect::<Vec<_>>())
+            .unwrap();
         let f = t.delta_fractions();
         assert!(f[1] > f[0]);
         assert_eq!(t.max_delta_fraction(), f[1]);
@@ -839,9 +932,16 @@ mod tests {
 
     #[test]
     fn sharded_scheduler_keeps_all_shards_bounded() {
-        let t = Arc::new(ShardedTable::<u64>::hash(4, 2));
-        t.insert_rows(&(0..8_000u64).map(|i| row(i, 2)).collect::<Vec<_>>());
-        t.merge_all(2);
+        let t = Arc::new(
+            ShardedTable::<u64>::builder()
+                .shards(4)
+                .columns(2)
+                .build()
+                .unwrap(),
+        );
+        t.insert_rows(&(0..8_000u64).map(|i| row(i, 2)).collect::<Vec<_>>())
+            .unwrap();
+        t.merge_all(2).unwrap();
         let policy = MergePolicy {
             delta_fraction: 0.02,
             threads: 1,
@@ -886,8 +986,15 @@ mod tests {
 
     #[test]
     fn sharded_scheduler_pause_resume_is_global() {
-        let t = Arc::new(ShardedTable::<u64>::hash(3, 1));
-        t.insert_rows(&(0..900u64).map(|i| vec![i]).collect::<Vec<_>>());
+        let t = Arc::new(
+            ShardedTable::<u64>::builder()
+                .shards(3)
+                .columns(1)
+                .build()
+                .unwrap(),
+        );
+        t.insert_rows(&(0..900u64).map(|i| vec![i]).collect::<Vec<_>>())
+            .unwrap();
         let policy = MergePolicy {
             delta_fraction: 0.01,
             threads: 1,
@@ -903,7 +1010,8 @@ mod tests {
             "at most one in-flight round may finish after pause, ran {before}"
         );
         // Refill every shard while paused (the daemon may have won the race).
-        t.insert_rows(&(0..900u64).map(|i| vec![7_000 + i]).collect::<Vec<_>>());
+        t.insert_rows(&(0..900u64).map(|i| vec![7_000 + i]).collect::<Vec<_>>())
+            .unwrap();
         sched.resume();
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while sched.stats().merges == before && std::time::Instant::now() < deadline {
@@ -915,8 +1023,14 @@ mod tests {
 
     #[test]
     fn snapshots_cover_every_shard_consistently() {
-        let t = ShardedTable::<u64>::hash(3, 2);
-        let ids = t.insert_rows(&(0..600u64).map(|i| row(i, 2)).collect::<Vec<_>>());
+        let t = ShardedTable::<u64>::builder()
+            .shards(3)
+            .columns(2)
+            .build()
+            .unwrap();
+        let ids = t
+            .insert_rows(&(0..600u64).map(|i| row(i, 2)).collect::<Vec<_>>())
+            .unwrap();
         t.delete_row(ids[5]);
         let snaps = t.snapshots();
         assert_eq!(snaps.len(), 3);
@@ -938,7 +1052,13 @@ mod tests {
         // One writer inserts multi-shard batches of a fixed size; cutters
         // must always observe a multiple of the batch size.
         const BATCH: usize = 32;
-        let t = Arc::new(ShardedTable::<u64>::hash(4, 1));
+        let t = Arc::new(
+            ShardedTable::<u64>::builder()
+                .shards(4)
+                .columns(1)
+                .build()
+                .unwrap(),
+        );
         let stop = Arc::new(AtomicBool::new(false));
         std::thread::scope(|s| {
             let (tw, stop_w) = (Arc::clone(&t), Arc::clone(&stop));
@@ -946,7 +1066,7 @@ mod tests {
                 let mut next = 0u64;
                 while !stop_w.load(Ordering::Relaxed) {
                     let rows: Vec<Vec<u64>> = (0..BATCH as u64).map(|k| vec![next + k]).collect();
-                    tw.insert_rows(&rows);
+                    tw.insert_rows(&rows).unwrap();
                     next += BATCH as u64;
                 }
             });

@@ -53,7 +53,7 @@ fn single_table_snapshots_stay_batch_atomic_under_contention() {
                     let tag = next_tag.fetch_add(1, Ordering::Relaxed);
                     let rows: Vec<[u64; 2]> =
                         (0..BATCH as u64).map(|k| [tag, payload(tag, k)]).collect();
-                    table.insert_rows(&rows);
+                    table.insert_rows(&rows).unwrap();
                 }
             });
         }
@@ -106,7 +106,11 @@ fn single_table_snapshots_stay_batch_atomic_under_contention() {
 
 #[test]
 fn sharded_cuts_stay_batch_atomic_under_contention() {
-    let table = ShardedTable::<u64>::hash(4, 2);
+    let table = ShardedTable::<u64>::builder()
+        .shards(4)
+        .columns(2)
+        .build()
+        .unwrap();
     let stop = AtomicBool::new(false);
     let next_tag = AtomicU64::new(1);
     let until = deadline();
@@ -120,14 +124,14 @@ fn sharded_cuts_stay_batch_atomic_under_contention() {
                     let rows: Vec<[u64; 2]> = (0..BATCH as u64)
                         .map(|k| [tag.wrapping_mul(31).wrapping_add(k), payload(tag, k)])
                         .collect();
-                    table.insert_rows(&rows);
+                    table.insert_rows(&rows).unwrap();
                 }
             });
         }
         let (table, stop) = (&table, &stop);
         s.spawn(move || {
             while !stop.load(Ordering::Relaxed) {
-                table.merge_all(1);
+                table.merge_all(1).unwrap();
                 std::thread::yield_now();
             }
         });

@@ -73,7 +73,7 @@ proptest! {
                 let work = writer_batches(w, batches, batch);
                 s.spawn(move || {
                     for rows in &work {
-                        let range = table.insert_rows(rows);
+                        let range = table.insert_rows(rows).unwrap();
                         assert_eq!(range.len(), rows.len());
                     }
                 });

@@ -7,7 +7,7 @@
 //! 1–4-shard hash- and range-partitioned [`ShardedTable`]s.
 
 use hyrise_core::governor::{GovernorConfig, LoadView, ResourceGovernor};
-use hyrise_core::shard::{ShardRowId, ShardedTable};
+use hyrise_core::shard::{ShardBy, ShardRowId, ShardedTable};
 use hyrise_core::{MergeBudget, MergeGrant, MergePolicy, MergeStrategy, OnlineTable};
 use proptest::prelude::*;
 
@@ -158,9 +158,17 @@ proptest! {
             if range_partitioned {
                 let bounds: Vec<u64> =
                     (1..shards as u64).map(|i| i * 100_000 / shards as u64).collect();
-                ShardedTable::<u64>::range(bounds, COLS)
+                ShardedTable::<u64>::builder()
+                    .partitioning(ShardBy::Range(bounds))
+                    .columns(COLS)
+                    .build()
+                    .unwrap()
             } else {
-                ShardedTable::<u64>::hash(shards, COLS)
+                ShardedTable::<u64>::builder()
+                    .shards(shards)
+                    .columns(COLS)
+                    .build()
+                    .unwrap()
             }
         };
         let tables: Vec<ShardedTable<u64>> = (0..grants.len()).map(|_| make()).collect();
@@ -206,7 +214,7 @@ proptest! {
             }
         }
         for (t, g) in tables.iter().zip(&grants) {
-            t.merge_all_with(*g);
+            t.merge_all_with(*g).unwrap();
             prop_assert_eq!(t.delta_len(), 0);
         }
         // Byte-compare shard by shard against the reference config.

@@ -5,7 +5,7 @@
 //! aggregates — regardless of shard count, routing scheme, or when each
 //! side chose to merge which shard.
 
-use hyrise_core::shard::{ShardRowId, ShardedTable};
+use hyrise_core::shard::{ShardBy, ShardRowId, ShardedTable};
 use hyrise_core::OnlineTable;
 use proptest::prelude::*;
 
@@ -154,16 +154,24 @@ proptest! {
         let sharded = if range_partitioned {
             // Bounds quarter the 0..100_000 key domain produced by `row`.
             let bounds: Vec<u64> = (1..shards as u64).map(|i| i * 100_000 / shards as u64).collect();
-            ShardedTable::<u64>::range(bounds, COLS)
+            ShardedTable::<u64>::builder()
+                .partitioning(ShardBy::Range(bounds))
+                .columns(COLS)
+                .build()
+                .unwrap()
         } else {
-            ShardedTable::<u64>::hash(shards, COLS)
+            ShardedTable::<u64>::builder()
+                .shards(shards)
+                .columns(COLS)
+                .build()
+                .unwrap()
         };
         let single = OnlineTable::<u64>::new(COLS);
         let (sharded_ids, single_ids) = apply_all(&sharded, &single, &ops);
         assert_equivalent(&sharded, &single, &sharded_ids, &single_ids);
 
         // Quiescing both sides afterwards must change nothing visible.
-        sharded.merge_all(1);
+        sharded.merge_all(1).unwrap();
         let _ = single.merge(1, None);
         assert_equivalent(&sharded, &single, &sharded_ids, &single_ids);
         prop_assert_eq!(sharded.delta_len(), 0);

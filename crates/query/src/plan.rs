@@ -238,8 +238,8 @@ impl<V: Copy> Query<V> {
     /// use hyrise_query::Query;
     /// use hyrise_core::shard::ShardedTable;
     ///
-    /// let t = ShardedTable::<u64>::hash(2, 1);
-    /// t.insert_rows(&[[1u64], [2], [1]]);
+    /// let t = ShardedTable::<u64>::builder().shards(2).columns(1).build().unwrap();
+    /// t.insert_rows(&[[1u64], [2], [1]]).unwrap();
     /// let q = Query::scan(0).eq(1).count();
     /// assert_eq!(q.run(&t).count(), 2);
     /// ```

@@ -12,7 +12,7 @@
 //! first `N_k` rows has a strictly larger sum than the prefix, so the
 //! pair check catches every tear.
 
-use hyrise_core::shard::ShardedTable;
+use hyrise_core::shard::{ShardBy, ShardedTable};
 use hyrise_query::Query;
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -51,9 +51,17 @@ proptest! {
             let bounds: Vec<u64> = (1..shards as u64)
                 .map(|i| i * total as u64 / shards as u64)
                 .collect();
-            ShardedTable::<u64>::range(bounds, 2)
+            ShardedTable::<u64>::builder()
+                .partitioning(ShardBy::Range(bounds))
+                .columns(2)
+                .build()
+                .unwrap()
         } else {
-            ShardedTable::<u64>::hash(shards, 2)
+            ShardedTable::<u64>::builder()
+                .shards(shards)
+                .columns(2)
+                .build()
+                .unwrap()
         };
 
         // Prefix oracle: after k whole batches, count = k * batch and
@@ -70,7 +78,7 @@ proptest! {
                     let rows: Vec<Vec<u64>> = (k * batch..(k + 1) * batch)
                         .map(|gid| vec![gid as u64, gid as u64])
                         .collect();
-                    table.insert_rows(&rows);
+                    table.insert_rows(&rows).unwrap();
                 }
                 done.store(true, Ordering::Relaxed);
             });

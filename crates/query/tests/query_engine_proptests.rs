@@ -9,7 +9,7 @@
 //! physical split: merged main partitions (value-id pushdown), frozen
 //! deltas, and active deltas (value-comparison fallback).
 
-use hyrise_core::shard::{ShardRowId, ShardedTable};
+use hyrise_core::shard::{ShardBy, ShardRowId, ShardedTable};
 use hyrise_core::OnlineTable;
 use hyrise_query::Query;
 use proptest::prelude::*;
@@ -166,9 +166,17 @@ proptest! {
             // Bounds chosen so all shards see traffic from the DOMAIN keys.
             let step = DOMAIN / num_shards as u64;
             let bounds: Vec<u64> = (1..num_shards as u64).map(|i| i * step.max(1)).collect();
-            ShardedTable::<u64>::range(bounds, COLS)
+            ShardedTable::<u64>::builder()
+                .partitioning(ShardBy::Range(bounds))
+                .columns(COLS)
+                .build()
+                .unwrap()
         } else {
-            ShardedTable::<u64>::hash(num_shards, COLS)
+            ShardedTable::<u64>::builder()
+                .shards(num_shards)
+                .columns(COLS)
+                .build()
+                .unwrap()
         };
         let shard_ids = apply_all(&mut model, &single, &sharded, &ops);
 
@@ -237,7 +245,11 @@ proptest! {
     ) {
         let mut model = Model { rows: Vec::new() };
         let single = OnlineTable::<u64>::new(COLS);
-        let sharded = ShardedTable::<u64>::hash(num_shards, COLS);
+        let sharded = ShardedTable::<u64>::builder()
+            .shards(num_shards)
+            .columns(COLS)
+            .build()
+            .unwrap();
         apply_all(&mut model, &single, &sharded, &ops);
 
         let valid: Vec<usize> = model

@@ -28,8 +28,13 @@ fn executor_runs_bump_the_read_counters() {
     );
 
     // Sharded fan-out registers the entry plus one engine run per shard.
-    let s = ShardedTable::<u64>::hash(3, 1);
-    s.insert_rows(&(0..50u64).map(|i| [i]).collect::<Vec<_>>());
+    let s = ShardedTable::<u64>::builder()
+        .shards(3)
+        .columns(1)
+        .build()
+        .unwrap();
+    s.insert_rows(&(0..50u64).map(|i| [i]).collect::<Vec<_>>())
+        .unwrap();
     let before = read_load();
     let _ = Query::scan(0).count().run(&s).count();
     let after = read_load();

@@ -8,12 +8,17 @@ use hyrise_query::Query;
 
 /// 4 hash shards, 2 columns; column 1 = key * 3.
 fn table(rows: u64) -> ShardedTable<u64> {
-    let t = ShardedTable::hash(4, 2);
+    let t = ShardedTable::builder()
+        .shards(4)
+        .columns(2)
+        .build()
+        .unwrap();
     t.insert_rows(
         &(0..rows)
             .map(|i| vec![i % 50, (i % 50) * 3])
             .collect::<Vec<_>>(),
-    );
+    )
+    .unwrap();
     t
 }
 
@@ -46,7 +51,8 @@ fn sharded_scan_eq_matches_brute_force_across_merge_states() {
         &(0..100u64)
             .map(|i| vec![i % 50, (i % 50) * 3])
             .collect::<Vec<_>>(),
-    );
+    )
+    .unwrap();
     for probe in [0u64, 7, 49] {
         let mut got = scan_eq(&t, 0, probe);
         got.sort_unstable();
@@ -125,7 +131,8 @@ fn snapshot_queries_agree_with_sharded_fanout() {
         &(0..50u64)
             .map(|i| vec![i % 50, (i % 50) * 3])
             .collect::<Vec<_>>(),
-    );
+    )
+    .unwrap();
     let snaps = t.snapshots();
     let stitched: Vec<ShardRowId> = snaps
         .iter()
@@ -161,7 +168,11 @@ fn snapshot_queries_agree_with_sharded_fanout() {
 
 #[test]
 fn empty_table_aggregates() {
-    let t = ShardedTable::<u64>::hash(2, 1);
+    let t = ShardedTable::<u64>::builder()
+        .shards(2)
+        .columns(1)
+        .build()
+        .unwrap();
     assert_eq!(Query::scan(0).sum(0).run(&t).sum(), 0);
     assert_eq!(Query::scan(0).count().run(&t).count(), 0);
     assert_eq!(Query::scan(0).min_max(0).run(&t).min_max(), None);
@@ -182,12 +193,13 @@ fn scans_are_stable_while_merges_run() {
         let (t2, stop2) = (std::sync::Arc::clone(&t), std::sync::Arc::clone(&stop));
         s.spawn(move || {
             while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
-                t2.merge_all(1);
+                t2.merge_all(1).unwrap();
                 t2.insert_rows(
                     &(0..40u64)
                         .map(|i| vec![i % 50, (i % 50) * 3])
                         .collect::<Vec<_>>(),
-                );
+                )
+                .unwrap();
             }
         });
         // Invariant: every scan hit really holds the probed value.

@@ -201,6 +201,14 @@ impl<V: Value> TailLog<V> {
         count
     }
 
+    /// True once [`Self::seal`] has been called: the log accepts no more
+    /// reservations (recovery uses this to tell a live tail from one whose
+    /// freeze completed before the crash).
+    #[inline]
+    pub fn is_sealed(&self) -> bool {
+        self.reserved.load(Ordering::Relaxed) & SEALED != 0
+    }
+
     /// Value of tail row `i` in column `col`. Caller must have observed
     /// `published() > i`.
     #[inline]

@@ -97,6 +97,30 @@ impl ValidityBitmap {
     pub fn valid_rows(&self) -> impl Iterator<Item = usize> + '_ {
         (0..self.len).filter(move |&i| self.words[i / 64] & (1u64 << (i % 64)) != 0)
     }
+
+    /// The backing words (64 row bits each; the last word is masked to
+    /// `len`). The checkpoint writer persists these verbatim.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild a bitmap from persisted `words` covering `len` rows.
+    /// Bits above `len` in the final word are masked off.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        words.truncate(len.div_ceil(64));
+        if !len.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+        let valid_count = words.iter().map(|w| w.count_ones() as usize).sum();
+        Self {
+            words,
+            len,
+            valid_count,
+        }
+    }
 }
 
 /// Words (of 64 rows each) in chunk 0 of an [`AtomicValidity`]; chunk `k`
@@ -274,6 +298,25 @@ mod tests {
         let v = ValidityBitmap::new();
         assert!(v.is_empty());
         assert_eq!(v.valid_rows().count(), 0);
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let mut v = ValidityBitmap::all_valid(100);
+        v.invalidate(17);
+        v.invalidate(99);
+        let back = ValidityBitmap::from_words(v.words().to_vec(), v.len());
+        assert_eq!(back.len(), 100);
+        assert_eq!(back.valid_count(), 98);
+        assert!(!back.is_valid(17));
+        assert!(back.is_valid(18));
+    }
+
+    #[test]
+    fn from_words_masks_stray_high_bits() {
+        let back = ValidityBitmap::from_words(vec![u64::MAX], 10);
+        assert_eq!(back.valid_count(), 10);
+        assert!(back.is_valid(9));
     }
 
     #[test]

@@ -23,6 +23,17 @@ pub trait Value: Copy + Ord + Eq + Hash + Default + Send + Sync + fmt::Debug + '
 
     /// A lossy 64-bit projection used for checksums and aggregates.
     fn to_u64_lossy(self) -> u64;
+
+    /// Append exactly [`Value::BYTES`] bytes encoding `self` (the WAL and
+    /// checkpoint on-disk form). Round-trips through [`Value::read_bytes`].
+    fn write_bytes(self, out: &mut Vec<u8>);
+
+    /// Decode a value from exactly [`Value::BYTES`] bytes produced by
+    /// [`Value::write_bytes`].
+    ///
+    /// # Panics
+    /// If `b` is shorter than [`Value::BYTES`].
+    fn read_bytes(b: &[u8]) -> Self;
 }
 
 impl Value for u32 {
@@ -37,6 +48,16 @@ impl Value for u32 {
     fn to_u64_lossy(self) -> u64 {
         self as u64
     }
+
+    #[inline]
+    fn write_bytes(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    #[inline]
+    fn read_bytes(b: &[u8]) -> Self {
+        u32::from_le_bytes(b[..4].try_into().expect("4 bytes"))
+    }
 }
 
 impl Value for u64 {
@@ -50,6 +71,16 @@ impl Value for u64 {
     #[inline]
     fn to_u64_lossy(self) -> u64 {
         self
+    }
+
+    #[inline]
+    fn write_bytes(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    #[inline]
+    fn read_bytes(b: &[u8]) -> Self {
+        u64::from_le_bytes(b[..8].try_into().expect("8 bytes"))
     }
 }
 
@@ -73,6 +104,16 @@ impl Value for V16 {
     #[inline]
     fn to_u64_lossy(self) -> u64 {
         u64::from_be_bytes(self.0[..8].try_into().expect("8 bytes"))
+    }
+
+    #[inline]
+    fn write_bytes(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0);
+    }
+
+    #[inline]
+    fn read_bytes(b: &[u8]) -> Self {
+        V16(b[..16].try_into().expect("16 bytes"))
     }
 }
 
@@ -110,6 +151,21 @@ mod tests {
         let b = V16::from_seed(6);
         assert!(a < b);
         assert!(a.0 < b.0, "byte order must agree with value order");
+    }
+
+    #[test]
+    fn byte_codec_round_trips() {
+        fn check<V: Value>(v: V) {
+            let mut buf = Vec::new();
+            v.write_bytes(&mut buf);
+            assert_eq!(buf.len(), V::BYTES);
+            assert_eq!(V::read_bytes(&buf), v);
+        }
+        for seed in [0u64, 1, 42, u32::MAX as u64, u64::MAX] {
+            check(u32::from_seed(seed));
+            check(u64::from_seed(seed));
+            check(V16::from_seed(seed));
+        }
     }
 
     #[test]

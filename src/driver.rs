@@ -11,7 +11,7 @@
 //! snapshots, all while a `ShardedScheduler` (owned by the caller) keeps
 //! each shard's delta bounded.
 
-use crate::merge::OnlineTable;
+use crate::merge::{OnlineTable, Result, TableConfig};
 use crate::shard::{ShardRowId, ShardedTable};
 use crate::workload::{Operation, ShardedWorkload, UpdateStream};
 use hyrise_query::Query;
@@ -140,15 +140,35 @@ pub fn drive<V: Value, R: Rng>(
     stats
 }
 
+/// Build the hash-sharded table a [`ShardedWorkload`] scenario runs
+/// against, from one [`TableConfig`]: shard count from the workload,
+/// columns/durability/governor from the config. With
+/// [`crate::merge::Durability::Wal`] each shard logs into its own
+/// sub-directory under the configured root.
+pub fn sharded_table_for<V: Value>(
+    workload: &ShardedWorkload,
+    config: TableConfig,
+) -> Result<ShardedTable<V>> {
+    let mut b = ShardedTable::<V>::builder()
+        .shards(workload.shards)
+        .columns(config.columns)
+        .durability(config.durability);
+    if let Some(g) = config.governor {
+        b = b.governor(g);
+    }
+    b.build()
+}
+
 /// Preload a [`ShardedTable`] with the scenario's initial rows (batched
 /// routing, then a quiescing merge of every shard) and return their global
 /// ids in seed order. Merges run under the default
 /// [`crate::merge::MergeGrant`]; use [`preload_sharded_with`] to pick a
-/// strategy or cap the merge's peak memory.
+/// strategy or cap the merge's peak memory. Fails only on a durable
+/// table whose WAL append or merge checkpoint fails.
 pub fn preload_sharded<V: Value>(
     table: &ShardedTable<V>,
     workload: &ShardedWorkload,
-) -> Vec<ShardRowId> {
+) -> Result<Vec<ShardRowId>> {
     preload_sharded_with(table, workload, crate::merge::MergeGrant::default())
 }
 
@@ -160,14 +180,14 @@ pub fn preload_sharded_with<V: Value>(
     table: &ShardedTable<V>,
     workload: &ShardedWorkload,
     grant: crate::merge::MergeGrant,
-) -> Vec<ShardRowId> {
+) -> Result<Vec<ShardRowId>> {
     let cols = table.num_columns();
     let rows: Vec<Vec<V>> = (0..workload.initial_rows())
         .map(|i| row_for_seed(i, cols))
         .collect();
-    let ids = table.insert_rows(&rows);
-    table.merge_all_with(grant);
-    ids
+    let ids = table.insert_rows(&rows)?;
+    table.merge_all_with(grant)?;
+    Ok(ids)
 }
 
 /// Execute the sharded scenario: `workload.shards` worker threads, each
@@ -321,9 +341,16 @@ mod tests {
 
     #[test]
     fn sharded_driver_executes_the_mix_with_exact_accounting() {
-        let table = ShardedTable::<u64>::hash(4, 3);
         let w = ShardedWorkload::oltp(4).with_volumes(2_000, 3_000);
-        let ids = preload_sharded(&table, &w);
+        let table = sharded_table_for::<u64>(
+            &w,
+            TableConfig {
+                columns: 3,
+                ..TableConfig::default()
+            },
+        )
+        .unwrap();
+        let ids = preload_sharded(&table, &w).unwrap();
         assert_eq!(ids.len(), 8_000);
         assert_eq!(table.main_len(), 8_000, "preload quiesces into main");
 
@@ -348,17 +375,26 @@ mod tests {
     #[test]
     fn preload_with_budget_and_strategy_matches_default() {
         use crate::merge::{MergeBudget, MergeGrant, MergeStrategy};
-        let a = ShardedTable::<u64>::hash(2, 3);
-        let b = ShardedTable::<u64>::hash(2, 3);
+        let a = ShardedTable::<u64>::builder()
+            .shards(2)
+            .columns(3)
+            .build()
+            .unwrap();
+        let b = ShardedTable::<u64>::builder()
+            .shards(2)
+            .columns(3)
+            .build()
+            .unwrap();
         let w = ShardedWorkload::oltp(2).with_volumes(500, 0);
-        let ids_a = preload_sharded(&a, &w);
+        let ids_a = preload_sharded(&a, &w).unwrap();
         let ids_b = preload_sharded_with(
             &b,
             &w,
             MergeGrant::with_threads(2)
                 .strategy(MergeStrategy::Optimized)
                 .budget(MergeBudget::columns(1)),
-        );
+        )
+        .unwrap();
         assert_eq!(ids_a, ids_b, "grant must not change routing or ids");
         assert_eq!(a.main_len(), b.main_len(), "both preloads fully quiesced");
         for id in ids_a.iter().step_by(37) {
@@ -368,9 +404,13 @@ mod tests {
 
     #[test]
     fn sharded_driver_tolerates_empty_preload() {
-        let table = ShardedTable::<u64>::hash(2, 2);
+        let table = ShardedTable::<u64>::builder()
+            .shards(2)
+            .columns(2)
+            .build()
+            .unwrap();
         let w = ShardedWorkload::oltp(2).with_volumes(0, 500);
-        let ids = preload_sharded(&table, &w);
+        let ids = preload_sharded(&table, &w).unwrap();
         assert!(ids.is_empty());
         let stats = drive_sharded(&table, &w, &ids);
         // Row-addressed ops before the first insert are skipped, not panics;
@@ -388,9 +428,13 @@ mod tests {
         // workers' fresh rows), but each worker's op sequence is seeded, so
         // the per-kind counts must reproduce exactly.
         let run = || {
-            let table = ShardedTable::<u64>::hash(3, 2);
+            let table = ShardedTable::<u64>::builder()
+                .shards(3)
+                .columns(2)
+                .build()
+                .unwrap();
             let w = ShardedWorkload::oltp(3).with_volumes(1_000, 2_000);
-            let ids = preload_sharded(&table, &w);
+            let ids = preload_sharded(&table, &w).unwrap();
             drive_sharded(&table, &w, &ids)
                 .into_iter()
                 .map(|s| {

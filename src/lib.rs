@@ -21,6 +21,10 @@
 //!   equality/range predicates pushed down to dictionary value-id space.
 //! * [`workload`] — the Section 2 enterprise-data model and generators.
 //!
+//! Durability lives in [`merge`]: build a crash-durable table with
+//! [`TableBuilder`] + [`Durability::Wal`], and reopen it after a crash
+//! with [`recover`] (or [`recover_sharded`] for a partitioned table).
+//!
 //! See `examples/quickstart.rs` for a guided tour and `DESIGN.md` for the
 //! paper-to-module map.
 
@@ -29,6 +33,10 @@ pub mod driver;
 pub use hyrise_bitpack as bitpack;
 pub use hyrise_core as merge;
 pub use hyrise_core::shard;
+pub use hyrise_core::{
+    recover, recover_sharded, recover_with, Durability, Error, Result, ShardedTableBuilder,
+    TableBuilder, TableConfig,
+};
 pub use hyrise_csb as csb;
 pub use hyrise_query as query;
 pub use hyrise_storage as storage;

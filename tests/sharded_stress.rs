@@ -24,9 +24,17 @@ fn linked_row(i: u64) -> [u64; 2] {
 #[test]
 fn concurrent_inserts_and_scans_survive_per_shard_merges() {
     const SHARDS: usize = 4;
-    let table = Arc::new(ShardedTable::<u64>::hash(SHARDS, COLS));
-    table.insert_rows(&(0..20_000u64).map(linked_row).collect::<Vec<_>>());
-    table.merge_all(2);
+    let table = Arc::new(
+        ShardedTable::<u64>::builder()
+            .shards(SHARDS)
+            .columns(COLS)
+            .build()
+            .unwrap(),
+    );
+    table
+        .insert_rows(&(0..20_000u64).map(linked_row).collect::<Vec<_>>())
+        .unwrap();
+    table.merge_all(2).unwrap();
 
     let policy = MergePolicy {
         delta_fraction: 0.02,
@@ -48,7 +56,7 @@ fn concurrent_inserts_and_scans_survive_per_shard_merges() {
                 while !stop.load(Ordering::Relaxed) {
                     if w == 0 {
                         let batch: Vec<[u64; 2]> = (0..64).map(|k| linked_row(i + k)).collect();
-                        table.insert_rows(&batch);
+                        table.insert_rows(&batch).unwrap();
                         inserted.fetch_add(64, Ordering::Relaxed);
                         i += 64;
                     } else {
@@ -118,7 +126,7 @@ fn concurrent_inserts_and_scans_survive_per_shard_merges() {
         "every shard's delta bounded after drain"
     );
     // Aggregate cross-check after quiescing: sum(col1) = 7*sum(col0) + N.
-    table.merge_all(2);
+    table.merge_all(2).unwrap();
     let keys_sum = Query::scan(0).sum(0).run(&*table).sum();
     let linked_sum = Query::scan(0).sum(1).run(&*table).sum();
     assert_eq!(
@@ -130,9 +138,13 @@ fn concurrent_inserts_and_scans_survive_per_shard_merges() {
 
 #[test]
 fn sharded_mix_with_scheduler_stays_consistent() {
-    let table = ShardedTable::<u64>::hash(3, 3);
+    let table = ShardedTable::<u64>::builder()
+        .shards(3)
+        .columns(3)
+        .build()
+        .unwrap();
     let workload = ShardedWorkload::oltp(3).with_volumes(4_000, 5_000);
-    let ids = preload_sharded(&table, &workload);
+    let ids = preload_sharded(&table, &workload).unwrap();
     assert_eq!(ids.len() as u64, workload.initial_rows());
 
     let table = Arc::new(table);
