@@ -1,0 +1,71 @@
+//! Criterion: end-to-end wire-protocol throughput — an in-process
+//! `hyrise-server` with N swarm clients replaying the Section 2 OLTP mix
+//! over real TCP connections. This is the whole network stack on the
+//! clock: framing, plan serialization, admission gating, catalog
+//! dispatch, the engine underneath, and the merge schedulers running
+//! live while the swarm drives.
+//!
+//! Server startup and table preload run outside the timed region
+//! (`iter_custom` times only the swarm phase), and each round gets a
+//! fresh table so delta growth from previous rounds cannot skew later
+//! samples. The per-iteration number is therefore "wall time for
+//! `clients × ops` mixed operations through the full service path".
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyrise_server::protocol::TableSpec;
+use hyrise_server::server::{start, ServerConfig};
+use hyrise_server::swarm::drive_swarm;
+use hyrise_workload::SwarmWorkload;
+use std::time::Duration;
+
+const OPS_PER_CLIENT: usize = 300;
+const INITIAL_ROWS: u64 = 4_000;
+
+fn bench_client_swarm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("client_swarm");
+    g.sample_size(10);
+
+    for clients in [1usize, 4, 8] {
+        let mut srv = start(
+            "127.0.0.1:0",
+            ServerConfig {
+                // Each swarm client plus the preload connection holds a
+                // worker for its lifetime.
+                workers: clients + 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("server start");
+        let addr = srv.addr().to_string();
+
+        g.throughput(Throughput::Elements((clients * OPS_PER_CLIENT) as u64));
+        g.bench_function(BenchmarkId::new("oltp", clients), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for round in 0..iters {
+                    let table = format!("swarm-{clients}-{round}");
+                    let mut admin = hyrise_server::Client::connect(&addr).expect("connect");
+                    admin
+                        .create_table(&TableSpec::volatile(&table, 3, 2))
+                        .expect("create");
+                    let workload = SwarmWorkload::oltp(clients)
+                        .with_volumes(INITIAL_ROWS, OPS_PER_CLIENT)
+                        .with_insert_batch(8)
+                        .with_seed(0xBEEF + round);
+                    // drive_swarm preloads (untimed work happens inside,
+                    // but it is the same for every round) — time only the
+                    // swarm phase it reports.
+                    let report = black_box(drive_swarm(&addr, &table, &workload).expect("swarm"));
+                    total += report.elapsed;
+                    admin.drop_table(&table).expect("drop");
+                }
+                total
+            })
+        });
+        srv.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_client_swarm);
+criterion_main!(benches);

@@ -5,9 +5,10 @@
 //! `fdatasync` per batch — the power-loss-proof mode, expected to be
 //! dominated by device sync latency). Table construction and directory
 //! teardown run outside the timed region (`iter_custom`), so the
-//! numbers isolate the per-append cost. `none` and `buffered` are gated
-//! against `BENCH_baseline.json`; `fsync` is reported but not gated
-//! (its median is a property of the runner's disk, not of this code).
+//! numbers isolate the per-append cost. All three modes are gated
+//! against `BENCH_baseline.json`; `fsync` at a widened 50% tolerance
+//! (`gate::TOLERANCE_OVERRIDES`), since its median is dominated by the
+//! runner's device sync latency rather than this code.
 //!
 //! What to expect from `buffered`: the append path is one `write(2)` of
 //! a framed record per insert batch — that ordering (record in the

@@ -108,6 +108,22 @@ pub fn parse_json(text: &str) -> Result<Vec<BenchResult>, String> {
     Ok(out)
 }
 
+/// Per-entry tolerance overrides: benches whose medians are dominated by
+/// something other than this codebase get a wider band than the global
+/// default. `wal_append/fsync` is bounded by the runner's device sync
+/// latency — gating it at the default 25% would make CI a disk benchmark —
+/// so it is gated, but at 50%.
+pub const TOLERANCE_OVERRIDES: &[(&str, f64)] = &[("wal_append/fsync/", 0.50)];
+
+/// The tolerance that applies to a bench id: the first matching
+/// [`TOLERANCE_OVERRIDES`] prefix, else `default`.
+pub fn tolerance_for(name: &str, default: f64) -> f64 {
+    TOLERANCE_OVERRIDES
+        .iter()
+        .find(|(prefix, _)| name.starts_with(prefix))
+        .map_or(default, |(_, t)| *t)
+}
+
 /// One benchmark's baseline-vs-current comparison.
 #[derive(Clone, Debug)]
 pub struct Delta {
@@ -117,6 +133,8 @@ pub struct Delta {
     pub baseline_ns: f64,
     /// This run's median, ns.
     pub current_ns: f64,
+    /// The tolerance this entry was gated at ([`tolerance_for`]).
+    pub tolerance: f64,
 }
 
 impl Delta {
@@ -147,7 +165,9 @@ impl GateReport {
 }
 
 /// Compare `current` against `baseline` with the given relative
-/// `tolerance` (0.25 = fail on >25% median regression).
+/// `tolerance` (0.25 = fail on >25% median regression). Entries matching
+/// a [`TOLERANCE_OVERRIDES`] prefix are gated at their own threshold
+/// instead.
 pub fn compare(baseline: &[BenchResult], current: &[BenchResult], tolerance: f64) -> GateReport {
     let base: BTreeMap<&str, f64> = baseline
         .iter()
@@ -162,12 +182,14 @@ pub fn compare(baseline: &[BenchResult], current: &[BenchResult], tolerance: f64
         match base.get(name) {
             None => report.missing_in_baseline.push(name.to_string()),
             Some(&was) => {
+                let entry_tolerance = tolerance_for(name, tolerance);
                 let d = Delta {
                     name: name.to_string(),
                     baseline_ns: was,
                     current_ns: now,
+                    tolerance: entry_tolerance,
                 };
-                if now > was * (1.0 + tolerance) {
+                if now > was * (1.0 + entry_tolerance) {
                     report.regressions.push(d);
                 } else {
                     report.passed.push(d);
@@ -265,6 +287,37 @@ not a bench line
         assert!(rep.ok(), "membership drift alone must not fail the gate");
         assert_eq!(rep.missing_in_baseline, vec!["new".to_string()]);
         assert_eq!(rep.missing_in_run, vec!["old".to_string()]);
+    }
+
+    #[test]
+    fn fsync_entries_get_the_wide_band() {
+        assert!((tolerance_for("wal_append/fsync/10240", 0.25) - 0.50).abs() < 1e-12);
+        assert!((tolerance_for("wal_append/buffered/51200", 0.25) - 0.25).abs() < 1e-12);
+        let base = vec![
+            res("wal_append/fsync/10240", 100.0),
+            res("scan/scan_eq/0", 100.0),
+        ];
+        // +40%: inside the fsync band, outside the default one.
+        let cur = vec![
+            res("wal_append/fsync/10240", 140.0),
+            res("scan/scan_eq/0", 140.0),
+        ];
+        let rep = compare(&base, &cur, 0.25);
+        assert_eq!(rep.regressions.len(), 1);
+        assert_eq!(rep.regressions[0].name, "scan/scan_eq/0");
+        assert!((rep.regressions[0].tolerance - 0.25).abs() < 1e-12);
+        let fsync = rep
+            .passed
+            .iter()
+            .find(|d| d.name.starts_with("wal_append"))
+            .unwrap();
+        assert!((fsync.tolerance - 0.50).abs() < 1e-12);
+        // +60% trips even the wide band.
+        let cur = vec![
+            res("wal_append/fsync/10240", 160.0),
+            res("scan/scan_eq/0", 100.0),
+        ];
+        assert_eq!(compare(&base, &cur, 0.25).regressions.len(), 1);
     }
 
     #[test]

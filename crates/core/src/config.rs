@@ -3,9 +3,9 @@
 //!
 //! Durability made construction configuration-heavy — columns, a WAL
 //! directory and fsync policy, a governor profile, sharding layout — and
-//! the scattered positional constructors (`OnlineTable::new`,
-//! `ShardedTable::hash`/`range`) don't scale to that. The builders are
-//! the one construction surface:
+//! the scattered positional constructors (`OnlineTable::new` and the
+//! since-removed `ShardedTable::hash`/`range`) don't scale to that. The
+//! builders are the one construction surface:
 //!
 //! ```
 //! use hyrise_core::{Durability, OnlineTable};

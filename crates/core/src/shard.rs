@@ -152,43 +152,9 @@ impl<V: Value> ShardedTable<V> {
         }
     }
 
-    /// Hash-partitioned table of `num_shards` shards, each with
-    /// `num_columns` columns, keyed on column 0.
-    #[deprecated(since = "0.7.0", note = "use ShardedTable::builder()")]
-    pub fn hash(num_shards: usize, num_columns: usize) -> Self {
-        Self::builder()
-            .shards(num_shards)
-            .columns(num_columns)
-            .build()
-            .expect("in-memory construction cannot fail with valid arguments")
-    }
-
-    /// Range-partitioned table over ascending `bounds` (producing
-    /// `bounds.len() + 1` shards), keyed on column 0.
-    #[deprecated(since = "0.7.0", note = "use ShardedTable::builder()")]
-    pub fn range(bounds: Vec<V>, num_columns: usize) -> Self {
-        assert!(
-            bounds.windows(2).all(|w| w[0] < w[1]),
-            "range bounds must be strictly ascending"
-        );
-        Self::builder()
-            .partitioning(ShardBy::Range(bounds))
-            .columns(num_columns)
-            .build()
-            .expect("in-memory construction cannot fail with valid arguments")
-    }
-
     /// The spare-buffer bank shared by every shard.
     pub fn spare_bank(&self) -> &Arc<SpareBank<V>> {
         self.shards[0].spare_bank()
-    }
-
-    /// Route on `col` instead of column 0.
-    #[deprecated(since = "0.7.0", note = "use ShardedTable::builder().key_col(col)")]
-    pub fn with_key_col(mut self, col: usize) -> Self {
-        assert!(col < self.num_columns(), "key column out of range");
-        self.key_col = col;
-        self
     }
 
     /// Number of shards.
@@ -798,19 +764,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "ascending")]
-    #[allow(deprecated)]
-    fn unsorted_range_bounds_rejected_by_deprecated_wrapper() {
-        let _ = ShardedTable::<u64>::range(vec![200, 100], 1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_work() {
-        let h = ShardedTable::<u64>::hash(2, 2);
-        assert_eq!(h.num_shards(), 2);
-        let r = ShardedTable::<u64>::range(vec![100], 1).with_key_col(0);
-        assert_eq!(r.num_shards(), 2);
+    fn unsorted_range_bounds_rejected_by_builder() {
+        let r = ShardedTable::<u64>::builder()
+            .partitioning(ShardBy::Range(vec![200, 100]))
+            .columns(1)
+            .build();
+        assert!(matches!(r, Err(crate::Error::Config { .. })));
     }
 
     #[test]

@@ -41,7 +41,7 @@ mod scan;
 mod table_ops;
 
 pub use exec::{AttributeExecutor, Executor, Output, SelectionVector};
-pub use plan::{CompiledPredicate, Query};
+pub use plan::{Action, CompiledPredicate, Query};
 
 pub use aggregate::{count_valid, MinMax};
 pub use groupby::{group_by_sum, GroupAgg};

@@ -38,8 +38,13 @@ pub struct CompiledPredicate<V> {
 }
 
 /// The query's output action (what [`Query::run`] returns).
+///
+/// Public so out-of-process callers (the network front-end) can serialize a
+/// plan: a `Query` is fully described by its predicates, its action, and
+/// its thread hint, and [`Query::from_parts`] rebuilds it from exactly
+/// those pieces.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub(crate) enum Action {
+pub enum Action {
     /// Matching row ids (the default).
     Rows,
     /// Materialized values of the given columns for matching rows.
@@ -252,9 +257,39 @@ impl<V: Copy> Query<V> {
         &self.preds
     }
 
-    /// The output action (crate-internal: executors match on it).
-    pub(crate) fn action(&self) -> &Action {
+    /// The output action (executors and plan serializers match on it).
+    pub fn action(&self) -> &Action {
         &self.action
+    }
+
+    /// Rebuild a query from its serialized parts: the compiled predicate
+    /// conjunction, the output action, and the thread hint (clamped to
+    /// ≥ 1). This is the deserialization counterpart of
+    /// [`Query::predicates`] / [`Query::action`] / [`Query::threads`]:
+    /// the rebuilt query executes identically to the original (the only
+    /// state not carried over is the builder's current-column cursor,
+    /// which affects future `eq`/`between` calls, not execution).
+    ///
+    /// ```
+    /// use hyrise_query::{Action, CompiledPredicate, Query};
+    ///
+    /// let q = Query::scan(0).between(3u64, 9).count().with_threads(2);
+    /// let rebuilt = Query::from_parts(
+    ///     q.predicates().to_vec(),
+    ///     q.action().clone(),
+    ///     q.threads(),
+    /// );
+    /// assert_eq!(rebuilt.predicates(), q.predicates());
+    /// assert_eq!(rebuilt.action(), q.action());
+    /// assert_eq!(rebuilt.threads(), q.threads());
+    /// ```
+    pub fn from_parts(preds: Vec<CompiledPredicate<V>>, action: Action, threads: usize) -> Self {
+        Self {
+            preds,
+            cur_col: 0,
+            action,
+            threads: threads.max(1),
+        }
     }
 
     /// The executor thread hint (≥ 1).

@@ -1,0 +1,330 @@
+//! The multi-tenant table catalog: named durable-or-volatile
+//! [`ShardedTable`]s, each with its own governed merge scheduler.
+//!
+//! Every entry owns the full per-table machinery: the table itself (built
+//! through the PR-7 `ShardedTableBuilder` so durability is just a spec
+//! flag), a [`ShardedScheduler`] merging its shards under a
+//! [`ResourceGovernor`], and the [`RateWindow`] the admission gate samples
+//! its write valve from. Creating a table spawns the scheduler; dropping
+//! it (or shutting the catalog down) stops the scheduler before the entry
+//! is released. Durable tables live under `data_dir/<name>/`; dropping
+//! one leaves its files on disk, so a later server can
+//! [`hyrise_core::recover_sharded`] it.
+
+use crate::admission::RateWindow;
+use crate::protocol::TableSpec;
+use hyrise_core::{
+    Durability, GovernorConfig, MergePolicy, ResourceGovernor, ShardedScheduler, ShardedTable,
+};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Why a catalog operation failed.
+#[derive(Debug)]
+pub enum CatalogError {
+    /// `create` for a name already present.
+    AlreadyExists(String),
+    /// Lookup / drop of a name not present.
+    NoSuchTable(String),
+    /// The spec is invalid (bad name, zero columns/shards, durable table
+    /// on a server without a data directory).
+    InvalidSpec(String),
+    /// The engine failed underneath (I/O on a durable create, …).
+    Engine(hyrise_core::Error),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::AlreadyExists(n) => write!(f, "table '{n}' already exists"),
+            CatalogError::NoSuchTable(n) => write!(f, "no such table '{n}'"),
+            CatalogError::InvalidSpec(d) => write!(f, "invalid table spec: {d}"),
+            CatalogError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<hyrise_core::Error> for CatalogError {
+    fn from(e: hyrise_core::Error) -> Self {
+        CatalogError::Engine(e)
+    }
+}
+
+/// Catalog-wide knobs, shared by every table it creates.
+#[derive(Clone, Debug)]
+pub struct CatalogConfig {
+    /// Root directory for durable tables (`<data_dir>/<name>/`). `None`
+    /// makes durable specs an [`CatalogError::InvalidSpec`].
+    pub data_dir: Option<PathBuf>,
+    /// Concurrent shard merges each table's scheduler may run.
+    pub max_concurrent_merges: usize,
+    /// Scheduler poll interval.
+    pub scheduler_poll: Duration,
+    /// Governor profile cloned into every table's scheduler.
+    pub governor: GovernorConfig,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        Self {
+            data_dir: None,
+            max_concurrent_merges: 2,
+            scheduler_poll: Duration::from_millis(2),
+            governor: GovernorConfig::from_policy(MergePolicy {
+                delta_fraction: 0.02,
+                ..MergePolicy::default()
+            }),
+        }
+    }
+}
+
+/// One catalog entry: table + scheduler + the write valve's rate window.
+pub struct TableEntry {
+    scheduler: ShardedScheduler<u64>,
+    spec: TableSpec,
+    write_window: Mutex<RateWindow>,
+}
+
+impl TableEntry {
+    /// The table.
+    pub fn table(&self) -> &Arc<ShardedTable<u64>> {
+        self.scheduler.table()
+    }
+
+    /// The table's merge scheduler.
+    pub fn scheduler(&self) -> &ShardedScheduler<u64> {
+        &self.scheduler
+    }
+
+    /// The spec the table was created from.
+    pub fn spec(&self) -> &TableSpec {
+        &self.spec
+    }
+
+    /// The write valve's sampling window (the admission gate locks it per
+    /// write batch).
+    pub fn write_window(&self) -> &Mutex<RateWindow> {
+        &self.write_window
+    }
+
+    /// Cumulative rows ever inserted, across shards.
+    pub fn inserted_rows(&self) -> u64 {
+        self.table().inserted_per_shard().iter().sum()
+    }
+}
+
+/// Validate a table name: it doubles as a directory name for durable
+/// tables, so only `[A-Za-z0-9_-]` up to 64 bytes is accepted.
+fn validate_name(name: &str) -> Result<(), CatalogError> {
+    if name.is_empty() || name.len() > 64 {
+        return Err(CatalogError::InvalidSpec(format!(
+            "table name must be 1..=64 bytes, got {}",
+            name.len()
+        )));
+    }
+    if !name
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+    {
+        return Err(CatalogError::InvalidSpec(format!(
+            "table name '{name}' may only contain [A-Za-z0-9_-]"
+        )));
+    }
+    Ok(())
+}
+
+/// The named-table registry.
+pub struct Catalog {
+    cfg: CatalogConfig,
+    tables: Mutex<HashMap<String, Arc<TableEntry>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new(cfg: CatalogConfig) -> Self {
+        Self {
+            cfg,
+            tables: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Create a table per `spec` and spawn its governed scheduler.
+    pub fn create(&self, spec: &TableSpec) -> Result<(), CatalogError> {
+        validate_name(&spec.name)?;
+        if spec.columns == 0 {
+            return Err(CatalogError::InvalidSpec("columns must be > 0".into()));
+        }
+        if spec.shards == 0 {
+            return Err(CatalogError::InvalidSpec("shards must be > 0".into()));
+        }
+        let durability = if spec.durable {
+            let root = self.cfg.data_dir.as_ref().ok_or_else(|| {
+                CatalogError::InvalidSpec(
+                    "durable table requested but the server has no data directory".into(),
+                )
+            })?;
+            Durability::Wal {
+                dir: root.join(&spec.name),
+                fsync: spec.fsync,
+            }
+        } else {
+            Durability::None
+        };
+
+        let mut tables = self.tables.lock().unwrap();
+        if tables.contains_key(&spec.name) {
+            return Err(CatalogError::AlreadyExists(spec.name.clone()));
+        }
+        let table = ShardedTable::<u64>::builder()
+            .shards(spec.shards as usize)
+            .columns(spec.columns as usize)
+            .durability(durability)
+            .governor(self.cfg.governor.clone())
+            .build()?;
+        let scheduler = ShardedScheduler::spawn_governed(
+            Arc::new(table),
+            ResourceGovernor::new(self.cfg.governor.clone()),
+            self.cfg.max_concurrent_merges,
+            self.cfg.scheduler_poll,
+        );
+        tables.insert(
+            spec.name.clone(),
+            Arc::new(TableEntry {
+                scheduler,
+                spec: spec.clone(),
+                write_window: Mutex::new(RateWindow::new()),
+            }),
+        );
+        Ok(())
+    }
+
+    /// Remove a table and stop its scheduler. In-flight requests holding
+    /// the entry's `Arc` finish against the detached table; durable files
+    /// stay on disk for a later recovery.
+    pub fn drop_table(&self, name: &str) -> Result<(), CatalogError> {
+        let entry = self
+            .tables
+            .lock()
+            .unwrap()
+            .remove(name)
+            .ok_or_else(|| CatalogError::NoSuchTable(name.to_string()))?;
+        entry.scheduler.shutdown();
+        Ok(())
+    }
+
+    /// Look a table up.
+    pub fn get(&self, name: &str) -> Result<Arc<TableEntry>, CatalogError> {
+        self.tables
+            .lock()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CatalogError::NoSuchTable(name.to_string()))
+    }
+
+    /// Sorted table names.
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.lock().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.lock().unwrap().len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stop every table's scheduler (server shutdown path).
+    pub fn shutdown(&self) {
+        let entries: Vec<Arc<TableEntry>> = self.tables.lock().unwrap().values().cloned().collect();
+        for e in entries {
+            e.scheduler.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_lookup_drop_lifecycle() {
+        let cat = Catalog::new(CatalogConfig::default());
+        cat.create(&TableSpec::volatile("orders", 3, 2)).unwrap();
+        assert!(matches!(
+            cat.create(&TableSpec::volatile("orders", 3, 2)),
+            Err(CatalogError::AlreadyExists(_))
+        ));
+        let entry = cat.get("orders").unwrap();
+        assert_eq!(entry.table().num_columns(), 3);
+        assert_eq!(entry.table().num_shards(), 2);
+        entry.table().insert_rows(&[[1u64, 2, 3]]).unwrap();
+        assert_eq!(cat.list(), vec!["orders".to_string()]);
+        cat.drop_table("orders").unwrap();
+        assert!(matches!(
+            cat.get("orders"),
+            Err(CatalogError::NoSuchTable(_))
+        ));
+        assert!(matches!(
+            cat.drop_table("orders"),
+            Err(CatalogError::NoSuchTable(_))
+        ));
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let cat = Catalog::new(CatalogConfig::default());
+        for bad in ["", "a/b", "x y", "../evil", &"n".repeat(65)] {
+            assert!(
+                matches!(
+                    cat.create(&TableSpec::volatile(bad, 1, 1)),
+                    Err(CatalogError::InvalidSpec(_))
+                ),
+                "name {bad:?} should be rejected"
+            );
+        }
+        assert!(matches!(
+            cat.create(&TableSpec::volatile("t", 0, 1)),
+            Err(CatalogError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            cat.create(&TableSpec::volatile("t", 1, 0)),
+            Err(CatalogError::InvalidSpec(_))
+        ));
+        // Durable without a data dir.
+        assert!(matches!(
+            cat.create(&TableSpec::durable("t", 1, 1, false)),
+            Err(CatalogError::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    fn durable_table_writes_under_data_dir() {
+        let dir = std::env::temp_dir().join(format!("hyrise-catalog-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cat = Catalog::new(CatalogConfig {
+            data_dir: Some(dir.clone()),
+            ..CatalogConfig::default()
+        });
+        cat.create(&TableSpec::durable("sales", 2, 2, false))
+            .unwrap();
+        let entry = cat.get("sales").unwrap();
+        entry.table().insert_rows(&[[7u64, 8], [9, 10]]).unwrap();
+        assert!(
+            dir.join("sales").is_dir(),
+            "durable files under data_dir/name"
+        );
+        cat.drop_table("sales").unwrap();
+        assert!(dir.join("sales").is_dir(), "drop keeps files for recovery");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

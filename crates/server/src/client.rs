@@ -1,0 +1,246 @@
+//! The client library: one persistent connection, typed errors, and the
+//! admission header surfaced after every call.
+//!
+//! A [`Client`] owns one [`TcpStream`] and reuses it for every request
+//! (the server's workers serve a connection's requests back-to-back, so
+//! connection-reuse is the fast path). Failures are typed: transport
+//! problems are [`ClientError::Io`], malformed responses are
+//! [`ClientError::Protocol`], engine failures arrive as
+//! [`ClientError::Server`] carrying the [`ErrorCode`] mapped from the
+//! engine's [`hyrise_core::Error`] enum, and the two admission rejections
+//! get their own variants ([`ClientError::Throttled`] with the server's
+//! suggested back-off, [`ClientError::Shed`]) because callers handle them
+//! differently from real errors: they retry.
+
+use crate::protocol::{
+    read_frame, write_frame, Admission, Body, ErrorCode, FrameError, FrameEvent, Request, Response,
+    ServerStatsBody, TableSpec, TableStatsBody, WireOutput, WireRowId,
+};
+use hyrise_query::Query;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Everything a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, send, receive, torn frame).
+    Io(std::io::Error),
+    /// The peer sent bytes this client could not decode.
+    Protocol(String),
+    /// The server answered with a typed failure.
+    Server {
+        /// Category (mirrors the engine's error enum plus server codes).
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The write was rejected by the admission valve; back off and retry.
+    Throttled {
+        /// Server-suggested back-off.
+        retry_after: Duration,
+    },
+    /// The read was shed under memory pressure; retry later.
+    Shed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(d) => write!(f, "protocol error: {d}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::Throttled { retry_after } => {
+                write!(f, "write throttled; retry after {retry_after:?}")
+            }
+            ClientError::Shed => write!(f, "read shed under memory pressure"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => ClientError::Io(io),
+            FrameError::Torn => ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-frame",
+            )),
+            FrameError::Oversized(n) => {
+                ClientError::Protocol(format!("peer announced an oversized frame ({n} bytes)"))
+            }
+        }
+    }
+}
+
+/// Shorthand result type.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A connection-reusing client for one server.
+pub struct Client {
+    stream: TcpStream,
+    last_admission: Admission,
+}
+
+impl Client {
+    /// Connect.
+    pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            last_admission: Admission::Admit,
+        })
+    }
+
+    /// The admission decision stamped on the most recent response
+    /// (including rejected ones) — how callers observe queueing without
+    /// measuring latency.
+    pub fn last_admission(&self) -> Admission {
+        self.last_admission
+    }
+
+    fn call(&mut self, req: &Request) -> ClientResult<Body> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = match read_frame(&mut self.stream, &|| false)? {
+            FrameEvent::Frame(p) => p,
+            FrameEvent::Closed | FrameEvent::Idle => {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection before answering",
+                )))
+            }
+        };
+        let resp = Response::decode(&payload).map_err(ClientError::Protocol)?;
+        self.last_admission = resp.admission;
+        match resp.result {
+            Ok(body) => Ok(body),
+            Err(we) => Err(match we.code {
+                ErrorCode::Shed => ClientError::Shed,
+                ErrorCode::Throttled => ClientError::Throttled {
+                    retry_after: resp
+                        .admission
+                        .retry_after()
+                        .unwrap_or(Duration::from_millis(25)),
+                },
+                code => ClientError::Server {
+                    code,
+                    message: we.message,
+                },
+            }),
+        }
+    }
+
+    fn expect_unit(&mut self, req: &Request) -> ClientResult<()> {
+        match self.call(req)? {
+            Body::Unit => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected unit acknowledgement, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        match self.call(&Request::Ping)? {
+            Body::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Create a table.
+    pub fn create_table(&mut self, spec: &TableSpec) -> ClientResult<()> {
+        self.expect_unit(&Request::CreateTable(spec.clone()))
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&mut self, name: &str) -> ClientResult<()> {
+        self.expect_unit(&Request::DropTable {
+            name: name.to_string(),
+        })
+    }
+
+    /// List table names.
+    pub fn list_tables(&mut self) -> ClientResult<Vec<String>> {
+        match self.call(&Request::ListTables)? {
+            Body::Tables(names) => Ok(names),
+            other => Err(ClientError::Protocol(format!(
+                "expected table list, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Batched insert; returns the assigned row ids in input order.
+    pub fn insert(&mut self, table: &str, rows: &[Vec<u64>]) -> ClientResult<Vec<WireRowId>> {
+        match self.call(&Request::Insert {
+            table: table.to_string(),
+            rows: rows.to_vec(),
+        })? {
+            Body::RowIds(ids) => Ok(ids),
+            other => Err(ClientError::Protocol(format!(
+                "expected row ids, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Batched delete of previously returned row ids.
+    pub fn delete(&mut self, table: &str, ids: &[WireRowId]) -> ClientResult<()> {
+        self.expect_unit(&Request::Delete {
+            table: table.to_string(),
+            ids: ids.to_vec(),
+        })
+    }
+
+    /// Run a query plan.
+    pub fn query(&mut self, table: &str, plan: &Query<u64>) -> ClientResult<WireOutput> {
+        match self.call(&Request::Query {
+            table: table.to_string(),
+            plan: plan.clone(),
+        })? {
+            Body::Output(o) => Ok(o),
+            other => Err(ClientError::Protocol(format!(
+                "expected query output, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Per-table counters.
+    pub fn table_stats(&mut self, table: &str) -> ClientResult<TableStatsBody> {
+        match self.call(&Request::TableStats {
+            table: table.to_string(),
+        })? {
+            Body::TableStats(s) => Ok(s),
+            other => Err(ClientError::Protocol(format!(
+                "expected table stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Server-wide admission counters.
+    pub fn server_stats(&mut self) -> ClientResult<ServerStatsBody> {
+        match self.call(&Request::ServerStats)? {
+            Body::ServerStats(s) => Ok(s),
+            other => Err(ClientError::Protocol(format!(
+                "expected server stats, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! The client-swarm driver: N client threads replaying the Section 2 mix
+//! against a live server over the wire.
+//!
+//! This is the in-process `drive_sharded` loop turned inside out: instead
+//! of workers calling the table directly, every worker is a [`Client`] on
+//! its own connection, and everything — routing, merging, admission — is
+//! the server's job. Admission rejections are part of the workload, not
+//! errors: a throttled writer backs off for the server-suggested interval
+//! and retries (counted in [`SwarmReport::throttled`] /
+//! [`SwarmReport::retries`]), a shed reader just moves on (counted in
+//! [`SwarmReport::shed`]).
+//!
+//! Determinism and oracle support: each client's operation stream and
+//! value seeds derive from [`SwarmWorkload::client_seed`], every inserted
+//! row's key (column 0) is unique across preload and clients, and the
+//! report carries the exact key sets inserted and deleted — enough for a
+//! test to rebuild the expected table contents and check the server
+//! against an in-memory oracle.
+
+use crate::client::{Client, ClientError, ClientResult};
+use crate::protocol::WireRowId;
+use hyrise_query::Query;
+use hyrise_workload::{Operation, SwarmWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Build the row a key seed expands to (`cols` wide; column 0 *is* the
+/// key, the rest derive from it).
+pub fn swarm_row(key: u64, cols: usize) -> Vec<u64> {
+    (0..cols as u64)
+        .map(|c| {
+            if c == 0 {
+                key
+            } else {
+                key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(c as u32)
+            }
+        })
+        .collect()
+}
+
+/// Upper bound on per-op throttle retries before the op is dropped (the
+/// drop is counted, never silent).
+const MAX_RETRIES: usize = 8;
+
+/// What one swarm run did.
+#[derive(Clone, Debug, Default)]
+pub struct SwarmReport {
+    /// Operations completed (including retried ones, once).
+    pub ops: u64,
+    /// Point lookups executed.
+    pub lookups: u64,
+    /// Range reads (scans + range selects) executed.
+    pub range_reads: u64,
+    /// Insert batches executed.
+    pub inserts: u64,
+    /// Rows inserted across those batches.
+    pub rows_inserted: u64,
+    /// Delete calls executed.
+    pub deletes: u64,
+    /// Throttle rejections observed (each is also either retried or
+    /// dropped).
+    pub throttled: u64,
+    /// Shed rejections observed.
+    pub shed: u64,
+    /// Successful retries after a throttle.
+    pub retries: u64,
+    /// Ops dropped after `MAX_RETRIES` consecutive throttles.
+    pub dropped: u64,
+    /// Wall time of the swarm phase (excludes preload).
+    pub elapsed: Duration,
+    /// Keys (column-0 values) inserted by the swarm, all clients.
+    pub inserted_keys: Vec<u64>,
+    /// Keys deleted by the swarm (always keys the same client inserted).
+    pub deleted_keys: Vec<u64>,
+}
+
+impl SwarmReport {
+    fn absorb(&mut self, other: SwarmReport) {
+        self.ops += other.ops;
+        self.lookups += other.lookups;
+        self.range_reads += other.range_reads;
+        self.inserts += other.inserts;
+        self.rows_inserted += other.rows_inserted;
+        self.deletes += other.deletes;
+        self.throttled += other.throttled;
+        self.shed += other.shed;
+        self.retries += other.retries;
+        self.dropped += other.dropped;
+        self.inserted_keys.extend(other.inserted_keys);
+        self.deleted_keys.extend(other.deleted_keys);
+    }
+}
+
+/// Preload `initial_rows` rows (keys `0..initial_rows`) through the wire,
+/// riding out throttles. Returns the number of rows loaded.
+pub fn preload(addr: &str, table: &str, workload: &SwarmWorkload) -> ClientResult<u64> {
+    let mut client = Client::connect(addr)?;
+    let cols = columns_of(&mut client, table)?;
+    let mut loaded = 0u64;
+    let batch = 512;
+    while loaded < workload.initial_rows {
+        let n = batch.min(workload.initial_rows - loaded);
+        let rows: Vec<Vec<u64>> = (loaded..loaded + n).map(|k| swarm_row(k, cols)).collect();
+        match client.insert(table, &rows) {
+            Ok(_) => loaded += n,
+            Err(ClientError::Throttled { retry_after }) => {
+                std::thread::sleep(retry_after.min(Duration::from_millis(100)));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(loaded)
+}
+
+/// Discover a table's width over the wire.
+fn columns_of(client: &mut Client, table: &str) -> ClientResult<usize> {
+    Ok(client.table_stats(table)?.columns as usize)
+}
+
+/// One client's loop. Key tagging: client `i`'s inserted keys are
+/// `(i+1) << 40 | counter`, disjoint from the preload keys `0..initial`.
+fn run_client(
+    addr: &str,
+    table: &str,
+    workload: &SwarmWorkload,
+    client_idx: usize,
+    cols: usize,
+) -> ClientResult<SwarmReport> {
+    let mut client = Client::connect(addr)?;
+    let mut rng = StdRng::seed_from_u64(workload.client_seed(client_idx));
+    let mut stream = workload.stream(client_idx);
+    let mut report = SwarmReport::default();
+    // Ids this client inserted and may later delete: (id, key).
+    let mut owned: Vec<(WireRowId, u64)> = Vec::new();
+    let mut next_local: u64 = 0;
+    let tag = (client_idx as u64 + 1) << 40;
+
+    for _ in 0..workload.ops_per_client {
+        let op = stream.next_op(&mut rng);
+        match op {
+            Operation::Lookup { row } => {
+                if run_read(&mut report, || {
+                    client.query(table, &Query::scan(0).eq(row).count())
+                })?
+                .is_some()
+                {
+                    report.lookups += 1;
+                }
+            }
+            Operation::Scan { start, len } => {
+                if run_read(&mut report, || {
+                    client.query(
+                        table,
+                        &Query::scan(0)
+                            .between(start, start.saturating_add(len))
+                            .count(),
+                    )
+                })?
+                .is_some()
+                {
+                    report.range_reads += 1;
+                }
+            }
+            Operation::RangeSelect { lo, hi } => {
+                let (lo, hi) = (lo.min(hi), lo.max(hi));
+                if run_read(&mut report, || {
+                    client.query(table, &Query::scan(0).between(lo, hi).count())
+                })?
+                .is_some()
+                {
+                    report.range_reads += 1;
+                }
+            }
+            Operation::Insert { .. } | Operation::Update { .. } => {
+                // An update is modeled as insert-new-version (+ delete of
+                // one owned row below) — the engine's insert-only
+                // discipline, driven over the wire.
+                let keys: Vec<u64> = (0..workload.insert_batch as u64)
+                    .map(|b| tag | (next_local + b))
+                    .collect();
+                let rows: Vec<Vec<u64>> = keys.iter().map(|k| swarm_row(*k, cols)).collect();
+                if let Some(ids) = run_write(&mut report, || client.insert(table, &rows))? {
+                    next_local += workload.insert_batch as u64;
+                    report.inserts += 1;
+                    report.rows_inserted += ids.len() as u64;
+                    report.inserted_keys.extend_from_slice(&keys);
+                    owned.extend(ids.into_iter().zip(keys));
+                    if matches!(op, Operation::Update { .. }) {
+                        if let Some((id, key)) = owned.first().copied() {
+                            if run_write(&mut report, || client.delete(table, &[id]))?.is_some() {
+                                owned.remove(0);
+                                report.deletes += 1;
+                                report.deleted_keys.push(key);
+                            }
+                        }
+                    }
+                }
+            }
+            Operation::Delete { .. } => {
+                let Some((id, key)) = owned.pop() else {
+                    continue;
+                };
+                match run_write(&mut report, || client.delete(table, &[id]))? {
+                    Some(()) => {
+                        report.deletes += 1;
+                        report.deleted_keys.push(key);
+                    }
+                    None => {
+                        // Dropped after retries: the row stays visible.
+                        owned.push((id, key));
+                    }
+                }
+            }
+        }
+        report.ops += 1;
+    }
+    Ok(report)
+}
+
+/// Run a read. `Ok(None)` means the read was shed (recorded and skipped —
+/// the server told us to come back later, and the swarm has later ops);
+/// real failures propagate.
+fn run_read<T>(
+    report: &mut SwarmReport,
+    mut f: impl FnMut() -> ClientResult<T>,
+) -> ClientResult<Option<T>> {
+    match f() {
+        Ok(v) => Ok(Some(v)),
+        Err(ClientError::Shed) => {
+            report.shed += 1;
+            Ok(None)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Run a write, backing off and retrying on throttles up to
+/// [`MAX_RETRIES`] times. `Ok(None)` means the op was dropped after
+/// exhausting its retries; real failures propagate.
+fn run_write<T>(
+    report: &mut SwarmReport,
+    mut f: impl FnMut() -> ClientResult<T>,
+) -> ClientResult<Option<T>> {
+    for attempt in 0..=MAX_RETRIES {
+        match f() {
+            Ok(v) => {
+                if attempt > 0 {
+                    report.retries += 1;
+                }
+                return Ok(Some(v));
+            }
+            Err(ClientError::Throttled { retry_after }) => {
+                report.throttled += 1;
+                std::thread::sleep(retry_after.min(Duration::from_millis(100)));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    report.dropped += 1;
+    Ok(None)
+}
+
+/// Drive the full swarm: preload the table, then run
+/// [`SwarmWorkload::clients`] concurrent client threads to completion and
+/// merge their reports. The table must already exist (create it via a
+/// [`Client`] or the catalog first).
+pub fn drive_swarm(addr: &str, table: &str, workload: &SwarmWorkload) -> ClientResult<SwarmReport> {
+    preload(addr, table, workload)?;
+    let mut probe = Client::connect(addr)?;
+    let cols = columns_of(&mut probe, table)?;
+    drop(probe);
+
+    let start = Instant::now();
+    let reports: Vec<ClientResult<SwarmReport>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workload.clients)
+            .map(|i| scope.spawn(move || run_client(addr, table, workload, i, cols)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut merged = SwarmReport::default();
+    for r in reports {
+        merged.absorb(r?);
+    }
+    merged.elapsed = start.elapsed();
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swarm_rows_are_keyed_on_column_zero() {
+        let r = swarm_row(42, 4);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0], 42);
+        assert_ne!(r[1], r[2], "derived columns differ");
+        assert_eq!(swarm_row(42, 4), r, "deterministic");
+    }
+}

@@ -1,0 +1,231 @@
+//! Admission-control integration: the gate's behavior observed over the
+//! wire against a live server and real tables.
+//!
+//! The decision boundaries are unit-tested in `admission.rs`; these tests
+//! exercise the full loop — memory pressure built by real inserts, relief
+//! delivered by the real merge scheduler — and the two guarantees the
+//! module doc promises: a synthetic pressure spike sheds reads then
+//! recovers once merges drain the delta, and no request ever hangs
+//! (every call below runs under an explicit deadline).
+
+use hyrise_query::Query;
+use hyrise_server::admission::AdmissionConfig;
+use hyrise_server::protocol::{Admission, TableSpec};
+use hyrise_server::server::{start, ServerConfig};
+use hyrise_server::{Client, ClientError};
+use std::time::{Duration, Instant};
+
+/// Rows whose column-0 values repeat heavily: the uncompressed delta is
+/// ~8 bytes/row, the merged (bit-packed, 4-value dictionary) main a tiny
+/// fraction of that — which is exactly the memory cliff the read gate
+/// keys on.
+fn compressible_rows(start: u64, n: u64) -> Vec<Vec<u64>> {
+    (start..start + n).map(|k| vec![k % 4]).collect()
+}
+
+fn insert_all(client: &mut Client, table: &str, rows: &[Vec<u64>]) {
+    for chunk in rows.chunks(1_000) {
+        loop {
+            match client.insert(table, chunk) {
+                Ok(_) => break,
+                Err(ClientError::Throttled { retry_after }) => {
+                    std::thread::sleep(retry_after.min(Duration::from_millis(50)))
+                }
+                Err(e) => panic!("insert failed: {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn memory_spike_sheds_reads_then_merge_recovers() {
+    let mut srv = start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 4,
+            admission: AdmissionConfig {
+                memory_queue_limit: 48 * 1024,
+                memory_shed_limit: 96 * 1024,
+                queue_timeout: Duration::from_millis(150),
+                queue_poll: Duration::from_millis(2),
+                ..AdmissionConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = srv.addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+    c.create_table(&TableSpec::volatile("hot", 1, 1)).unwrap();
+
+    // Build the spike with the merge scheduler held off: 40k uncompressed
+    // delta rows (~320 KiB) against a 96 KiB shed line.
+    let entry = srv.catalog().get("hot").unwrap();
+    entry.scheduler().pause();
+    insert_all(&mut c, "hot", &compressible_rows(0, 40_000));
+    assert!(
+        entry.table().memory_report().total() > 96 * 1024,
+        "spike must clear the shed limit, got {}",
+        entry.table().memory_report().total()
+    );
+
+    // Reads are shed — with a typed error, within the queue-timeout bound.
+    for _ in 0..5 {
+        let t = Instant::now();
+        match c.query("hot", &Query::scan(0).eq(0).count()) {
+            Err(ClientError::Shed) => {}
+            other => panic!("expected a shed, got {other:?}"),
+        }
+        assert_eq!(c.last_admission(), Admission::Shed);
+        assert!(
+            t.elapsed() < Duration::from_secs(2),
+            "shed within the timeout bound, took {:?}",
+            t.elapsed()
+        );
+    }
+    let stats = c.server_stats().unwrap();
+    assert!(stats.shed_reads >= 5, "sheds visible in stats: {stats:?}");
+
+    // Relief: the real scheduler merges the delta away; memory collapses
+    // under the queue limit and reads are admitted again.
+    entry.scheduler().resume();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while entry.table().delta_len() > 0 || entry.table().memory_report().total() > 48 * 1024 {
+        assert!(Instant::now() < deadline, "merge never drained the spike");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let out = c.query("hot", &Query::scan(0).eq(0).count()).unwrap();
+    assert_eq!(out.count(), Some(10_000), "data intact through the merge");
+    assert_eq!(c.last_admission(), Admission::Admit);
+    srv.shutdown();
+}
+
+#[test]
+fn queued_read_waits_out_the_spike_and_admits() {
+    let mut srv = start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 4,
+            admission: AdmissionConfig {
+                memory_queue_limit: 24 * 1024,
+                memory_shed_limit: 256 * 1024,
+                queue_timeout: Duration::from_secs(10),
+                queue_poll: Duration::from_millis(2),
+                ..AdmissionConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = srv.addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+    c.create_table(&TableSpec::volatile("warm", 1, 1)).unwrap();
+
+    // Land memory in the queue band (above 24 KiB, far below 256 KiB).
+    let entry = srv.catalog().get("warm").unwrap();
+    entry.scheduler().pause();
+    insert_all(&mut c, "warm", &compressible_rows(0, 8_000));
+    let mem = entry.table().memory_report().total();
+    assert!(
+        mem > 24 * 1024 && mem <= 256 * 1024,
+        "memory must land in the queue band, got {mem}"
+    );
+
+    // A reader arrives during the spike and parks in the queue…
+    let reader = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            let mut c = Client::connect(&addr).unwrap();
+            let out = c.query("warm", &Query::scan(0).eq(1).count()).unwrap();
+            (out.count(), c.last_admission())
+        }
+    });
+    let queued_at = Instant::now() + Duration::from_secs(5);
+    while srv.gate().stats().reads_queued_now == 0 {
+        assert!(Instant::now() < queued_at, "reader never queued");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // …until the merge retires the delta and the gate lets it through.
+    entry.scheduler().resume();
+    let (count, admission) = reader.join().unwrap();
+    assert_eq!(count, Some(2_000));
+    assert!(
+        matches!(admission, Admission::Queued { .. }),
+        "read should report its queue wait, got {admission:?}"
+    );
+    assert_eq!(srv.gate().stats().queued_reads, 1);
+    assert_eq!(srv.gate().stats().reads_queued_now, 0, "slot released");
+    srv.shutdown();
+}
+
+#[test]
+fn write_burst_throttles_then_valve_releases_after_drain() {
+    let mut srv = start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            admission: AdmissionConfig {
+                write_backlog_limit: 5_000,
+                write_release_fraction: 0.5,
+                throttle_retry_after: Duration::from_millis(5),
+                ..AdmissionConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect(srv.addr().to_string()).unwrap();
+    c.create_table(&TableSpec::volatile("burst", 1, 1)).unwrap();
+    let entry = srv.catalog().get("burst").unwrap();
+
+    // Burst with merges held off: the backlog blows past the limit while
+    // the insert rate outruns a zero merge rate — Equation 1's losing
+    // side, so the valve must close.
+    entry.scheduler().pause();
+    let mut throttled = None;
+    let mut k = 0u64;
+    for _ in 0..60 {
+        match c.insert("burst", &compressible_rows(k, 1_000)) {
+            Ok(_) => k += 1_000,
+            Err(ClientError::Throttled { retry_after }) => {
+                throttled = Some(retry_after);
+                break;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        // Give the rate window room to see a nonzero insert rate.
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    let retry_after = throttled.expect("burst never throttled");
+    assert!(retry_after > Duration::ZERO, "server suggests a back-off");
+    assert!(
+        matches!(c.last_admission(), Admission::Throttled { .. }),
+        "throttle rides the admission header"
+    );
+    let stats = c.server_stats().unwrap();
+    assert!(
+        stats.throttled_writes >= 1,
+        "valve visible in stats: {stats:?}"
+    );
+
+    // Recovery: merges drain the backlog below the release fraction and
+    // the valve reopens — a patient writer gets through.
+    entry.scheduler().resume();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let admitted = loop {
+        assert!(Instant::now() < deadline, "valve never released");
+        match c.insert("burst", &compressible_rows(k, 10)) {
+            Ok(_) => break true,
+            Err(ClientError::Throttled { retry_after }) => {
+                std::thread::sleep(retry_after.min(Duration::from_millis(50)));
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    };
+    assert!(admitted);
+    // The merge scheduler did the catching up, observably.
+    assert!(entry.scheduler().stats().merges >= 1);
+    assert!(entry.table().delta_len() < 5_000, "backlog drained");
+    srv.shutdown();
+}

@@ -1,0 +1,134 @@
+//! Client-swarm workload: the Section 2 enterprise mix replayed by N
+//! independent network clients against one served table.
+//!
+//! [`ShardedWorkload`](crate::sharded::ShardedWorkload) models concurrency
+//! *inside* the process (one worker per shard); the swarm models the
+//! traffic shape the ROADMAP's "heavy traffic from many users" goal
+//! implies: every client is an independent request/response loop over its
+//! own connection, drawing from its own deterministically seeded
+//! [`UpdateStream`], with no knowledge of sharding — routing is the
+//! server's problem. The driver owning the actual connections (the
+//! `hyrise-server` crate's `drive_swarm`) turns each [`SwarmWorkload::stream`]
+//! into wire calls.
+
+use crate::enterprise::QueryMix;
+use crate::updates::UpdateStream;
+
+/// The shape of a client-swarm run.
+#[derive(Clone, Copy, Debug)]
+pub struct SwarmWorkload {
+    /// Number of concurrent clients (each on its own connection).
+    pub clients: usize,
+    /// The Figure-1 query mix every client draws from.
+    pub mix: QueryMix,
+    /// Rows preloaded into the table before the swarm starts.
+    pub initial_rows: u64,
+    /// Operations each client executes.
+    pub ops_per_client: usize,
+    /// Rows per batched insert (an `Insert` op sends this many rows in
+    /// one request — the batched-mutation path of the wire protocol).
+    pub insert_batch: usize,
+    /// Base RNG seed; per-client seeds derive from it.
+    pub seed: u64,
+}
+
+impl SwarmWorkload {
+    /// An OLTP-mix swarm of `clients` clients.
+    pub fn oltp(clients: usize) -> Self {
+        Self {
+            clients: clients.max(1),
+            mix: QueryMix::oltp(),
+            initial_rows: 10_000,
+            ops_per_client: 2_000,
+            insert_batch: 16,
+            seed: 0x5AA5,
+        }
+    }
+
+    /// The same swarm with a different mix.
+    pub fn with_mix(self, mix: QueryMix) -> Self {
+        Self { mix, ..self }
+    }
+
+    /// The same swarm with different preload / op counts.
+    pub fn with_volumes(self, initial_rows: u64, ops_per_client: usize) -> Self {
+        Self {
+            initial_rows,
+            ops_per_client,
+            ..self
+        }
+    }
+
+    /// The same swarm with a different insert batch size (≥ 1).
+    pub fn with_insert_batch(self, insert_batch: usize) -> Self {
+        Self {
+            insert_batch: insert_batch.max(1),
+            ..self
+        }
+    }
+
+    /// The same swarm with a different base seed.
+    pub fn with_seed(self, seed: u64) -> Self {
+        Self { seed, ..self }
+    }
+
+    /// Total operations across clients.
+    pub fn total_ops(&self) -> usize {
+        self.ops_per_client * self.clients
+    }
+
+    /// The deterministic RNG seed for client `client` (distinct per
+    /// client, stable across runs).
+    pub fn client_seed(&self, client: usize) -> u64 {
+        self.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(client as u64 + 1)
+    }
+
+    /// The operation stream client `client` replays. Each stream sees the
+    /// shared initial row space; divergence between clients comes from
+    /// the per-client RNG seed.
+    pub fn stream(&self, client: usize) -> UpdateStream {
+        let _ = client;
+        UpdateStream::new(self.mix, self.initial_rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn swarm_dimensions() {
+        let w = SwarmWorkload::oltp(8)
+            .with_volumes(5_000, 1_000)
+            .with_insert_batch(0);
+        assert_eq!(w.clients, 8);
+        assert_eq!(w.total_ops(), 8_000);
+        assert_eq!(w.insert_batch, 1, "batch clamps to at least 1");
+        assert_eq!(w.initial_rows, 5_000);
+    }
+
+    #[test]
+    fn client_seeds_are_distinct_and_stable() {
+        let w = SwarmWorkload::oltp(16);
+        let seeds: Vec<u64> = (0..16).map(|c| w.client_seed(c)).collect();
+        let unique: std::collections::HashSet<u64> = seeds.iter().copied().collect();
+        assert_eq!(unique.len(), 16, "no two clients share a seed");
+        assert_eq!(seeds, (0..16).map(|c| w.client_seed(c)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn per_client_streams_diverge_under_their_seeds() {
+        let w = SwarmWorkload::oltp(2);
+        let mut a = w.stream(0);
+        let mut b = w.stream(1);
+        let mut rng_a = StdRng::seed_from_u64(w.client_seed(0));
+        let mut rng_b = StdRng::seed_from_u64(w.client_seed(1));
+        let ops_a = a.batch(&mut rng_a, 200);
+        let ops_b = b.batch(&mut rng_b, 200);
+        assert_ne!(ops_a, ops_b, "distinct seeds, distinct traffic");
+    }
+}

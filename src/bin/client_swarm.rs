@@ -1,0 +1,95 @@
+//! Client-swarm smoke driver: an in-process server plus N wire clients
+//! replaying the Section 2 enterprise mix, with the admission gate and
+//! merge schedulers live underneath. This is the CI entry point for the
+//! network stack — it exercises preload, mixed reads/writes, throttling,
+//! and graceful shutdown end to end and prints a one-screen report.
+//!
+//! Environment:
+//!
+//! * `SWARM_SECS` — approximate wall-time budget (default 2): swarm
+//!   rounds run until it is spent.
+//! * `SWARM_CLIENTS` — concurrent client connections (default 4).
+//! * `SWARM_OPS` — operations per client per round (default 400).
+//! * `SWARM_DURABLE` — set to `1` to run against a durable (WAL-backed)
+//!   table in a scratch directory instead of a volatile one.
+
+use hyrise::server::{drive_swarm, start, CatalogConfig, ServerConfig, TableSpec};
+use hyrise::workload::SwarmWorkload;
+use std::time::{Duration, Instant};
+
+fn env_or(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let secs = env_or("SWARM_SECS", 2);
+    let clients = env_or("SWARM_CLIENTS", 4) as usize;
+    let ops = env_or("SWARM_OPS", 400) as usize;
+    let durable = env_or("SWARM_DURABLE", 0) == 1;
+
+    let scratch = std::env::temp_dir().join(format!("hyrise-client-swarm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let mut srv = start(
+        "127.0.0.1:0",
+        ServerConfig {
+            // Workers must out-size the swarm: every client holds its
+            // connection for a whole round.
+            workers: clients + 4,
+            catalog: CatalogConfig {
+                data_dir: durable.then(|| scratch.clone()),
+                ..CatalogConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start");
+    let addr = srv.addr().to_string();
+
+    let mut c = hyrise::server::Client::connect(&addr).expect("client connect");
+    let spec = if durable {
+        TableSpec::durable("swarm", 4, 4, false)
+    } else {
+        TableSpec::volatile("swarm", 4, 4)
+    };
+    c.create_table(&spec).expect("create table");
+
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    let mut round = 0u64;
+    let mut total_ops = 0u64;
+    let mut total_rows = 0u64;
+    while Instant::now() < deadline {
+        // Reseed per round so rounds differ but any round replays exactly.
+        let workload = SwarmWorkload::oltp(clients)
+            .with_volumes(if round == 0 { 5_000 } else { 0 }, ops)
+            .with_insert_batch(8)
+            .with_seed(0x5AA5 + round);
+        let report = drive_swarm(&addr, "swarm", &workload).expect("swarm round");
+        total_ops += report.ops;
+        total_rows += report.rows_inserted;
+        round += 1;
+        println!(
+            "round {round}: {} ops in {:?} ({} rows inserted, {} throttled, {} shed, {} dropped)",
+            report.ops,
+            report.elapsed,
+            report.rows_inserted,
+            report.throttled,
+            report.shed,
+            report.dropped
+        );
+    }
+
+    let stats = c.table_stats("swarm").expect("table stats");
+    let gate = srv.gate().stats();
+    println!("table: {stats:?}");
+    println!("admission: {gate:?}");
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    assert!(round > 0 && total_ops > 0, "swarm did no work");
+    assert!(total_rows > 0, "swarm inserted nothing");
+    assert!(stats.merges > 0, "schedulers never merged");
+    println!("client_swarm ok: {round} rounds, {total_ops} ops, {total_rows} rows");
+}

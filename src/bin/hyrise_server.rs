@@ -1,0 +1,82 @@
+//! Standalone table server: the engine behind a TCP socket.
+//!
+//! ```text
+//! hyrise_server [--addr HOST:PORT] [--workers N] [--data-dir PATH]
+//! ```
+//!
+//! * `--addr` — listen address (default `127.0.0.1:5433`; port 0 picks a
+//!   free port and prints it).
+//! * `--workers` — connection worker threads (default 8). Each client
+//!   connection occupies a worker for its lifetime, so this bounds the
+//!   number of concurrent clients.
+//! * `--data-dir` — root directory for durable tables (`<dir>/<name>/`).
+//!   Without it, only volatile tables can be created.
+//!
+//! The server runs until stdin closes or a line starting with `q` is
+//! entered, then shuts down gracefully (drains workers, stops every
+//! table's merge scheduler) and prints the admission counters.
+
+use hyrise::server::{start, AdmissionConfig, CatalogConfig, ServerConfig};
+use std::io::BufRead;
+
+fn usage() -> ! {
+    eprintln!("usage: hyrise_server [--addr HOST:PORT] [--workers N] [--data-dir PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:5433".to_string();
+    let mut workers = 8usize;
+    let mut data_dir = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--workers" => workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--data-dir" => data_dir = Some(value("--data-dir").into()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+
+    let config = ServerConfig {
+        workers,
+        admission: AdmissionConfig::default(),
+        catalog: CatalogConfig {
+            data_dir,
+            ..CatalogConfig::default()
+        },
+    };
+    let mut srv = match start(&addr, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to start on {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("hyrise_server listening on {}", srv.addr());
+    println!("(press q<Enter> or close stdin to stop)");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim_start().starts_with('q') => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+
+    let stats = srv.gate().stats();
+    srv.shutdown();
+    println!("admission: {stats:?}");
+}

@@ -20,6 +20,10 @@
 //!   snapshot, online table, sharded table, heterogeneous table), with
 //!   equality/range predicates pushed down to dictionary value-id space.
 //! * [`workload`] — the Section 2 enterprise-data model and generators.
+//! * [`server`] — the network front-end: the length-prefixed wire
+//!   protocol, the multi-tenant table [`server::Catalog`], the
+//!   governor-driven [`server::AdmissionGate`], the TCP server, the
+//!   [`server::Client`] library and the [`server::drive_swarm`] driver.
 //!
 //! Durability lives in [`merge`]: build a crash-durable table with
 //! [`TableBuilder`] + [`Durability::Wal`], and reopen it after a crash
@@ -39,5 +43,6 @@ pub use hyrise_core::{
 };
 pub use hyrise_csb as csb;
 pub use hyrise_query as query;
+pub use hyrise_server as server;
 pub use hyrise_storage as storage;
 pub use hyrise_workload as workload;
