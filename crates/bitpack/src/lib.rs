@@ -37,11 +37,13 @@
 
 mod region;
 mod scan;
+mod swar;
 mod vec;
 mod width;
 
 pub use region::{BitRegion, RegionSplit};
 pub use scan::SeqCursor;
+pub use swar::{mask_count, mask_words, rows_from_mask};
 pub use vec::{BitPackedIter, BitPackedVec};
 pub use width::{bits_for, ceil_log2, max_value_for_bits};
 

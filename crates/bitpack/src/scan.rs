@@ -1,12 +1,17 @@
-//! Sequential scan kernels over the packed representation.
+//! Scan kernels over the packed representation.
 //!
 //! Section 3: "most queries can be executed with a binary search (random
 //! access) in the dictionary while scanning the column (sequential access)
-//! for the encoded value only". These kernels implement that sequential
-//! access without materializing values: an incremental bit cursor advances
-//! one addition per element (no per-index multiply/divide), the word index
-//! and shift carried across iterations — the scalar analogue of the
-//! SIMD-Scan the paper cites \[27\].
+//! for the encoded value only". The public kernels implement that
+//! sequential access word-parallel: degenerate ranges are resolved here at
+//! the word level (no cursor is ever built for an inverted, out-of-width,
+//! or full-domain range), and everything else runs on the SWAR
+//! broadcast-compare-and-mask loops in [`crate::swar`].
+//!
+//! The scalar [`SeqCursor`] path — one shift-add per element, the word
+//! index and shift carried across iterations — remains as the merge
+//! pipeline's sequential decoder and as the reference oracle the SWAR
+//! kernels are equivalence-tested against (`*_scalar` variants).
 
 use crate::vec::BitPackedVec;
 use crate::width::max_value_for_bits;
@@ -104,7 +109,19 @@ impl BitPackedVec {
     /// engine compose per-partition scans into one global selection vector
     /// without a re-map pass; appending (rather than returning a fresh
     /// vector) lets disjoint partitions share the allocation.
+    ///
+    /// Runs word-parallel: a whole window of codes is compared at once by
+    /// the SWAR kernels (the `swar` module).
     pub fn select_eq_into(&self, code: u64, base: usize, out: &mut Vec<usize>) {
+        if code > max_value_for_bits(self.bits()) || self.is_empty() {
+            return;
+        }
+        self.swar_select_eq_into(code, base, out);
+    }
+
+    /// Scalar reference for [`Self::select_eq_into`] (the cursor loop the
+    /// SWAR kernel is equivalence-tested against).
+    pub fn select_eq_scalar_into(&self, code: u64, base: usize, out: &mut Vec<usize>) {
         if code > max_value_for_bits(self.bits()) {
             return;
         }
@@ -119,12 +136,34 @@ impl BitPackedVec {
     /// whose packed value lies in `[lo, hi]` — the compressed-scan primitive
     /// behind predicate pushdown (codes are order-preserving, so a value
     /// range is a code range; no value is ever materialized).
+    ///
+    /// Degenerate ranges short-circuit at the word level: an inverted or
+    /// out-of-width range returns without touching the packed words, and a
+    /// range covering the full code domain emits every row without a single
+    /// compare. Everything else runs on the SWAR range kernel.
     pub fn select_in_range_into(&self, lo: u64, hi: u64, base: usize, out: &mut Vec<usize>) {
+        let max = max_value_for_bits(self.bits());
+        if lo > hi || lo > max || self.is_empty() {
+            return;
+        }
+        let hi = hi.min(max);
+        if lo == 0 && hi == max {
+            out.extend(base..base + self.len());
+            return;
+        }
+        if lo == hi {
+            return self.swar_select_eq_into(lo, base, out);
+        }
+        self.swar_select_in_range_into(lo, hi, base, out);
+    }
+
+    /// Scalar reference for [`Self::select_in_range_into`].
+    pub fn select_in_range_scalar_into(&self, lo: u64, hi: u64, base: usize, out: &mut Vec<usize>) {
         if lo > hi {
             return;
         }
         if lo == hi {
-            return self.select_eq_into(lo, base, out);
+            return self.select_eq_scalar_into(lo, base, out);
         }
         self.for_each(|i, v| {
             if v >= lo && v <= hi {
@@ -148,15 +187,57 @@ impl BitPackedVec {
         out
     }
 
-    /// Number of values equal to `code`.
+    /// Number of values equal to `code` (SWAR popcount over per-window
+    /// match masks — no row id is ever materialized).
     pub fn count_eq(&self, code: u64) -> usize {
+        if code > max_value_for_bits(self.bits()) || self.is_empty() {
+            return 0;
+        }
+        self.swar_count_eq(code)
+    }
+
+    /// Scalar reference for [`Self::count_eq`].
+    pub fn count_eq_scalar(&self, code: u64) -> usize {
         let mut n = 0usize;
         self.for_each(|_, v| n += (v == code) as usize);
         n
     }
 
+    /// Number of values in `[lo, hi]` — the popcount kernel behind
+    /// `count()` queries that need no row ids. Degenerate ranges
+    /// short-circuit at the word level; a full-domain range is just
+    /// [`Self::len`].
+    pub fn count_in_range(&self, lo: u64, hi: u64) -> usize {
+        let max = max_value_for_bits(self.bits());
+        if lo > hi || lo > max || self.is_empty() {
+            return 0;
+        }
+        let hi = hi.min(max);
+        if lo == 0 && hi == max {
+            return self.len();
+        }
+        if lo == hi {
+            return self.swar_count_eq(lo);
+        }
+        self.swar_count_in_range(lo, hi)
+    }
+
+    /// Scalar reference for [`Self::count_in_range`].
+    pub fn count_in_range_scalar(&self, lo: u64, hi: u64) -> usize {
+        let mut n = 0usize;
+        self.for_each(|_, v| n += (v >= lo && v <= hi) as usize);
+        n
+    }
+
     /// Sum of all stored values (used for aggregate pushdown over codes).
+    /// Folds each 64-bit window's lanes pairwise instead of accumulating
+    /// per element.
     pub fn sum(&self) -> u128 {
+        self.swar_sum()
+    }
+
+    /// Scalar reference for [`Self::sum`].
+    pub fn sum_scalar(&self) -> u128 {
         let mut acc: u128 = 0;
         self.for_each(|_, v| acc += v as u128);
         acc
@@ -264,6 +345,66 @@ mod tests {
         let mut collapsed = Vec::new();
         v.select_in_range_into(code, code, 0, &mut collapsed);
         assert_eq!(collapsed, v.positions_eq(code));
+    }
+
+    #[test]
+    fn degenerate_ranges_word_level() {
+        let (v, data) = sample(4, 333);
+        // Out-of-width range: nothing, without scanning.
+        let mut out = Vec::new();
+        v.select_in_range_into(16, 99, 0, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(v.count_in_range(16, 99), 0);
+        // Full-domain range: every row, without comparing.
+        let mut all = Vec::new();
+        v.select_in_range_into(0, u64::MAX, 5, &mut all);
+        assert_eq!(all, (5..5 + data.len()).collect::<Vec<_>>());
+        assert_eq!(v.count_in_range(0, u64::MAX), data.len());
+        // hi clamps to the width: [10, huge] == [10, 15].
+        let mut clamped = Vec::new();
+        v.select_in_range_into(10, u64::MAX, 0, &mut clamped);
+        assert_eq!(clamped, v.positions_in_range(10, 15));
+    }
+
+    #[test]
+    fn swar_kernels_agree_with_scalar_reference() {
+        for bits in [1u8, 3, 12, 24, 33, 63, 64] {
+            let (v, data) = sample(bits, 700);
+            let code = data[42];
+            let mask = max_value_for_bits(bits);
+            let (lo, hi) = (mask / 5, mask / 2 + 1);
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            v.select_eq_into(code, 3, &mut a);
+            v.select_eq_scalar_into(code, 3, &mut b);
+            assert_eq!(a, b, "eq width {bits}");
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            v.select_in_range_into(lo, hi, 0, &mut a);
+            v.select_in_range_scalar_into(lo, hi, 0, &mut b);
+            assert_eq!(a, b, "range width {bits}");
+            assert_eq!(
+                v.count_eq(code),
+                v.count_eq_scalar(code),
+                "count width {bits}"
+            );
+            assert_eq!(
+                v.count_in_range(lo, hi),
+                v.count_in_range_scalar(lo, hi),
+                "count range width {bits}"
+            );
+            assert_eq!(v.sum(), v.sum_scalar(), "sum width {bits}");
+        }
+    }
+
+    #[test]
+    fn count_in_range_matches_positions() {
+        let (v, _) = sample(9, 1234);
+        for (lo, hi) in [(0u64, 511u64), (100, 300), (7, 7), (300, 100)] {
+            assert_eq!(
+                v.count_in_range(lo, hi),
+                v.positions_in_range(lo, hi).len(),
+                "range {lo}..={hi}"
+            );
+        }
     }
 
     #[test]

@@ -25,9 +25,9 @@
 //!   in-order publish hand-off).
 //! * **Merges** hold the merge gate (the one remaining critical section,
 //!   excepted by design):
-//!   1. **Freeze**: seal the tail, build a classic [`DeltaPartition`] from
-//!      pending + tail rows, swap in a generation with it frozen and a
-//!      fresh tail.
+//!   1. **Freeze**: seal the tail, compress pending + tail rows into a
+//!      bit-packed [`FrozenDelta`] per column (local dictionary + packed
+//!      codes), swap in a generation with it frozen and a fresh tail.
 //!   2. **Merge**: workers fold `main + frozen` per column from shared
 //!      `Arc` snapshots; reads and writes proceed against the live
 //!      generation.
@@ -48,7 +48,8 @@ use crate::pipeline::{
 use crate::stats::TableMergeStats;
 use crate::wal::{self, Wal};
 use hyrise_storage::{
-    AtomicValidity, DeltaPartition, MainPartition, MemoryReport, TailLog, ValidityBitmap, Value,
+    AtomicValidity, FrozenDelta, MainPartition, MemoryReport, TailLog, TailRegion, ValidityBitmap,
+    Value,
 };
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -111,13 +112,15 @@ impl std::error::Error for MergeCancelled {}
 /// `frozen`/`pending` is `Some` at a time; per column,
 /// `main.len() + frozen.len() + pending.len()` equals the generation
 /// tail's base, so tail offsets line up across columns.
-struct GenColumn<V> {
+struct GenColumn<V: Value> {
     main: Arc<MainPartition<V>>,
-    /// The delta being merged, if a merge is in flight. Still readable.
-    frozen: Option<Arc<DeltaPartition<V>>>,
+    /// The delta being merged, if a merge is in flight — sealed and
+    /// bit-packed through its local dictionary. Still readable.
+    frozen: Option<Arc<FrozenDelta<V>>>,
     /// A cancelled merge's rolled-back delta, readable and re-frozen (in
-    /// front of the tail) by the next merge. Zero-copy rollback.
-    pending: Option<Arc<DeltaPartition<V>>>,
+    /// front of the tail) by the next merge. Zero-copy rollback, so it
+    /// stays bit-packed.
+    pending: Option<Arc<FrozenDelta<V>>>,
 }
 
 impl<V: Value> GenColumn<V> {
@@ -132,7 +135,7 @@ impl<V: Value> GenColumn<V> {
 
 /// One immutable published state of the table. Swapped atomically; the
 /// tail `Arc` is shared across commit swaps (only a freeze replaces it).
-struct Generation<V> {
+struct Generation<V: Value> {
     cols: Vec<GenColumn<V>>,
     tail: Arc<TailLog<V>>,
 }
@@ -312,7 +315,7 @@ impl<V: Value> OnlineTable<V> {
     /// never re-logs).
     pub(crate) fn from_recovered_parts(
         mains: Vec<MainPartition<V>>,
-        deltas: Vec<DeltaPartition<V>>,
+        deltas: Vec<Vec<V>>,
         frozen: bool,
     ) -> Self {
         assert!(!mains.is_empty(), "a table needs at least one column");
@@ -326,7 +329,7 @@ impl<V: Value> OnlineTable<V> {
             .into_iter()
             .zip(deltas)
             .map(|(m, d)| {
-                let d = (!d.is_empty()).then(|| Arc::new(d));
+                let d = (!d.is_empty()).then(|| Arc::new(FrozenDelta::from_values(&d)));
                 GenColumn {
                     main: Arc::new(m),
                     frozen: if frozen { d.clone() } else { None },
@@ -633,27 +636,29 @@ impl<V: Value> OnlineTable<V> {
         gen.cols
             .iter()
             .map(|c| {
-                let mut deltas: Vec<&DeltaPartition<V>> = Vec::new();
+                let mut r = MemoryReport::of_partitions(&c.main, &[]);
+                // Frozen and pending deltas are bit-packed: charge them at
+                // their compressed size, which is what they actually cost
+                // while a merge is in flight.
                 if let Some(f) = c.frozen.as_deref() {
-                    deltas.push(f);
+                    r = r + MemoryReport::of_frozen(f);
                 }
                 if let Some(p) = c.pending.as_deref() {
-                    deltas.push(p);
+                    r = r + MemoryReport::of_frozen(p);
                 }
-                MemoryReport::of_partitions(&c.main, &deltas)
-                    + MemoryReport {
-                        delta_values: tail_rows * V::BYTES,
-                        ..MemoryReport::default()
-                    }
+                r + MemoryReport {
+                    delta_values: tail_rows * V::BYTES,
+                    ..MemoryReport::default()
+                }
             })
             .fold(MemoryReport::default(), |a, b| a + b)
     }
 
     /// **Freeze** (merge begin, under the gate): seal the tail, wait for
-    /// in-flight batch publishes, fold pending + tail rows into a classic
-    /// [`DeltaPartition`] per column (global insert order), and publish a
-    /// generation with those deltas frozen and a fresh tail. Writers that
-    /// hit the sealed tail retry against the fresh one.
+    /// in-flight batch publishes, compress pending + tail rows into a
+    /// bit-packed [`FrozenDelta`] per column (global insert order), and
+    /// publish a generation with those deltas frozen and a fresh tail.
+    /// Writers that hit the sealed tail retry against the fresh one.
     ///
     /// On a durable table the WAL's live segment is sealed and rotated
     /// between the tail seal and the generation swap: every record for the
@@ -678,20 +683,19 @@ impl<V: Value> OnlineTable<V> {
             .enumerate()
             .map(|(c, gc)| {
                 debug_assert!(gc.frozen.is_none(), "merge_gate serializes merges");
-                let mut d = DeltaPartition::new();
+                let pending_rows = gc.pending.as_ref().map_or(0, |p| p.len());
+                let mut vals: Vec<V> = Vec::with_capacity(pending_rows + n);
                 if let Some(p) = &gc.pending {
                     for i in 0..p.len() {
-                        d.insert(p.get(i));
+                        vals.push(p.get(i));
                     }
                 }
                 for s in tail.col_slices(c, n) {
-                    for &v in s {
-                        d.insert(v);
-                    }
+                    vals.extend_from_slice(s);
                 }
                 GenColumn {
                     main: gc.main,
-                    frozen: Some(Arc::new(d)),
+                    frozen: Some(Arc::new(FrozenDelta::from_values(&vals))),
                     pending: None,
                 }
             })
@@ -812,7 +816,7 @@ impl<V: Value> OnlineTable<V> {
             self.rollback_frozen();
             return Err(e);
         }
-        type Snapshot<V> = (Arc<MainPartition<V>>, Arc<DeltaPartition<V>>);
+        type Snapshot<V> = (Arc<MainPartition<V>>, Arc<FrozenDelta<V>>);
         let (mut snapshots, frozen_end): (Vec<Option<Snapshot<V>>>, usize) = {
             let gen = self.gen.pin();
             (
@@ -881,8 +885,13 @@ impl<V: Value> OnlineTable<V> {
                             }
                             let (main, frozen) =
                                 snapshots[i].as_ref().expect("chunk column not committed");
-                            let out =
-                                pipeline.merge_column_observed(main, frozen, &mut scratch, sink, i);
+                            let out = pipeline.merge_column_frozen_observed(
+                                main,
+                                frozen,
+                                &mut scratch,
+                                sink,
+                                i,
+                            );
                             *slots[i - chunk_start].lock() = Some(out);
                         }
                         self.checkin_scratch(scratch);
@@ -998,7 +1007,7 @@ impl<V: Value> OnlineTable<V> {
         let t_wall = std::time::Instant::now();
         let w = self.wal.as_ref().expect("resume requires an attached wal");
 
-        type Snapshot<V> = (Arc<MainPartition<V>>, Arc<DeltaPartition<V>>);
+        type Snapshot<V> = (Arc<MainPartition<V>>, Arc<FrozenDelta<V>>);
         let (mut snapshots, frozen_end): (Vec<Option<Snapshot<V>>>, usize) = {
             let gen = self.gen.pin();
             (
@@ -1054,7 +1063,7 @@ impl<V: Value> OnlineTable<V> {
                             let i = remaining[k];
                             let (main, frozen) =
                                 snapshots[i].as_ref().expect("remaining column is frozen");
-                            let out = pipeline.merge_column(main, frozen, &mut scratch);
+                            let out = pipeline.merge_column_frozen(main, frozen, &mut scratch);
                             *slots[k].lock() = Some(out);
                         }
                         self.checkin_scratch(scratch);
@@ -1210,8 +1219,8 @@ impl<V: Value> OnlineTable<V> {
 /// snapshot's watermark.
 pub struct ColumnSnapshot<V: Value> {
     main: Arc<MainPartition<V>>,
-    frozen: Option<Arc<DeltaPartition<V>>>,
-    pending: Option<Arc<DeltaPartition<V>>>,
+    frozen: Option<Arc<FrozenDelta<V>>>,
+    pending: Option<Arc<FrozenDelta<V>>>,
     tail: Arc<TailLog<V>>,
     col: usize,
     tail_rows: usize,
@@ -1236,16 +1245,11 @@ impl<V: Value> ColumnSnapshot<V> {
         &self.main
     }
 
-    /// The delta being merged when the snapshot was taken, if any. Its
-    /// rows follow the main rows in global id order.
-    pub fn frozen(&self) -> Option<&DeltaPartition<V>> {
+    /// The delta being merged when the snapshot was taken, if any —
+    /// bit-packed through its local dictionary. Its rows follow the main
+    /// rows in global id order.
+    pub fn frozen(&self) -> Option<&FrozenDelta<V>> {
         self.frozen.as_deref()
-    }
-
-    /// The frozen delta's raw values in row order (empty when no merge was
-    /// in flight at snapshot time).
-    pub fn frozen_values(&self) -> &[V] {
-        self.frozen.as_deref().map_or(&[], |f| f.values())
     }
 
     /// Rows in the active delta at snapshot time (pending + published
@@ -1254,24 +1258,30 @@ impl<V: Value> ColumnSnapshot<V> {
         self.pending.as_ref().map_or(0, |p| p.len()) + self.tail_rows
     }
 
-    /// Every uncompressed region after the main partition, as plain
-    /// slices in global row order: the frozen delta's values, a cancelled
-    /// merge's pending values, then the published tail prefix (chunked,
-    /// so up to a handful of slices). This is the shape query executors
-    /// scan with value comparisons.
-    pub fn tails(&self) -> Vec<&[V]> {
+    /// Every region after the main partition, in global row order: the
+    /// frozen delta and a cancelled merge's pending delta as bit-packed
+    /// [`TailRegion::Packed`] regions (scanned with the SWAR kernels in
+    /// local value-id space), then the published tail prefix as raw
+    /// chunks (scanned by value comparison). This is the shape query
+    /// executors consume.
+    pub fn tails(&self) -> Vec<TailRegion<'_, V>> {
         let mut out = Vec::new();
         if let Some(f) = self.frozen.as_deref() {
             if !f.is_empty() {
-                out.push(f.values());
+                out.push(TailRegion::Packed(f));
             }
         }
         if let Some(p) = self.pending.as_deref() {
             if !p.is_empty() {
-                out.push(p.values());
+                out.push(TailRegion::Packed(p));
             }
         }
-        out.extend(self.tail.col_slices(self.col, self.tail_rows));
+        out.extend(
+            self.tail
+                .col_slices(self.col, self.tail_rows)
+                .into_iter()
+                .map(TailRegion::Raw),
+        );
         out
     }
 
@@ -1389,7 +1399,7 @@ impl<V: Value> MergeSession<'_, V> {
         };
         let mut scratch = self.table.checkout_scratch();
         let pipeline = MergePipeline::new(self.grant.strategy, self.grant.threads);
-        let out = pipeline.merge_column(&main, &frozen, &mut scratch);
+        let out = pipeline.merge_column_frozen(&main, &frozen, &mut scratch);
         self.table.checkin_scratch(scratch);
         self.stats.peak_extra_bytes = self.stats.peak_extra_bytes.max(out.main.memory_bytes());
         self.stats.peak_columns_in_flight = 1;
@@ -1718,6 +1728,54 @@ mod tests {
     }
 
     #[test]
+    fn frozen_delta_is_reported_compressed_while_merge_is_in_flight() {
+        // 20K compressible rows (50 distinct values). Before the freeze
+        // they sit raw in the tail at 8 B each; once a merge is in flight
+        // the frozen delta must be *observably* bit-packed: 6 bits/row
+        // plus a 50-entry local dictionary.
+        let t = OnlineTable::<u64>::new(1);
+        for i in 0..20_000u64 {
+            t.insert_row(&[i % 50]);
+        }
+        let raw = t.memory_report();
+        assert_eq!(raw.delta_values, 20_000 * 8);
+        assert_eq!(raw.frozen_codes + raw.frozen_dict, 0);
+
+        // The session holds the merge mid-flight: frozen, nothing stepped.
+        let s = t.begin_incremental_merge(1);
+        let mid = t.memory_report();
+        assert_eq!(mid.delta_values, 0, "sealed rows left the raw tail");
+        assert_eq!(
+            mid.frozen_codes,
+            (20_000usize * 6).div_ceil(64) * 8,
+            "frozen codes charged at bit-packed size"
+        );
+        assert_eq!(mid.frozen_dict, 50 * 8);
+        assert!(
+            mid.delta_total() < raw.delta_total(),
+            "freezing must shrink the write-side footprint ({} vs {})",
+            mid.delta_total(),
+            raw.delta_total()
+        );
+        // Reads still span the frozen region.
+        assert_eq!(t.get(0, 19_999), 19_999 % 50);
+        let snap = t.snapshot();
+        let f = snap.col(0).frozen().expect("merge is in flight");
+        assert_eq!(f.codes().bits(), 6);
+        assert_eq!(f.len(), 20_000);
+
+        // Rollback keeps the (now pending) delta compressed too.
+        s.abort();
+        let back = t.memory_report();
+        assert_eq!(back.frozen_codes, mid.frozen_codes);
+        assert_eq!(back.delta_values, 0);
+
+        t.merge(1, None).unwrap();
+        assert_eq!(t.memory_report().delta_total(), 0);
+        assert_eq!(t.get(0, 19_999), 19_999 % 50);
+    }
+
+    #[test]
     fn incremental_merge_equals_full_merge() {
         let a = table_with_rows(4, 2_000);
         let b = table_with_rows(4, 2_000);
@@ -1884,12 +1942,11 @@ mod tests {
         assert_eq!(snap.col(0).main().len(), 300);
         assert_eq!(snap.col(0).active_len(), 50);
         assert!(snap.col(0).frozen().is_none());
-        assert!(snap.col(0).frozen_values().is_empty());
         assert_eq!(snap.cols().len(), 2);
         assert_eq!(snap.cols()[1].get(320), 9_120);
         let tails = snap.col(1).tails();
         assert_eq!(tails.iter().map(|s| s.len()).sum::<usize>(), 50);
-        assert_eq!(tails[0][0], 9_100);
+        assert_eq!(tails[0].get(0), 9_100);
     }
 
     #[test]

@@ -34,9 +34,34 @@
 
 use crate::stats::{ColumnMergeStats, MergeAlgo, MergeOutput};
 use hyrise_bitpack::{bits_for, BitPackedVec, BitRegion};
-use hyrise_storage::{DeltaPartition, Dictionary, MainPartition, Value};
+use hyrise_storage::{DeltaPartition, Dictionary, FrozenDelta, MainPartition, Value};
 use std::sync::atomic::AtomicU32;
 use std::time::Instant;
+
+/// The two delta representations a merge can consume: the CSB-indexed
+/// write-optimized delta (an [`Attribute`](hyrise_storage::Attribute)'s
+/// active partition, the offline paths) or a sealed, bit-packed
+/// [`FrozenDelta`] (the online table's mid-merge snapshot). For a frozen
+/// delta Stage 1a is free — its local dictionary *is* the sorted `U_D` and
+/// its packed codes *are* the compressed-delta rewrite — and Stage 2
+/// streams the codes with a sequential cursor instead of indexing a raw
+/// value array. Both views produce byte-identical merged partitions for
+/// the same row sequence.
+enum DeltaView<'a, V: Value> {
+    /// CSB-indexed delta partition.
+    Csb(&'a DeltaPartition<V>),
+    /// Sealed bit-packed delta.
+    Frozen(&'a FrozenDelta<V>),
+}
+
+impl<V: Value> DeltaView<'_, V> {
+    fn len(&self) -> usize {
+        match self {
+            DeltaView::Csb(d) => d.len(),
+            DeltaView::Frozen(f) => f.len(),
+        }
+    }
+}
 
 /// Minimum work items per spawned thread. Scoped threads cost tens of
 /// microseconds to spawn; granting a thread fewer elements than this loses
@@ -592,22 +617,64 @@ impl MergePipeline {
         sink: Option<&dyn StepSink>,
         col: usize,
     ) -> MergeOutput<MainPartition<V>> {
+        self.merge_view_observed(main, DeltaView::Csb(delta), scratch, sink, col)
+    }
+
+    /// Merge a sealed, bit-packed [`FrozenDelta`] into a main partition —
+    /// the online table's merge input. Byte-identical to merging the same
+    /// row sequence through a [`DeltaPartition`], but Stage 1a costs
+    /// nothing (the frozen local dictionary is already the sorted `U_D`)
+    /// and Stage 2 streams the packed codes with a sequential cursor.
+    pub fn merge_column_frozen<V: Value>(
+        &self,
+        main: &MainPartition<V>,
+        frozen: &FrozenDelta<V>,
+        scratch: &mut MergeScratch<V>,
+    ) -> MergeOutput<MainPartition<V>> {
+        self.merge_view_observed(main, DeltaView::Frozen(frozen), scratch, None, 0)
+    }
+
+    /// As [`Self::merge_column_frozen`] with step narration (see
+    /// [`Self::merge_column_observed`]).
+    pub fn merge_column_frozen_observed<V: Value>(
+        &self,
+        main: &MainPartition<V>,
+        frozen: &FrozenDelta<V>,
+        scratch: &mut MergeScratch<V>,
+        sink: Option<&dyn StepSink>,
+        col: usize,
+    ) -> MergeOutput<MainPartition<V>> {
+        self.merge_view_observed(main, DeltaView::Frozen(frozen), scratch, sink, col)
+    }
+
+    fn merge_view_observed<V: Value>(
+        &self,
+        main: &MainPartition<V>,
+        view: DeltaView<'_, V>,
+        scratch: &mut MergeScratch<V>,
+        sink: Option<&dyn StepSink>,
+        col: usize,
+    ) -> MergeOutput<MainPartition<V>> {
         let n_m = main.len();
-        let n_d = delta.len();
+        let n_d = view.len();
 
         // Stage 1a: delta dictionary extraction (+ compressed-delta rewrite
-        // for the table-lookup strategies).
+        // for the table-lookup strategies). A frozen delta skips the stage
+        // entirely: it arrives already compressed, so its local dictionary
+        // is `U_D` and its packed codes are the rewrite.
         let t0 = Instant::now();
-        match self.strategy {
-            MergeStrategy::Naive => delta.sorted_unique_into(&mut scratch.u_d),
-            MergeStrategy::Optimized => {
-                delta.compress_into(&mut scratch.u_d, &mut scratch.delta_codes)
-            }
-            MergeStrategy::Parallel if self.exact => {
-                crate::parallel::compress_delta_exact_into(delta, self.threads, scratch)
-            }
-            MergeStrategy::Parallel => {
-                crate::parallel::compress_delta_parallel_into(delta, self.threads, scratch)
+        if let DeltaView::Csb(delta) = view {
+            match self.strategy {
+                MergeStrategy::Naive => delta.sorted_unique_into(&mut scratch.u_d),
+                MergeStrategy::Optimized => {
+                    delta.compress_into(&mut scratch.u_d, &mut scratch.delta_codes)
+                }
+                MergeStrategy::Parallel if self.exact => {
+                    crate::parallel::compress_delta_exact_into(delta, self.threads, scratch)
+                }
+                MergeStrategy::Parallel => {
+                    crate::parallel::compress_delta_parallel_into(delta, self.threads, scratch)
+                }
             }
         }
         let t_step1a = t0.elapsed();
@@ -620,17 +687,24 @@ impl MergePipeline {
         // it leaves the pipeline inside the output partition.
         let t0 = Instant::now();
         let u_m = main.dictionary().values();
-        let u_d_len = scratch.u_d.len();
+        let u_d_len = match &view {
+            DeltaView::Csb(_) => scratch.u_d.len(),
+            DeltaView::Frozen(f) => f.dict().len(),
+        };
         // |U'_M| <= |U_M| + |U_D| is exactly what the union reserves.
         let mut merged = scratch.take_dict(u_m.len() + u_d_len);
+        let u_d: &[V] = match &view {
+            DeltaView::Csb(_) => &scratch.u_d,
+            DeltaView::Frozen(f) => f.dict().values(),
+        };
         match self.strategy {
             MergeStrategy::Naive => {
-                union_into(u_m, &scratch.u_d, &mut merged);
+                union_into(u_m, u_d, &mut merged);
             }
             MergeStrategy::Optimized => {
                 crate::step1::merge_dictionaries_into(
                     u_m,
-                    &scratch.u_d,
+                    u_d,
                     &mut merged,
                     &mut scratch.x_m,
                     &mut scratch.x_d,
@@ -644,7 +718,7 @@ impl MergePipeline {
                 };
                 crate::parallel::merge_dictionaries_parallel_exact_into(
                     u_m,
-                    &scratch.u_d,
+                    u_d,
                     threads,
                     &mut merged,
                     &mut scratch.x_m,
@@ -661,7 +735,11 @@ impl MergePipeline {
         let bits_after = bits_for(merged.len());
 
         // Stage 2(b): the one re-encode kernel, parameterized by the
-        // strategy's per-tuple code maps.
+        // strategy's per-tuple code maps. The delta-side map is a stream
+        // factory: given a delta-local start row, it yields successive
+        // re-encoded codes — indexing the raw value array for a CSB delta,
+        // or decoding the packed codes through a sequential cursor for a
+        // frozen one.
         let t0 = Instant::now();
         let words = scratch.take_words(((n_m + n_d) * bits_after as usize).div_ceil(64));
         let step2_threads = |requested: usize| {
@@ -677,23 +755,50 @@ impl MergePipeline {
                 // (Equation 5's log factor). Figure 7 parallelizes the
                 // unoptimized merge too, so the naive map still fans out.
                 let old_dict = main.dictionary();
-                let delta_values = delta.values();
                 let merged_ref: &[V] = &merged;
-                let search = |value: V| -> u64 {
+                let search = move |value: V| -> u64 {
                     merged_ref
                         .binary_search(&value)
                         .expect("merged dictionary must contain value") as u64
                 };
-                reencode(
-                    main,
-                    n_d,
-                    bits_after,
-                    step2_threads(self.threads),
-                    words,
-                    sink.map(|s| (s, col)),
-                    |old_code| search(old_dict.value_at(old_code as u32)),
-                    |k| search(delta_values[k]),
-                )
+                let threads = step2_threads(self.threads);
+                let observer = sink.map(|s| (s, col));
+                let map_main = |old_code: u64| search(old_dict.value_at(old_code as u32));
+                match &view {
+                    DeltaView::Csb(delta) => {
+                        let delta_values = delta.values();
+                        reencode(
+                            main,
+                            n_d,
+                            bits_after,
+                            threads,
+                            words,
+                            observer,
+                            map_main,
+                            |k0| {
+                                let mut k = k0;
+                                move || {
+                                    let code = search(delta_values[k]);
+                                    k += 1;
+                                    code
+                                }
+                            },
+                        )
+                    }
+                    DeltaView::Frozen(f) => reencode(
+                        main,
+                        n_d,
+                        bits_after,
+                        threads,
+                        words,
+                        observer,
+                        map_main,
+                        |k0| {
+                            let mut cur = f.codes().cursor_at(k0);
+                            move || search(f.dict().value_at(cur.next_value() as u32))
+                        },
+                    ),
+                }
             }
             MergeStrategy::Optimized | MergeStrategy::Parallel => {
                 // Pure table lookups, Equation 11: "a lookup and binary
@@ -704,17 +809,43 @@ impl MergePipeline {
                     _ => step2_threads(self.threads),
                 };
                 let (x_m, x_d) = (&scratch.x_m, &scratch.x_d);
-                let delta_codes = &scratch.delta_codes;
-                reencode(
-                    main,
-                    n_d,
-                    bits_after,
-                    threads,
-                    words,
-                    sink.map(|s| (s, col)),
-                    |old_code| x_m[old_code as usize] as u64,
-                    |k| x_d[delta_codes[k] as usize] as u64,
-                )
+                let observer = sink.map(|s| (s, col));
+                let map_main = |old_code: u64| x_m[old_code as usize] as u64;
+                match &view {
+                    DeltaView::Csb(_) => {
+                        let delta_codes = &scratch.delta_codes;
+                        reencode(
+                            main,
+                            n_d,
+                            bits_after,
+                            threads,
+                            words,
+                            observer,
+                            map_main,
+                            |k0| {
+                                let mut k = k0;
+                                move || {
+                                    let code = x_d[delta_codes[k] as usize] as u64;
+                                    k += 1;
+                                    code
+                                }
+                            },
+                        )
+                    }
+                    DeltaView::Frozen(f) => reencode(
+                        main,
+                        n_d,
+                        bits_after,
+                        threads,
+                        words,
+                        observer,
+                        map_main,
+                        |k0| {
+                            let mut cur = f.codes().cursor_at(k0);
+                            move || x_d[cur.next_value() as usize] as u64
+                        },
+                    ),
+                }
             }
         };
         let t_step2 = t0.elapsed();
@@ -792,7 +923,7 @@ fn union_into<V: Value>(u_m: &[V], u_d: &[V], merged: &mut Vec<V>) {
 /// Section 6.2.2). `words` is the (possibly recycled) output buffer;
 /// `threads` is the final team size (the caller applies any clamping).
 #[allow(clippy::too_many_arguments)]
-fn reencode<V: Value>(
+fn reencode<V: Value, DC: FnMut() -> u64>(
     main: &MainPartition<V>,
     n_d: usize,
     bits_after: u8,
@@ -800,7 +931,7 @@ fn reencode<V: Value>(
     words: Vec<u64>,
     observer: Option<(&dyn StepSink, usize)>,
     map_main: impl Fn(u64) -> u64 + Sync,
-    map_delta: impl Fn(usize) -> u64 + Sync,
+    mk_delta: impl Fn(usize) -> DC + Sync,
 ) -> BitPackedVec {
     let n_m = main.len();
     let n_total = n_m + n_d;
@@ -810,11 +941,14 @@ fn reencode<V: Value>(
     let regions_done = std::sync::atomic::AtomicU64::new(0);
     let fill = |mut region: BitRegion<'_>, total_regions: u64| {
         let mut old = main.packed_codes().cursor_at(region.start_index().min(n_m));
+        // Each region gets its own delta stream, positioned at the region's
+        // first delta-local row (zero if the region starts in the main).
+        let mut next_delta = mk_delta(region.start_index().saturating_sub(n_m));
         region.fill_sequential(|idx| {
             if idx < n_m {
                 map_main(old.next_value())
             } else {
-                map_delta(idx - n_m)
+                next_delta()
             }
         });
         if let Some((sink, col)) = observer {
@@ -896,6 +1030,49 @@ mod tests {
                     "{strategy:?}/{threads}: packed words differ"
                 );
                 assert_eq!(out.stats.algo, strategy.algo());
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_delta_merge_is_byte_identical_to_csb() {
+        // Merging the same row sequence through a bit-packed FrozenDelta
+        // must produce the exact partition bytes the CSB path produces —
+        // for every strategy and thread fan-out, including shapes that hit
+        // the thread clamps and region splits.
+        use hyrise_storage::FrozenDelta;
+        let mut next = xorshift(41);
+        for (n_m, n_d, spread) in [(30_000, 6_000, 4_000u64), (100, 7, 5), (0, 4_096, 900)] {
+            let main_vals: Vec<u64> = (0..n_m).map(|_| next() % spread).collect();
+            let delta_vals: Vec<u64> = (0..n_d)
+                .map(|_| next() % (spread + spread / 2 + 1))
+                .collect();
+            let main = MainPartition::from_values(&main_vals);
+            let delta = delta_from(&delta_vals);
+            let frozen = FrozenDelta::from_values(&delta_vals);
+            let mut scratch = MergeScratch::new();
+            for strategy in [
+                MergeStrategy::Naive,
+                MergeStrategy::Optimized,
+                MergeStrategy::Parallel,
+            ] {
+                for threads in [1usize, 2, 4] {
+                    let pipeline = MergePipeline::new(strategy, threads);
+                    let via_csb = pipeline.merge_column(&main, &delta, &mut scratch);
+                    let via_frozen = pipeline.merge_column_frozen(&main, &frozen, &mut scratch);
+                    assert_eq!(
+                        via_frozen.main.dictionary().values(),
+                        via_csb.main.dictionary().values(),
+                        "{strategy:?}/{threads}/{n_m}+{n_d}: dictionaries differ"
+                    );
+                    assert_eq!(
+                        via_frozen.main.packed_codes().words(),
+                        via_csb.main.packed_codes().words(),
+                        "{strategy:?}/{threads}/{n_m}+{n_d}: packed words differ"
+                    );
+                    assert_eq!(via_frozen.stats.u_d, via_csb.stats.u_d);
+                    assert_eq!(via_frozen.stats.n_d, n_d);
+                }
             }
         }
     }

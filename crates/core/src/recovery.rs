@@ -7,7 +7,7 @@
 //! |---|---|
 //! | `TABLE` manifest | schema check (columns, value width, fsync policy) |
 //! | `checkpoint.bin` | the main partitions + validity of rows below it |
-//! | sealed `seg-*.wal` | one replayed [`DeltaPartition`] per column — *frozen* when an in-flight merge resumes, *pending* otherwise |
+//! | sealed `seg-*.wal` | one bit-packed [`hyrise_storage::FrozenDelta`] per column — *frozen* when an in-flight merge resumes, *pending* otherwise |
 //! | live `seg-*.wal` | replayed into a fresh tail through the normal insert path |
 //! | `merge.ckpt` + `staged/` | the interrupted merge, resumed from its last durable chunk |
 //!
@@ -28,7 +28,7 @@ use crate::governor::{GovernorConfig, ResourceGovernor};
 use crate::manager::{MergePolicy, OnlineTable};
 use crate::shard::ShardedTable;
 use crate::wal::{self, Wal};
-use hyrise_storage::{DeltaPartition, MainPartition, Value};
+use hyrise_storage::{MainPartition, Value};
 use std::path::Path;
 
 /// Rebuild the table at `dir` to the exact durable state: byte-identical
@@ -107,7 +107,7 @@ fn recover_impl<V: Value>(dir: &Path, governor: Option<GovernorConfig>) -> Resul
     // internally gap-free (the ordering contract guarantees both for any
     // segment that ends with a seal record).
     let mut expected = ckpt_rows;
-    let mut deltas: Vec<DeltaPartition<V>> = (0..n_cols).map(|_| DeltaPartition::new()).collect();
+    let mut deltas: Vec<Vec<V>> = (0..n_cols).map(|_| Vec::new()).collect();
     let mut sealed_rows = 0usize;
     let mut flips: Vec<(usize, bool)> = Vec::new();
     for seg in &segments {
@@ -173,12 +173,11 @@ fn recover_impl<V: Value>(dir: &Path, governor: Option<GovernorConfig>) -> Resul
                     seg.base
                 )));
             }
-            let mut tail: Vec<DeltaPartition<V>> =
-                (0..n_cols).map(|_| DeltaPartition::new()).collect();
+            let mut tail: Vec<Vec<V>> = (0..n_cols).map(|_| Vec::new()).collect();
             let rows = fold_segment_rows(dir, &seg, &mut tail, false)?;
             let mut batch: Vec<Vec<V>> = Vec::with_capacity(rows);
             for r in 0..rows {
-                batch.push((0..n_cols).map(|c| tail[c].get(r)).collect());
+                batch.push(tail.iter().map(|col| col[r]).collect());
             }
             if !batch.is_empty() {
                 let range = table
@@ -232,14 +231,15 @@ fn recover_impl<V: Value>(dir: &Path, governor: Option<GovernorConfig>) -> Resul
     Ok(table)
 }
 
-/// Fold a segment's insert batches into per-column deltas, in global row
-/// order. Returns the number of contiguous rows folded. `sealed` demands
+/// Fold a segment's insert batches into per-column value vectors, in
+/// global row order (the shape [`hyrise_storage::FrozenDelta`] freezes
+/// from). Returns the number of contiguous rows folded. `sealed` demands
 /// complete coverage (a sealed segment cannot have holes); a live segment
 /// keeps its maximal contiguous prefix and drops the unpublished rest.
 fn fold_segment_rows<V: Value>(
     dir: &Path,
     seg: &wal::SegmentData<V>,
-    deltas: &mut [DeltaPartition<V>],
+    deltas: &mut [Vec<V>],
     sealed: bool,
 ) -> Result<usize> {
     let n_cols = deltas.len();
@@ -267,7 +267,7 @@ fn fold_segment_rows<V: Value>(
         }
         for r in 0..rec.n_rows {
             for (c, d) in deltas.iter_mut().enumerate() {
-                d.insert(rec.values[r * n_cols + c]);
+                d.push(rec.values[r * n_cols + c]);
             }
         }
         next += rec.n_rows;
@@ -313,6 +313,7 @@ mod tests {
     use super::*;
     use crate::optimized::merge_column_optimized;
     use crate::wal::MergeLog;
+    use hyrise_storage::DeltaPartition;
     use std::path::PathBuf;
 
     fn temp_dir(tag: &str) -> PathBuf {

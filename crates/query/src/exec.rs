@@ -3,15 +3,20 @@
 //!
 //! Every backend reduces its columns to the same physical shape — a
 //! dictionary-compressed main partition plus a short row-ordered list of
-//! uncompressed tail slices (frozen delta, pending delta, append-only tail
+//! [`TailRegion`]s (bit-packed frozen/pending deltas, raw append-only tail
 //! chunks) — and runs one engine over it:
 //!
 //! 1. **First predicate**: the value interval is rewritten against the
 //!    main dictionary ([`Dictionary::value_id_range`]) and the bit-packed
-//!    codes are scanned **entirely in value-id space** (no tuple is
-//!    decoded); the tails fall back to value comparisons — they are small
-//!    by construction, the merge bounds them.
-//! 2. **Further predicates** refine the selection vector: main rows compare
+//!    codes are scanned **entirely in value-id space** by the word-parallel
+//!    SWAR kernels (no tuple is decoded); packed tail regions do the same
+//!    against their local dictionaries, raw regions fall back to value
+//!    comparisons — they are small by construction, the merge bounds them.
+//! 2. **Further predicates**: when every predicate column shares the same
+//!    main length, the conjunction is **fused** — each column produces a
+//!    per-word match bitmask and the masks are ANDed before any row id is
+//!    materialized. Otherwise (mid-merge snapshots with stepped columns)
+//!    the engine refines the selection vector row by row: main rows compare
 //!    their packed code against that column's value-id range (random
 //!    access, still no decode), tail rows compare values.
 //! 3. **Validity** filters last; the surviving [`SelectionVector`] feeds
@@ -25,11 +30,14 @@
 //! predicates).
 
 use crate::plan::{Action, CompiledPredicate, Query};
+use hyrise_bitpack::{mask_count, mask_words, rows_from_mask};
 use hyrise_core::shard::{ShardRowId, ShardedTable};
 use hyrise_core::{OnlineTable, TableSnapshot};
 #[cfg(doc)]
 use hyrise_storage::Dictionary;
-use hyrise_storage::{AnyValue, Attribute, Column, MainPartition, Table, ValidityBitmap, Value};
+use hyrise_storage::{
+    AnyValue, Attribute, Column, MainPartition, Table, TailRegion, ValidityBitmap, Value,
+};
 
 /// The positional intermediate between predicate evaluation and output:
 /// matching row ids in ascending order. Operators refine it in place
@@ -176,12 +184,12 @@ pub trait Executor<V> {
 }
 
 /// One column reduced to the engine's physical shape: a compressed main
-/// partition plus uncompressed tail slices in row order (frozen delta,
-/// pending delta, then the append-only tail's chunks; absent regions
-/// contribute no slice).
-pub(crate) struct ColView<'a, V> {
+/// partition plus tail regions in row order (the bit-packed frozen and
+/// pending deltas, then the append-only tail's raw chunks; absent regions
+/// contribute nothing).
+pub(crate) struct ColView<'a, V: Value> {
     pub(crate) main: &'a MainPartition<V>,
-    pub(crate) tails: Vec<&'a [V]>,
+    pub(crate) tails: Vec<TailRegion<'a, V>>,
 }
 
 impl<V: Value> ColView<'_, V> {
@@ -194,7 +202,7 @@ impl<V: Value> ColView<'_, V> {
         let mut off = i;
         for tail in &self.tails {
             if off < tail.len() {
-                return tail[off];
+                return tail.get(off);
             }
             off -= tail.len();
         }
@@ -214,7 +222,9 @@ impl<V: Value> ColView<'_, V> {
 
 /// First-predicate scan: append all rows of `col` whose value lies in
 /// `[lo, hi]`, ascending. Main rows are matched in value-id space (the
-/// pushdown path); tail rows compare values.
+/// pushdown path, word-parallel); packed tail regions rewrite the bounds
+/// into their local value-id space and run the same kernels; raw tail
+/// chunks compare values.
 pub(crate) fn scan_col_into<V: Value>(col: &ColView<'_, V>, lo: &V, hi: &V, out: &mut Vec<usize>) {
     if let Some(ids) = col.main.dictionary().value_id_range(lo, hi) {
         col.main.packed_codes().select_in_range_into(
@@ -226,11 +236,7 @@ pub(crate) fn scan_col_into<V: Value>(col: &ColView<'_, V>, lo: &V, hi: &V, out:
     }
     let mut base = col.main.len();
     for tail in &col.tails {
-        for (k, v) in tail.iter().enumerate() {
-            if v >= lo && v <= hi {
-                out.push(base + k);
-            }
-        }
+        tail.select_in_range_into(lo, hi, base, out);
         base += tail.len();
     }
 }
@@ -254,6 +260,106 @@ pub(crate) fn refine_col<V: Value>(col: &ColView<'_, V>, lo: &V, hi: &V, rows: &
     });
 }
 
+/// Apply one predicate's value-id range to the main partition's per-word
+/// match masks: `and` refines an existing fill, otherwise overwrite. A
+/// predicate matching no dictionary value zeroes the whole mask.
+fn mask_main_pred<V: Value>(col: &ColView<'_, V>, lo: &V, hi: &V, masks: &mut [u64], and: bool) {
+    match col.main.dictionary().value_id_range(lo, hi) {
+        Some(ids) => {
+            let (id_lo, id_hi) = (*ids.start() as u64, *ids.end() as u64);
+            if and {
+                col.main.packed_codes().and_range_mask(id_lo, id_hi, masks);
+            } else {
+                col.main.packed_codes().fill_range_mask(id_lo, id_hi, masks);
+            }
+        }
+        None => masks.fill(0),
+    }
+}
+
+/// Can a conjunction run the fused mask pass? Only when every predicate
+/// column's main partition has the same length — mid-incremental-merge
+/// snapshots can hold columns whose mains differ (some already absorbed
+/// the frozen delta), and a shared row mask would misalign.
+fn fused_main_len<V: Value>(
+    cols: &[ColView<'_, V>],
+    preds: &[CompiledPredicate<V>],
+) -> Option<usize> {
+    let nm = cols[preds[0].col].main.len();
+    preds[1..]
+        .iter()
+        .all(|p| cols[p.col].main.len() == nm)
+        .then_some(nm)
+}
+
+/// Does tail row `i` (relative to the shared end of main) satisfy every
+/// predicate?
+fn tail_row_matches<V: Value>(
+    cols: &[ColView<'_, V>],
+    preds: &[CompiledPredicate<V>],
+    i: usize,
+) -> bool {
+    preds.iter().all(|p| {
+        let v = cols[p.col].tail_value(i);
+        v >= p.lo && v <= p.hi
+    })
+}
+
+/// Fused conjunction over the main partitions: build the first predicate's
+/// per-word match mask, `AND` every further predicate's mask into it, and
+/// only then materialize row ids — one dense bitset walk instead of a
+/// retain pass per predicate.
+fn fused_main_mask<V: Value>(
+    cols: &[ColView<'_, V>],
+    preds: &[CompiledPredicate<V>],
+    nm: usize,
+) -> Vec<u64> {
+    let mut masks = vec![0u64; mask_words(nm)];
+    let (first, rest) = preds.split_first().expect("fused pass needs predicates");
+    mask_main_pred(&cols[first.col], &first.lo, &first.hi, &mut masks, false);
+    for p in rest {
+        mask_main_pred(&cols[p.col], &p.lo, &p.hi, &mut masks, true);
+    }
+    masks
+}
+
+/// Count matching rows without materializing a selection vector (the
+/// all-rows-valid fast path): a single predicate runs the popcount kernel
+/// over the main codes and each tail region; a conjunction popcounts the
+/// fused per-word mask.
+fn count_cols<V: Value>(
+    cols: &[ColView<'_, V>],
+    n_rows: usize,
+    preds: &[CompiledPredicate<V>],
+) -> usize {
+    if let [p] = preds {
+        let col = &cols[p.col];
+        let main = match col.main.dictionary().value_id_range(&p.lo, &p.hi) {
+            Some(ids) => col
+                .main
+                .packed_codes()
+                .count_in_range(*ids.start() as u64, *ids.end() as u64),
+            None => 0,
+        };
+        return main
+            + col
+                .tails
+                .iter()
+                .map(|t| t.count_in_range(&p.lo, &p.hi))
+                .sum::<usize>();
+    }
+    match fused_main_len(cols, preds) {
+        Some(nm) => {
+            let masks = fused_main_mask(cols, preds, nm);
+            mask_count(&masks)
+                + (0..n_rows - nm)
+                    .filter(|&i| tail_row_matches(cols, preds, i))
+                    .count()
+        }
+        None => select_cols(cols, n_rows, preds, None).len(),
+    }
+}
+
 /// Evaluate the conjunction over homogeneous columns into a selection.
 fn select_cols<V: Value>(
     cols: &[ColView<'_, V>],
@@ -263,14 +369,34 @@ fn select_cols<V: Value>(
 ) -> SelectionVector {
     let mut rows = match preds.split_first() {
         None => (0..n_rows).collect(),
-        Some((first, rest)) => {
+        Some((first, [])) => {
             let mut rows = Vec::new();
             scan_col_into(&cols[first.col], &first.lo, &first.hi, &mut rows);
-            for p in rest {
-                refine_col(&cols[p.col], &p.lo, &p.hi, &mut rows);
-            }
             rows
         }
+        Some((first, rest)) => match fused_main_len(cols, preds) {
+            Some(nm) => {
+                // Fused pass: AND per-word masks across columns, then
+                // materialize once; tail rows check all predicates fused.
+                let masks = fused_main_mask(cols, preds, nm);
+                let mut rows = Vec::new();
+                rows_from_mask(&masks, nm, 0, &mut rows);
+                for i in 0..n_rows - nm {
+                    if tail_row_matches(cols, preds, i) {
+                        rows.push(nm + i);
+                    }
+                }
+                rows
+            }
+            None => {
+                let mut rows = Vec::new();
+                scan_col_into(&cols[first.col], &first.lo, &first.hi, &mut rows);
+                for p in rest {
+                    refine_col(&cols[p.col], &p.lo, &p.hi, &mut rows);
+                }
+                rows
+            }
+        },
     };
     if let Some(v) = validity {
         rows.retain(|&r| v.is_valid(r));
@@ -339,11 +465,9 @@ fn sum_full<V: Value>(
                         let tail_end = base + tail.len();
                         if start < tail_end && end > base {
                             let lo = start.max(base);
-                            for (k, v) in
-                                tail[lo - base..end.min(tail_end) - base].iter().enumerate()
-                            {
-                                if validity.is_none_or(|val| val.is_valid(lo + k)) {
-                                    acc += v.to_u64_lossy() as u128;
+                            for row in lo..end.min(tail_end) {
+                                if validity.is_none_or(|val| val.is_valid(row)) {
+                                    acc += tail.get(row - base).to_u64_lossy() as u128;
                                 }
                             }
                         }
@@ -378,7 +502,7 @@ fn min_max_full<V: Value>(
     for tail in &col.tails {
         for v in tail.iter() {
             if validity.is_none_or(|val| val.is_valid(row)) {
-                mm = fold_mm(mm, *v);
+                mm = fold_mm(mm, v);
             }
             row += 1;
         }
@@ -415,6 +539,9 @@ fn execute_cols<V: Value>(
                 // (it only has to *cover* it) — count the covered rows.
                 Some(v) => (0..n_rows).filter(|&r| v.is_valid(r)).count(),
             }
+        } else if validity.is_none_or(|v| v.len() >= n_rows && v.valid_count() == v.len()) {
+            // No invalid rows: count without materializing row ids.
+            count_cols(cols, n_rows, preds)
         } else {
             select_cols(cols, n_rows, preds, validity).len()
         }),
@@ -517,7 +644,7 @@ impl<V: Value> Executor<V> for AttributeExecutor<'_, V> {
         let _read = hyrise_core::governor::begin_read();
         let views = [ColView {
             main: self.attr.main(),
-            tails: vec![self.attr.delta().values()],
+            tails: vec![TailRegion::Raw(self.attr.delta().values())],
         }];
         execute_cols(&views, self.attr.len(), self.validity, q)
     }
@@ -590,7 +717,7 @@ impl<V: Value> Executor<V> for ShardedTable<V> {
 fn attr_view<V: Value>(a: &Attribute<V>) -> ColView<'_, V> {
     ColView {
         main: a.main(),
-        tails: vec![a.delta().values()],
+        tails: vec![TailRegion::Raw(a.delta().values())],
     }
 }
 

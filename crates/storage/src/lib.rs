@@ -25,6 +25,7 @@ mod attribute;
 mod column;
 mod delta_partition;
 mod dictionary;
+mod frozen;
 mod main_partition;
 mod memory;
 mod table;
@@ -36,6 +37,7 @@ pub use attribute::Attribute;
 pub use column::{AnyValue, Column, ColumnType};
 pub use delta_partition::{CompressedDelta, DeltaPartition};
 pub use dictionary::Dictionary;
+pub use frozen::{FrozenDelta, TailRegion};
 pub use main_partition::MainPartition;
 pub use memory::MemoryReport;
 pub use table::{Schema, Table, TableError};

@@ -8,6 +8,7 @@
 use crate::attribute::Attribute;
 use crate::column::Column;
 use crate::delta_partition::DeltaPartition;
+use crate::frozen::FrozenDelta;
 use crate::main_partition::MainPartition;
 use crate::table::Table;
 use crate::value::Value;
@@ -23,6 +24,11 @@ pub struct MemoryReport {
     pub delta_values: usize,
     /// CSB+ tree (nodes + postings).
     pub delta_index: usize,
+    /// Local dictionaries of bit-packed frozen deltas (sealed mid-merge
+    /// snapshots), counted at their compressed size.
+    pub frozen_dict: usize,
+    /// Bit-packed code vectors of frozen deltas.
+    pub frozen_codes: usize,
 }
 
 impl MemoryReport {
@@ -35,6 +41,7 @@ impl MemoryReport {
             main_dict: main.dictionary().memory_bytes(),
             delta_values: delta.len() * V::BYTES,
             delta_index: delta.index().memory_bytes(),
+            ..Self::default()
         }
     }
 
@@ -51,6 +58,18 @@ impl MemoryReport {
             main_dict: main.dictionary().memory_bytes(),
             delta_values: deltas.iter().map(|d| d.len() * V::BYTES).sum(),
             delta_index: deltas.iter().map(|d| d.index().memory_bytes()).sum(),
+            ..Self::default()
+        }
+    }
+
+    /// Measure a bit-packed frozen delta at its *compressed* size — the
+    /// footprint the governor and the admission gate should see while a
+    /// merge is in flight, not the raw bytes the delta once occupied.
+    pub fn of_frozen<V: Value>(frozen: &FrozenDelta<V>) -> Self {
+        Self {
+            frozen_dict: frozen.dict().memory_bytes(),
+            frozen_codes: frozen.codes().packed_bytes(),
+            ..Self::default()
         }
     }
 
@@ -74,7 +93,12 @@ impl MemoryReport {
 
     /// Total bytes.
     pub fn total(&self) -> usize {
-        self.main_codes + self.main_dict + self.delta_values + self.delta_index
+        self.main_codes
+            + self.main_dict
+            + self.delta_values
+            + self.delta_index
+            + self.frozen_dict
+            + self.frozen_codes
     }
 
     /// Bytes attributable to the read-optimized side.
@@ -83,9 +107,10 @@ impl MemoryReport {
     }
 
     /// Bytes attributable to the write-optimized side — what the merge
-    /// reclaims.
+    /// reclaims. Frozen deltas count here (at compressed size): they are
+    /// sealed write-side rows a completed merge absorbs.
     pub fn delta_total(&self) -> usize {
-        self.delta_values + self.delta_index
+        self.delta_values + self.delta_index + self.frozen_dict + self.frozen_codes
     }
 
     /// Compression factor of the main partition vs storing `n_main` raw
@@ -107,6 +132,8 @@ impl std::ops::Add for MemoryReport {
             main_dict: self.main_dict + rhs.main_dict,
             delta_values: self.delta_values + rhs.delta_values,
             delta_index: self.delta_index + rhs.delta_index,
+            frozen_dict: self.frozen_dict + rhs.frozen_dict,
+            frozen_codes: self.frozen_codes + rhs.frozen_codes,
         }
     }
 }
@@ -115,11 +142,14 @@ impl std::fmt::Display for MemoryReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "main codes {} B + dict {} B | delta values {} B + index {} B = {} B",
+            "main codes {} B + dict {} B | delta values {} B + index {} B | \
+             frozen codes {} B + dict {} B = {} B",
             self.main_codes,
             self.main_dict,
             self.delta_values,
             self.delta_index,
+            self.frozen_codes,
+            self.frozen_dict,
             self.total()
         )
     }
@@ -212,6 +242,33 @@ mod tests {
             .sum();
         assert_eq!(r.total(), per_col);
         assert_eq!(r.total(), t.memory_bytes());
+    }
+
+    #[test]
+    fn freezing_a_compressible_tail_strictly_reduces_reported_bytes() {
+        // A compressible sealed tail: 20K rows, 50 distinct values. Raw
+        // accounting charges 8 B/row; frozen accounting charges 6 bits/row
+        // plus a 50-entry dictionary.
+        let values: Vec<u64> = (0..20_000).map(|i| i % 50).collect();
+        let raw = MemoryReport {
+            delta_values: values.len() * <u64 as Value>::BYTES,
+            ..MemoryReport::default()
+        };
+        let frozen = MemoryReport::of_frozen(&FrozenDelta::from_values(&values));
+        assert!(
+            frozen.total() < raw.total(),
+            "compressed {} must be below raw {}",
+            frozen.total(),
+            raw.total()
+        );
+        assert_eq!(frozen.delta_total(), frozen.total(), "frozen is write-side");
+        assert_eq!(frozen.main_total(), 0);
+        assert_eq!(
+            frozen.frozen_codes,
+            (20_000usize * 6).div_ceil(64) * 8,
+            "codes charged at bit-packed size"
+        );
+        assert_eq!(frozen.frozen_dict, 50 * 8);
     }
 
     #[test]
