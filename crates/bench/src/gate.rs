@@ -112,16 +112,35 @@ pub fn parse_json(text: &str) -> Result<Vec<BenchResult>, String> {
 /// something other than this codebase get a wider band than the global
 /// default. `wal_append/fsync` is bounded by the runner's device sync
 /// latency — gating it at the default 25% would make CI a disk benchmark —
-/// so it is gated, but at 50%.
+/// so it is gated, but at 50%. `morsel_scan/*/pool*` medians include OS
+/// scheduler hand-offs between the caller and pool workers; on the
+/// single-core CI runner those dominate the short eq/fused scans, so the
+/// pool entries get the same widened 50% band (the `serial` and `pool1`
+/// entries stay at the default — they never leave the calling thread).
 pub const TOLERANCE_OVERRIDES: &[(&str, f64)] = &[("wal_append/fsync/", 0.50)];
 
+/// Suffix-matched counterpart to [`TOLERANCE_OVERRIDES`] (criterion ids
+/// put the varying parameter last, so pool-backed entries share a suffix,
+/// not a prefix).
+pub const TOLERANCE_SUFFIX_OVERRIDES: &[(&str, &str, f64)] = &[
+    ("morsel_scan/", "/pool2", 0.50),
+    ("morsel_scan/", "/pool4", 0.50),
+];
+
 /// The tolerance that applies to a bench id: the first matching
-/// [`TOLERANCE_OVERRIDES`] prefix, else `default`.
+/// [`TOLERANCE_OVERRIDES`] prefix, else the first matching
+/// [`TOLERANCE_SUFFIX_OVERRIDES`] prefix+suffix pair, else `default`.
 pub fn tolerance_for(name: &str, default: f64) -> f64 {
-    TOLERANCE_OVERRIDES
+    if let Some((_, t)) = TOLERANCE_OVERRIDES
         .iter()
         .find(|(prefix, _)| name.starts_with(prefix))
-        .map_or(default, |(_, t)| *t)
+    {
+        return *t;
+    }
+    TOLERANCE_SUFFIX_OVERRIDES
+        .iter()
+        .find(|(prefix, suffix, _)| name.starts_with(prefix) && name.ends_with(suffix))
+        .map_or(default, |(_, _, t)| *t)
 }
 
 /// One benchmark's baseline-vs-current comparison.
@@ -293,6 +312,12 @@ not a bench line
     fn fsync_entries_get_the_wide_band() {
         assert!((tolerance_for("wal_append/fsync/10240", 0.25) - 0.50).abs() < 1e-12);
         assert!((tolerance_for("wal_append/buffered/51200", 0.25) - 0.25).abs() < 1e-12);
+        // Pool-backed morsel entries are suffix-matched; serial/pool1 stay
+        // at the default band.
+        assert!((tolerance_for("morsel_scan/eq/pool2", 0.25) - 0.50).abs() < 1e-12);
+        assert!((tolerance_for("morsel_scan/sum/pool4", 0.25) - 0.50).abs() < 1e-12);
+        assert!((tolerance_for("morsel_scan/eq/serial", 0.25) - 0.25).abs() < 1e-12);
+        assert!((tolerance_for("morsel_scan/eq/pool1", 0.25) - 0.25).abs() < 1e-12);
         let base = vec![
             res("wal_append/fsync/10240", 100.0),
             res("scan/scan_eq/0", 100.0),

@@ -113,10 +113,33 @@ impl BitPackedVec {
     /// Runs word-parallel: a whole window of codes is compared at once by
     /// the SWAR kernels (the `swar` module).
     pub fn select_eq_into(&self, code: u64, base: usize, out: &mut Vec<usize>) {
-        if code > max_value_for_bits(self.bits()) || self.is_empty() {
+        self.select_eq_into_at(code, 0, self.len(), base, out)
+    }
+
+    /// [`Self::select_eq_into`] restricted to logical indices
+    /// `start..end` — the per-morsel equality kernel. Emitted row ids are
+    /// still global (`base + i` for the global index `i`), so per-morsel
+    /// outputs concatenated in morsel order are byte-identical to one
+    /// full-column scan.
+    ///
+    /// # Panics
+    /// If `start > end` or `end > len()`.
+    pub fn select_eq_into_at(
+        &self,
+        code: u64,
+        start: usize,
+        end: usize,
+        base: usize,
+        out: &mut Vec<usize>,
+    ) {
+        assert!(
+            start <= end && end <= self.len(),
+            "scan range out of bounds"
+        );
+        if code > max_value_for_bits(self.bits()) || start == end {
             return;
         }
-        self.swar_select_eq_into(code, base, out);
+        self.swar_select_eq_into(code, start, end, base, out);
     }
 
     /// Scalar reference for [`Self::select_eq_into`] (the cursor loop the
@@ -142,19 +165,43 @@ impl BitPackedVec {
     /// range covering the full code domain emits every row without a single
     /// compare. Everything else runs on the SWAR range kernel.
     pub fn select_in_range_into(&self, lo: u64, hi: u64, base: usize, out: &mut Vec<usize>) {
+        self.select_in_range_into_at(lo, hi, 0, self.len(), base, out)
+    }
+
+    /// [`Self::select_in_range_into`] restricted to logical indices
+    /// `start..end` — the per-morsel range kernel. Row ids stay global, and
+    /// degenerate ranges short-circuit at the word level exactly as in the
+    /// full-column form (a full-domain range emits `base+start..base+end`
+    /// without a compare).
+    ///
+    /// # Panics
+    /// If `start > end` or `end > len()`.
+    pub fn select_in_range_into_at(
+        &self,
+        lo: u64,
+        hi: u64,
+        start: usize,
+        end: usize,
+        base: usize,
+        out: &mut Vec<usize>,
+    ) {
+        assert!(
+            start <= end && end <= self.len(),
+            "scan range out of bounds"
+        );
         let max = max_value_for_bits(self.bits());
-        if lo > hi || lo > max || self.is_empty() {
+        if lo > hi || lo > max || start == end {
             return;
         }
         let hi = hi.min(max);
         if lo == 0 && hi == max {
-            out.extend(base..base + self.len());
+            out.extend(base + start..base + end);
             return;
         }
         if lo == hi {
-            return self.swar_select_eq_into(lo, base, out);
+            return self.swar_select_eq_into(lo, start, end, base, out);
         }
-        self.swar_select_in_range_into(lo, hi, base, out);
+        self.swar_select_in_range_into(lo, hi, start, end, base, out);
     }
 
     /// Scalar reference for [`Self::select_in_range_into`].
@@ -190,10 +237,22 @@ impl BitPackedVec {
     /// Number of values equal to `code` (SWAR popcount over per-window
     /// match masks — no row id is ever materialized).
     pub fn count_eq(&self, code: u64) -> usize {
-        if code > max_value_for_bits(self.bits()) || self.is_empty() {
+        self.count_eq_at(code, 0, self.len())
+    }
+
+    /// [`Self::count_eq`] restricted to logical indices `start..end`.
+    ///
+    /// # Panics
+    /// If `start > end` or `end > len()`.
+    pub fn count_eq_at(&self, code: u64, start: usize, end: usize) -> usize {
+        assert!(
+            start <= end && end <= self.len(),
+            "scan range out of bounds"
+        );
+        if code > max_value_for_bits(self.bits()) || start == end {
             return 0;
         }
-        self.swar_count_eq(code)
+        self.swar_count_eq(code, start, end)
     }
 
     /// Scalar reference for [`Self::count_eq`].
@@ -208,18 +267,32 @@ impl BitPackedVec {
     /// short-circuit at the word level; a full-domain range is just
     /// [`Self::len`].
     pub fn count_in_range(&self, lo: u64, hi: u64) -> usize {
+        self.count_in_range_at(lo, hi, 0, self.len())
+    }
+
+    /// [`Self::count_in_range`] restricted to logical indices `start..end`
+    /// — the per-morsel count kernel. Per-morsel counts summed in any
+    /// order equal the full-column count.
+    ///
+    /// # Panics
+    /// If `start > end` or `end > len()`.
+    pub fn count_in_range_at(&self, lo: u64, hi: u64, start: usize, end: usize) -> usize {
+        assert!(
+            start <= end && end <= self.len(),
+            "scan range out of bounds"
+        );
         let max = max_value_for_bits(self.bits());
-        if lo > hi || lo > max || self.is_empty() {
+        if lo > hi || lo > max || start == end {
             return 0;
         }
         let hi = hi.min(max);
         if lo == 0 && hi == max {
-            return self.len();
+            return end - start;
         }
         if lo == hi {
-            return self.swar_count_eq(lo);
+            return self.swar_count_eq(lo, start, end);
         }
-        self.swar_count_in_range(lo, hi)
+        self.swar_count_in_range(lo, hi, start, end)
     }
 
     /// Scalar reference for [`Self::count_in_range`].
@@ -234,6 +307,20 @@ impl BitPackedVec {
     /// per element.
     pub fn sum(&self) -> u128 {
         self.swar_sum()
+    }
+
+    /// [`Self::sum`] restricted to logical indices `start..end` — the
+    /// per-morsel aggregate kernel. Per-morsel sums are associative, so any
+    /// combine order reproduces the full-column sum.
+    ///
+    /// # Panics
+    /// If `start > end` or `end > len()`.
+    pub fn sum_range(&self, start: usize, end: usize) -> u128 {
+        assert!(
+            start <= end && end <= self.len(),
+            "scan range out of bounds"
+        );
+        self.swar_sum_range(start, end)
     }
 
     /// Scalar reference for [`Self::sum`].
@@ -404,6 +491,90 @@ mod tests {
                 v.positions_in_range(lo, hi).len(),
                 "range {lo}..={hi}"
             );
+        }
+    }
+
+    #[test]
+    fn range_restricted_kernels_match_full_scan_slices() {
+        // Per-morsel kernels over 64-aligned seams must reproduce exactly
+        // the slice of the full-column scan falling in each subrange —
+        // concatenation in morsel order is then byte-identical to serial.
+        for bits in [1u8, 3, 8, 12, 24, 33, 64] {
+            let (v, data) = sample(bits, 517);
+            let mask = max_value_for_bits(bits);
+            let (lo, hi) = (mask / 5, mask / 2 + 1);
+            let code = data[42];
+            let cuts = [0usize, 64, 192, 512, 517];
+            let mut cat_rng = Vec::new();
+            let mut cat_eq = Vec::new();
+            let mut count = 0usize;
+            let mut total: u128 = 0;
+            for w in cuts.windows(2) {
+                let (s, e) = (w[0], w[1]);
+                v.select_in_range_into_at(lo, hi, s, e, 7, &mut cat_rng);
+                v.select_eq_into_at(code, s, e, 7, &mut cat_eq);
+                count += v.count_in_range_at(lo, hi, s, e);
+                total += v.sum_range(s, e);
+            }
+            let mut full_rng = Vec::new();
+            let mut full_eq = Vec::new();
+            v.select_in_range_into(lo, hi, 7, &mut full_rng);
+            v.select_eq_into(code, 7, &mut full_eq);
+            assert_eq!(cat_rng, full_rng, "range width {bits}");
+            assert_eq!(cat_eq, full_eq, "eq width {bits}");
+            assert_eq!(count, v.count_in_range(lo, hi), "count width {bits}");
+            assert_eq!(total, v.sum(), "sum width {bits}");
+            // Degenerates inside a subrange: full domain emits the range,
+            // inverted emits nothing.
+            let mut all = Vec::new();
+            v.select_in_range_into_at(0, u64::MAX, 64, 192, 0, &mut all);
+            assert_eq!(all, (64..192).collect::<Vec<_>>(), "width {bits}");
+            assert_eq!(v.count_in_range_at(5, 1, 64, 192), 0);
+        }
+    }
+
+    #[test]
+    fn morsel_local_masks_match_full_mask_slices() {
+        use crate::swar::{mask_words, rows_from_mask};
+        for bits in [1u8, 4, 12, 24, 33, 64] {
+            let (v1, d1) = sample(bits, 391);
+            let (v2, d2) = sample(7, 391);
+            let full = {
+                let mut m = vec![0u64; mask_words(v1.len())];
+                v1.fill_range_mask(
+                    max_value_for_bits(bits) / 4,
+                    max_value_for_bits(bits) / 2,
+                    &mut m,
+                );
+                v2.and_range_mask(20, 90, &mut m);
+                m
+            };
+            let mut rows = Vec::new();
+            for (s, e) in [(0usize, 128usize), (128, 384), (384, 391)] {
+                let mut m = vec![0u64; mask_words(e - s)];
+                v1.fill_range_mask_at(
+                    max_value_for_bits(bits) / 4,
+                    max_value_for_bits(bits) / 2,
+                    s,
+                    e,
+                    &mut m,
+                );
+                v2.and_range_mask_at(20, 90, s, e, &mut m);
+                // 64-aligned start: local words are exact slices of the
+                // full mask.
+                for (j, &w) in m.iter().enumerate() {
+                    assert_eq!(w, full[s / 64 + j], "width {bits} seam {s}");
+                }
+                rows_from_mask(&m, e - s, s, &mut rows);
+            }
+            let want: Vec<usize> = (0..391)
+                .filter(|&i| {
+                    let lo = max_value_for_bits(bits) / 4;
+                    let hi = max_value_for_bits(bits) / 2;
+                    (lo..=hi).contains(&d1[i]) && (20..=90).contains(&d2[i])
+                })
+                .collect();
+            assert_eq!(rows, want, "width {bits}");
         }
     }
 

@@ -613,10 +613,17 @@ impl<W: SwarWord> Cmp<W> {
     }
 }
 
-fn select_eq_w<W: SwarWord>(v: &BitPackedVec, code: u64, base: usize, out: &mut Vec<usize>) {
+fn select_eq_w<W: SwarWord>(
+    v: &BitPackedVec,
+    code: u64,
+    start: usize,
+    end: usize,
+    base: usize,
+    out: &mut Vec<usize>,
+) {
     let l = Lanes::<W>::new(v.bits());
     let bc = l.broadcast(code);
-    for_each_window::<W>(v.words(), l.bits, l.m, 0, v.len(), |idx, take, chunk| {
+    for_each_window::<W>(v.words(), l.bits, l.m, start, end, |idx, take, chunk| {
         let hv = if take == l.m {
             l.high
         } else {
@@ -635,6 +642,8 @@ fn select_range_w<W: SwarWord>(
     v: &BitPackedVec,
     lo: u64,
     hi: u64,
+    start: usize,
+    end: usize,
     base: usize,
     out: &mut Vec<usize>,
 ) {
@@ -649,10 +658,10 @@ fn select_range_w<W: SwarWord>(
         // wide-word variable shift. The extra `m` covers the partial tail
         // window's scratch writes (its unmatched lanes are written but
         // never claimed by the cursor).
-        out.reserve(v.len() + l.m);
+        out.reserve((end - start) + l.m);
         let mut n = out.len();
         let ptr = out.as_mut_ptr();
-        for_each_window::<W>(v.words(), l.bits, l.m, 0, v.len(), |idx, take, chunk| {
+        for_each_window::<W>(v.words(), l.bits, l.m, start, end, |idx, take, chunk| {
             let hv = if take == l.m {
                 l.high
             } else {
@@ -662,7 +671,7 @@ fn select_range_w<W: SwarWord>(
             for k in 0..l.m {
                 // SAFETY: the cursor advances at most once per packed
                 // element and scratch writes reach at most `m - 1` slots
-                // past it, both inside the reserved `len + v.len() + m`.
+                // past it, both inside the reserved `len + (end-start) + m`.
                 unsafe {
                     *ptr.add(n) = base + idx + k;
                 }
@@ -674,7 +683,7 @@ fn select_range_w<W: SwarWord>(
             out.set_len(n);
         }
     } else {
-        for_each_window::<W>(v.words(), l.bits, l.m, 0, v.len(), |idx, take, chunk| {
+        for_each_window::<W>(v.words(), l.bits, l.m, start, end, |idx, take, chunk| {
             let hv = if take == l.m {
                 l.high
             } else {
@@ -690,11 +699,11 @@ fn select_range_w<W: SwarWord>(
     }
 }
 
-fn count_eq_w<W: SwarWord>(v: &BitPackedVec, code: u64) -> usize {
+fn count_eq_w<W: SwarWord>(v: &BitPackedVec, code: u64, start: usize, end: usize) -> usize {
     let l = Lanes::<W>::new(v.bits());
     let bc = l.broadcast(code);
     let mut n = 0usize;
-    for_each_window::<W>(v.words(), l.bits, l.m, 0, v.len(), |_, take, chunk| {
+    for_each_window::<W>(v.words(), l.bits, l.m, start, end, |_, take, chunk| {
         let hv = if take == l.m {
             l.high
         } else {
@@ -705,11 +714,17 @@ fn count_eq_w<W: SwarWord>(v: &BitPackedVec, code: u64) -> usize {
     n
 }
 
-fn count_range_w<W: SwarWord>(v: &BitPackedVec, lo: u64, hi: u64) -> usize {
+fn count_range_w<W: SwarWord>(
+    v: &BitPackedVec,
+    lo: u64,
+    hi: u64,
+    start: usize,
+    end: usize,
+) -> usize {
     let l = Lanes::<W>::new(v.bits());
     let p = RangePred::new(&l, lo, hi);
     let mut n = 0usize;
-    for_each_window::<W>(v.words(), l.bits, l.m, 0, v.len(), |_, take, chunk| {
+    for_each_window::<W>(v.words(), l.bits, l.m, start, end, |_, take, chunk| {
         let hv = if take == l.m {
             l.high
         } else {
@@ -720,8 +735,15 @@ fn count_range_w<W: SwarWord>(v: &BitPackedVec, lo: u64, hi: u64) -> usize {
     n
 }
 
-fn fill_range_mask_w<W: SwarWord>(v: &BitPackedVec, lo: u64, hi: u64, masks: &mut [u64]) {
-    let n = mask_words(v.len());
+fn fill_range_mask_w<W: SwarWord>(
+    v: &BitPackedVec,
+    lo: u64,
+    hi: u64,
+    start: usize,
+    end: usize,
+    masks: &mut [u64],
+) {
+    let n = mask_words(end - start);
     let l = Lanes::<W>::new(v.bits());
     let cmp = Cmp::compile(&l, lo, hi, v.bits());
     match cmp {
@@ -729,7 +751,7 @@ fn fill_range_mask_w<W: SwarWord>(v: &BitPackedVec, lo: u64, hi: u64, masks: &mu
         Cmp::All => {
             masks[..n].fill(u64::MAX);
             if n > 0 {
-                let tail = v.len() % 64;
+                let tail = (end - start) % 64;
                 if tail != 0 {
                     masks[n - 1] = low_bits(tail);
                 }
@@ -737,7 +759,7 @@ fn fill_range_mask_w<W: SwarWord>(v: &BitPackedVec, lo: u64, hi: u64, masks: &mu
         }
         _ => {
             masks[..n].fill(0);
-            for_each_window::<W>(v.words(), l.bits, l.m, 0, v.len(), |idx, take, chunk| {
+            for_each_window::<W>(v.words(), l.bits, l.m, start, end, |idx, take, chunk| {
                 let hv = if take == l.m {
                     l.high
                 } else {
@@ -746,7 +768,7 @@ fn fill_range_mask_w<W: SwarWord>(v: &BitPackedVec, lo: u64, hi: u64, masks: &mu
                 let mut lm = cmp.lanes(&l, chunk) & hv;
                 while lm != W::ZERO {
                     let tz = lm.trailing_zeros() as usize;
-                    let row = idx + l.lane_of(tz);
+                    let row = idx - start + l.lane_of(tz);
                     masks[row >> 6] |= 1u64 << (row & 63);
                     lm = lm & (lm - W::ONE);
                 }
@@ -755,8 +777,15 @@ fn fill_range_mask_w<W: SwarWord>(v: &BitPackedVec, lo: u64, hi: u64, masks: &mu
     }
 }
 
-fn and_range_mask_w<W: SwarWord>(v: &BitPackedVec, lo: u64, hi: u64, masks: &mut [u64]) {
-    let n = mask_words(v.len());
+fn and_range_mask_w<W: SwarWord>(
+    v: &BitPackedVec,
+    lo: u64,
+    hi: u64,
+    start: usize,
+    end: usize,
+    masks: &mut [u64],
+) {
+    let n = mask_words(end - start);
     let l = Lanes::<W>::new(v.bits());
     let cmp = Cmp::compile(&l, lo, hi, v.bits());
     match cmp {
@@ -767,10 +796,10 @@ fn and_range_mask_w<W: SwarWord>(v: &BitPackedVec, lo: u64, hi: u64, masks: &mut
                 if *slot == 0 {
                     continue;
                 }
-                let start = j * 64;
-                let end = (start + 64).min(v.len());
+                let bstart = start + j * 64;
+                let bend = (bstart + 64).min(end);
                 let mut block = 0u64;
-                for_each_window::<W>(v.words(), l.bits, l.m, start, end, |idx, take, chunk| {
+                for_each_window::<W>(v.words(), l.bits, l.m, bstart, bend, |idx, take, chunk| {
                     let hv = if take == l.m {
                         l.high
                     } else {
@@ -779,7 +808,7 @@ fn and_range_mask_w<W: SwarWord>(v: &BitPackedVec, lo: u64, hi: u64, masks: &mut
                     let mut lm = cmp.lanes(&l, chunk) & hv;
                     while lm != W::ZERO {
                         let tz = lm.trailing_zeros() as usize;
-                        block |= 1u64 << ((idx - start) + l.lane_of(tz));
+                        block |= 1u64 << ((idx - bstart) + l.lane_of(tz));
                         lm = lm & (lm - W::ONE);
                     }
                 });
@@ -790,48 +819,59 @@ fn and_range_mask_w<W: SwarWord>(v: &BitPackedVec, lo: u64, hi: u64, masks: &mut
 }
 
 impl BitPackedVec {
-    /// SWAR equality select: `base + i` for every `i` with value `code`.
-    /// Caller guarantees `code` fits the width.
-    pub(crate) fn swar_select_eq_into(&self, code: u64, base: usize, out: &mut Vec<usize>) {
-        if self.bits() > WIDE_BITS {
-            select_eq_w::<u128>(self, code, base, out)
-        } else {
-            select_eq_w::<u64>(self, code, base, out)
-        }
-    }
-
-    /// SWAR range select over a normalized proper range (`lo < hi`, both in
-    /// width, not the full domain).
-    pub(crate) fn swar_select_in_range_into(
+    /// SWAR equality select over logical indices `start..end`: `base + i`
+    /// for every matching `i` (global index). Caller guarantees `code` fits
+    /// the width and `start <= end <= len()`.
+    pub(crate) fn swar_select_eq_into(
         &self,
-        lo: u64,
-        hi: u64,
+        code: u64,
+        start: usize,
+        end: usize,
         base: usize,
         out: &mut Vec<usize>,
     ) {
         if self.bits() > WIDE_BITS {
-            select_range_w::<u128>(self, lo, hi, base, out)
+            select_eq_w::<u128>(self, code, start, end, base, out)
         } else {
-            select_range_w::<u64>(self, lo, hi, base, out)
+            select_eq_w::<u64>(self, code, start, end, base, out)
         }
     }
 
-    /// SWAR population count of `value == code` (caller checked the width).
-    pub(crate) fn swar_count_eq(&self, code: u64) -> usize {
+    /// SWAR range select over a normalized proper range (`lo < hi`, both in
+    /// width, not the full domain), restricted to `start..end`.
+    pub(crate) fn swar_select_in_range_into(
+        &self,
+        lo: u64,
+        hi: u64,
+        start: usize,
+        end: usize,
+        base: usize,
+        out: &mut Vec<usize>,
+    ) {
         if self.bits() > WIDE_BITS {
-            count_eq_w::<u128>(self, code)
+            select_range_w::<u128>(self, lo, hi, start, end, base, out)
         } else {
-            count_eq_w::<u64>(self, code)
+            select_range_w::<u64>(self, lo, hi, start, end, base, out)
+        }
+    }
+
+    /// SWAR population count of `value == code` over `start..end` (caller
+    /// checked the width).
+    pub(crate) fn swar_count_eq(&self, code: u64, start: usize, end: usize) -> usize {
+        if self.bits() > WIDE_BITS {
+            count_eq_w::<u128>(self, code, start, end)
+        } else {
+            count_eq_w::<u64>(self, code, start, end)
         }
     }
 
     /// SWAR population count of `lo <= value <= hi` over a normalized
-    /// proper range.
-    pub(crate) fn swar_count_in_range(&self, lo: u64, hi: u64) -> usize {
+    /// proper range, restricted to `start..end`.
+    pub(crate) fn swar_count_in_range(&self, lo: u64, hi: u64, start: usize, end: usize) -> usize {
         if self.bits() > WIDE_BITS {
-            count_range_w::<u128>(self, lo, hi)
+            count_range_w::<u128>(self, lo, hi, start, end)
         } else {
-            count_range_w::<u64>(self, lo, hi)
+            count_range_w::<u64>(self, lo, hi, start, end)
         }
     }
 
@@ -847,7 +887,13 @@ impl BitPackedVec {
     /// most `floor(64/b) * (2^b - 1) <= 2^33`, so it fits a `u64` before
     /// the `u128` accumulate.
     pub(crate) fn swar_sum(&self) -> u128 {
-        if self.is_empty() {
+        self.swar_sum_range(0, self.len())
+    }
+
+    /// [`Self::swar_sum`] restricted to logical indices `start..end` — the
+    /// per-morsel aggregate kernel.
+    pub(crate) fn swar_sum_range(&self, start: usize, end: usize) -> u128 {
+        if start >= end {
             return 0;
         }
         let l = Lanes::<u64>::new(self.bits());
@@ -869,20 +915,13 @@ impl BitPackedVec {
             s <<= 1;
         }
         let mut acc: u128 = 0;
-        for_each_window::<u64>(
-            self.words(),
-            l.bits,
-            l.m,
-            0,
-            self.len(),
-            |_, take, chunk| {
-                let mut x = chunk & l.valid(take);
-                for t in 0..steps {
-                    x = (x & fold_masks[t]) + ((x >> strides[t]) & fold_masks[t]);
-                }
-                acc += x as u128;
-            },
-        );
+        for_each_window::<u64>(self.words(), l.bits, l.m, start, end, |_, take, chunk| {
+            let mut x = chunk & l.valid(take);
+            for t in 0..steps {
+                x = (x & fold_masks[t]) + ((x >> strides[t]) & fold_masks[t]);
+            }
+            acc += x as u128;
+        });
         acc
     }
 
@@ -894,16 +933,42 @@ impl BitPackedVec {
     /// # Panics
     /// If `masks` is shorter than [`mask_words`]`(self.len())`.
     pub fn fill_range_mask(&self, lo: u64, hi: u64, masks: &mut [u64]) {
-        let n = mask_words(self.len());
+        self.fill_range_mask_at(lo, hi, 0, self.len(), masks)
+    }
+
+    /// [`Self::fill_range_mask`] restricted to logical rows `start..end`:
+    /// bit `(r - start) % 64` of `masks[(r - start) / 64]` is set iff row
+    /// `r` matches. The mask is *morsel-local* — bit 0 is row `start` — so
+    /// disjoint morsels fill disjoint buffers in parallel. `start` must be
+    /// a multiple of 64 so mask words stay aligned with 64-row packed
+    /// blocks (the seam-free invariant the fused AND pass relies on).
+    ///
+    /// # Panics
+    /// If `start` is not 64-aligned, the range is out of bounds, or
+    /// `masks` is shorter than [`mask_words`]`(end - start)`.
+    pub fn fill_range_mask_at(
+        &self,
+        lo: u64,
+        hi: u64,
+        start: usize,
+        end: usize,
+        masks: &mut [u64],
+    ) {
+        assert!(start.is_multiple_of(64), "morsel start must be 64-aligned");
+        assert!(
+            start <= end && end <= self.len(),
+            "mask range out of bounds"
+        );
+        let n = mask_words(end - start);
         assert!(
             masks.len() >= n,
             "mask buffer too short: {} < {n}",
             masks.len()
         );
         if self.bits() > WIDE_BITS {
-            fill_range_mask_w::<u128>(self, lo, hi, masks)
+            fill_range_mask_w::<u128>(self, lo, hi, start, end, masks)
         } else {
-            fill_range_mask_w::<u64>(self, lo, hi, masks)
+            fill_range_mask_w::<u64>(self, lo, hi, start, end, masks)
         }
     }
 
@@ -915,16 +980,34 @@ impl BitPackedVec {
     /// # Panics
     /// If `masks` is shorter than [`mask_words`]`(self.len())`.
     pub fn and_range_mask(&self, lo: u64, hi: u64, masks: &mut [u64]) {
-        let n = mask_words(self.len());
+        self.and_range_mask_at(lo, hi, 0, self.len(), masks)
+    }
+
+    /// [`Self::and_range_mask`] restricted to logical rows `start..end`,
+    /// with the same morsel-local addressing as
+    /// [`Self::fill_range_mask_at`] (bit 0 of `masks[0]` is row `start`).
+    /// Zero mask words still skip their 64-row block without touching its
+    /// packed words.
+    ///
+    /// # Panics
+    /// If `start` is not 64-aligned, the range is out of bounds, or
+    /// `masks` is shorter than [`mask_words`]`(end - start)`.
+    pub fn and_range_mask_at(&self, lo: u64, hi: u64, start: usize, end: usize, masks: &mut [u64]) {
+        assert!(start.is_multiple_of(64), "morsel start must be 64-aligned");
+        assert!(
+            start <= end && end <= self.len(),
+            "mask range out of bounds"
+        );
+        let n = mask_words(end - start);
         assert!(
             masks.len() >= n,
             "mask buffer too short: {} < {n}",
             masks.len()
         );
         if self.bits() > WIDE_BITS {
-            and_range_mask_w::<u128>(self, lo, hi, masks)
+            and_range_mask_w::<u128>(self, lo, hi, start, end, masks)
         } else {
-            and_range_mask_w::<u64>(self, lo, hi, masks)
+            and_range_mask_w::<u64>(self, lo, hi, start, end, masks)
         }
     }
 }
@@ -1006,9 +1089,13 @@ mod tests {
                 .map(|(i, _)| i)
                 .collect();
             let mut got = Vec::new();
-            v.swar_select_eq_into(code, 0, &mut got);
+            v.swar_select_eq_into(code, 0, v.len(), 0, &mut got);
             assert_eq!(got, want_eq, "eq width {bits}");
-            assert_eq!(v.swar_count_eq(code), want_eq.len(), "count width {bits}");
+            assert_eq!(
+                v.swar_count_eq(code, 0, v.len()),
+                want_eq.len(),
+                "count width {bits}"
+            );
 
             let want_rng: Vec<usize> = data
                 .iter()
@@ -1018,10 +1105,10 @@ mod tests {
                 .collect();
             if lo < hi {
                 let mut got = Vec::new();
-                v.swar_select_in_range_into(lo, hi, 0, &mut got);
+                v.swar_select_in_range_into(lo, hi, 0, v.len(), 0, &mut got);
                 assert_eq!(got, want_rng, "range width {bits}");
                 assert_eq!(
-                    v.swar_count_in_range(lo, hi),
+                    v.swar_count_in_range(lo, hi, 0, v.len()),
                     want_rng.len(),
                     "range count width {bits}"
                 );

@@ -26,6 +26,7 @@
 //! |-------------------|-------------------|-------------------|-------------------|
 //! | memory pressure   | policy's          | policy's          | `pressure_budget` |
 //! | read-contended    | `Naive`           | half the policy's | policy's          |
+//! | queue-deep        | policy's          | half the policy's | policy's          |
 //! | write burst       | `Parallel`        | `max_threads`     | policy's          |
 //! | read-idle         | policy's          | `max_threads`     | policy's          |
 //! | baseline          | policy's          | policy's          | policy's          |
@@ -36,6 +37,11 @@
 //! saturating: `Naive` skips the delta re-encode and the `X_M`/`X_D`
 //! auxiliary streams of the optimized stages, trading extra CPU (its
 //! binary-search Step 2) for less bandwidth, and the thread grant halves.
+//! A deep query-pool queue ([`crate::pool::global_queue_depth`]) is the
+//! same story seen from the scheduler's side — morsel tasks waiting for
+//! workers — so it also halves the thread grant, but keeps the policy's
+//! strategy: the queue clears fastest when the merge yields *cores*, and
+//! the backlog says nothing about bandwidth.
 //! A write burst or a read-idle window is the opposite — the merge should
 //! take the machine (the paper's "merging with all available resources")
 //! while it is cheap to do so.
@@ -86,9 +92,10 @@ pub struct ReadGuard {
 /// atomic increments per query in total). `hyrise-query` calls this at
 /// every executor entry point; anything else that wants its reads weighed
 /// by the governor (e.g. the workload driver's window scans) may too.
-/// Fan-out executors count once per engine run, so an N-shard query
-/// registers N+1 runs — the governor reads these as a *pressure* signal,
-/// not an exact query count.
+/// Registration is once per *query*: fan-out executors hold one guard
+/// across their per-shard engine runs and morsel workers never register,
+/// so the counters track query arrival — internal parallelism shows up in
+/// the pool queue depth signal instead.
 pub fn begin_read() -> ReadGuard {
     READS_STARTED.fetch_add(1, Ordering::Relaxed);
     ReadGuard {
@@ -157,6 +164,11 @@ pub struct GovernorConfig {
     /// Engine runs/second *above* which the workload counts as
     /// read-contended.
     pub busy_reads_per_sec: f64,
+    /// Queued-but-unclaimed tasks on the shared query pool *above* which
+    /// the round counts as queue-deep: scans are waiting for workers, so
+    /// the next merge grant gives cores back (half the policy's threads).
+    /// `usize::MAX` disables the signal.
+    pub deep_queue_depth: usize,
 }
 
 impl GovernorConfig {
@@ -171,6 +183,7 @@ impl GovernorConfig {
             pressure_budget: MergeBudget::columns(1),
             idle_reads_per_sec: 1.0,
             busy_reads_per_sec: 100.0,
+            deep_queue_depth: 4 * std::thread::available_parallelism().map_or(4, |n| n.get()),
         }
     }
 
@@ -197,6 +210,12 @@ impl GovernorConfig {
     /// Builder-style memory-pressure budget.
     pub fn with_pressure_budget(mut self, budget: MergeBudget) -> Self {
         self.pressure_budget = budget;
+        self
+    }
+
+    /// Builder-style pool queue-depth threshold (`usize::MAX` disables).
+    pub fn with_deep_queue_depth(mut self, depth: usize) -> Self {
+        self.deep_queue_depth = depth;
         self
     }
 }
@@ -234,6 +253,9 @@ pub struct LoadSignals {
     pub delta_bytes: usize,
     /// `memory_bytes` exceeded the configured soft limit.
     pub memory_pressure: bool,
+    /// Queued-but-unclaimed tasks on the shared query pool at sample time
+    /// ([`crate::pool::global_queue_depth`]): reads waiting for a worker.
+    pub pool_queue_depth: usize,
 }
 
 /// Which row of the decision table produced a grant.
@@ -247,6 +269,10 @@ pub enum GrantSignal {
     /// Read rate above the busy threshold: `Naive` strategy (less memory
     /// traffic), half the threads.
     Contended,
+    /// Query-pool queue depth above the configured threshold: scans are
+    /// starved for workers, so the merge gives cores back (half the
+    /// policy's threads, policy strategy).
+    QueueDeep,
     /// Write rate at or above the paper's high target: all threads.
     WriteBurst,
     /// Read rate below the idle threshold with nothing in flight: all
@@ -264,6 +290,7 @@ impl std::fmt::Display for GrantSignal {
             GrantSignal::Baseline => write!(f, "baseline"),
             GrantSignal::MemoryPressure => write!(f, "mem-pressure"),
             GrantSignal::Contended => write!(f, "contended"),
+            GrantSignal::QueueDeep => write!(f, "queue-deep"),
             GrantSignal::WriteBurst => write!(f, "write-burst"),
             GrantSignal::ReadIdle => write!(f, "read-idle"),
             GrantSignal::Resume => write!(f, "resume"),
@@ -420,6 +447,14 @@ impl ResourceGovernor {
                 },
                 GrantSignal::Contended,
             )
+        } else if signals.pool_queue_depth > config.deep_queue_depth {
+            (
+                MergeGrant {
+                    threads: (base.threads / 2).max(1),
+                    ..base
+                },
+                GrantSignal::QueueDeep,
+            )
         } else if signals.write_load == WriteLoad::Heavy {
             (
                 MergeGrant {
@@ -497,6 +532,7 @@ impl ResourceGovernor {
                 memory_bytes: view.memory.total(),
                 delta_bytes: view.memory.delta_total(),
                 memory_pressure: view.memory.total() > self.config.memory_soft_limit,
+                pool_queue_depth: crate::pool::global_queue_depth(),
             };
             // Per-source sustained write rates over the window, from the
             // cumulative insert counters (when the sources provide them
@@ -683,6 +719,58 @@ mod tests {
         s.reads_in_flight = 3;
         let (_, sig) = ResourceGovernor::decide(&cfg, &s);
         assert_eq!(sig, GrantSignal::Baseline);
+    }
+
+    #[test]
+    fn deep_read_queues_steer_the_grant_toward_fewer_merge_threads() {
+        let cfg = config().with_deep_queue_depth(4);
+        // Sustained deep queue: morsel tasks waiting for workers.
+        let s = LoadSignals {
+            pool_queue_depth: 10,
+            write_load: WriteLoad::Heavy, // would otherwise take the machine
+            ..LoadSignals::default()
+        };
+        let (g, sig) = ResourceGovernor::decide(&cfg, &s);
+        assert_eq!(sig, GrantSignal::QueueDeep);
+        assert_eq!(
+            g.threads, 2,
+            "half the policy's 4 threads — cores go back to the scans"
+        );
+        assert_eq!(
+            g.strategy, cfg.policy.strategy,
+            "queue depth is a core signal, not a bandwidth signal"
+        );
+        assert!(
+            g.threads
+                < ResourceGovernor::decide(&cfg, &LoadSignals::default())
+                    .0
+                    .threads
+                || cfg.policy.threads == 1,
+            "strictly fewer threads than the baseline grant"
+        );
+
+        // Contention outranks queue depth; a shallow queue never fires.
+        let busy = LoadSignals {
+            reads_per_sec: 1_000.0,
+            ..s
+        };
+        assert_eq!(
+            ResourceGovernor::decide(&cfg, &busy).1,
+            GrantSignal::Contended
+        );
+        let shallow = LoadSignals {
+            pool_queue_depth: 4, // at, not above, the threshold
+            reads_per_sec: 10.0,
+            ..LoadSignals::default()
+        };
+        assert_eq!(
+            ResourceGovernor::decide(&cfg, &shallow).1,
+            GrantSignal::Baseline
+        );
+        // `usize::MAX` disables the signal entirely.
+        let disabled = config().with_deep_queue_depth(usize::MAX);
+        let (_, sig) = ResourceGovernor::decide(&disabled, &s);
+        assert_eq!(sig, GrantSignal::WriteBurst);
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod optimized;
 pub mod parallel;
 pub mod partition;
 pub mod pipeline;
+pub mod pool;
 pub mod rate;
 pub mod recovery;
 pub mod scheduler;
@@ -87,6 +88,7 @@ pub use pipeline::{
     merge_column_with, MergeBudget, MergeGrant, MergePipeline, MergeScratch, MergeStep,
     MergeStrategy, SpareBank, StepSink,
 };
+pub use pool::Pool;
 pub use rate::{classify_update_rate, update_rate, updates_per_second, WriteLoad};
 pub use recovery::{recover, recover_sharded, recover_with};
 pub use scheduler::{MergeOutcome, MergeScheduler, MergeSource, SchedulerStats, SourceScheduler};

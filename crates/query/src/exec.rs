@@ -22,17 +22,28 @@
 //! 3. **Validity** filters last; the surviving [`SelectionVector`] feeds
 //!    row output, projection, or aggregation.
 //!
+//! **Morsel-driven parallelism.** Every stage above is phrased per morsel:
+//! [`Query::with_threads`] is a morsel-count hint that cuts the main
+//! partition into contiguous 64-row-aligned ranges (see [`crate::morsel`])
+//! claimed dynamically by the process-wide [`hyrise_core::Pool`] — the
+//! engine spawns no threads of its own. Main-range kernels run the `_at`
+//! SWAR entry points per morsel; the short tail regions are scanned
+//! serially after the morsels; per-morsel results combine strictly in
+//! morsel order, so the parallel output is byte-identical to a serial run
+//! for every output shape.
+//!
 //! Implementations: [`TableSnapshot`] (the canonical engine),
 //! [`OnlineTable`] (snapshot, then execute), [`ShardedTable`] (fan out one
-//! engine per shard snapshot, merge partial results), [`Attribute`] /
-//! [`AttributeExecutor`] (single column, optional validity), and the
-//! heterogeneous [`Table`] (per-column typed dispatch over [`AnyValue`]
-//! predicates).
+//! engine per shard snapshot as pool tasks, merge partial results),
+//! [`Attribute`] / [`AttributeExecutor`] (single column, optional
+//! validity), and the heterogeneous [`Table`] (per-column typed dispatch
+//! over [`AnyValue`] predicates).
 
+use crate::morsel::{chunk_ranges, concat, morsel_ranges, parallel_map};
 use crate::plan::{Action, CompiledPredicate, Query};
 use hyrise_bitpack::{mask_count, mask_words, rows_from_mask};
 use hyrise_core::shard::{ShardRowId, ShardedTable};
-use hyrise_core::{OnlineTable, TableSnapshot};
+use hyrise_core::{OnlineTable, Pool, TableSnapshot};
 #[cfg(doc)]
 use hyrise_storage::Dictionary;
 use hyrise_storage::{
@@ -234,11 +245,7 @@ pub(crate) fn scan_col_into<V: Value>(col: &ColView<'_, V>, lo: &V, hi: &V, out:
             out,
         );
     }
-    let mut base = col.main.len();
-    for tail in &col.tails {
-        tail.select_in_range_into(lo, hi, base, out);
-        base += tail.len();
-    }
+    scan_tails_into(col, lo, hi, out);
 }
 
 /// Conjunction refinement: keep only selected rows whose `col` value lies
@@ -260,17 +267,31 @@ pub(crate) fn refine_col<V: Value>(col: &ColView<'_, V>, lo: &V, hi: &V, rows: &
     });
 }
 
-/// Apply one predicate's value-id range to the main partition's per-word
-/// match masks: `and` refines an existing fill, otherwise overwrite. A
-/// predicate matching no dictionary value zeroes the whole mask.
-fn mask_main_pred<V: Value>(col: &ColView<'_, V>, lo: &V, hi: &V, masks: &mut [u64], and: bool) {
+/// Apply one predicate's value-id range to a morsel's per-word match
+/// masks over main rows `[start, end)` (`start` 64-aligned, masks are
+/// morsel-local: bit 0 = row `start`): `and` refines an existing fill,
+/// otherwise overwrite. A predicate matching no dictionary value zeroes
+/// the whole mask.
+fn mask_main_pred_at<V: Value>(
+    col: &ColView<'_, V>,
+    lo: &V,
+    hi: &V,
+    start: usize,
+    end: usize,
+    masks: &mut [u64],
+    and: bool,
+) {
     match col.main.dictionary().value_id_range(lo, hi) {
         Some(ids) => {
             let (id_lo, id_hi) = (*ids.start() as u64, *ids.end() as u64);
             if and {
-                col.main.packed_codes().and_range_mask(id_lo, id_hi, masks);
+                col.main
+                    .packed_codes()
+                    .and_range_mask_at(id_lo, id_hi, start, end, masks);
             } else {
-                col.main.packed_codes().fill_range_mask(id_lo, id_hi, masks);
+                col.main
+                    .packed_codes()
+                    .fill_range_mask_at(id_lo, id_hi, start, end, masks);
             }
         }
         None => masks.fill(0),
@@ -305,40 +326,79 @@ fn tail_row_matches<V: Value>(
     })
 }
 
-/// Fused conjunction over the main partitions: build the first predicate's
-/// per-word match mask, `AND` every further predicate's mask into it, and
-/// only then materialize row ids — one dense bitset walk instead of a
-/// retain pass per predicate.
-fn fused_main_mask<V: Value>(
+/// Fused conjunction over one morsel of the main partitions (`start`
+/// 64-aligned): build the first predicate's per-word match mask for
+/// `[start, end)`, `AND` every further predicate's mask into it, and only
+/// then materialize row ids — one dense bitset walk instead of a retain
+/// pass per predicate. The returned masks are morsel-local (bit 0 = row
+/// `start`).
+fn fused_mask_at<V: Value>(
     cols: &[ColView<'_, V>],
     preds: &[CompiledPredicate<V>],
-    nm: usize,
+    start: usize,
+    end: usize,
 ) -> Vec<u64> {
-    let mut masks = vec![0u64; mask_words(nm)];
+    let mut masks = vec![0u64; mask_words(end - start)];
     let (first, rest) = preds.split_first().expect("fused pass needs predicates");
-    mask_main_pred(&cols[first.col], &first.lo, &first.hi, &mut masks, false);
+    mask_main_pred_at(
+        &cols[first.col],
+        &first.lo,
+        &first.hi,
+        start,
+        end,
+        &mut masks,
+        false,
+    );
     for p in rest {
-        mask_main_pred(&cols[p.col], &p.lo, &p.hi, &mut masks, true);
+        mask_main_pred_at(&cols[p.col], &p.lo, &p.hi, start, end, &mut masks, true);
     }
     masks
 }
 
+/// Drop rows the validity bitmap marks deleted (no-op without a bitmap).
+fn retain_valid(rows: &mut Vec<usize>, validity: Option<&ValidityBitmap>) {
+    if let Some(v) = validity {
+        rows.retain(|&r| v.is_valid(r));
+    }
+}
+
+/// First-predicate scan of `col`'s tail regions only (global row ids start
+/// at the end of main). Tails are short by construction — the merge bounds
+/// them — so they run serially after the main morsels.
+fn scan_tails_into<V: Value>(col: &ColView<'_, V>, lo: &V, hi: &V, out: &mut Vec<usize>) {
+    let mut base = col.main.len();
+    for tail in &col.tails {
+        tail.select_in_range_into(lo, hi, base, out);
+        base += tail.len();
+    }
+}
+
 /// Count matching rows without materializing a selection vector (the
 /// all-rows-valid fast path): a single predicate runs the popcount kernel
-/// over the main codes and each tail region; a conjunction popcounts the
-/// fused per-word mask.
+/// over each main morsel and each tail region; a conjunction popcounts the
+/// fused per-word mask per morsel. Per-morsel counts add associatively, so
+/// the hint cannot change the result.
 fn count_cols<V: Value>(
     cols: &[ColView<'_, V>],
     n_rows: usize,
     preds: &[CompiledPredicate<V>],
+    hint: usize,
 ) -> usize {
     if let [p] = preds {
         let col = &cols[p.col];
         let main = match col.main.dictionary().value_id_range(&p.lo, &p.hi) {
-            Some(ids) => col
-                .main
-                .packed_codes()
-                .count_in_range(*ids.start() as u64, *ids.end() as u64),
+            Some(ids) => {
+                let (id_lo, id_hi) = (*ids.start() as u64, *ids.end() as u64);
+                let ranges = morsel_ranges(col.main.len(), hint);
+                parallel_map(hint, ranges.len(), |i| {
+                    let (s, e) = ranges[i];
+                    col.main
+                        .packed_codes()
+                        .count_in_range_at(id_lo, id_hi, s, e)
+                })
+                .into_iter()
+                .sum()
+            }
             None => 0,
         };
         return main
@@ -350,57 +410,135 @@ fn count_cols<V: Value>(
     }
     match fused_main_len(cols, preds) {
         Some(nm) => {
-            let masks = fused_main_mask(cols, preds, nm);
-            mask_count(&masks)
-                + (0..n_rows - nm)
-                    .filter(|&i| tail_row_matches(cols, preds, i))
-                    .count()
+            let ranges = morsel_ranges(nm, hint);
+            let main: usize = parallel_map(hint, ranges.len(), |i| {
+                let (s, e) = ranges[i];
+                mask_count(&fused_mask_at(cols, preds, s, e))
+            })
+            .into_iter()
+            .sum();
+            main + (0..n_rows - nm)
+                .filter(|&i| tail_row_matches(cols, preds, i))
+                .count()
         }
-        None => select_cols(cols, n_rows, preds, None).len(),
+        None => select_cols(cols, n_rows, preds, None, hint).len(),
     }
 }
 
 /// Evaluate the conjunction over homogeneous columns into a selection.
+///
+/// The main partition is processed per morsel (scan, fuse or refine, then
+/// validity — each morsel emits its own ascending row ids); the tail
+/// regions run serially afterwards. Concatenating the per-morsel vectors
+/// in morsel order reproduces the serial ascending order exactly.
 fn select_cols<V: Value>(
     cols: &[ColView<'_, V>],
     n_rows: usize,
     preds: &[CompiledPredicate<V>],
     validity: Option<&ValidityBitmap>,
+    hint: usize,
 ) -> SelectionVector {
-    let mut rows = match preds.split_first() {
-        None => (0..n_rows).collect(),
+    let rows = match preds.split_first() {
+        None => {
+            // Enumeration, morselized for shape uniformity: each morsel
+            // emits its valid rows; in-order concatenation is the
+            // ascending row list.
+            let ranges = morsel_ranges(n_rows, hint);
+            concat(parallel_map(hint, ranges.len(), |i| {
+                let (s, e) = ranges[i];
+                let mut rows: Vec<usize> = (s..e).collect();
+                retain_valid(&mut rows, validity);
+                rows
+            }))
+        }
         Some((first, [])) => {
-            let mut rows = Vec::new();
-            scan_col_into(&cols[first.col], &first.lo, &first.hi, &mut rows);
-            rows
+            let col = &cols[first.col];
+            let ids = col.main.dictionary().value_id_range(&first.lo, &first.hi);
+            let ranges = morsel_ranges(col.main.len(), hint);
+            let mut parts = parallel_map(hint, ranges.len(), |i| {
+                let (s, e) = ranges[i];
+                let mut rows = Vec::new();
+                if let Some(ids) = &ids {
+                    col.main.packed_codes().select_in_range_into_at(
+                        *ids.start() as u64,
+                        *ids.end() as u64,
+                        s,
+                        e,
+                        0,
+                        &mut rows,
+                    );
+                }
+                retain_valid(&mut rows, validity);
+                rows
+            });
+            let mut tail_rows = Vec::new();
+            scan_tails_into(col, &first.lo, &first.hi, &mut tail_rows);
+            retain_valid(&mut tail_rows, validity);
+            parts.push(tail_rows);
+            concat(parts)
         }
         Some((first, rest)) => match fused_main_len(cols, preds) {
             Some(nm) => {
-                // Fused pass: AND per-word masks across columns, then
-                // materialize once; tail rows check all predicates fused.
-                let masks = fused_main_mask(cols, preds, nm);
-                let mut rows = Vec::new();
-                rows_from_mask(&masks, nm, 0, &mut rows);
+                // Fused pass per morsel: AND morsel-local per-word masks
+                // across columns, then materialize once; tail rows check
+                // all predicates fused.
+                let ranges = morsel_ranges(nm, hint);
+                let mut parts = parallel_map(hint, ranges.len(), |i| {
+                    let (s, e) = ranges[i];
+                    let masks = fused_mask_at(cols, preds, s, e);
+                    let mut rows = Vec::new();
+                    rows_from_mask(&masks, e - s, s, &mut rows);
+                    retain_valid(&mut rows, validity);
+                    rows
+                });
+                let mut tail_rows = Vec::new();
                 for i in 0..n_rows - nm {
                     if tail_row_matches(cols, preds, i) {
-                        rows.push(nm + i);
+                        tail_rows.push(nm + i);
                     }
                 }
-                rows
+                retain_valid(&mut tail_rows, validity);
+                parts.push(tail_rows);
+                concat(parts)
             }
             None => {
-                let mut rows = Vec::new();
-                scan_col_into(&cols[first.col], &first.lo, &first.hi, &mut rows);
+                // Mid-merge stepped mains: scan the first column's main
+                // per morsel, refine the other predicates row by row
+                // within the morsel (random access works for any global
+                // row id), then handle the first column's tails serially.
+                let col = &cols[first.col];
+                let ids = col.main.dictionary().value_id_range(&first.lo, &first.hi);
+                let ranges = morsel_ranges(col.main.len(), hint);
+                let mut parts = parallel_map(hint, ranges.len(), |i| {
+                    let (s, e) = ranges[i];
+                    let mut rows = Vec::new();
+                    if let Some(ids) = &ids {
+                        col.main.packed_codes().select_in_range_into_at(
+                            *ids.start() as u64,
+                            *ids.end() as u64,
+                            s,
+                            e,
+                            0,
+                            &mut rows,
+                        );
+                    }
+                    for p in rest {
+                        refine_col(&cols[p.col], &p.lo, &p.hi, &mut rows);
+                    }
+                    retain_valid(&mut rows, validity);
+                    rows
+                });
+                let mut tail_rows = Vec::new();
+                scan_tails_into(col, &first.lo, &first.hi, &mut tail_rows);
                 for p in rest {
-                    refine_col(&cols[p.col], &p.lo, &p.hi, &mut rows);
+                    refine_col(&cols[p.col], &p.lo, &p.hi, &mut tail_rows);
                 }
-                rows
+                retain_valid(&mut tail_rows, validity);
+                parts.push(tail_rows);
+                concat(parts)
             }
         },
     };
-    if let Some(v) = validity {
-        rows.retain(|&r| v.is_valid(r));
-    }
     SelectionVector::from_rows(rows)
 }
 
@@ -411,101 +549,125 @@ fn fold_mm<V: Ord + Copy>(mm: Option<(V, V)>, v: V) -> Option<(V, V)> {
     })
 }
 
-/// Full-column sum (no predicates): the bandwidth-bound analytical scan.
-/// `threads > 1` splits the column into contiguous tuple ranges (each
-/// worker resumes the packed cursor at its range start); a validity bitmap,
-/// when present, is checked per row in either mode.
+/// Sum rows `[start, end)` of `col` — a global row range that may span the
+/// main partition (the packed cursor resumes at `start`) and tail regions;
+/// a validity bitmap, when present, is checked per row.
+fn sum_rows<V: Value>(
+    col: &ColView<'_, V>,
+    validity: Option<&ValidityBitmap>,
+    start: usize,
+    end: usize,
+) -> u128 {
+    let dict = col.main.dictionary();
+    let nm = col.main.len();
+    let mut acc: u128 = 0;
+    if start < nm {
+        let mut cur = col.main.packed_codes().cursor_at(start);
+        for row in start..end.min(nm) {
+            let code = cur.next_value();
+            if validity.is_none_or(|val| val.is_valid(row)) {
+                acc += dict.value_at(code as u32).to_u64_lossy() as u128;
+            }
+        }
+    }
+    let mut base = nm;
+    for tail in &col.tails {
+        let tail_end = base + tail.len();
+        if start < tail_end && end > base {
+            for row in start.max(base)..end.min(tail_end) {
+                if validity.is_none_or(|val| val.is_valid(row)) {
+                    acc += tail.get(row - base).to_u64_lossy() as u128;
+                }
+            }
+        }
+        base = tail_end;
+    }
+    acc
+}
+
+/// Full-column sum (no predicates): the bandwidth-bound analytical scan,
+/// morselized over the whole row space (main and tails); per-morsel
+/// partial sums add in morsel order.
 fn sum_full<V: Value>(
     col: &ColView<'_, V>,
     validity: Option<&ValidityBitmap>,
-    threads: usize,
+    hint: usize,
 ) -> u128 {
-    let dict = col.main.dictionary();
-    let n = col.len();
-    let nm = col.main.len();
-    let threads = threads.clamp(1, n.max(1));
-    if threads == 1 {
-        let mut acc: u128 = 0;
-        col.main.packed_codes().for_each(|i, code| {
-            if validity.is_none_or(|val| val.is_valid(i)) {
-                acc += dict.value_at(code as u32).to_u64_lossy() as u128;
-            }
-        });
-        let mut row = nm;
-        for tail in &col.tails {
-            for v in tail.iter() {
-                if validity.is_none_or(|val| val.is_valid(row)) {
-                    acc += v.to_u64_lossy() as u128;
-                }
-                row += 1;
-            }
-        }
-        return acc;
-    }
-    let chunk = n.div_ceil(threads).max(1);
-    let mut total: u128 = 0;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let start = (t * chunk).min(n);
-                let end = ((t + 1) * chunk).min(n);
-                s.spawn(move || {
-                    let mut acc: u128 = 0;
-                    if start < nm {
-                        let mut cur = col.main.packed_codes().cursor_at(start);
-                        for row in start..end.min(nm) {
-                            let code = cur.next_value();
-                            if validity.is_none_or(|val| val.is_valid(row)) {
-                                acc += dict.value_at(code as u32).to_u64_lossy() as u128;
-                            }
-                        }
-                    }
-                    let mut base = nm;
-                    for tail in &col.tails {
-                        let tail_end = base + tail.len();
-                        if start < tail_end && end > base {
-                            let lo = start.max(base);
-                            for row in lo..end.min(tail_end) {
-                                if validity.is_none_or(|val| val.is_valid(row)) {
-                                    acc += tail.get(row - base).to_u64_lossy() as u128;
-                                }
-                            }
-                        }
-                        base = tail_end;
-                    }
-                    acc
-                })
-            })
-            .collect();
-        for h in handles {
-            total += h.join().expect("sum worker");
-        }
-    });
-    total
+    let ranges = morsel_ranges(col.len(), hint);
+    parallel_map(hint, ranges.len(), |i| {
+        let (s, e) = ranges[i];
+        sum_rows(col, validity, s, e)
+    })
+    .into_iter()
+    .sum()
 }
 
-/// Full-column min/max (no predicates): the main partition folds over
-/// *codes* and decodes only the two extremes; tails fold values.
+/// One morsel's min/max partial: folded main *codes* (decoded later, once,
+/// by the combiner) and folded tail values.
+type MinMaxPartial<V> = (Option<(u64, u64)>, Option<(V, V)>);
+
+/// Fold min/max over rows `[start, end)` of `col`: main rows fold *codes*
+/// (decoded later, once, by the combiner), tail rows fold values.
+fn min_max_rows<V: Value>(
+    col: &ColView<'_, V>,
+    validity: Option<&ValidityBitmap>,
+    start: usize,
+    end: usize,
+) -> MinMaxPartial<V> {
+    let nm = col.main.len();
+    let mut code_mm: Option<(u64, u64)> = None;
+    if start < nm {
+        let mut cur = col.main.packed_codes().cursor_at(start);
+        for row in start..end.min(nm) {
+            let code = cur.next_value();
+            if validity.is_none_or(|val| val.is_valid(row)) {
+                code_mm = fold_mm(code_mm, code);
+            }
+        }
+    }
+    let mut val_mm: Option<(V, V)> = None;
+    let mut base = nm;
+    for tail in &col.tails {
+        let tail_end = base + tail.len();
+        if start < tail_end && end > base {
+            for row in start.max(base)..end.min(tail_end) {
+                if validity.is_none_or(|val| val.is_valid(row)) {
+                    val_mm = fold_mm(val_mm, tail.get(row - base));
+                }
+            }
+        }
+        base = tail_end;
+    }
+    (code_mm, val_mm)
+}
+
+/// Full-column min/max (no predicates): each morsel folds main *codes* and
+/// tail values; the combiner merges the partial extremes in morsel order
+/// and decodes the two surviving codes once.
 fn min_max_full<V: Value>(
     col: &ColView<'_, V>,
     validity: Option<&ValidityBitmap>,
+    hint: usize,
 ) -> Option<(V, V)> {
-    let mut code_mm: Option<(u64, u64)> = None;
-    col.main.packed_codes().for_each(|i, code| {
-        if validity.is_none_or(|v| v.is_valid(i)) {
-            code_mm = fold_mm(code_mm, code);
-        }
+    let ranges = morsel_ranges(col.len(), hint);
+    let parts = parallel_map(hint, ranges.len(), |i| {
+        let (s, e) = ranges[i];
+        min_max_rows(col, validity, s, e)
     });
+    let mut code_mm: Option<(u64, u64)> = None;
+    let mut val_mm: Option<(V, V)> = None;
+    for (c, v) in parts {
+        if let Some((lo, hi)) = c {
+            code_mm = fold_mm(fold_mm(code_mm, lo), hi);
+        }
+        if let Some((lo, hi)) = v {
+            val_mm = fold_mm(fold_mm(val_mm, lo), hi);
+        }
+    }
     let dict = col.main.dictionary();
     let mut mm = code_mm.map(|(lo, hi)| (dict.value_at(lo as u32), dict.value_at(hi as u32)));
-    let mut row = col.main.len();
-    for tail in &col.tails {
-        for v in tail.iter() {
-            if validity.is_none_or(|val| val.is_valid(row)) {
-                mm = fold_mm(mm, v);
-            }
-            row += 1;
-        }
+    if let Some((lo, hi)) = val_mm {
+        mm = fold_mm(fold_mm(mm, lo), hi);
     }
     mm
 }
@@ -519,15 +681,23 @@ fn execute_cols<V: Value>(
     q: &Query<V>,
 ) -> Output<V, usize> {
     let preds = q.predicates();
+    let hint = q.threads();
     match q.action() {
-        Action::Rows => Output::Rows(select_cols(cols, n_rows, preds, validity).into_rows()),
+        Action::Rows => Output::Rows(select_cols(cols, n_rows, preds, validity, hint).into_rows()),
         Action::Project(pcols) => {
-            let sel = select_cols(cols, n_rows, preds, validity);
-            Output::Projected(
-                sel.iter()
-                    .map(|r| pcols.iter().map(|&c| cols[c].value(r)).collect())
-                    .collect(),
-            )
+            let sel = select_cols(cols, n_rows, preds, validity, hint);
+            // Materialization is random access over the selection: split
+            // it into plain chunks (no alignment needed) and concatenate
+            // the per-chunk row vectors in order.
+            let rows = sel.as_slice();
+            let chunks = chunk_ranges(rows.len(), hint);
+            Output::Projected(concat(parallel_map(hint, chunks.len(), |i| {
+                let (s, e) = chunks[i];
+                rows[s..e]
+                    .iter()
+                    .map(|&r| pcols.iter().map(|&c| cols[c].value(r)).collect())
+                    .collect()
+            })))
         }
         Action::Count => Output::Count(if preds.is_empty() {
             match validity {
@@ -541,28 +711,60 @@ fn execute_cols<V: Value>(
             }
         } else if validity.is_none_or(|v| v.len() >= n_rows && v.valid_count() == v.len()) {
             // No invalid rows: count without materializing row ids.
-            count_cols(cols, n_rows, preds)
+            count_cols(cols, n_rows, preds, hint)
         } else {
-            select_cols(cols, n_rows, preds, validity).len()
+            select_cols(cols, n_rows, preds, validity, hint).len()
         }),
         Action::Sum(c) => Output::Sum(if preds.is_empty() {
-            sum_full(&cols[*c], validity, q.threads())
+            sum_full(&cols[*c], validity, hint)
         } else {
             let col = &cols[*c];
-            select_cols(cols, n_rows, preds, validity)
-                .iter()
-                .map(|r| col.value(r).to_u64_lossy() as u128)
-                .sum()
+            let sel = select_cols(cols, n_rows, preds, validity, hint);
+            let rows = sel.as_slice();
+            let chunks = chunk_ranges(rows.len(), hint);
+            parallel_map(hint, chunks.len(), |i| {
+                let (s, e) = chunks[i];
+                rows[s..e]
+                    .iter()
+                    .map(|&r| col.value(r).to_u64_lossy() as u128)
+                    .sum::<u128>()
+            })
+            .into_iter()
+            .sum()
         }),
         Action::MinMax(c) => Output::MinMax(if preds.is_empty() {
-            min_max_full(&cols[*c], validity)
+            min_max_full(&cols[*c], validity, hint)
         } else {
             let col = &cols[*c];
-            select_cols(cols, n_rows, preds, validity)
-                .iter()
-                .fold(None, |mm, r| fold_mm(mm, col.value(r)))
+            let sel = select_cols(cols, n_rows, preds, validity, hint);
+            let rows = sel.as_slice();
+            let chunks = chunk_ranges(rows.len(), hint);
+            parallel_map(hint, chunks.len(), |i| {
+                let (s, e) = chunks[i];
+                rows[s..e]
+                    .iter()
+                    .fold(None, |mm, &r| fold_mm(mm, col.value(r)))
+            })
+            .into_iter()
+            .flatten()
+            .fold(None, |mm, (lo, hi)| fold_mm(fold_mm(mm, lo), hi))
         }),
     }
+}
+
+/// The snapshot engine body without the governor registration — the
+/// sharded executor runs this once per shard under a single query-level
+/// read guard.
+fn execute_snapshot<V: Value>(snap: &TableSnapshot<V>, q: &Query<V>) -> Output<V, usize> {
+    let views: Vec<ColView<'_, V>> = snap
+        .cols()
+        .iter()
+        .map(|c| ColView {
+            main: c.main(),
+            tails: c.tails(),
+        })
+        .collect();
+    execute_cols(&views, snap.row_count(), Some(snap.validity()), q)
 }
 
 impl<V: Value> Executor<V> for TableSnapshot<V> {
@@ -574,19 +776,12 @@ impl<V: Value> Executor<V> for TableSnapshot<V> {
     fn execute(&self, q: &Query<V>) -> Output<V, usize> {
         // Register this run with the resource governor's lock-free read
         // counters (two relaxed increments): the merge schedulers read
-        // them as the read-pressure signal. Every executor entry point
-        // registers, so a sharded fan-out counts once per shard engine
-        // run — by design, it *is* proportionally more read work.
+        // them as the read-pressure signal. Registration happens once per
+        // *query* — a sharded fan-out or a many-morsel run still counts
+        // as one read, so the governor's pressure signal tracks queries,
+        // not the engine's internal parallelism.
         let _read = hyrise_core::governor::begin_read();
-        let views: Vec<ColView<'_, V>> = self
-            .cols()
-            .iter()
-            .map(|c| ColView {
-                main: c.main(),
-                tails: c.tails(),
-            })
-            .collect();
-        execute_cols(&views, self.row_count(), Some(self.validity()), q)
+        execute_snapshot(self, q)
     }
 }
 
@@ -650,40 +845,32 @@ impl<V: Value> Executor<V> for AttributeExecutor<'_, V> {
     }
 }
 
-/// Run `f` over every shard snapshot concurrently (one worker per shard),
-/// collecting results in shard order.
-fn fan_out<V: Value, T: Send>(
-    snaps: &[TableSnapshot<V>],
-    f: impl Fn(&TableSnapshot<V>) -> T + Sync,
-) -> Vec<T> {
-    let mut out: Vec<Option<T>> = (0..snaps.len()).map(|_| None).collect();
-    std::thread::scope(|s| {
-        for (slot, snap) in out.iter_mut().zip(snaps) {
-            let f = &f;
-            s.spawn(move || *slot = Some(f(snap)));
-        }
-    });
-    out.into_iter()
-        .map(|t| t.expect("every fan-out worker fills its slot"))
-        .collect()
-}
-
 impl<V: Value> Executor<V> for ShardedTable<V> {
     type RowId = ShardRowId;
 
     /// Fan-out + merge: the shard snapshots come from one **consistent
     /// cut** (no cross-shard write batch is half-visible — see
     /// [`ShardedTable::consistent_snapshots`]), the canonical engine runs
-    /// once per shard concurrently, and the partial results are stitched —
-    /// rows map to global [`ShardRowId`]s, counts and sums add, min/max
+    /// once per shard as pool tasks (the calling thread claims shards
+    /// too), and the partial results are stitched in shard order — rows
+    /// map to global [`ShardRowId`]s, counts and sums add, min/max
     /// reduce.
     fn execute(&self, q: &Query<V>) -> Output<V, ShardRowId> {
         let _read = hyrise_core::governor::begin_read();
         let snaps = self.consistent_snapshots();
-        // The per-shard workers are the parallelism: reset the thread hint
-        // so an N-shard table doesn't oversubscribe to N × threads.
-        let per_shard = q.serial();
-        let partials = fan_out(&snaps, |snap| snap.execute(&per_shard));
+        // Oversubscription clamp: the morsel hint multiplies across the
+        // shard fan-out, so divide the pool between the shards — an
+        // 8-shard query with an 8-morsel hint on an 8-thread pool runs
+        // each shard serially instead of queueing 64 tasks. The shard
+        // fan-out itself is bounded by the pool inside `run_indexed`.
+        let pool = Pool::global_for_queries();
+        let per_shard = q.with_hint(
+            q.threads()
+                .min((pool.threads() / snaps.len().max(1)).max(1)),
+        );
+        let partials = parallel_map(snaps.len(), snaps.len(), |i| {
+            execute_snapshot(&snaps[i], &per_shard)
+        });
         match q.action() {
             Action::Rows => Output::Rows(
                 partials
@@ -783,11 +970,11 @@ impl Executor<AnyValue> for Table {
                 Action::MinMax(c) => {
                     let validity = Some(self.validity());
                     return Output::MinMax(match self.column(*c) {
-                        Column::U32(a) => min_max_full(&attr_view(a), validity)
+                        Column::U32(a) => min_max_full(&attr_view(a), validity, q.threads())
                             .map(|(lo, hi)| (AnyValue::U32(lo), AnyValue::U32(hi))),
-                        Column::U64(a) => min_max_full(&attr_view(a), validity)
+                        Column::U64(a) => min_max_full(&attr_view(a), validity, q.threads())
                             .map(|(lo, hi)| (AnyValue::U64(lo), AnyValue::U64(hi))),
-                        Column::V16(a) => min_max_full(&attr_view(a), validity)
+                        Column::V16(a) => min_max_full(&attr_view(a), validity, q.threads())
                             .map(|(lo, hi)| (AnyValue::V16(lo), AnyValue::V16(hi))),
                     });
                 }

@@ -36,6 +36,7 @@
 mod aggregate;
 mod exec;
 mod groupby;
+mod morsel;
 mod plan;
 mod scan;
 mod table_ops;

@@ -227,11 +227,16 @@ impl<V: Copy> Query<V> {
         self
     }
 
-    /// Hint how many threads the executor may use for bandwidth-bound work
-    /// (currently the predicate-free full-column sum, on every backend;
-    /// predicate evaluation runs serial — a sharded table already fans out
-    /// one worker per shard). Best-effort — executors are free to ignore
-    /// it.
+    /// Hint how many pool workers may claim morsels concurrently for
+    /// *every* output shape — scans, conjunctions, counts, sums, min/max
+    /// and projections, filtered or not. `1` (the default) runs serially
+    /// on the calling thread; a larger hint splits the work into
+    /// contiguous word-aligned morsels executed on the shared worker pool
+    /// with results combined in morsel order, so the output is
+    /// byte-identical regardless of the hint. Sharded executors clamp the
+    /// per-shard hint so the shard fan-out times the morsel hint never
+    /// oversubscribes the pool. Best-effort — executors are free to
+    /// ignore it.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
@@ -297,12 +302,12 @@ impl<V: Copy> Query<V> {
         self.threads
     }
 
-    /// A copy of the query with the thread hint reset to 1 — used by
-    /// fan-out executors, whose per-shard workers *are* the parallelism
-    /// (forwarding the hint would oversubscribe to shards × threads).
-    pub(crate) fn serial(&self) -> Self {
+    /// A copy of the query with the morsel hint replaced — used by
+    /// fan-out executors to clamp the per-shard hint so the shard fan-out
+    /// times the hint stays within the worker pool.
+    pub(crate) fn with_hint(&self, threads: usize) -> Self {
         let mut q = self.clone();
-        q.threads = 1;
+        q.threads = threads.max(1);
         q
     }
 }

@@ -1,0 +1,62 @@
+//! The oversubscription clamp: an N-shard fan-out combined with an
+//! N-morsel hint must never queue more pool tasks than the pool has
+//! workers. The sharded executor divides the pool between the shards
+//! (per-shard hint = `threads / shards`, at least 1) and `run_indexed`
+//! bounds each fan-out's helper tasks by the pool size, so the peak
+//! queue depth stays at or below `pool.threads()`.
+//!
+//! This test lives in its own binary: the peak-depth counter is a
+//! property of the process-global pool, and no other test in this
+//! process may touch it while we measure.
+
+use hyrise_core::shard::ShardedTable;
+use hyrise_core::Pool;
+use hyrise_query::Query;
+
+/// Wait until every queued task has been claimed — leftover helper tasks
+/// from a previous parallel run would inflate the next peak reading.
+fn settle(pool: &Pool) {
+    while pool.queue_depth() > 0 {
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn shard_fanout_times_morsel_hint_stays_within_the_pool() {
+    let t = ShardedTable::<u64>::builder()
+        .shards(8)
+        .columns(2)
+        .build()
+        .unwrap();
+    let rows: Vec<[u64; 2]> = (0..40_000u64).map(|i| [i % 977, i]).collect();
+    t.insert_rows(&rows).unwrap();
+
+    let pool = Pool::global();
+    let q = Query::scan(0).between(100u64, 700).count().with_threads(8);
+    let expected = q.clone().with_threads(1).run(&t).count();
+
+    for _ in 0..5 {
+        settle(pool);
+        pool.reset_peak_depth();
+        let got = q.clone().run(&t).count();
+        assert_eq!(got, expected, "clamped parallel run stays correct");
+        assert!(
+            pool.peak_queue_depth() <= pool.threads(),
+            "8 shards x hint 8 queued {} tasks on a {}-thread pool",
+            pool.peak_queue_depth(),
+            pool.threads()
+        );
+    }
+
+    // Every output shape obeys the clamp, not just counts.
+    for q in [
+        Query::scan(0).between(100u64, 700).with_threads(8),
+        Query::scan(1).sum(1).with_threads(8),
+        Query::scan(0).min_max(1).with_threads(8),
+    ] {
+        settle(pool);
+        pool.reset_peak_depth();
+        let _ = q.run(&t);
+        assert!(pool.peak_queue_depth() <= pool.threads());
+    }
+}

@@ -5,12 +5,17 @@
 //! to load; this module closes the loop from the other side by adapting
 //! *load* to what the engine can absorb. Two independent valves:
 //!
-//! * **Reads** are gated on memory: below a soft limit they pass, between
-//!   the soft and hard limit they wait in a bounded queue (memory pressure
-//!   is usually transient — a merge in flight holds both copies of a
-//!   column), above the hard limit or after a bounded wait they are
-//!   *shed* with a typed rejection. No read ever blocks unboundedly: the
-//!   queue has a capacity and every queued read a deadline.
+//! * **Reads** are gated on memory *and* on the worker pool's backlog:
+//!   below a soft memory limit with a shallow pool queue they pass; while
+//!   memory sits between the soft and hard limit **or** the pool's
+//!   queued-but-unclaimed task count exceeds [`AdmissionConfig::pool_queue_limit`]
+//!   (every worker busy and morsels piling up — adding queries would only
+//!   deepen the backlog) they wait in a bounded queue; above the hard
+//!   memory limit or after a bounded wait they are *shed* with a typed
+//!   rejection. Both pressures are usually transient — a merge in flight
+//!   holds both copies of a column, a queued morsel drains in
+//!   microseconds. No read ever blocks unboundedly: the queue has a
+//!   capacity and every queued read a deadline.
 //! * **Writes** are gated on the race the paper's Equation 1 describes:
 //!   the sustainable update rate is bounded by how fast merges drain the
 //!   delta. The gate samples the insert rate and the merge drain rate
@@ -41,6 +46,11 @@ pub struct AdmissionConfig {
     /// Max time a read waits before it sheds (the no-request-ever-hangs
     /// bound).
     pub queue_timeout: Duration,
+    /// Reads queue while the shared worker pool reports more
+    /// queued-but-unclaimed tasks than this — the workers are saturated
+    /// and admitting more morsel-parallel queries would only deepen the
+    /// backlog. The pool drains fast, so this queues rather than sheds.
+    pub pool_queue_limit: usize,
     /// Re-sample interval while queued.
     pub queue_poll: Duration,
     /// Writes throttle once the delta backlog (unmerged rows) exceeds
@@ -61,6 +71,10 @@ impl Default for AdmissionConfig {
             queue_capacity: 64,
             queue_timeout: Duration::from_millis(500),
             queue_poll: Duration::from_millis(2),
+            // Same shape as the governor's deep-queue threshold: a few
+            // unclaimed tasks per hardware thread is normal fan-out churn,
+            // beyond that the pool is saturated.
+            pool_queue_limit: 4 * std::thread::available_parallelism().map_or(1, |n| n.get()),
             write_backlog_limit: 1 << 20, // 1M unmerged rows
             write_release_fraction: 0.5,
             throttle_retry_after: Duration::from_millis(25),
@@ -81,17 +95,23 @@ pub enum ReadDecision {
 
 /// Pure read-admission decision over sampled signals.
 ///
+/// `pool_queue_depth` is the worker pool's queued-but-unclaimed task
+/// count; past [`AdmissionConfig::pool_queue_limit`] it queues the read
+/// (never sheds on its own — the pool drains fast, memory does not).
 /// `queued_others` is the number of *other* reads currently waiting (a
 /// queued read excludes itself, so arrivals can fill the queue without
 /// evicting the reads already in it).
 pub fn decide_read(
     cfg: &AdmissionConfig,
     memory_bytes: usize,
+    pool_queue_depth: usize,
     queued_others: usize,
 ) -> ReadDecision {
-    if memory_bytes <= cfg.memory_queue_limit {
+    if memory_bytes > cfg.memory_shed_limit {
+        ReadDecision::Shed
+    } else if memory_bytes <= cfg.memory_queue_limit && pool_queue_depth <= cfg.pool_queue_limit {
         ReadDecision::Admit
-    } else if memory_bytes > cfg.memory_shed_limit || queued_others >= cfg.queue_capacity {
+    } else if queued_others >= cfg.queue_capacity {
         ReadDecision::Shed
     } else {
         ReadDecision::Queue
@@ -275,18 +295,22 @@ impl AdmissionGate {
         &self.cfg
     }
 
-    /// Gate one read. `memory` is re-sampled on every poll so a pressure
-    /// spike that resolves (a merge commits and retires its spare copy)
-    /// lets queued reads through. Returns within `queue_timeout` + one
-    /// poll, worst case — the no-hang guarantee the integration tests
-    /// assert.
-    pub fn admit_read(&self, mut memory: impl FnMut() -> usize) -> ReadAdmission {
+    /// Gate one read. `memory` and `pool_depth` are re-sampled on every
+    /// poll so a pressure spike that resolves (a merge commits and retires
+    /// its spare copy; the pool drains its morsel backlog) lets queued
+    /// reads through. Returns within `queue_timeout` + one poll, worst
+    /// case — the no-hang guarantee the integration tests assert.
+    pub fn admit_read(
+        &self,
+        mut memory: impl FnMut() -> usize,
+        mut pool_depth: impl FnMut() -> usize,
+    ) -> ReadAdmission {
         let start = Instant::now();
         let mut queued = false;
         loop {
             let others = (self.queued_now.load(Ordering::Relaxed) as usize)
                 .saturating_sub(usize::from(queued));
-            match decide_read(&self.cfg, memory(), others) {
+            match decide_read(&self.cfg, memory(), pool_depth(), others) {
                 ReadDecision::Admit => {
                     if queued {
                         self.queued_now.fetch_sub(1, Ordering::Relaxed);
@@ -378,6 +402,7 @@ mod tests {
             queue_capacity: 4,
             queue_timeout: Duration::from_millis(30),
             queue_poll: Duration::from_millis(1),
+            pool_queue_limit: 8,
             write_backlog_limit: 100,
             write_release_fraction: 0.5,
             throttle_retry_after: Duration::from_millis(10),
@@ -388,16 +413,55 @@ mod tests {
     fn read_decision_boundaries() {
         let c = cfg();
         // At the queue limit: still admitted (inclusive).
-        assert_eq!(decide_read(&c, 1_000, 0), ReadDecision::Admit);
-        assert_eq!(decide_read(&c, 1_001, 0), ReadDecision::Queue);
+        assert_eq!(decide_read(&c, 1_000, 0, 0), ReadDecision::Admit);
+        assert_eq!(decide_read(&c, 1_001, 0, 0), ReadDecision::Queue);
         // At the shed limit: still queued (inclusive); one past sheds.
-        assert_eq!(decide_read(&c, 2_000, 0), ReadDecision::Queue);
-        assert_eq!(decide_read(&c, 2_001, 0), ReadDecision::Shed);
+        assert_eq!(decide_read(&c, 2_000, 0, 0), ReadDecision::Queue);
+        assert_eq!(decide_read(&c, 2_001, 0, 0), ReadDecision::Shed);
         // Queue full: arrivals shed even in the queue band.
-        assert_eq!(decide_read(&c, 1_500, 3), ReadDecision::Queue);
-        assert_eq!(decide_read(&c, 1_500, 4), ReadDecision::Shed);
+        assert_eq!(decide_read(&c, 1_500, 0, 3), ReadDecision::Queue);
+        assert_eq!(decide_read(&c, 1_500, 0, 4), ReadDecision::Shed);
         // Low memory admits regardless of queue depth.
-        assert_eq!(decide_read(&c, 999, 4), ReadDecision::Admit);
+        assert_eq!(decide_read(&c, 999, 0, 4), ReadDecision::Admit);
+    }
+
+    #[test]
+    fn deep_pool_queue_gates_reads() {
+        let c = cfg();
+        // At the pool limit (inclusive): still admitted.
+        assert_eq!(decide_read(&c, 0, 8, 0), ReadDecision::Admit);
+        // Past it: queue even with memory at zero — the workers are
+        // saturated, not out of memory, so the read waits for the drain.
+        assert_eq!(decide_read(&c, 0, 9, 0), ReadDecision::Queue);
+        // A deep pool queue never sheds on its own...
+        assert_eq!(decide_read(&c, 0, 10_000, 0), ReadDecision::Queue);
+        // ...until the wait queue itself is full.
+        assert_eq!(decide_read(&c, 0, 10_000, 4), ReadDecision::Shed);
+        // Hard memory pressure sheds regardless of the pool.
+        assert_eq!(decide_read(&c, 2_001, 0, 0), ReadDecision::Shed);
+    }
+
+    #[test]
+    fn queued_read_admits_when_the_pool_drains() {
+        let g = AdmissionGate::new(cfg());
+        let polls = std::cell::Cell::new(0u32);
+        let adm = g.admit_read(
+            || 0,
+            || {
+                polls.set(polls.get() + 1);
+                // Two polls of a saturated pool, then the backlog drains.
+                if polls.get() <= 2 {
+                    50
+                } else {
+                    0
+                }
+            },
+        );
+        match adm {
+            ReadAdmission::Admit { queued, .. } => assert!(queued, "waited out the backlog"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(g.stats().queued_reads, 1);
     }
 
     #[test]
@@ -434,7 +498,7 @@ mod tests {
     #[test]
     fn gate_admits_and_counts() {
         let g = AdmissionGate::new(cfg());
-        match g.admit_read(|| 0) {
+        match g.admit_read(|| 0, || 0) {
             ReadAdmission::Admit { queued, .. } => assert!(!queued),
             other => panic!("{other:?}"),
         }
@@ -446,7 +510,7 @@ mod tests {
     fn gate_sheds_above_hard_limit_immediately() {
         let g = AdmissionGate::new(cfg());
         let t = Instant::now();
-        assert_eq!(g.admit_read(|| 5_000), ReadAdmission::Shed);
+        assert_eq!(g.admit_read(|| 5_000, || 0), ReadAdmission::Shed);
         assert!(t.elapsed() < Duration::from_millis(20), "no queue wait");
         assert_eq!(g.stats().shed_reads, 1);
     }
@@ -456,7 +520,7 @@ mod tests {
         let g = AdmissionGate::new(cfg());
         let t = Instant::now();
         // Memory pinned in the queue band: the read waits, then sheds.
-        assert_eq!(g.admit_read(|| 1_500), ReadAdmission::Shed);
+        assert_eq!(g.admit_read(|| 1_500, || 0), ReadAdmission::Shed);
         let waited = t.elapsed();
         assert!(waited >= Duration::from_millis(30), "honored the queue");
         assert!(waited < Duration::from_secs(2), "bounded by the timeout");
@@ -467,15 +531,18 @@ mod tests {
     fn queued_read_admits_when_pressure_resolves() {
         let g = AdmissionGate::new(cfg());
         let calls = std::cell::Cell::new(0u32);
-        let adm = g.admit_read(|| {
-            calls.set(calls.get() + 1);
-            // Two polls of pressure, then the merge "commits".
-            if calls.get() <= 2 {
-                1_500
-            } else {
-                100
-            }
-        });
+        let adm = g.admit_read(
+            || {
+                calls.set(calls.get() + 1);
+                // Two polls of pressure, then the merge "commits".
+                if calls.get() <= 2 {
+                    1_500
+                } else {
+                    100
+                }
+            },
+            || 0,
+        );
         match adm {
             ReadAdmission::Admit { queued, .. } => assert!(queued, "went through the queue"),
             other => panic!("{other:?}"),

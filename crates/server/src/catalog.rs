@@ -14,7 +14,7 @@
 use crate::admission::RateWindow;
 use crate::protocol::TableSpec;
 use hyrise_core::{
-    Durability, GovernorConfig, MergePolicy, ResourceGovernor, ShardedScheduler, ShardedTable,
+    Durability, GovernorConfig, MergePolicy, Pool, ResourceGovernor, ShardedScheduler, ShardedTable,
 };
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -137,19 +137,32 @@ fn validate_name(name: &str) -> Result<(), CatalogError> {
     Ok(())
 }
 
-/// The named-table registry.
+/// The named-table registry. It also owns the server's handle to the
+/// process-wide query [`Pool`]: creating the catalog brings the pool up,
+/// and the admission gate samples its queue depth through
+/// [`Catalog::pool`].
 pub struct Catalog {
     cfg: CatalogConfig,
+    pool: &'static Pool,
     tables: Mutex<HashMap<String, Arc<TableEntry>>>,
 }
 
 impl Catalog {
-    /// An empty catalog.
+    /// An empty catalog. Eagerly initializes the shared worker pool so the
+    /// first query does not pay thread creation and the queue-depth load
+    /// signal is live from the start.
     pub fn new(cfg: CatalogConfig) -> Self {
         Self {
             cfg,
+            pool: Pool::global_for_queries(),
             tables: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The shared worker pool every query executes on — the admission
+    /// gate's queue-depth signal source.
+    pub fn pool(&self) -> &'static Pool {
+        self.pool
     }
 
     /// Create a table per `spec` and spawn its governed scheduler.

@@ -367,7 +367,10 @@ pub(crate) fn handle_request(catalog: &Catalog, gate: &AdmissionGate, req: Reque
                 return Response::err(ErrorCode::Config, detail);
             }
             let t = Arc::clone(entry.table());
-            match gate.admit_read(|| t.memory_report().total()) {
+            match gate.admit_read(
+                || t.memory_report().total(),
+                || catalog.pool().queue_depth(),
+            ) {
                 ReadAdmission::Shed => Response {
                     admission: Admission::Shed,
                     result: Err(WireError::new(

@@ -5,9 +5,9 @@
 #
 #   scripts/refresh_bench_baseline.sh
 #
-# The gated benches are scan, scan_swar, query_engine, dict_merge,
-# merge_pipeline, shard_scale, governor, contended_writers, wal_append and
-# client_swarm;
+# The gated benches are scan, scan_swar, morsel_scan, query_engine,
+# dict_merge, merge_pipeline, shard_scale, governor, contended_writers,
+# wal_append and client_swarm;
 # the gate fails CI when any median regresses more than 25% — except
 # entries with a per-entry override (crates/bench/src/gate.rs
 # TOLERANCE_OVERRIDES): wal_append/fsync is gated at a widened 50%,
@@ -18,7 +18,7 @@ cd "$(dirname "$0")/.."
 out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
 
-for bench in scan scan_swar query_engine dict_merge merge_pipeline shard_scale governor contended_writers wal_append client_swarm; do
+for bench in scan scan_swar morsel_scan query_engine dict_merge merge_pipeline shard_scale governor contended_writers wal_append client_swarm; do
     cargo bench -p hyrise-bench --bench "$bench" | tee -a "$out"
 done
 
